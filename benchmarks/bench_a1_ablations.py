@@ -1,0 +1,137 @@
+"""A1: design-choice ablations called out in DESIGN.md.
+
+Three sensitivity analyses on the secure pipeline:
+
+* **World-switch cost** — the fixed hardware price of the TEE boundary;
+  sweeping it (0.5×–4×) shows how strongly the end-to-end overhead
+  depends on the platform's switch latency.
+* **PIO vs DMA capture** — the secure driver can drain the I²S FIFO via
+  register reads or via (secure) DMA; DMA trades setup cost for per-word
+  CPU savings.
+* **Per-utterance vs continuous capture** — the deployment-realistic
+  stream mode adds an in-enclave VAD; its cost and decision-equivalence
+  are measured against the per-utterance API.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import make_workload, write_result
+from repro.core.baseline import BaselinePipeline
+from repro.core.pipeline import SecurePipeline
+from repro.core.platform import IotPlatform
+from repro.sim.clock import CycleDomain
+from repro.tz.costs import CostModel
+from repro.tz.machine import MachineConfig
+
+
+def test_a1_world_switch_sensitivity(benchmark, bundle_cnn):
+    base = CostModel()
+    rows = [f"{'switch cost':>12s} {'proc cycles/utt':>16s} {'overhead':>9s}"]
+    series = []
+    for factor in (0.5, 1.0, 2.0, 4.0):
+        costs = CostModel(
+            world_switch_cycles=int(base.world_switch_cycles * factor),
+            cache_maintenance_cycles=int(
+                base.cache_maintenance_cycles * factor
+            ),
+        )
+        config = MachineConfig(costs=costs)
+        platform = IotPlatform.create(machine_config=config)
+        secure = SecurePipeline(platform, bundle_cnn)
+        run_s = secure.process(make_workload(bundle_cnn, n=6, seed=111))
+
+        platform_b = IotPlatform.create(machine_config=MachineConfig(costs=costs))
+        base_p = BaselinePipeline(platform_b, bundle_cnn.asr, use_tls=True)
+        run_b = base_p.process(make_workload(bundle_cnn, n=6, seed=111))
+
+        mean_s = run_s.processing_latency_cycles().mean()
+        ratio = mean_s / run_b.processing_latency_cycles().mean()
+        series.append((factor, ratio))
+        rows.append(f"{factor:>11.1f}x {mean_s:>16.0f} {ratio:>8.2f}x")
+    write_result("a1_switch_sensitivity", "\n".join(rows))
+    benchmark.extra_info["series"] = series
+    benchmark(lambda: None)
+
+    # Overhead must grow monotonically with the switch cost.
+    ratios = [r for _, r in series]
+    assert all(a <= b + 1e-6 for a, b in zip(ratios, ratios[1:]))
+
+
+def test_a1_pio_vs_dma(benchmark, bundle_cnn):
+    """Secure-world CPU cycles per chunk, PIO vs DMA drain."""
+    from repro.drivers.hosting import SecureDriverHost
+    from repro.drivers.i2s_driver import I2sDriver
+    from repro.optee.pta import PtaContext, PseudoTa
+    from repro.tz.worlds import World
+
+    rows = [f"{'mode':6s} {'cpu cycles/chunk':>17s} {'dma cycles/chunk':>17s}"]
+    measured = {}
+    for mode in ("pio", "dma"):
+        platform = IotPlatform.create(seed=12)
+        pta = PseudoTa()
+        ctx = PtaContext(platform.tee, pta)
+        host = SecureDriverHost(ctx)
+        driver = I2sDriver(host, platform.i2s_controller, platform.i2s_region)
+        machine = platform.machine
+        machine.cpu._set_world(World.SECURE)
+        try:
+            machine.secure_peripheral(platform.i2s_region)
+            driver.probe()
+            if mode == "dma":
+                driver.set_capture_mode("dma")
+            driver.pcm_open_capture(512)
+            driver.trigger_start()
+            cpu_before = machine.clock.cycles_in(CycleDomain.SECURE_CPU)
+            dma_before = machine.clock.cycles_in(CycleDomain.DMA)
+            for _ in range(4):
+                driver.read_chunk()
+            cpu = (machine.clock.cycles_in(CycleDomain.SECURE_CPU)
+                   - cpu_before) // 4
+            dma = (machine.clock.cycles_in(CycleDomain.DMA) - dma_before) // 4
+        finally:
+            machine.cpu._set_world(World.NORMAL)
+        measured[mode] = cpu
+        rows.append(f"{mode:6s} {cpu:>17d} {dma:>17d}")
+    write_result("a1_pio_vs_dma", "\n".join(rows))
+    benchmark.extra_info.update(measured)
+    benchmark(lambda: None)
+    assert measured["dma"] < measured["pio"]
+
+
+def test_a1_continuous_vs_per_utterance(benchmark, bundle_cnn):
+    """The VAD stream mode must match per-utterance decisions at a small
+    added cost."""
+    workload_args = dict(n=6, seed=113)
+
+    platform_a = IotPlatform.create(seed=13)
+    per_utt = SecurePipeline(platform_a, bundle_cnn)
+    run_a = per_utt.process(make_workload(bundle_cnn, **workload_args))
+
+    platform_b = IotPlatform.create(seed=13)
+    stream = SecurePipeline(platform_b, bundle_cnn)
+    run_b = stream.process_continuous(make_workload(bundle_cnn, **workload_args))
+
+    rows = [f"{'mode':16s} {'decisions':>10s} {'forwarded':>10s} "
+            f"{'vad cycles':>11s} {'smc calls':>10s}"]
+    rows.append(
+        f"{'per-utterance':16s} {len(run_a):>10d} "
+        f"{run_a.forwarded_count():>10d} "
+        f"{run_a.stage_cycles.get('vad', 0):>11d} "
+        f"{platform_a.machine.monitor.smc_count:>10d}"
+    )
+    rows.append(
+        f"{'continuous+vad':16s} {len(run_b):>10d} "
+        f"{run_b.forwarded_count():>10d} "
+        f"{run_b.stage_cycles.get('vad', 0):>11d} "
+        f"{platform_b.machine.monitor.smc_count:>10d}"
+    )
+    write_result("a1_continuous", "\n".join(rows))
+    benchmark(lambda: None)
+
+    assert len(run_b) == len(run_a)
+    decisions_a = [(r.utterance.text, r.forwarded) for r in run_a.results]
+    decisions_b = [(r.utterance.text, r.forwarded) for r in run_b.results]
+    assert decisions_a == decisions_b
+    # Stream mode crosses the monitor fewer times (one SMC for the batch).
+    assert (platform_b.machine.monitor.smc_count
+            < platform_a.machine.monitor.smc_count)

@@ -1,0 +1,126 @@
+"""F2: privacy leakage — ours vs baseline, threshold sweep, policies.
+
+The reproduction's headline privacy figure: the fraction of sensitive
+utterances reaching the cloud / the on-device attacker / the wire, for
+the conventional stack and for the paper's design, plus the classifier
+threshold sweep (leak/utility trade-off curve) and the policy ablation
+from DESIGN.md.
+"""
+
+from benchmarks.conftest import make_workload, write_result
+from repro.cloud.auditor import LeakAuditor
+from repro.core.baseline import BaselinePipeline
+from repro.core.filter import FilterPolicy, SensitiveFilter
+from repro.core.pipeline import SecurePipeline
+from repro.core.platform import IotPlatform
+from repro.kernel.attacks import BufferSnoopAttack, WireEavesdropper
+
+N = 16
+
+
+def audited_run(bundle, make_pipeline, n=N):
+    platform = IotPlatform.create(seed=6)
+    pipeline = make_pipeline(platform)
+    workload = make_workload(bundle, n=n, seed=101)
+    snoop = BufferSnoopAttack(platform.machine)
+    captures = []
+
+    def attacker(p):
+        captures.extend(snoop.run(p.attack_targets()).captured)
+
+    run = pipeline.process(workload, after_each=attacker)
+    auditor = LeakAuditor(workload.utterances, reference_asr=bundle.asr)
+    auditor.decode_device_captures(captures)
+    wire = WireEavesdropper(platform.supplicant.net).run().captured
+    report = auditor.report(
+        platform.cloud.received_transcripts, wire_bytes=wire
+    )
+    return run, report
+
+
+def test_f2_leakage_comparison(benchmark, bundle_cnn):
+    configs = [
+        ("baseline (TLS)",
+         lambda p: BaselinePipeline(p, bundle_cnn.asr, use_tls=True)),
+        ("baseline (plaintext)",
+         lambda p: BaselinePipeline(p, bundle_cnn.asr, use_tls=False)),
+        ("secure (ours)",
+         lambda p: SecurePipeline(p, bundle_cnn)),
+    ]
+    rows = [f"{'configuration':22s} {'cloud':>6s} {'device':>7s} "
+            f"{'wire':>6s} {'utility':>8s}"]
+    reports = {}
+    for label, factory in configs:
+        _, report = audited_run(bundle_cnn, factory)
+        reports[label] = report
+        rows.append(
+            f"{label:22s} {report.cloud_leak_rate:>6.0%} "
+            f"{report.device_leak_rate:>7.0%} {report.wire_leak_rate:>6.0%} "
+            f"{report.utility_rate:>8.0%}"
+        )
+    write_result("f2_leakage", "\n".join(rows))
+    benchmark.extra_info["cloud_leak"] = {
+        k: v.cloud_leak_rate for k, v in reports.items()
+    }
+    benchmark(lambda: None)
+
+    # The paper's claim, as shapes:
+    assert reports["baseline (TLS)"].cloud_leak_rate == 1.0
+    assert reports["baseline (TLS)"].device_leak_rate == 1.0
+    assert reports["baseline (plaintext)"].wire_leak_rate == 1.0
+    assert reports["secure (ours)"].cloud_leak_rate == 0.0
+    assert reports["secure (ours)"].device_leak_rate == 0.0
+    assert reports["secure (ours)"].wire_leak_rate == 0.0
+    assert reports["secure (ours)"].utility_rate >= 0.9
+
+
+def test_f2_threshold_sweep(benchmark, bundle_cnn):
+    """Leak/utility ROC as the decision threshold moves."""
+    rows = [f"{'threshold':>9s} {'cloud leak':>11s} {'utility':>8s}"]
+    series = []
+    original = bundle_cnn.filter.threshold
+    try:
+        for threshold in (0.05, 0.3, 0.5, 0.7, 0.95):
+            bundle_cnn.filter.threshold = threshold
+            _, report = audited_run(
+                bundle_cnn, lambda p: SecurePipeline(p, bundle_cnn)
+            )
+            series.append((threshold, report.cloud_leak_rate,
+                           report.utility_rate))
+            rows.append(f"{threshold:>9.2f} {report.cloud_leak_rate:>11.0%} "
+                        f"{report.utility_rate:>8.0%}")
+    finally:
+        bundle_cnn.filter.threshold = original
+    write_result("f2_threshold_sweep", "\n".join(rows))
+    benchmark.extra_info["series"] = series
+    benchmark(lambda: None)
+
+    # Monotone shape: leak rate cannot decrease as threshold rises.
+    leaks = [s[1] for s in series]
+    assert all(a <= b + 1e-9 for a, b in zip(leaks, leaks[1:]))
+
+
+def test_f2_policy_ablation(benchmark, bundle_cnn):
+    """Drop vs redact vs hash: all must keep sensitive text off the cloud."""
+    rows = [f"{'policy':8s} {'cloud msgs':>11s} {'verbatim leaks':>15s} "
+            f"{'utility':>8s}"]
+    original = bundle_cnn.filter.policy
+    try:
+        for policy in FilterPolicy:
+            bundle_cnn.filter.policy = policy
+            platform = IotPlatform.create(seed=7)
+            pipeline = SecurePipeline(platform, bundle_cnn)
+            workload = make_workload(bundle_cnn, n=N, seed=101)
+            pipeline.process(workload)
+            received = platform.cloud.received_transcripts
+            report = LeakAuditor(workload.utterances).report(received)
+            rows.append(
+                f"{policy.value:8s} {len(received):>11d} "
+                f"{report.sensitive_leaked_cloud:>15d} "
+                f"{report.utility_rate:>8.0%}"
+            )
+            assert report.cloud_leak_rate == 0.0
+    finally:
+        bundle_cnn.filter.policy = original
+    write_result("f2_policy_ablation", "\n".join(rows))
+    benchmark(lambda: None)

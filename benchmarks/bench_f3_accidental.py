@@ -1,0 +1,97 @@
+"""F3: accidental activation — the paper's motivating incident class.
+
+§I opens with the 2019 leaks: assistant recordings reaching the provider,
+"part of these recordings activated accidentally by users."  Content
+filtering alone cannot stop that class — an overheard *benign* side
+conversation passes any sensitivity test, yet was never meant to leave
+the house.  This experiment runs a household mix (50% addressed to the
+assistant, 50% overheard) through three configurations and reports the
+two leak channels separately.
+"""
+
+from benchmarks.conftest import write_result
+from repro.core.baseline import BaselinePipeline
+from repro.core.pipeline import SecurePipeline
+from repro.core.platform import IotPlatform
+from repro.core.wakeword import WakeWordGate
+from repro.core.workload import UtteranceWorkload
+from repro.ml.dataset import UtteranceGenerator
+from repro.sim.rng import SimRng
+
+N = 20
+
+
+def household_workload(bundle):
+    corpus = UtteranceGenerator(SimRng(211, "f3")).generate(
+        N, sensitive_fraction=0.5, addressed_fraction=0.5,
+    )
+    return UtteranceWorkload.from_corpus(corpus, bundle.vocoder)
+
+
+def run_config(bundle, kind):
+    """Returns (sensitive_leak_rate, accidental_leak_rate).
+
+    Accidental leakage is counted at *decision* level (which captures were
+    forwarded) rather than by content matching: with a small template
+    universe an overheard utterance can be text-identical to a
+    legitimately delivered addressed command, which content matching
+    would mis-score as a leak.
+    """
+    platform = IotPlatform.create(seed=15)
+    workload = household_workload(bundle)
+    original_gate = bundle.gate
+    try:
+        if kind == "baseline":
+            pipeline = BaselinePipeline(platform, bundle.asr, use_tls=True)
+        elif kind == "content-filter":
+            bundle.gate = None
+            pipeline = SecurePipeline(platform, bundle)
+        else:  # gated
+            bundle.gate = WakeWordGate()
+            pipeline = SecurePipeline(platform, bundle)
+        run = pipeline.process(workload)
+    finally:
+        bundle.gate = original_gate
+
+    sensitive = [r for r in run.results if r.utterance.sensitive]
+    overheard = [r for r in run.results if not r.utterance.addressed]
+    sensitive_leak = (
+        sum(r.forwarded for r in sensitive) / len(sensitive)
+        if sensitive else 0.0
+    )
+    accidental_leak = (
+        sum(r.forwarded for r in overheard) / len(overheard)
+        if overheard else 0.0
+    )
+    return sensitive_leak, accidental_leak
+
+
+def test_f3_accidental_activation(benchmark, bundle_cnn):
+    rows = [f"{'configuration':26s} {'sensitive leak':>15s} "
+            f"{'accidental leak':>16s}"]
+    results = {}
+    for kind, label in (
+        ("baseline", "baseline (no filter)"),
+        ("content-filter", "secure, content filter"),
+        ("gated", "secure, gate + filter"),
+    ):
+        sensitive_leak, accidental_leak = run_config(bundle_cnn, kind)
+        results[kind] = (sensitive_leak, accidental_leak)
+        rows.append(
+            f"{label:26s} {sensitive_leak:>15.0%} {accidental_leak:>16.0%}"
+        )
+    write_result("f3_accidental", "\n".join(rows))
+    benchmark.extra_info["accidental_leak"] = {
+        k: v[1] for k, v in results.items()
+    }
+    benchmark(lambda: None)
+
+    # The incident-class shapes:
+    assert results["baseline"][1] == 1.0
+    # Content filtering stops sensitive content but NOT benign overheard
+    # chatter — the 2019 class survives it.
+    assert results["content-filter"][0] == 0.0
+    assert results["content-filter"][1] > 0.0
+    # The wake-word gate closes it entirely.
+    assert results["gated"][0] == 0.0
+    assert results["gated"][1] == 0.0

@@ -1,0 +1,61 @@
+"""F4: the camera branch (research plan item 6).
+
+The generalization experiment: the same architecture (secure driver
+behind a PTA, in-enclave classifier, nothing sensitive leaves the TEE)
+applied to image frames.  Reports guard quality against scene ground
+truth, per-frame cost, and the isolation check.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.core.camera_pipeline import (
+    SecureCameraPipeline,
+    train_person_detector,
+)
+from repro.core.platform import IotPlatform
+from repro.errors import SecureAccessViolation
+from repro.tz.worlds import World
+
+N_FRAMES = 24
+
+
+def test_f4_camera_guard(benchmark):
+    detector = train_person_detector(seed=3, frames_per_class=70, epochs=8)
+    platform = IotPlatform.create(seed=16)
+    pipeline = SecureCameraPipeline(platform, detector)
+    run = pipeline.run(N_FRAMES)
+
+    # Isolation spot-check from the adversary's side.
+    driver = pipeline.pta.driver
+    assert driver is not None and driver._buf_addr is not None
+    try:
+        platform.machine.memory.read(
+            driver._buf_addr, 16, World.NORMAL
+        )
+        frame_buffer_secure = False
+    except SecureAccessViolation:
+        frame_buffer_secure = True
+
+    mean_cycles = float(
+        np.mean([f.latency_cycles for f in run.frames])
+    )
+    rows = [
+        f"frames processed      : {len(run.frames)}",
+        f"released / blocked    : {run.released} / {run.blocked}",
+        f"guard accuracy        : {run.accuracy():.3f}",
+        f"mean cycles per frame : {mean_cycles:.0f} "
+        f"({mean_cycles / 2e9 * 1e3:.3f} ms)",
+        f"detector size         : {detector.size_bytes()} bytes, "
+        f"{detector.macs_per_inference()} MACs/frame",
+        f"frame buffer secure   : {frame_buffer_secure}",
+    ]
+    write_result("f4_camera", "\n".join(rows))
+    benchmark.extra_info["accuracy"] = run.accuracy()
+
+    # Benchmark one guarded frame (capture + in-TEE inference + decision).
+    benchmark(pipeline.guard_frame)
+
+    assert run.accuracy() > 0.85
+    assert frame_buffer_secure
+    assert 0 < run.released < N_FRAMES  # both classes occurred and differ

@@ -1,0 +1,43 @@
+"""F1 (Fig. 1): the end-to-end secure pipeline, stage by stage.
+
+The paper's only figure is the design itself; this benchmark runs it and
+reports the per-stage cost breakdown (capture → ASR → classify → filter →
+relay), which is the quantitative content Fig. 1 implies.
+"""
+
+from benchmarks.conftest import make_workload, write_result
+from repro.core.pipeline import SecurePipeline
+from repro.core.platform import IotPlatform
+
+
+def test_fig1_secure_pipeline(benchmark, bundle_cnn):
+    platform = IotPlatform.create(seed=1)
+    pipeline = SecurePipeline(platform, bundle_cnn)
+    workload = make_workload(bundle_cnn, n=8)
+    items = iter(workload.items * 1000)  # enough for any round count
+
+    # Warm-up: first utterance pays PTA INIT + TLS handshake.
+    pipeline.process_item(workload.items[0])
+
+    def one_utterance():
+        return pipeline.process_item(next(items))
+
+    result = benchmark(one_utterance)
+
+    run = pipeline.process(workload)
+    total = sum(run.stage_cycles.values()) or 1
+    lines = [f"{'stage':10s} {'cycles':>14s} {'ms':>9s} {'share':>7s}"]
+    for stage, cycles in run.stage_cycles.items():
+        ms = cycles / 2e9 * 1e3
+        lines.append(
+            f"{stage:10s} {cycles:>14d} {ms:>9.2f} {cycles / total:>6.1%}"
+        )
+    lines.append("")
+    lines.append(f"decisions: {run.forwarded_count()} forwarded, "
+                 f"{run.blocked_count()} blocked of {len(run)}")
+    lines.append(f"classifier accuracy on path: {run.classifier_accuracy():.3f}")
+    write_result("fig1_pipeline", "\n".join(lines))
+
+    benchmark.extra_info["stage_cycles"] = run.stage_cycles
+    benchmark.extra_info["accuracy"] = run.classifier_accuracy()
+    assert run.classifier_accuracy() >= 0.8

@@ -1,0 +1,84 @@
+"""T1: security ↔ performance — secure vs baseline path cost.
+
+The trade-off the paper anticipates in Sections III/V: the TEE path pays
+world switches, supplicant RPCs and slower in-enclave ML.  Reports
+per-utterance processing cycles (capture excluded — audio is real-time in
+both designs) for both pipelines, and sweeps the driver period size to
+show switch-amortization (ablation from DESIGN.md).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import make_workload, write_result
+from repro.core.baseline import BaselinePipeline
+from repro.core.pipeline import SecurePipeline
+from repro.core.platform import IotPlatform
+
+
+def run_once(bundle, secure: bool, chunk_frames: int, n=8):
+    platform = IotPlatform.create(seed=2)
+    if secure:
+        pipeline = SecurePipeline(platform, bundle, chunk_frames=chunk_frames)
+    else:
+        pipeline = BaselinePipeline(
+            platform, bundle.asr, use_tls=True, chunk_frames=chunk_frames
+        )
+    workload = make_workload(bundle, n=n)
+    run = pipeline.process(workload)
+    return run, platform
+
+
+def test_t1_secure_vs_baseline(benchmark, bundle_cnn):
+    rows = [f"{'config':22s} {'chunk':>6s} {'proc cycles/utt':>16s} "
+            f"{'ms/utt':>8s} {'switches':>9s} {'overhead':>9s}"]
+    baselines = {}
+    results = {}
+    for chunk in (128, 256, 512):
+        run_b, plat_b = run_once(bundle_cnn, secure=False, chunk_frames=chunk)
+        baselines[chunk] = run_b.processing_latency_cycles().mean()
+        rows.append(
+            f"{'baseline':22s} {chunk:>6d} {baselines[chunk]:>16.0f} "
+            f"{baselines[chunk] / 2e9 * 1e3:>8.2f} "
+            f"{plat_b.machine.cpu.switch_count:>9d} {'1.00x':>9s}"
+        )
+    for chunk in (128, 256, 512):
+        run_s, plat_s = run_once(bundle_cnn, secure=True, chunk_frames=chunk)
+        mean = run_s.processing_latency_cycles().mean()
+        ratio = mean / baselines[chunk]
+        results[chunk] = ratio
+        rows.append(
+            f"{'secure (ours)':22s} {chunk:>6d} {mean:>16.0f} "
+            f"{mean / 2e9 * 1e3:>8.2f} "
+            f"{plat_s.machine.cpu.switch_count:>9d} {ratio:>8.2f}x"
+        )
+    write_result("t1_overhead", "\n".join(rows))
+    benchmark.extra_info["overhead_by_chunk"] = results
+
+    # Benchmark the hot path: one secure utterance.
+    platform = IotPlatform.create(seed=3)
+    pipeline = SecurePipeline(platform, bundle_cnn)
+    workload = make_workload(bundle_cnn, n=4)
+    pipeline.process_item(workload.items[0])  # warm-up
+    items = iter(workload.items * 2000)
+    benchmark(lambda: pipeline.process_item(next(items)))
+
+    # Shape assertions: secure is slower, and overhead is single-digit-x.
+    for chunk, ratio in results.items():
+        assert 1.0 < ratio < 5.0, (chunk, ratio)
+
+
+def test_t1_throughput(benchmark, bundle_cnn):
+    """Utterances/second of simulated processing capacity, both paths."""
+    rows = [f"{'config':22s} {'utt/s (processing)':>20s}"]
+    info = {}
+    for secure in (False, True):
+        run, _ = run_once(bundle_cnn, secure=secure, chunk_frames=256)
+        cycles = run.processing_latency_cycles().mean()
+        rate = 2e9 / cycles
+        label = "secure (ours)" if secure else "baseline"
+        rows.append(f"{label:22s} {rate:>20.1f}")
+        info[label] = rate
+    write_result("t1_throughput", "\n".join(rows))
+    benchmark.extra_info.update(info)
+    benchmark(lambda: None)  # table generation was the work
+    assert info["baseline"] > info["secure (ours)"]

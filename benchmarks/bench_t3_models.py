@@ -1,0 +1,82 @@
+"""T3: ML architecture comparison (paper Section IV-4).
+
+CNN vs Transformer vs hybrid on the same corpus: quality (accuracy/F1 at
+WER 0 and under ASR noise), size (params/bytes), in-TEE inference cost
+(MACs → secure-world cycles), and secure-heap fit.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.ml.asr import NoisyChannel
+from repro.ml.metrics import BinaryMetrics
+from repro.sim.rng import SimRng
+from repro.tz.costs import DEFAULT_COSTS
+from repro.tz.machine import MachineConfig
+
+NOISE_WER = 0.25
+
+
+def evaluate(bundle, corpus, wer=0.0, seed=5):
+    """Accuracy/F1 of a bundle's classifier, optionally through ASR noise."""
+    tokenizer = bundle.filter.tokenizer
+    texts = corpus.texts
+    if wer > 0:
+        channel = NoisyChannel(SimRng(seed, "t3"), wer, bundle.vocoder.vocabulary)
+        texts = [channel.corrupt(t) for t in texts]
+    ids = tokenizer.encode_batch(texts)
+    labels = np.array(corpus.labels)
+    preds = bundle.filter.classifier.predict(ids)
+    return BinaryMetrics.from_predictions(labels, preds)
+
+
+def test_t3_architecture_comparison(benchmark, provisioned_all):
+    heap = MachineConfig().secure_heap_bytes
+    rows = [f"{'arch':12s} {'acc':>6s} {'f1':>6s} {'acc@wer25':>10s} "
+            f"{'params':>8s} {'bytes':>8s} {'MACs':>9s} {'us/inf':>7s} "
+            f"{'fits':>5s}"]
+    info = {}
+    for arch, provisioned in provisioned_all.items():
+        bundle = provisioned.bundle
+        test_corpus = provisioned.test_corpus
+        clean = evaluate(bundle, test_corpus)
+        noisy = evaluate(bundle, test_corpus, wer=NOISE_WER)
+        model = bundle.filter.classifier
+        cycles = DEFAULT_COSTS.ml_inference_cycles(
+            model.macs_per_inference(), secure=True, int8=False
+        )
+        us = cycles / 2e9 * 1e6
+        fits = model.size_bytes() <= heap
+        rows.append(
+            f"{arch:12s} {clean.accuracy:6.3f} {clean.f1:6.3f} "
+            f"{noisy.accuracy:>10.3f} {model.num_params():>8d} "
+            f"{model.size_bytes():>8d} {model.macs_per_inference():>9d} "
+            f"{us:>7.2f} {'yes' if fits else 'NO':>5s}"
+        )
+        info[arch] = {
+            "accuracy": clean.accuracy,
+            "accuracy_wer25": noisy.accuracy,
+            "bytes": model.size_bytes(),
+            "macs": model.macs_per_inference(),
+        }
+        # Every candidate must be deployable and useful.
+        assert fits
+        assert clean.accuracy > 0.9
+        assert noisy.accuracy > 0.7
+
+    rows.append("")
+    rows.append(f"secure heap budget: {heap} bytes; "
+                f"noise condition: word error rate {NOISE_WER:.0%}")
+    write_result("t3_models", "\n".join(rows))
+    benchmark.extra_info.update(info)
+
+    # Benchmark: one classifier inference (CNN), the per-utterance TA cost.
+    bundle = provisioned_all["cnn"].bundle
+    ids = bundle.filter.tokenizer.encode_batch(
+        ["the password for the email is four two seven one"]
+    )
+    benchmark(lambda: bundle.filter.classifier.predict_proba(ids))
+
+    # Shape: the transformer is the biggest & most expensive.
+    assert info["transformer"]["macs"] > info["cnn"]["macs"]
+    assert info["transformer"]["bytes"] > info["hybrid"]["bytes"]

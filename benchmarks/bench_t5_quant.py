@@ -1,0 +1,76 @@
+"""T5: quantization ablation — fp32 vs int8 per architecture.
+
+Section V's mitigation for scarce TEE memory ("smaller ML models"),
+quantified: weight bytes, accuracy delta, and in-TEE inference cycles
+for the fp32 and int8 variants of each architecture.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.ml.metrics import BinaryMetrics
+from repro.ml.models import build_classifier
+from repro.ml.quantize import quantize_classifier
+from repro.tz.costs import DEFAULT_COSTS
+
+
+def fresh_copy(provisioned, arch):
+    """Clone the trained model so quantization does not disturb fixtures."""
+    bundle = provisioned.bundle
+    tok = bundle.filter.tokenizer
+    clone = build_classifier(
+        arch, tok.vocab_size, tok.max_len, np.random.default_rng(0)
+    )
+    clone.deserialize(bundle.filter.classifier.serialize())
+    return clone, tok, provisioned.test_corpus
+
+
+def test_t5_quantization(benchmark, provisioned_all):
+    rows = [f"{'model':18s} {'bytes':>8s} {'ratio':>6s} {'acc':>7s} "
+            f"{'acc delta':>10s} {'us/inf':>7s} {'speedup':>8s}"]
+    info = {}
+    for arch, provisioned in provisioned_all.items():
+        model, tok, test_corpus = fresh_copy(provisioned, arch)
+        ids = tok.encode_batch(test_corpus.texts)
+        labels = np.array(test_corpus.labels)
+
+        acc_fp32 = float((model.predict(ids) == labels).mean())
+        cycles_fp32 = DEFAULT_COSTS.ml_inference_cycles(
+            model.macs_per_inference(), secure=True, int8=False
+        )
+        bytes_fp32 = model.size_bytes()
+
+        quant = quantize_classifier(model)
+        acc_int8 = float((quant.predict(ids) == labels).mean())
+        cycles_int8 = DEFAULT_COSTS.ml_inference_cycles(
+            quant.macs_per_inference(), secure=True, int8=True
+        )
+
+        rows.append(
+            f"{arch:18s} {bytes_fp32:>8d} {'1.00':>6s} {acc_fp32:>7.3f} "
+            f"{'—':>10s} {cycles_fp32 / 2e9 * 1e6:>7.2f} {'1.00x':>8s}"
+        )
+        rows.append(
+            f"{arch + '-int8':18s} {quant.size_bytes():>8d} "
+            f"{bytes_fp32 / quant.size_bytes():>5.2f}x {acc_int8:>7.3f} "
+            f"{acc_int8 - acc_fp32:>+10.3f} "
+            f"{cycles_int8 / 2e9 * 1e6:>7.2f} "
+            f"{cycles_fp32 / cycles_int8:>7.2f}x"
+        )
+        info[arch] = {
+            "size_ratio": bytes_fp32 / quant.size_bytes(),
+            "acc_delta": acc_int8 - acc_fp32,
+        }
+
+        # Shapes: ~4x smaller, accuracy within 5 points.
+        assert info[arch]["size_ratio"] > 3.5
+        assert abs(info[arch]["acc_delta"]) < 0.05
+
+    write_result("t5_quantization", "\n".join(rows))
+    benchmark.extra_info.update(info)
+
+    # Benchmark: int8 inference wall time (the deployed configuration).
+    model, tok, _ = fresh_copy(provisioned_all["cnn"], "cnn")
+    quant = quantize_classifier(model)
+    ids = tok.encode_batch(["the password is four two seven one"])
+    benchmark(lambda: quant.predict_proba(ids))

@@ -1,0 +1,96 @@
+"""T6: ASR robustness — classifier quality and end-to-end leakage vs WER.
+
+The TA classifies ASR output, so recognition errors propagate into
+filtering decisions.  Sweeps the word-error-rate channel and reports
+classifier accuracy and end-to-end cloud leakage, plus the hardened
+variant trained on corrupted transcripts (DESIGN.md ablation).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import make_workload, write_result
+from repro.cloud.auditor import LeakAuditor
+from repro.core.pipeline import SecurePipeline
+from repro.core.platform import IotPlatform
+from repro.ml.asr import NoisyChannel
+from repro.ml.metrics import BinaryMetrics
+from repro.provision import provision_bundle
+from repro.sim.rng import SimRng
+
+WERS = (0.0, 0.1, 0.2, 0.4)
+
+
+def classifier_accuracy_at_wer(provisioned, wer, seed=9):
+    bundle = provisioned.bundle
+    corpus = provisioned.test_corpus
+    texts = corpus.texts
+    if wer > 0:
+        channel = NoisyChannel(SimRng(seed, "t6"), wer,
+                               bundle.vocoder.vocabulary)
+        texts = [channel.corrupt(t) for t in texts]
+    ids = bundle.filter.tokenizer.encode_batch(texts)
+    labels = np.array(corpus.labels)
+    preds = bundle.filter.classifier.predict(ids)
+    return BinaryMetrics.from_predictions(labels, preds)
+
+
+def leakage_at_wer(bundle, wer, n=12):
+    """End-to-end: corrupt transcripts between ASR and classification.
+
+    Implemented by pre-corrupting the *spoken* text (rendering corrupted
+    words), which reaches the TA exactly as ASR output with that WER.
+    """
+    from repro.ml.dataset import Corpus, Utterance
+    from repro.core.workload import UtteranceWorkload
+
+    platform = IotPlatform.create(seed=10)
+    pipeline = SecurePipeline(platform, bundle)
+    base = make_workload(bundle, n=n, seed=107)
+    if wer > 0:
+        channel = NoisyChannel(SimRng(11, "t6-e2e"), wer,
+                               bundle.vocoder.vocabulary)
+        corrupted = Corpus([
+            Utterance(text=channel.corrupt(u.text), category=u.category)
+            for u in base.utterances
+        ])
+        workload = UtteranceWorkload.from_corpus(corrupted, bundle.vocoder)
+        # Ground truth stays the original (uncorrupted) utterances' labels;
+        # the corrupted text carries the category over.
+    else:
+        workload = base
+    pipeline.process(workload)
+    report = LeakAuditor(workload.utterances).report(
+        platform.cloud.received_transcripts
+    )
+    return report
+
+
+def test_t6_wer_robustness(benchmark, provisioned_all):
+    provisioned = provisioned_all["cnn"]
+    hardened = provision_bundle(
+        seed=42, architecture="cnn", corpus_size=1000, epochs=5, train_wer=0.2
+    )
+    rows = [f"{'WER':>5s} {'acc (clean-trained)':>20s} "
+            f"{'acc (noise-trained)':>20s} {'e2e cloud leak':>15s}"]
+    series = []
+    for wer in WERS:
+        clean = classifier_accuracy_at_wer(provisioned, wer)
+        hard = classifier_accuracy_at_wer(hardened, wer)
+        report = leakage_at_wer(provisioned.bundle, wer)
+        series.append((wer, clean.accuracy, hard.accuracy,
+                       report.cloud_leak_rate))
+        rows.append(f"{wer:>5.2f} {clean.accuracy:>20.3f} "
+                    f"{hard.accuracy:>20.3f} "
+                    f"{report.cloud_leak_rate:>15.0%}")
+    write_result("t6_wer", "\n".join(rows))
+    benchmark.extra_info["series"] = series
+    benchmark(lambda: None)
+
+    # Shapes: graceful degradation; noise-training helps at high WER.
+    accs = [s[1] for s in series]
+    assert accs[0] > 0.95
+    assert accs[-1] > 0.6  # degraded but far above chance
+    assert accs[0] >= accs[-1]
+    clean_at_04 = series[-1][1]
+    hard_at_04 = series[-1][2]
+    assert hard_at_04 >= clean_at_04 - 0.02  # hardening never much worse

@@ -1,0 +1,56 @@
+"""Shared benchmark fixtures and result reporting.
+
+Each benchmark regenerates one experiment from DESIGN.md's index.  The
+wall-clock numbers pytest-benchmark reports measure the *simulator*; the
+experiment's actual findings (simulated cycles, energy, leak rates, TCB
+sizes) are printed and written to ``benchmarks/results/<id>.txt`` so they
+survive output capture, and the headline values are attached to
+``benchmark.extra_info``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.workload import UtteranceWorkload
+from repro.ml.dataset import UtteranceGenerator
+from repro.provision import provision_bundle
+from repro.sim.rng import SimRng
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(experiment: str, text: str) -> None:
+    """Persist one experiment's table and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.txt"
+    path.write_text(text)
+    print(f"\n=== {experiment} ===\n{text}")
+
+
+@pytest.fixture(scope="session")
+def bundle_cnn():
+    """Trained CNN bundle (the default deployment)."""
+    return provision_bundle(seed=42, architecture="cnn", corpus_size=1000,
+                            epochs=5).bundle
+
+
+@pytest.fixture(scope="session")
+def provisioned_all():
+    """All three architectures, trained on the same data."""
+    return {
+        arch: provision_bundle(
+            seed=42, architecture=arch, corpus_size=1000, epochs=5
+        )
+        for arch in ("cnn", "transformer", "hybrid")
+    }
+
+
+def make_workload(bundle, n=10, seed=97, sensitive_fraction=0.5):
+    """A reproducible workload rendered through the bundle's vocoder."""
+    corpus = UtteranceGenerator(SimRng(seed, "bench")).generate(
+        n, sensitive_fraction=sensitive_fraction
+    )
+    return UtteranceWorkload.from_corpus(corpus, bundle.vocoder)

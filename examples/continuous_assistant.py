@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""A day in the life of a deployed assistant.
+
+The deployment-realistic loop the other examples abstract away:
+
+1. The device boots with a vendor-signed v1 classifier installed through
+   the sealed model store (anti-rollback protected).
+2. The microphone is captured *continuously*; the TA's in-enclave VAD
+   segments the stream and filters each detected utterance.
+3. Mid-day, the vendor ships a signed v2 model; the device installs it
+   through the update path.  A forged 'update' and a rollback attempt are
+   both rejected.
+
+Run:  python examples/continuous_assistant.py
+"""
+
+import numpy as np
+
+from repro.core.model_store import ModelStore, sign_package
+from repro.core.pipeline import SecurePipeline
+from repro.core.platform import IotPlatform
+from repro.core.workload import UtteranceWorkload
+from repro.errors import AuthenticationFailure, TeeSecurityError
+from repro.ml.dataset import UtteranceGenerator
+from repro.provision import provision_bundle
+from repro.sim.rng import SimRng
+from repro.tz.worlds import World
+
+VENDOR_KEY = b"acme-voice-vendor-signing-key-01"
+
+
+def main() -> None:
+    print("Provisioning v1 classifier ...")
+    provisioned = provision_bundle(seed=33, architecture="cnn")
+    bundle = provisioned.bundle
+    platform = IotPlatform.create(seed=33)
+
+    # --- 1. install the signed v1 model through the sealed store -------
+    platform.machine.cpu._set_world(World.SECURE)
+    try:
+        store = ModelStore(platform.tee.storage, VENDOR_KEY)
+        v1 = sign_package(
+            "cnn", 1, bundle.filter.classifier.serialize(), VENDOR_KEY
+        )
+        store.install(v1.to_bytes())
+        print(f"installed model v{store.installed_version()} "
+              f"({len(v1.weights)} weight bytes, sealed at rest)\n")
+    finally:
+        platform.machine.cpu._set_world(World.NORMAL)
+
+    # --- 2. continuous capture with in-enclave VAD ----------------------
+    pipeline = SecurePipeline(platform, bundle)
+    corpus = UtteranceGenerator(SimRng(33, "day")).generate(
+        10, sensitive_fraction=0.5
+    )
+    workload = UtteranceWorkload.from_corpus(corpus, bundle.vocoder)
+    print(f"capturing one continuous stream of {len(workload)} utterances "
+          f"({workload.total_frames} samples) ...")
+    run = pipeline.process_continuous(workload)
+    for result in run.results:
+        action = "forwarded" if result.forwarded else "BLOCKED  "
+        print(f"  [{action}] \"{result.transcript}\"")
+    print(f"VAD found {len(run.results)} segments; "
+          f"{run.stage_cycles['vad']} cycles spent segmenting; "
+          f"{platform.machine.monitor.smc_count} SMCs total\n")
+
+    # --- 3. the model-update attack surface ------------------------------
+    platform.machine.cpu._set_world(World.SECURE)
+    try:
+        print("vendor ships v2 ...")
+        v2 = sign_package(
+            "cnn", 2, bundle.filter.classifier.serialize(), VENDOR_KEY
+        )
+        store.install(v2.to_bytes())
+        print(f"  accepted: now at v{store.installed_version()}")
+
+        print("attacker ships a forged 'v3' ...")
+        forged = sign_package(
+            "cnn", 3, b"\x00" * 64, b"not-the-vendor-key-000000000000!"
+        )
+        try:
+            store.install(forged.to_bytes())
+        except AuthenticationFailure as exc:
+            print(f"  rejected: {exc}")
+
+        print("attacker replays the old v1 (rollback) ...")
+        try:
+            store.install(v1.to_bytes())
+        except TeeSecurityError as exc:
+            print(f"  rejected: {exc}")
+        print(f"\ndevice still at v{store.installed_version()}; "
+              f"normal world saw only sealed blobs throughout")
+    finally:
+        platform.machine.cpu._set_world(World.NORMAL)
+
+
+if __name__ == "__main__":
+    main()

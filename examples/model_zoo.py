@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Model zoo: the three TA-side architectures, fp32 and int8.
+
+Paper Section IV-4 proposes CNN, Transformer and hybrid classifiers and
+leaves the choice to "the final evaluation results obtained"; Section V
+notes TEE memory forces smaller models.  This example trains all three,
+quantizes each, and prints the deployment decision table — accuracy vs
+size vs in-TEE inference cost vs heap fit.
+
+Run:  python examples/model_zoo.py
+"""
+
+import numpy as np
+
+from repro.ml.dataset import UtteranceGenerator
+from repro.ml.models import build_classifier
+from repro.ml.quantize import quantize_classifier
+from repro.ml.tokenizer import WordTokenizer
+from repro.ml.train import TrainConfig, Trainer
+from repro.sim.rng import SimRng
+from repro.tz.costs import DEFAULT_COSTS
+from repro.tz.machine import MachineConfig
+
+SECURE_HEAP = MachineConfig().secure_heap_bytes
+
+
+def main() -> None:
+    rng = SimRng(42)
+    corpus = UtteranceGenerator(rng.fork("corpus")).generate(1400)
+    train, test = corpus.split(0.8, rng.fork("split"))
+    tokenizer = WordTokenizer(max_len=16).fit(
+        UtteranceGenerator.all_template_texts()
+    )
+
+    header = (f"{'model':18s} {'acc':>6s} {'f1':>6s} {'params':>8s} "
+              f"{'bytes':>8s} {'MACs':>9s} {'us/inf':>8s} {'fits TEE':>9s}")
+    print(header)
+    print("-" * len(header))
+
+    for arch in ("cnn", "transformer", "hybrid"):
+        model = build_classifier(
+            arch, tokenizer.vocab_size, tokenizer.max_len,
+            np.random.default_rng(1),
+        )
+        trainer = Trainer(model, tokenizer, TrainConfig(epochs=6))
+        trainer.fit(train, test)
+        metrics = trainer.evaluate(test)
+
+        variants = [(arch, model, False)]
+        quantized = quantize_classifier(model)
+        variants.append((f"{arch}-int8", quantized, True))
+
+        for name, m, is_int8 in variants:
+            cycles = DEFAULT_COSTS.ml_inference_cycles(
+                m.macs_per_inference(), secure=True, int8=is_int8
+            )
+            us = cycles / 2e9 * 1e6
+            # int8 shares the trained weights; metrics re-evaluated:
+            if is_int8:
+                ids = tokenizer.encode_batch(test.texts)
+                labels = np.array(test.labels)
+                preds = m.predict(ids)
+                acc = float((preds == labels).mean())
+                from repro.ml.metrics import BinaryMetrics
+
+                f1 = BinaryMetrics.from_predictions(labels, preds).f1
+            else:
+                acc, f1 = metrics.accuracy, metrics.f1
+            fits = "yes" if m.size_bytes() <= SECURE_HEAP else "NO"
+            print(f"{name:18s} {acc:6.3f} {f1:6.3f} {m.num_params():>8d} "
+                  f"{m.size_bytes():>8d} {m.macs_per_inference():>9d} "
+                  f"{us:>8.2f} {fits:>9s}")
+
+    print(f"\nsecure heap budget: {SECURE_HEAP} bytes")
+
+
+if __name__ == "__main__":
+    main()

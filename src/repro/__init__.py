@@ -1,0 +1,45 @@
+"""repro: reproduction of *Enhancing IoT Security and Privacy with Trusted
+Execution Environments and Machine Learning* (Yuhala, DSN 2023).
+
+A simulated ARM TrustZone / OP-TEE platform on which the paper's design —
+peripheral drivers ported into the TEE, with in-enclave ML filtering of
+sensitive data before it reaches an untrusted cloud — runs end to end,
+alongside the conventional insecure baseline it is evaluated against.
+
+Quick start::
+
+    from repro import build_demo_pipeline
+
+    secure, workload, platform = build_demo_pipeline(seed=7, utterances=20)
+    run = secure.process(workload)
+    print(run.summary())
+
+See ``examples/quickstart.py`` for the narrated version, DESIGN.md for the
+system inventory, and EXPERIMENTS.md for the evaluation.
+"""
+
+from repro.core import (
+    BaselinePipeline,
+    FilterBundle,
+    FilterPolicy,
+    IotPlatform,
+    SecurePipeline,
+    SensitiveFilter,
+    UtteranceWorkload,
+)
+from repro.provision import build_demo_pipeline, provision_bundle
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaselinePipeline",
+    "FilterBundle",
+    "FilterPolicy",
+    "IotPlatform",
+    "SecurePipeline",
+    "SensitiveFilter",
+    "UtteranceWorkload",
+    "build_demo_pipeline",
+    "provision_bundle",
+    "__version__",
+]

@@ -1,0 +1,229 @@
+"""Command-line interface.
+
+Gives downstream users one entry point to the headline flows without
+writing Python::
+
+    repro demo                 # Fig. 1 pipeline on a sample stream
+    repro privacy              # secure vs baseline leak audit
+    repro tcb                  # trace-and-strip the I2S driver
+    repro models               # architecture comparison table
+    repro info                 # platform/memory-map/cost-model summary
+
+Every subcommand accepts ``--seed`` for reproducibility; heavier flows
+accept ``--utterances``.  Installed as the ``repro`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import build_demo_pipeline
+
+    secure, workload, platform = build_demo_pipeline(
+        seed=args.seed, utterances=args.utterances
+    )
+    run = secure.process(workload)
+    for result in run.results:
+        action = "forwarded" if result.forwarded else "BLOCKED  "
+        print(f"  {action}  \"{result.utterance.text}\"")
+    summary = run.summary()
+    print(f"\n{summary['forwarded']}/{summary['utterances']} forwarded, "
+          f"accuracy {summary['accuracy']:.2f}, "
+          f"{summary['total_energy_mj']:.1f} mJ, "
+          f"{platform.machine.cpu.switch_count} world switches")
+    return 0
+
+
+def _cmd_privacy(args: argparse.Namespace) -> int:
+    from repro.cloud.auditor import LeakAuditor
+    from repro.core.baseline import BaselinePipeline
+    from repro.core.pipeline import SecurePipeline
+    from repro.core.platform import IotPlatform
+    from repro.core.workload import UtteranceWorkload
+    from repro.kernel.attacks import BufferSnoopAttack
+    from repro.ml.dataset import UtteranceGenerator
+    from repro.provision import provision_bundle
+    from repro.sim.rng import SimRng
+
+    provisioned = provision_bundle(seed=args.seed)
+    bundle = provisioned.bundle
+
+    print(f"{'configuration':16s} {'cloud leak':>11s} {'device leak':>12s} "
+          f"{'utility':>8s}")
+    for label, secure in (("baseline", False), ("secure (ours)", True)):
+        platform = IotPlatform.create(seed=args.seed)
+        if secure:
+            pipeline = SecurePipeline(platform, bundle)
+        else:
+            pipeline = BaselinePipeline(platform, bundle.asr, use_tls=True)
+        corpus = UtteranceGenerator(SimRng(args.seed, "cli")).generate(
+            args.utterances, sensitive_fraction=0.5
+        )
+        workload = UtteranceWorkload.from_corpus(corpus, bundle.vocoder)
+        snoop = BufferSnoopAttack(platform.machine)
+        captures = []
+        pipeline.process(
+            workload,
+            after_each=lambda p: captures.extend(
+                snoop.run(p.attack_targets()).captured
+            ),
+        )
+        auditor = LeakAuditor(workload.utterances, reference_asr=bundle.asr)
+        auditor.decode_device_captures(captures)
+        report = auditor.report(platform.cloud.received_transcripts)
+        print(f"{label:16s} {report.cloud_leak_rate:>11.0%} "
+              f"{report.device_leak_rate:>12.0%} {report.utility_rate:>8.0%}")
+    return 0
+
+
+def _cmd_tcb(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.drivers.i2s_driver import I2sDriver
+    from repro.kernel.kernel import I2sCharDevice, Kernel
+    from repro.peripherals.audio import ToneSource
+    from repro.peripherals.i2s import I2sBus, I2sController
+    from repro.peripherals.microphone import DigitalMicrophone
+    from repro.tcb.analyze import TcbAnalyzer
+    from repro.tz.machine import TrustZoneMachine
+    from repro.tz.memory import MemoryRegion, SecurityAttr
+
+    machine = TrustZoneMachine()
+    region = machine.memory.add_region(
+        MemoryRegion("i2s_mmio", 0x0400_0000, 0x1000,
+                     SecurityAttr.NONSECURE, device=True)
+    )
+    controller = I2sController(machine.clock, machine.trace)
+    machine.memory.attach_mmio("i2s_mmio", controller)
+    I2sBus(controller, DigitalMicrophone(ToneSource(), fmt=controller.format))
+    kernel = Kernel(machine)
+    kernel.register_device(
+        "/dev/snd/i2s0",
+        I2sCharDevice(I2sDriver(kernel.driver_host, controller, region)),
+    )
+
+    kernel.tracer.start("record")
+    fd = kernel.sys_open("/dev/snd/i2s0")
+    kernel.sys_ioctl(fd, "OPEN_CAPTURE", 128)
+    kernel.sys_ioctl(fd, "START")
+    raw = kernel.sys_read(fd, 512)
+    kernel.sys_ioctl(fd, "POINTER")
+    kernel.device("/dev/snd/i2s0").driver.encode_chunk(
+        np.frombuffer(raw, dtype="<i2").copy()
+    )
+    kernel.sys_ioctl(fd, "STOP")
+    kernel.sys_ioctl(fd, "CLOSE_PCM")
+    kernel.sys_close(fd)
+    session = kernel.tracer.stop()
+
+    plan = TcbAnalyzer(I2sDriver).analyze(
+        [session], task="record",
+        always_keep=frozenset({"irq_handler", "_handle_overrun"}),
+    )
+    r = plan.report
+    print(f"full driver  : {r.functions_total} functions, {r.loc_total} LoC")
+    print(f"minimized    : {r.functions_kept} functions, {r.loc_kept} LoC")
+    print(f"reduction    : {r.function_reduction_pct:.1f}% functions, "
+          f"{r.loc_reduction_pct:.1f}% LoC")
+    for row in r.rows():
+        print(f"  {row['subsystem']:10s} {row['loc_kept']:>5d}/"
+              f"{row['loc_total']:<5d} LoC kept")
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.provision import provision_bundle
+    from repro.tz.costs import DEFAULT_COSTS
+
+    print(f"{'arch':12s} {'accuracy':>9s} {'params':>8s} {'bytes':>8s} "
+          f"{'us/inference':>13s}")
+    for arch in ("cnn", "transformer", "hybrid"):
+        provisioned = provision_bundle(
+            seed=args.seed, architecture=arch, epochs=args.epochs
+        )
+        model = provisioned.bundle.filter.classifier
+        cycles = DEFAULT_COSTS.ml_inference_cycles(
+            model.macs_per_inference(), secure=True, int8=False
+        )
+        print(f"{arch:12s} {provisioned.test_accuracy:>9.3f} "
+              f"{model.num_params():>8d} {model.size_bytes():>8d} "
+              f"{cycles / 2e9 * 1e6:>13.2f}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.tz.machine import TrustZoneMachine
+
+    machine = TrustZoneMachine()
+    print("memory map:")
+    for region in machine.memory.regions():
+        attr = machine.memory.tzasc.attr_of(region).value
+        kind = "device" if region.device else "memory"
+        print(f"  {region.name:12s} 0x{region.base:08x}  "
+              f"{region.size // 1024:>8d} KiB  {attr:10s} {kind}")
+    costs = machine.costs
+    print("\ncost model (cycles):")
+    print(f"  world switch (one way)  : {costs.full_world_switch_cycles()}")
+    print(f"  TA command dispatch     : {costs.ta_invoke_cycles}")
+    print(f"  TA->PTA call            : {costs.pta_invoke_cycles}")
+    print(f"  supplicant RPC          : {costs.supplicant_rpc_cycles}")
+    print(f"  session open            : {costs.session_open_cycles}")
+    print(f"  TLS handshake           : {costs.handshake_cycles}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument grammar."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Enhancing IoT Security and Privacy "
+                    "with TEEs and ML' (DSN 2023).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the Fig. 1 pipeline on a sample")
+    demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument("--utterances", type=int, default=10)
+    demo.set_defaults(func=_cmd_demo)
+
+    privacy = sub.add_parser("privacy", help="secure vs baseline leak audit")
+    privacy.add_argument("--seed", type=int, default=7)
+    privacy.add_argument("--utterances", type=int, default=12)
+    privacy.set_defaults(func=_cmd_privacy)
+
+    tcb = sub.add_parser("tcb", help="trace-and-strip the I2S driver")
+    tcb.add_argument("--seed", type=int, default=7)
+    tcb.set_defaults(func=_cmd_tcb)
+
+    models = sub.add_parser("models", help="classifier architecture table")
+    models.add_argument("--seed", type=int, default=7)
+    models.add_argument("--epochs", type=int, default=5)
+    models.set_defaults(func=_cmd_models)
+
+    info = sub.add_parser("info", help="platform and cost-model summary")
+    info.set_defaults(func=_cmd_info)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Piping into `head` etc. closes stdout early; exit quietly like
+        # any well-behaved CLI.
+        import os
+
+        os.close(sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

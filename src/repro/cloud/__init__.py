@@ -1,0 +1,14 @@
+"""The untrusted cloud.
+
+The adversary at the far end of Fig. 1: a voice service that faithfully
+implements the AVS-style protocol *and records everything it receives* —
+exactly the behaviour behind the 2019 assistant-recording leaks the paper
+opens with.  :class:`~repro.cloud.auditor.LeakAuditor` turns the cloud's
+records (plus the on-device attack captures) into the leakage metrics of
+experiment F2.
+"""
+
+from repro.cloud.auditor import LeakAuditor, LeakReport
+from repro.cloud.service import VoiceCloudService
+
+__all__ = ["LeakAuditor", "LeakReport", "VoiceCloudService"]

@@ -1,0 +1,208 @@
+"""Leak auditing: the evaluation's privacy measurement.
+
+Given the ground-truth utterance stream and the three adversarial vantage
+points — the cloud's transcript store, the on-device memory attacker's
+PCM captures, and the network eavesdropper's wire log — the auditor
+computes the privacy/utility numbers of experiment F2:
+
+* **cloud leakage**: fraction of *sensitive* utterances whose transcript
+  reached the provider,
+* **utility**: fraction of *benign* utterances that got through (the
+  assistant is useless if filtering drops everything),
+* **device leakage**: sensitive utterances recoverable from attacker
+  memory captures (decoded with the reference ASR),
+* **wire leakage**: sensitive transcripts readable in network traffic.
+
+Transcript matching is fuzzy (normalized-word Jaccard ≥ 0.6) so ASR noise
+does not mask a real leak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.asr import MatchedFilterAsr
+from repro.ml.dataset import Utterance
+from repro.ml.tokenizer import normalize
+from repro.peripherals.codec import pcm16_decode
+
+
+def transcript_match(reference: str, candidate: str, threshold: float = 0.6) -> bool:
+    """Fuzzy match: word-set Jaccard similarity above ``threshold``."""
+    ref = set(normalize(reference))
+    cand = set(normalize(candidate))
+    if not ref:
+        return not cand
+    union = ref | cand
+    return len(ref & cand) / len(union) >= threshold
+
+
+def transcript_contained(
+    reference: str, candidate: str, threshold: float = 0.7
+) -> bool:
+    """Containment match: most of the reference's words appear in the
+    candidate.  The right metric for attacker captures, which are often a
+    *superset* of one utterance (a reused buffer carries stale tails of
+    earlier audio) — symmetric similarity would under-count real leaks.
+    """
+    ref = set(normalize(reference))
+    if not ref:
+        return False
+    cand = set(normalize(candidate))
+    return len(ref & cand) / len(ref) >= threshold
+
+
+@dataclass(frozen=True)
+class LeakReport:
+    """Privacy/utility outcome for one pipeline run."""
+
+    sensitive_total: int
+    sensitive_leaked_cloud: int
+    benign_total: int
+    benign_delivered: int
+    sensitive_leaked_device: int
+    sensitive_leaked_wire: int
+    unaddressed_total: int = 0
+    unaddressed_leaked_cloud: int = 0
+
+    @property
+    def cloud_leak_rate(self) -> float:
+        """Sensitive utterances reaching the provider (lower is better)."""
+        if self.sensitive_total == 0:
+            return 0.0
+        return self.sensitive_leaked_cloud / self.sensitive_total
+
+    @property
+    def utility_rate(self) -> float:
+        """Benign utterances delivered (higher is better)."""
+        if self.benign_total == 0:
+            return 1.0
+        return self.benign_delivered / self.benign_total
+
+    @property
+    def device_leak_rate(self) -> float:
+        """Sensitive utterances recoverable by the on-device attacker."""
+        if self.sensitive_total == 0:
+            return 0.0
+        return self.sensitive_leaked_device / self.sensitive_total
+
+    @property
+    def wire_leak_rate(self) -> float:
+        """Sensitive transcripts readable on the wire."""
+        if self.sensitive_total == 0:
+            return 0.0
+        return self.sensitive_leaked_wire / self.sensitive_total
+
+    @property
+    def accidental_leak_rate(self) -> float:
+        """Overheard (unaddressed) utterances reaching the provider —
+        the paper's motivating 2019 incident class."""
+        if self.unaddressed_total == 0:
+            return 0.0
+        return self.unaddressed_leaked_cloud / self.unaddressed_total
+
+
+@dataclass
+class LeakAuditor:
+    """Computes a :class:`LeakReport` from the adversarial evidence."""
+
+    ground_truth: list[Utterance]
+    reference_asr: MatchedFilterAsr | None = None
+    _device_transcripts: list[str] = field(default_factory=list)
+
+    def decode_device_captures(self, captures: list[bytes]) -> list[str]:
+        """Decode attacker PCM captures with the reference ASR.
+
+        A capture that is not valid PCM (odd length, ciphertext garbage)
+        decodes to noise and simply will not match any transcript.
+        """
+        if self.reference_asr is None:
+            raise ValueError("auditor has no reference ASR for PCM decoding")
+        out = []
+        for blob in captures:
+            if len(blob) < 2:
+                continue
+            if len(blob) % 2:
+                blob = blob[:-1]
+            pcm = pcm16_decode(blob)
+            if not len(pcm) or not np.any(pcm):
+                continue
+            text = self.reference_asr.transcribe(pcm)
+            if text:
+                out.append(text)
+        self._device_transcripts.extend(out)
+        return out
+
+    def report(
+        self,
+        cloud_transcripts: list[str],
+        wire_bytes: list[bytes] | None = None,
+    ) -> LeakReport:
+        """Score every ground-truth utterance against the evidence."""
+        wire_text = b" ".join(wire_bytes or []).decode("utf-8", errors="replace")
+        sensitive_total = benign_total = 0
+        leaked_cloud = delivered = leaked_device = leaked_wire = 0
+        unaddressed_total = unaddressed_leaked = 0
+        for utt in self.ground_truth:
+            in_cloud = any(
+                transcript_match(utt.text, t) for t in cloud_transcripts
+            )
+            if not utt.addressed:
+                unaddressed_total += 1
+                if in_cloud:
+                    unaddressed_leaked += 1
+            if utt.sensitive:
+                sensitive_total += 1
+                if in_cloud:
+                    leaked_cloud += 1
+                if any(
+                    transcript_contained(utt.text, t)
+                    for t in self._device_transcripts
+                ):
+                    leaked_device += 1
+                if self._wire_match(utt.text, wire_text):
+                    leaked_wire += 1
+            else:
+                benign_total += 1
+                if in_cloud:
+                    delivered += 1
+        return LeakReport(
+            sensitive_total=sensitive_total,
+            sensitive_leaked_cloud=leaked_cloud,
+            benign_total=benign_total,
+            benign_delivered=delivered,
+            sensitive_leaked_device=leaked_device,
+            sensitive_leaked_wire=leaked_wire,
+            unaddressed_total=unaddressed_total,
+            unaddressed_leaked_cloud=unaddressed_leaked,
+        )
+
+    @staticmethod
+    def _wire_match(reference: str, wire_text: str) -> bool:
+        """A transcript is wire-readable if most of its words appear."""
+        words = normalize(reference)
+        if not words:
+            return False
+        hits = sum(1 for w in words if w in wire_text)
+        return hits / len(words) >= 0.6
+
+    def report_by_category(
+        self, cloud_transcripts: list[str]
+    ) -> dict[str, dict[str, int]]:
+        """Cloud leakage broken down by utterance category.
+
+        Answers the deployment question a flat rate hides: *which kind* of
+        sensitive content slips through (credentials leaking is a very
+        different incident from location leaking).
+        """
+        out: dict[str, dict[str, int]] = {}
+        for utt in self.ground_truth:
+            bucket = out.setdefault(
+                utt.category.value, {"total": 0, "reached_cloud": 0}
+            )
+            bucket["total"] += 1
+            if any(transcript_match(utt.text, t) for t in cloud_transcripts):
+                bucket["reached_cloud"] += 1
+        return out

@@ -1,0 +1,95 @@
+"""The cloud voice service (honest-but-curious adversary).
+
+Terminates TLS, speaks the AVS-style protocol, answers every Recognize
+with a directive — and appends every transcript it ever sees to
+:attr:`received_transcripts`.  Registered as a network endpoint with the
+supplicant's :class:`~repro.optee.supplicant.NetworkService`.
+
+A ``plaintext_port`` variant accepts unencrypted events, modelling the
+baseline device that sends raw data; the wire eavesdropper sees those
+bytes in the clear.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import RecordError
+from repro.relay.avs import AvsEvent
+from repro.relay.tls import TlsServer
+from repro.sim.rng import SimRng
+
+
+@dataclass
+class CloudRecord:
+    """One transcript as the cloud received it."""
+
+    transcript: str
+    dialog_id: int
+    encrypted_transport: bool
+
+
+class VoiceCloudService:
+    """AVS-flavoured endpoint with adversarial logging."""
+
+    HOST = "avs.cloud.example"
+    TLS_PORT = 443
+    PLAINTEXT_PORT = 80
+
+    def __init__(self, rng: SimRng):
+        self.tls = TlsServer(rng.fork("tls-server"))
+        self.tls.set_handler(lambda pt: self._handle_event(pt, encrypted=True))
+        self.received: list[CloudRecord] = []
+        self.events_handled = 0
+
+    # -- endpoints (supplicant NetworkService interface) ------------------------
+
+    def receive(self, payload: bytes) -> bytes:
+        """TLS endpoint: handshake messages and records."""
+        return self.tls.handle(payload)
+
+    @property
+    def plaintext_endpoint(self) -> "PlaintextEndpoint":
+        """The port-80 endpoint accepting raw AVS events (baseline path)."""
+        return PlaintextEndpoint(self)
+
+    # -- application layer ------------------------------------------------------------
+
+    def _handle_event(self, payload: bytes, encrypted: bool) -> bytes:
+        try:
+            event = AvsEvent.from_bytes(payload)
+        except RecordError:
+            return json.dumps({"directive": "error", "reason": "bad event"}).encode()
+        self.events_handled += 1
+        if event.name == "Recognize":
+            transcript = str(event.payload.get("transcript", ""))
+            self.received.append(
+                CloudRecord(
+                    transcript=transcript,
+                    dialog_id=int(event.payload.get("dialogRequestId", -1)),
+                    encrypted_transport=encrypted,
+                )
+            )
+            return json.dumps(
+                {"directive": "Response", "speech": f"ok: {len(transcript)} chars"}
+            ).encode()
+        return json.dumps({"directive": "Ack"}).encode()
+
+    # -- adversarial view -----------------------------------------------------------------
+
+    @property
+    def received_transcripts(self) -> list[str]:
+        """Every transcript the provider has stored."""
+        return [r.transcript for r in self.received]
+
+
+@dataclass
+class PlaintextEndpoint:
+    """Port-80 face of the service: raw AVS events, no TLS."""
+
+    service: VoiceCloudService
+
+    def receive(self, payload: bytes) -> bytes:
+        """Handle one unencrypted AVS event."""
+        return self.service._handle_event(payload, encrypted=False)

@@ -1,0 +1,57 @@
+"""The paper's primary contribution: the secure peripheral-data pipeline.
+
+Fig. 1 as a running system:
+
+1. :class:`~repro.core.platform.IotPlatform` builds the simulated device —
+   TrustZone machine, OP-TEE, untrusted kernel, I²S microphone + camera,
+   supplicant, cloud endpoint.
+2. :class:`~repro.core.pta_audio.SecureAudioPta` hosts the (optionally
+   trace-minimized) I²S driver in the secure world, with secure I/O
+   buffers and a secured controller MMIO window.
+3. The audio-filter TA (built by :func:`~repro.core.ta_filter.make_audio_filter_ta`)
+   runs ASR + the sensitive-content classifier and applies a
+   :class:`~repro.core.filter.FilterPolicy` before anything leaves the TEE.
+4. :class:`~repro.core.pipeline.SecurePipeline` drives the whole path from
+   a normal-world client; :class:`~repro.core.baseline.BaselinePipeline`
+   is the conventional insecure configuration used as the comparison
+   point in every experiment.
+"""
+
+from repro.core.audit import SecurityAuditReport, audit_machine
+from repro.core.baseline import BaselinePipeline
+from repro.core.camera_pipeline import (
+    SecureCameraPipeline,
+    train_person_detector,
+)
+from repro.core.model_store import ModelPackage, ModelStore, sign_package
+from repro.core.filter import FilterBundle, FilterDecision, FilterPolicy, SensitiveFilter
+from repro.core.pipeline import SecurePipeline
+from repro.core.platform import IotPlatform
+from repro.core.pta_audio import SecureAudioPta
+from repro.core.results import PipelineRunResult, UtteranceResult
+from repro.core.ta_filter import make_audio_filter_ta
+from repro.core.wakeword import WakeWordGate
+from repro.core.workload import UtteranceWorkload
+
+__all__ = [
+    "BaselinePipeline",
+    "ModelPackage",
+    "ModelStore",
+    "SecurityAuditReport",
+    "audit_machine",
+    "sign_package",
+    "FilterBundle",
+    "FilterDecision",
+    "FilterPolicy",
+    "IotPlatform",
+    "PipelineRunResult",
+    "SecureAudioPta",
+    "SecureCameraPipeline",
+    "SecurePipeline",
+    "train_person_detector",
+    "SensitiveFilter",
+    "UtteranceResult",
+    "UtteranceWorkload",
+    "WakeWordGate",
+    "make_audio_filter_ta",
+]

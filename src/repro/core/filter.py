@@ -1,0 +1,158 @@
+"""Sensitive-content filtering.
+
+The TA's decision layer (Fig. 1 step 5): the classifier scores the
+transcript, and the policy decides what — if anything — the relay may
+send.  Three policies, matching what a deployment would actually choose
+between:
+
+* ``DROP`` — sensitive utterances are silently discarded.  Maximum
+  privacy, the cloud never learns an interaction happened.
+* ``REDACT`` — a fixed placeholder is sent, preserving interaction
+  timing/telemetry without content.
+* ``HASH`` — a salted digest is sent; the provider can deduplicate or
+  count without reading content.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro.errors import PolicyError
+from repro.ml.asr import MatchedFilterAsr, SpeechVocoder
+from repro.ml.quantize import QuantizedClassifier
+from repro.ml.tokenizer import WordTokenizer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.wakeword import WakeWordGate
+
+REDACTED_PLACEHOLDER = "redacted by privacy filter"
+
+
+class FilterPolicy(enum.Enum):
+    """What to do with an utterance classified as sensitive."""
+
+    DROP = "drop"
+    REDACT = "redact"
+    HASH = "hash"
+
+
+@dataclass(frozen=True)
+class FilterDecision:
+    """Outcome of filtering one transcript."""
+
+    transcript: str
+    probability: float
+    sensitive: bool
+    forwarded: bool
+    payload: str | None  # what the relay may send (None = nothing)
+
+    @property
+    def blocked(self) -> bool:
+        """True if the original content was withheld."""
+        return self.payload != self.transcript
+
+
+class SensitiveFilter:
+    """Classifier + threshold + policy.
+
+    Accepts either a float :class:`~repro.ml.models.TextClassifier` or a
+    :class:`~repro.ml.quantize.QuantizedClassifier`; both expose
+    ``predict_proba`` over token ids.
+    """
+
+    def __init__(
+        self,
+        classifier,
+        tokenizer: WordTokenizer,
+        threshold: float = 0.5,
+        policy: FilterPolicy = FilterPolicy.DROP,
+    ):
+        if not 0.0 < threshold < 1.0:
+            raise PolicyError(f"threshold {threshold} must be in (0, 1)")
+        self.classifier = classifier
+        self.tokenizer = tokenizer
+        self.threshold = threshold
+        self.policy = policy
+
+    @property
+    def is_quantized(self) -> bool:
+        """True when running an int8 classifier."""
+        return isinstance(self.classifier, QuantizedClassifier)
+
+    def score(self, transcript: str) -> float:
+        """Sensitive-class probability for one transcript."""
+        ids = self.tokenizer.encode_batch([transcript])
+        return float(self.classifier.predict_proba(ids)[0])
+
+    def apply(self, transcript: str) -> FilterDecision:
+        """Classify and apply the policy to one transcript."""
+        probability = self.score(transcript)
+        sensitive = probability >= self.threshold
+        if not sensitive:
+            return FilterDecision(
+                transcript=transcript,
+                probability=probability,
+                sensitive=False,
+                forwarded=True,
+                payload=transcript,
+            )
+        if self.policy is FilterPolicy.DROP:
+            payload = None
+        elif self.policy is FilterPolicy.REDACT:
+            payload = REDACTED_PLACEHOLDER
+        else:  # HASH
+            digest = hashlib.sha256(b"filter-salt:" + transcript.encode()).hexdigest()
+            payload = f"hashed:{digest[:32]}"
+        return FilterDecision(
+            transcript=transcript,
+            probability=probability,
+            sensitive=True,
+            forwarded=payload is not None,
+            payload=payload,
+        )
+
+
+@dataclass
+class FilterBundle:
+    """Everything the audio-filter TA ships in its image.
+
+    On a real deployment these are baked into the signed TA binary: the
+    ASR front end, the tokenizer, the trained classifier, the policy, and
+    optionally a wake-word gate (``gate``) that drops accidental captures
+    — audio not addressed to the assistant — before content filtering.
+    """
+
+    vocoder: SpeechVocoder
+    asr: MatchedFilterAsr
+    filter: SensitiveFilter
+    gate: "WakeWordGate | None" = None
+
+    @property
+    def model_size_bytes(self) -> int:
+        """Classifier weight footprint (drives the secure-heap check)."""
+        return self.classifier_size() + self._asr_size()
+
+    def classifier_size(self) -> int:
+        """Classifier-only weight bytes."""
+        return int(self.filter.classifier.size_bytes())
+
+    def _asr_size(self) -> int:
+        """ASR template bank bytes (float32 templates)."""
+        return int(self.asr._matrix.size * 4)
+
+    def inference_macs(self) -> int:
+        """Classifier MACs per utterance."""
+        return int(self.filter.classifier.macs_per_inference())
+
+    def asr_macs(self, num_samples: int) -> int:
+        """ASR decode MACs for ``num_samples`` of PCM."""
+        from repro.ml.asr import SAMPLE_RATE
+
+        seconds = num_samples / SAMPLE_RATE
+        return int(self.asr.macs_per_second() * max(seconds, 1e-9))

@@ -1,0 +1,180 @@
+"""Versioned, authenticated model provisioning.
+
+The paper's TA ships "a pre-trained ML classifier"; a deployed fleet also
+needs to *update* that model — and a model update path is an attack
+surface: a malicious OS could try to install a classifier that never
+flags anything, or roll back to an older model with known blind spots.
+
+This module implements the defensive pattern TEEs use for such payloads:
+
+* models are distributed as **vendor-signed packages** (HMAC under a
+  vendor key whose verification half is baked into the TA),
+* installed packages live in **sealed storage** (the normal world holds
+  only ciphertext),
+* a monotonic **anti-rollback counter** (itself sealed) rejects
+  downgrades.
+
+``ModelPackage`` is the wire format; ``ModelStore`` is the TA-side
+install/load logic.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.crypto.kdf import hmac_sha256
+from repro.errors import AuthenticationFailure, TeeItemNotFound, TeeSecurityError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.optee.storage import SecureStorage
+
+_MAGIC = b"RPMDL1"
+_STORE_OBJECT = "model-package"
+_COUNTER_OBJECT = "model-version-counter"
+
+
+@dataclass(frozen=True)
+class ModelPackage:
+    """A signed model distribution unit."""
+
+    architecture: str
+    version: int
+    weights: bytes
+    signature: bytes
+
+    def to_bytes(self) -> bytes:
+        """Wire encoding: magic, header JSON, weights, signature."""
+        header = json.dumps(
+            {"architecture": self.architecture, "version": self.version}
+        ).encode()
+        return b"".join(
+            [
+                _MAGIC,
+                struct.pack("<I", len(header)),
+                header,
+                struct.pack("<Q", len(self.weights)),
+                self.weights,
+                self.signature,
+            ]
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "ModelPackage":
+        """Parse the wire encoding (structure only; verify separately)."""
+        if not blob.startswith(_MAGIC):
+            raise AuthenticationFailure("not a model package")
+        offset = len(_MAGIC)
+        (header_len,) = struct.unpack_from("<I", blob, offset)
+        offset += 4
+        try:
+            header = json.loads(blob[offset : offset + header_len].decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise AuthenticationFailure(f"bad package header: {exc}") from exc
+        offset += header_len
+        (weights_len,) = struct.unpack_from("<Q", blob, offset)
+        offset += 8
+        weights = blob[offset : offset + weights_len]
+        if len(weights) != weights_len:
+            raise AuthenticationFailure("truncated model package")
+        signature = blob[offset + weights_len :]
+        return cls(
+            architecture=str(header["architecture"]),
+            version=int(header["version"]),
+            weights=weights,
+            signature=signature,
+        )
+
+    def signed_payload(self) -> bytes:
+        """The bytes the vendor signature covers."""
+        return (
+            _MAGIC
+            + self.architecture.encode()
+            + struct.pack("<Q", self.version)
+            + self.weights
+        )
+
+
+def sign_package(
+    architecture: str, version: int, weights: bytes, vendor_key: bytes
+) -> ModelPackage:
+    """Vendor side: build and sign a package."""
+    unsigned = ModelPackage(
+        architecture=architecture, version=version, weights=weights,
+        signature=b"",
+    )
+    signature = hmac_sha256(vendor_key, unsigned.signed_payload())
+    return ModelPackage(
+        architecture=architecture, version=version, weights=weights,
+        signature=signature,
+    )
+
+
+class ModelStore:
+    """TA-side model install/load with signature + anti-rollback checks."""
+
+    def __init__(self, storage: "SecureStorage", vendor_key: bytes):
+        self._storage = storage
+        self._vendor_key = vendor_key
+
+    # -- anti-rollback counter -------------------------------------------------
+
+    def installed_version(self) -> int:
+        """Highest version ever installed (0 if none)."""
+        try:
+            raw = self._storage.get(_COUNTER_OBJECT)
+        except TeeItemNotFound:
+            return 0
+        return struct.unpack("<Q", raw)[0]
+
+    def _bump_version(self, version: int) -> None:
+        self._storage.put(_COUNTER_OBJECT, struct.pack("<Q", version))
+
+    # -- verification ------------------------------------------------------------
+
+    def verify(self, package: ModelPackage) -> None:
+        """Check the vendor signature; raises on forgery."""
+        expect = hmac_sha256(self._vendor_key, package.signed_payload())
+        import hmac as _hmac
+
+        if not _hmac.compare_digest(expect, package.signature):
+            raise AuthenticationFailure("model package signature invalid")
+
+    # -- install / load --------------------------------------------------------------
+
+    def install(self, blob: bytes) -> ModelPackage:
+        """Verify and persist a model package received from outside.
+
+        Rejects forged signatures and version rollbacks; on success the
+        package is sealed into secure storage and the anti-rollback
+        counter advances.
+        """
+        package = ModelPackage.from_bytes(blob)
+        self.verify(package)
+        current = self.installed_version()
+        if package.version <= current:
+            raise TeeSecurityError(
+                f"model rollback rejected: version {package.version} <= "
+                f"installed {current}"
+            )
+        self._storage.put(_STORE_OBJECT, blob)
+        self._bump_version(package.version)
+        return package
+
+    def load(self) -> ModelPackage:
+        """Load and re-verify the installed package.
+
+        Re-verification matters: sealed storage already authenticates the
+        blob at rest, but re-checking the vendor signature keeps the trust
+        chain anchored in the vendor key rather than the device key.
+        """
+        blob = self._storage.get(_STORE_OBJECT)
+        package = ModelPackage.from_bytes(blob)
+        self.verify(package)
+        if package.version != self.installed_version():
+            raise TeeSecurityError(
+                "installed package version disagrees with rollback counter"
+            )
+        return package

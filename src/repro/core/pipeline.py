@@ -1,0 +1,183 @@
+"""The secure pipeline: the paper's proposed design, end to end.
+
+``SecurePipeline`` is the normal-world *client application* of the
+design: it owns nothing sensitive.  It installs the secure audio PTA and
+the audio-filter TA into OP-TEE, opens a GP session, and for every
+workload utterance issues one ``CMD_PROCESS`` invocation — everything
+that matters happens inside the TEE (capture through the secure driver,
+ASR, classification, filtering, TLS relaying), and the client gets back
+only the decision record.
+
+Per-utterance latency, per-domain cycle attribution, and energy deltas
+are collected around each invocation for the performance experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.filter import FilterBundle
+from repro.core.platform import IotPlatform
+from repro.core.pta_audio import SecureAudioPta
+from repro.core.results import PipelineRunResult, UtteranceResult
+from repro.core.ta_filter import (
+    CMD_PROCESS,
+    CMD_PROCESS_STREAM,
+    CMD_STATS,
+    make_audio_filter_ta,
+)
+from repro.core.workload import UtteranceWorkload, WorkloadItem
+from repro.optee.client import TeeClient
+from repro.optee.params import Params, Value
+from repro.peripherals.audio import BufferSource
+
+
+class SecurePipeline:
+    """Fig. 1, assembled and runnable."""
+
+    name = "secure"
+
+    def __init__(
+        self,
+        platform: IotPlatform,
+        bundle: FilterBundle,
+        chunk_frames: int = 256,
+        driver_compiled_out: frozenset[str] = frozenset(),
+        ta_signing_key: bytes | None = None,
+    ):
+        self.platform = platform
+        self.bundle = bundle
+        self.pta = SecureAudioPta(platform.i2s_controller, platform.i2s_region)
+        platform.tee.register_pta(self.pta)
+
+        ta_class = make_audio_filter_ta(
+            bundle=bundle,
+            pta_uuid=self.pta.uuid,
+            cloud_host=platform.cloud.HOST,
+            cloud_port=platform.cloud.TLS_PORT,
+            pinned_server_public=platform.cloud.tls.static_public,
+            rng=platform.rng.fork("ta"),
+            chunk_frames=chunk_frames,
+            driver_compiled_out=driver_compiled_out,
+        )
+        signature = None
+        if ta_signing_key is not None:
+            from repro.optee.signing import sign_ta
+
+            signature = sign_ta(ta_class, ta_signing_key)
+        self.ta_uuid = platform.tee.install_ta(ta_class, signature=signature)
+        self.client = TeeClient(platform.machine)
+        self.session = self.client.open_session(self.ta_uuid)
+
+    # -- execution ------------------------------------------------------------
+
+    def process_item(self, item: WorkloadItem) -> UtteranceResult:
+        """Run one utterance through the secure path."""
+        machine = self.platform.machine
+        self.platform.mic.swap_source(BufferSource(item.pcm))
+        clock_before = machine.clock.snapshot()
+        energy_before = self.platform.energy.snapshot()
+        record = self.session.invoke(
+            CMD_PROCESS, Params.of(Value(a=item.frames))
+        )
+        clock_after = machine.clock.snapshot()
+        energy = self.platform.energy.delta_since(energy_before)
+        return UtteranceResult(
+            utterance=item.utterance,
+            transcript=record["transcript"],
+            sensitive_predicted=record["sensitive"],
+            forwarded=record["forwarded"],
+            payload=record["payload"],
+            latency_cycles=clock_after.now - clock_before.now,
+            energy_mj=energy.total_mj,
+            domain_cycles=clock_after.delta(clock_before),
+        )
+
+    def process(
+        self,
+        workload: UtteranceWorkload,
+        after_each: Callable[["SecurePipeline"], None] | None = None,
+    ) -> PipelineRunResult:
+        """Run a whole workload; ``after_each`` is the attack hook."""
+        run = PipelineRunResult(pipeline=self.name)
+        for item in workload:
+            run.results.append(self.process_item(item))
+            if after_each is not None:
+                after_each(self)
+        run.stage_cycles = self.session.invoke(CMD_STATS)
+        return run
+
+    def process_continuous(
+        self,
+        workload: UtteranceWorkload,
+        gap_samples: int = 2_000,
+    ) -> PipelineRunResult:
+        """Deployment-realistic mode: one continuous capture, VAD inside.
+
+        The workload's utterances are rendered into a single PCM stream
+        separated by silence gaps; the TA captures the whole stream,
+        segments it with its in-enclave VAD, and filters each detected
+        utterance.  Results map to ground truth by order (the VAD's
+        segment order is the stream order).
+        """
+        import numpy as np
+
+        machine = self.platform.machine
+        gap = np.zeros(gap_samples, dtype=np.int16)
+        stream = np.concatenate(
+            [np.concatenate([item.pcm, gap]) for item in workload]
+        )
+        self.platform.mic.swap_source(BufferSource(stream))
+        clock_before = machine.clock.snapshot()
+        energy_before = self.platform.energy.snapshot()
+        records = self.session.invoke(
+            CMD_PROCESS_STREAM, Params.of(Value(a=len(stream)))
+        )
+        clock_after = machine.clock.snapshot()
+        energy = self.platform.energy.delta_since(energy_before)
+
+        run = PipelineRunResult(pipeline=f"{self.name}-continuous")
+        per_record = max(1, len(records))
+        for item, record in zip(workload, records):
+            run.results.append(
+                UtteranceResult(
+                    utterance=item.utterance,
+                    transcript=record["transcript"],
+                    sensitive_predicted=record["sensitive"],
+                    forwarded=record["forwarded"],
+                    payload=record["payload"],
+                    latency_cycles=(clock_after.now - clock_before.now)
+                    // per_record,
+                    energy_mj=energy.total_mj / per_record,
+                    domain_cycles=clock_after.delta(clock_before),
+                )
+            )
+        run.stage_cycles = self.session.invoke(CMD_STATS)
+        return run
+
+    # -- adversary-facing surface ------------------------------------------------
+
+    def attack_targets(self) -> list[tuple[int, int]]:
+        """Addresses a buffer-snooping attacker would go for.
+
+        Both the driver's chunk I/O buffer and the assembled utterance
+        buffer — in this design, all in secure memory.
+        """
+        targets = []
+        if self.pta.driver is not None and self.pta.driver._buf_addr is not None:
+            targets.append(
+                (self.pta.driver._buf_addr, self.pta.driver._buf_bytes)
+            )
+        utt = self.pta.utterance_buffer()
+        if utt is not None:
+            targets.append(utt)
+        return targets
+
+    def tcb_loc(self) -> int:
+        """Driver LoC actually inside the TEE."""
+        return self.pta.tcb_loc()
+
+    def close(self) -> None:
+        """Close the TA session and release client resources."""
+        self.session.close()
+        self.client.close()

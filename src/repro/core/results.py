@@ -1,0 +1,106 @@
+"""Result records for pipeline runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.ml.dataset import Utterance
+from repro.sim.clock import CycleDomain
+
+
+@dataclass(frozen=True)
+class UtteranceResult:
+    """Outcome + costs of one utterance through a pipeline."""
+
+    utterance: Utterance
+    transcript: str
+    sensitive_predicted: bool
+    forwarded: bool
+    payload: str | None
+    latency_cycles: int
+    energy_mj: float
+    domain_cycles: dict[CycleDomain, int] = field(default_factory=dict)
+
+    @property
+    def correct(self) -> bool:
+        """Classifier decision vs ground truth."""
+        return self.sensitive_predicted == self.utterance.sensitive
+
+
+@dataclass
+class PipelineRunResult:
+    """Aggregate outcome of one workload run."""
+
+    pipeline: str
+    results: list[UtteranceResult] = field(default_factory=list)
+    stage_cycles: dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    # -- latency / throughput -----------------------------------------------------
+
+    @property
+    def latencies(self) -> np.ndarray:
+        """Per-utterance latency in cycles."""
+        return np.array([r.latency_cycles for r in self.results], dtype=np.int64)
+
+    def mean_latency_cycles(self) -> float:
+        """Mean per-utterance latency."""
+        return float(self.latencies.mean()) if self.results else 0.0
+
+    def p95_latency_cycles(self) -> float:
+        """95th-percentile per-utterance latency."""
+        return float(np.percentile(self.latencies, 95)) if self.results else 0.0
+
+    def processing_latency_cycles(self) -> np.ndarray:
+        """Latency minus peripheral (real-time capture) cycles.
+
+        Audio capture takes audio-duration time in both designs; the
+        interesting overhead is everything *else*.
+        """
+        out = []
+        for r in self.results:
+            peripheral = r.domain_cycles.get(CycleDomain.PERIPHERAL, 0)
+            out.append(r.latency_cycles - peripheral)
+        return np.array(out, dtype=np.int64)
+
+    def total_energy_mj(self) -> float:
+        """Energy across the whole run."""
+        return sum(r.energy_mj for r in self.results)
+
+    # -- decisions ------------------------------------------------------------------
+
+    def forwarded_count(self) -> int:
+        """Utterances whose payload went to the cloud."""
+        return sum(1 for r in self.results if r.forwarded)
+
+    def blocked_count(self) -> int:
+        """Utterances withheld (or redacted/hashed)."""
+        return sum(
+            1 for r in self.results if not r.forwarded or r.payload != r.transcript
+        )
+
+    def classifier_accuracy(self) -> float:
+        """On-path classification accuracy against ground truth."""
+        if not self.results:
+            return 0.0
+        return sum(r.correct for r in self.results) / len(self.results)
+
+    def summary(self) -> dict[str, Any]:
+        """One-line dict for report tables."""
+        return {
+            "pipeline": self.pipeline,
+            "utterances": len(self.results),
+            "mean_latency_cycles": self.mean_latency_cycles(),
+            "p95_latency_cycles": self.p95_latency_cycles(),
+            "mean_processing_cycles": float(self.processing_latency_cycles().mean())
+            if self.results
+            else 0.0,
+            "total_energy_mj": self.total_energy_mj(),
+            "forwarded": self.forwarded_count(),
+            "accuracy": self.classifier_accuracy(),
+        }

@@ -1,0 +1,234 @@
+"""The audio-filter trusted application.
+
+The TA of Fig. 1 steps 4–7: receives PCM from the secure driver via the
+PTA, transcribes it, classifies the transcript, filters sensitive content
+out of the stream, and relays the remainder to the cloud over TLS through
+the TEE supplicant.
+
+Because a real TA ships its model inside the signed TA image, the class
+is produced by a factory closing over a :class:`~repro.core.filter.FilterBundle`
+plus deployment parameters.  On instance creation the TA *allocates the
+model into the secure heap* — which is where the paper's memory-budget
+concern (Section V) becomes a hard failure: a model bigger than the heap
+raises ``TeeOutOfMemory`` and the TA cannot start.
+
+Commands::
+
+    CMD_PROCESS        (1)  Value(a=frames) → decision dict
+    CMD_STATS          (2)  → accumulated per-stage cycle totals
+    CMD_HEARTBEAT      (3)  → relay keep-alive through the secure channel
+    CMD_PROCESS_STREAM (4)  Value(a=frames) → list of decision dicts; the
+                            TA captures one continuous buffer, VAD-segments
+                            it in-enclave, and runs the filter path per
+                            detected utterance (deployment-realistic mode)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core import pta_audio
+from repro.core.filter import FilterBundle
+from repro.optee.params import Params
+from repro.optee.session import Session
+from repro.optee.ta import TaContext, TaFlags, TrustedApplication
+from repro.optee.uuid import TaUuid
+from repro.relay.relay import RelayModule
+from repro.sim.rng import SimRng
+
+CMD_PROCESS = 1
+CMD_STATS = 2
+CMD_HEARTBEAT = 3
+CMD_PROCESS_STREAM = 4
+
+STAGES = ("capture", "vad", "asr", "classify", "filter", "relay")
+
+
+def make_audio_filter_ta(
+    bundle: FilterBundle,
+    pta_uuid: TaUuid,
+    cloud_host: str,
+    cloud_port: int,
+    pinned_server_public: bytes,
+    rng: SimRng,
+    chunk_frames: int = 256,
+    driver_compiled_out: frozenset[str] = frozenset(),
+) -> type[TrustedApplication]:
+    """Build the TA class with the model and deployment config baked in."""
+
+    class AudioFilterTa(TrustedApplication):
+        """ASR + classifier + filter + relay, entirely in the secure world."""
+
+        NAME = "ta.audio-filter"
+        FLAGS = TaFlags.SINGLE_INSTANCE | TaFlags.MULTI_SESSION
+
+        def __init__(self) -> None:
+            super().__init__()
+            self.bundle = bundle
+            self.relay: RelayModule | None = None
+            self._model_addr: int | None = None
+            self._capture_ready = False
+            self.stage_cycles: dict[str, int] = {s: 0 for s in STAGES}
+            self.decisions: list[dict[str, Any]] = []
+
+        # -- lifecycle ---------------------------------------------------------
+
+        def on_create(self, ctx: TaContext) -> None:
+            """Load the model into the secure heap; may raise TeeOutOfMemory."""
+            self._model_addr = ctx.alloc(bundle.model_size_bytes)
+            ctx.log(
+                "model_loaded",
+                bytes=bundle.model_size_bytes,
+                heap_free=ctx.heap_free_bytes(),
+            )
+            self.relay = RelayModule(
+                ctx, cloud_host, cloud_port, pinned_server_public,
+                rng.fork("relay"),
+            )
+
+        def on_invoke(self, session: Session, cmd: int, params: Params) -> Any:
+            """Dispatch client commands."""
+            if cmd == CMD_PROCESS:
+                frames = params.value(0).a
+                return self._process(frames)
+            if cmd == CMD_PROCESS_STREAM:
+                frames = params.value(0).a
+                return self._process_stream(frames)
+            if cmd == CMD_STATS:
+                return dict(self.stage_cycles)
+            if cmd == CMD_HEARTBEAT:
+                assert self.relay is not None
+                return self.relay.heartbeat()
+            return super().on_invoke(session, cmd, params)
+
+        def on_destroy(self) -> None:
+            """Release the model allocation."""
+            if self.ctx is not None and self._model_addr is not None:
+                self.ctx.free(self._model_addr)
+                self._model_addr = None
+
+        # -- the Fig. 1 data path ------------------------------------------------
+
+        def _ensure_capture(self) -> None:
+            assert self.ctx is not None
+            if self._capture_ready:
+                return
+            self.ctx.invoke_pta(
+                pta_uuid, pta_audio.CMD_INIT,
+                {"compiled_out": driver_compiled_out},
+            )
+            self.ctx.invoke_pta(
+                pta_uuid, pta_audio.CMD_OPEN, {"chunk_frames": chunk_frames}
+            )
+            self.ctx.invoke_pta(pta_uuid, pta_audio.CMD_START, None)
+            self._capture_ready = True
+
+        def _stage(self, name: str, start: int) -> int:
+            assert self.ctx is not None
+            now = self.ctx.now()
+            self.stage_cycles[name] += now - start
+            return now
+
+        def _process(self, frames: int) -> dict[str, Any]:
+            """Capture → ASR → classify → filter → relay, one utterance."""
+            ctx = self.ctx
+            assert ctx is not None
+            self._ensure_capture()
+
+            t = ctx.now()
+            pcm = ctx.invoke_pta(pta_uuid, pta_audio.CMD_READ, {"frames": frames})
+            self._stage("capture", t)
+
+            record = self._process_segment(pcm)
+            ctx.log(
+                "processed",
+                sensitive=record["sensitive"],
+                forwarded=record["forwarded"],
+            )
+            return record
+
+        def _process_segment(self, pcm) -> dict[str, Any]:
+            """ASR → (wake-word gate) → classify → filter → relay."""
+            ctx = self.ctx
+            assert ctx is not None and self.relay is not None
+            costs = ctx._os.machine.costs
+
+            t = ctx.now()
+            ctx.compute(
+                costs.ml_inference_cycles(
+                    self.bundle.asr_macs(len(pcm)), secure=True, int8=False
+                )
+            )
+            transcript = self.bundle.asr.transcribe(pcm)
+            t = self._stage("asr", t)
+
+            classify_text = transcript
+            if self.bundle.gate is not None:
+                ctx.compute(300)  # prefix check is trivial
+                gate = self.bundle.gate.check(transcript)
+                if not gate.intended:
+                    # Accidental capture: never classified, never sent.
+                    record = {
+                        "transcript": transcript,
+                        "probability": 0.0,
+                        "sensitive": False,
+                        "forwarded": False,
+                        "payload": None,
+                        "directive": None,
+                        "intended": False,
+                    }
+                    self.decisions.append(record)
+                    ctx.log("accidental_capture_dropped")
+                    return record
+                classify_text = gate.command
+
+            ctx.compute(
+                costs.ml_inference_cycles(
+                    self.bundle.inference_macs(),
+                    secure=True,
+                    int8=self.bundle.filter.is_quantized,
+                )
+            )
+            decision = self.bundle.filter.apply(classify_text)
+            t = self._stage("classify", t)
+
+            ctx.compute(200)
+            t = self._stage("filter", t)
+
+            directive = None
+            if decision.forwarded and decision.payload is not None:
+                directive = self.relay.send_transcript(decision.payload)
+            self._stage("relay", t)
+            record = {
+                "transcript": transcript,
+                "probability": decision.probability,
+                "sensitive": decision.sensitive,
+                "forwarded": decision.forwarded,
+                "payload": decision.payload,
+                "directive": directive,
+                "intended": True,
+            }
+            self.decisions.append(record)
+            return record
+
+        def _process_stream(self, frames: int) -> list[dict[str, Any]]:
+            """Continuous capture, segmented in-enclave by the VAD."""
+            from repro.ml.vad import EnergyVad
+
+            ctx = self.ctx
+            assert ctx is not None
+            self._ensure_capture()
+
+            t = ctx.now()
+            pcm = ctx.invoke_pta(pta_uuid, pta_audio.CMD_READ, {"frames": frames})
+            t = self._stage("capture", t)
+
+            ctx.compute(len(pcm) // 8)  # energy framing is cheap
+            vad = EnergyVad(slack_samples=400)
+            segments = vad.extract(pcm)
+            self._stage("vad", t)
+            ctx.log("vad", segments=len(segments))
+
+            return [self._process_segment(seg) for seg in segments]
+
+    return AudioFilterTa

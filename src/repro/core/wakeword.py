@@ -1,0 +1,57 @@
+"""Wake-word gating: defense against accidental activation.
+
+The paper's motivating incident (§I) is the 2019 leak of assistant
+recordings, "part of these recordings activated accidentally by users" —
+audio that was never addressed to the assistant at all.  The sensitive-
+content classifier is the wrong tool for that case: an accidentally
+captured *benign* side conversation ("what time is dinner") would sail
+through a content filter, yet the user never consented to sending it.
+
+The gate implements the intent check: only transcripts that begin with a
+wake word are eligible for relaying; everything else is treated as
+accidental capture and dropped in-enclave, regardless of content.  It
+runs *before* the content classifier, so the pipeline's decision is:
+
+    intended for the assistant?  →  no  → drop (accidental capture)
+                                 →  yes → content filter (drop/redact/hash)
+
+The gate also strips the wake word before classification, so classifier
+training data does not need to include it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ml.tokenizer import normalize
+
+DEFAULT_WAKE_WORDS = ("alexa", "computer", "echo")
+
+
+@dataclass(frozen=True)
+class GateDecision:
+    """Outcome of the intent check."""
+
+    intended: bool
+    command: str  # transcript with the wake word stripped (if intended)
+
+
+class WakeWordGate:
+    """Transcript-level wake-word detector."""
+
+    def __init__(self, wake_words: tuple[str, ...] = DEFAULT_WAKE_WORDS):
+        if not wake_words:
+            raise ValueError("at least one wake word required")
+        self._wake_words = tuple(w.lower() for w in wake_words)
+
+    @property
+    def wake_words(self) -> tuple[str, ...]:
+        """The configured trigger vocabulary."""
+        return self._wake_words
+
+    def check(self, transcript: str) -> GateDecision:
+        """Classify intent and strip the wake word."""
+        words = normalize(transcript)
+        if words and words[0] in self._wake_words:
+            return GateDecision(intended=True, command=" ".join(words[1:]))
+        return GateDecision(intended=False, command=transcript)

@@ -1,0 +1,66 @@
+"""Utterance workloads: labelled text plus rendered PCM.
+
+A workload item is what the microphone will 'hear': the ground-truth
+:class:`~repro.ml.dataset.Utterance` and its vocoder-rendered PCM.  Both
+pipelines consume the same workload, so privacy and performance
+comparisons share identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.asr import SpeechVocoder
+from repro.ml.dataset import Corpus, Utterance
+
+
+@dataclass(frozen=True)
+class WorkloadItem:
+    """One utterance ready for playback into the mic."""
+
+    utterance: Utterance
+    pcm: np.ndarray
+
+    @property
+    def frames(self) -> int:
+        """PCM sample count."""
+        return len(self.pcm)
+
+
+@dataclass
+class UtteranceWorkload:
+    """An ordered utterance stream with rendered audio."""
+
+    items: list[WorkloadItem]
+
+    @classmethod
+    def from_corpus(cls, corpus: Corpus, vocoder: SpeechVocoder) -> "UtteranceWorkload":
+        """Render every corpus utterance through the vocoder."""
+        items = [
+            WorkloadItem(utterance=u, pcm=vocoder.render(u.text))
+            for u in corpus.utterances
+        ]
+        return cls(items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    @property
+    def utterances(self) -> list[Utterance]:
+        """Ground truth for the auditor."""
+        return [i.utterance for i in self.items]
+
+    @property
+    def total_frames(self) -> int:
+        """Total audio volume in samples."""
+        return sum(i.frames for i in self.items)
+
+    @property
+    def max_frames(self) -> int:
+        """Longest item (sizing for reusable buffers)."""
+        return max((i.frames for i in self.items), default=0)

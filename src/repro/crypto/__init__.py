@@ -1,0 +1,26 @@
+"""Simulation-grade cryptographic primitives.
+
+.. warning::
+   **Not production cryptography.**  These primitives exist so the
+   reproduction can model *where* encryption happens in the paper's design
+   (sealed secure storage; the relay's TLS channel) and *what an untrusted
+   observer sees* (ciphertext, not plaintext), with realistic cost
+   accounting.  The KDF and MAC are real HMAC-SHA-256 from the standard
+   library; the stream cipher is an SHA-256-in-counter-mode construction
+   chosen for zero dependencies, and the key exchange is classic
+   finite-field Diffie-Hellman over the RFC 3526 group-14 prime.  None of
+   this has been hardened against side channels or misuse.
+"""
+
+from repro.crypto.aead import StreamAead
+from repro.crypto.dh import DhKeyPair, MODP_GROUP_14
+from repro.crypto.kdf import hkdf_expand, hkdf_extract, hmac_sha256
+
+__all__ = [
+    "DhKeyPair",
+    "MODP_GROUP_14",
+    "StreamAead",
+    "hkdf_expand",
+    "hkdf_extract",
+    "hmac_sha256",
+]

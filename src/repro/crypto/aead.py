@@ -1,0 +1,67 @@
+"""Authenticated encryption (simulation-grade).
+
+``StreamAead`` is encrypt-then-MAC: an SHA-256 counter-mode keystream for
+confidentiality and HMAC-SHA-256 over (nonce, associated data, ciphertext)
+for integrity.  The construction is structurally sound but unreviewed and
+unoptimized — see the package docstring's warning.  What the reproduction
+needs from it holds: without the key, ciphertext reveals nothing a test
+can detect, and any bit flip fails authentication.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+import struct
+
+from repro.errors import AuthenticationFailure, CryptoError
+from repro.crypto.kdf import hmac_sha256
+
+TAG_LEN = 32
+NONCE_LEN = 12
+
+
+class StreamAead:
+    """AEAD cipher bound to one key (separate enc/mac subkeys derived)."""
+
+    def __init__(self, key: bytes):
+        if len(key) < 16:
+            raise CryptoError(f"key too short: {len(key)} bytes")
+        self._enc_key = hmac_sha256(key, b"enc")
+        self._mac_key = hmac_sha256(key, b"mac")
+
+    def _keystream(self, nonce: bytes, length: int) -> bytes:
+        blocks = []
+        for counter in range((length + 31) // 32):
+            block = hashlib.sha256(
+                self._enc_key + nonce + struct.pack("<Q", counter)
+            ).digest()
+            blocks.append(block)
+        return b"".join(blocks)[:length]
+
+    def seal(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Encrypt and authenticate; returns ``ciphertext || tag``."""
+        if len(nonce) != NONCE_LEN:
+            raise CryptoError(f"nonce must be {NONCE_LEN} bytes")
+        stream = self._keystream(nonce, len(plaintext))
+        ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+        tag = hmac_sha256(self._mac_key, nonce + _len_prefix(aad) + ciphertext)
+        return ciphertext + tag
+
+    def open(self, nonce: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
+        """Verify and decrypt; raises :class:`AuthenticationFailure` on tamper."""
+        if len(nonce) != NONCE_LEN:
+            raise CryptoError(f"nonce must be {NONCE_LEN} bytes")
+        if len(sealed) < TAG_LEN:
+            raise AuthenticationFailure("sealed blob shorter than tag")
+        ciphertext, tag = sealed[:-TAG_LEN], sealed[-TAG_LEN:]
+        expect = hmac_sha256(self._mac_key, nonce + _len_prefix(aad) + ciphertext)
+        if not _hmac.compare_digest(tag, expect):
+            raise AuthenticationFailure("AEAD tag mismatch")
+        stream = self._keystream(nonce, len(ciphertext))
+        return bytes(c ^ s for c, s in zip(ciphertext, stream))
+
+
+def _len_prefix(aad: bytes) -> bytes:
+    """Length-prefix the AAD so (aad, ct) boundaries are unambiguous."""
+    return struct.pack("<Q", len(aad)) + aad

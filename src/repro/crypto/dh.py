@@ -1,0 +1,59 @@
+"""Finite-field Diffie-Hellman over RFC 3526 group 14.
+
+Used by the relay's TLS-like handshake for its (EC)DHE step.  Classic
+textbook DH: correct, slow, and adequate for a simulator — the *cost* of
+the asymmetric step is charged from the cost model, not measured from this
+Python implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CryptoError
+
+# RFC 3526, 2048-bit MODP Group 14 prime; generator 2.
+MODP_GROUP_14 = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+GENERATOR = 2
+KEY_BYTES = 256  # 2048 bits
+
+
+@dataclass(frozen=True)
+class DhKeyPair:
+    """One party's ephemeral DH key pair."""
+
+    private: int
+    public: int
+
+    @classmethod
+    def generate(cls, random_bytes: bytes) -> "DhKeyPair":
+        """Create a key pair from caller-supplied randomness (>= 32 bytes)."""
+        if len(random_bytes) < 32:
+            raise CryptoError("need at least 32 bytes of randomness")
+        private = int.from_bytes(random_bytes, "big") % (MODP_GROUP_14 - 2) + 2
+        public = pow(GENERATOR, private, MODP_GROUP_14)
+        return cls(private=private, public=public)
+
+    def shared_secret(self, peer_public: int) -> bytes:
+        """Compute the shared secret with a peer's public value."""
+        if not 2 <= peer_public <= MODP_GROUP_14 - 2:
+            raise CryptoError("peer public value out of range")
+        secret = pow(peer_public, self.private, MODP_GROUP_14)
+        return secret.to_bytes(KEY_BYTES, "big")
+
+    def public_bytes(self) -> bytes:
+        """Wire encoding of the public value."""
+        return self.public.to_bytes(KEY_BYTES, "big")

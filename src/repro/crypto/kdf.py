@@ -1,0 +1,45 @@
+"""HMAC-SHA-256 and HKDF (RFC 5869).
+
+These are the genuine constructions (stdlib-backed); the TEE uses them to
+derive sealing keys from the device key and TLS traffic keys from the
+handshake secret.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+HASH_LEN = 32
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA-256 of ``data`` under ``key``."""
+    return hmac.new(key, data, hashlib.sha256).digest()
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """HKDF-Extract: concentrate input keying material into a PRK."""
+    if not salt:
+        salt = b"\x00" * HASH_LEN
+    return hmac_sha256(salt, ikm)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand: derive ``length`` bytes of output keying material."""
+    if length > 255 * HASH_LEN:
+        raise ValueError("HKDF-Expand length too large")
+    blocks = []
+    prev = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        prev = hmac_sha256(prk, prev + info + bytes([counter]))
+        blocks.append(prev)
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def derive_key(master: bytes, label: str, length: int = 32) -> bytes:
+    """One-step labelled key derivation (extract-then-expand)."""
+    prk = hkdf_extract(b"repro/kdf/v1", master)
+    return hkdf_expand(prk, label.encode(), length)

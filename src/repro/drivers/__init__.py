@@ -1,0 +1,33 @@
+"""Device drivers, hostable in either world.
+
+The paper's central move is *porting the driver*: the same driver logic can
+run hosted by the untrusted kernel (baseline) or inside OP-TEE behind a PTA
+(the proposed design).  This package provides:
+
+* :mod:`~repro.drivers.base` — the driver framework: every driver function
+  is declared with ``@driver_fn(loc=...)`` which (a) feeds the kernel's
+  ftrace-style tracer and (b) carries a source-line-count so the TCB
+  analyzer can size what gets ported;
+* :mod:`~repro.drivers.hosting` — the two hosts (kernel / secure world);
+* :mod:`~repro.drivers.i2s_driver` — a deliberately full-featured I²S
+  driver modelled on the breadth of a real SoC audio stack;
+* :mod:`~repro.drivers.camera_driver` — a V4L2-flavoured camera driver;
+* :mod:`~repro.drivers.conformance` — a host-agnostic conformance suite a
+  minimized driver must still pass (the safety net for trace-and-strip).
+"""
+
+from repro.drivers.base import Driver, DriverFunctionInfo, driver_fn
+from repro.drivers.camera_driver import CameraDriver
+from repro.drivers.hosting import DriverHost, KernelDriverHost, SecureDriverHost
+from repro.drivers.i2s_driver import I2sDriver
+
+__all__ = [
+    "CameraDriver",
+    "Driver",
+    "DriverFunctionInfo",
+    "DriverHost",
+    "I2sDriver",
+    "KernelDriverHost",
+    "SecureDriverHost",
+    "driver_fn",
+]

@@ -1,0 +1,116 @@
+"""Camera capture driver (V4L2-flavoured).
+
+Smaller sibling of the I²S driver, covering the paper's image branch and
+research plan item 6 (generalizing to more peripherals).  Same framework:
+instrumented functions with LoC metadata, host-decided buffer security.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.drivers.base import Driver, driver_fn
+from repro.drivers.hosting import DriverHost
+from repro.errors import DeviceStateError, DriverError
+from repro.peripherals.camera import Camera
+
+
+class CameraDriver(Driver):
+    """Instrumented frame-capture driver."""
+
+    NAME = "tegra-vi"
+
+    def __init__(
+        self,
+        host: DriverHost,
+        camera: Camera,
+        compiled_out: frozenset[str] = frozenset(),
+    ):
+        super().__init__(host, compiled_out)
+        self.camera = camera
+        self.state = "unbound"
+        self._buf_addr: int | None = None
+        self.exposure = 50
+        self.last_frame: np.ndarray | None = None
+
+    @driver_fn(loc=72, subsystem="probe", entry_point=True)
+    def probe(self) -> None:
+        """Bind: detect the sensor and program default modes."""
+        if self.state != "unbound":
+            raise DeviceStateError(f"probe in state {self.state!r}")
+        self._sensor_detect()
+        self._program_defaults()
+        self.state = "idle"
+
+    @driver_fn(loc=44, subsystem="probe")
+    def _sensor_detect(self) -> None:
+        self.host.compute(500)
+
+    @driver_fn(loc=38, subsystem="probe")
+    def _program_defaults(self) -> None:
+        self.host.compute(300)
+
+    @driver_fn(loc=35, subsystem="probe", entry_point=True)
+    def remove(self) -> None:
+        """Unbind and release buffers."""
+        if self._buf_addr is not None:
+            self.host.free_buffer(self._buf_addr)
+            self._buf_addr = None
+        self.state = "unbound"
+
+    @driver_fn(loc=47, subsystem="stream", entry_point=True)
+    def stream_on(self) -> None:
+        """Start streaming: allocate the frame buffer."""
+        if self.state != "idle":
+            raise DeviceStateError(f"stream_on in state {self.state!r}")
+        self._buf_addr = self.host.alloc_buffer(self.camera.frame_bytes)
+        self.state = "streaming"
+
+    @driver_fn(loc=30, subsystem="stream", entry_point=True)
+    def stream_off(self) -> None:
+        """Stop streaming and free the frame buffer."""
+        if self.state != "streaming":
+            raise DeviceStateError(f"stream_off in state {self.state!r}")
+        if self._buf_addr is not None:
+            self.host.free_buffer(self._buf_addr)
+            self._buf_addr = None
+        self.state = "idle"
+
+    @driver_fn(loc=69, subsystem="stream", entry_point=True)
+    def capture_frame(self) -> np.ndarray:
+        """Grab one frame into the I/O buffer and return it."""
+        if self.state != "streaming" or self._buf_addr is None:
+            raise DeviceStateError(f"capture_frame in state {self.state!r}")
+        frame = self.camera.capture_frame()
+        frame = self._apply_exposure(frame)
+        self.host.write_mem(self._buf_addr, frame.tobytes())
+        self.host.compute(frame.size // 4)
+        self.last_frame = frame
+        return frame
+
+    @driver_fn(loc=26, subsystem="stream")
+    def _apply_exposure(self, frame: np.ndarray) -> np.ndarray:
+        if self.exposure == 50:
+            return frame
+        gain = self.exposure / 50.0
+        return np.clip(frame.astype(np.float32) * gain, 0, 255).astype(np.uint8)
+
+    @driver_fn(loc=24, subsystem="controls", entry_point=True)
+    def set_exposure(self, value: int) -> None:
+        """Set sensor exposure (0-100)."""
+        if not 0 <= value <= 100:
+            raise DriverError(f"exposure {value} out of range")
+        self.exposure = value
+        self.host.compute(80)
+
+    @driver_fn(loc=52, subsystem="controls", entry_point=True)
+    def enumerate_formats(self) -> list[str]:
+        """List supported pixel formats."""
+        self.host.compute(120)
+        return ["GREY8"]
+
+    @driver_fn(loc=58, subsystem="debug", entry_point=True)
+    def selftest(self) -> bool:
+        """Sensor pattern self-test."""
+        self.host.compute(1500)
+        return self.state != "unbound"

@@ -1,0 +1,95 @@
+"""Driver conformance suite.
+
+The safety net behind trace-and-strip: a minimized driver build is only
+acceptable if the target task still behaves identically.  This module runs
+a host-agnostic functional check of the *capture* task against any
+:class:`~repro.drivers.i2s_driver.I2sDriver` build and reports pass/fail
+per check, so the TCB experiment (T2) can demonstrate that its reductions
+are behaviour-preserving — and the tests can demonstrate that
+over-aggressive stripping is caught.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.drivers.i2s_driver import I2sDriver
+from repro.errors import DriverError, ReproError
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of one conformance run."""
+
+    passed: bool
+    checks: dict[str, bool] = field(default_factory=dict)
+    failure: str | None = None
+
+    def failed_checks(self) -> list[str]:
+        """Names of all failed checks."""
+        return [name for name, ok in self.checks.items() if not ok]
+
+
+def run_capture_conformance(
+    driver: I2sDriver,
+    chunk_frames: int = 256,
+    chunks: int = 2,
+) -> ConformanceReport:
+    """Exercise the capture task end to end on ``driver``.
+
+    The driver must already be probed (state ``idle``).  The check leaves
+    the driver back in ``idle`` on success.
+    """
+    checks: dict[str, bool] = {}
+    try:
+        checks["state_idle"] = driver.state == "idle"
+
+        driver.pcm_open_capture(chunk_frames)
+        checks["open"] = driver.state == "prepared"
+
+        driver.trigger_start()
+        checks["start"] = driver.state == "capturing"
+
+        total = np.concatenate(
+            [driver.read_chunk() for _ in range(chunks)]
+        )
+        checks["chunk_length"] = len(total) == chunk_frames * chunks
+        checks["signal_present"] = bool(np.any(total != 0))
+
+        encoded = driver.encode_chunk(total[:chunk_frames])
+        checks["encode"] = len(encoded) == chunk_frames * 2
+
+        pointer = driver.pcm_pointer()
+        checks["pointer_advances"] = pointer >= chunk_frames * chunks
+
+        driver.trigger_stop()
+        driver.pcm_close()
+        checks["close"] = driver.state == "idle"
+    except ReproError as exc:
+        return ConformanceReport(passed=False, checks=checks, failure=repr(exc))
+
+    passed = all(checks.values())
+    return ConformanceReport(passed=passed, checks=checks)
+
+
+def run_mixer_conformance(driver: I2sDriver) -> ConformanceReport:
+    """Exercise the mixer controls (record+volume task variant)."""
+    checks: dict[str, bool] = {}
+    try:
+        driver.set_volume(50)
+        checks["volume_set"] = driver.get_volume() == 50
+        driver.set_mute(True)
+        checks["mute_set"] = driver.muted
+        driver.set_mute(False)
+        driver.set_volume(100)
+        checks["restore"] = driver.get_volume() == 100 and not driver.muted
+        try:
+            driver.set_volume(999)
+            checks["range_enforced"] = False
+        except DriverError:
+            checks["range_enforced"] = True
+    except ReproError as exc:
+        return ConformanceReport(passed=False, checks=checks, failure=repr(exc))
+    return ConformanceReport(passed=all(checks.values()), checks=checks)

@@ -1,0 +1,12 @@
+"""Energy accounting.
+
+Substitutes for power measurement on the Jetson (DESIGN.md): a per-domain
+power model integrated over simulated time.  The paper (Sections III, V)
+anticipates "increased power consumption" from running drivers and ML in
+the TEE on a low-power device; experiment T4 quantifies that with this
+model.
+"""
+
+from repro.energy.model import EnergyMeter, EnergyReport, PowerModel
+
+__all__ = ["EnergyMeter", "EnergyReport", "PowerModel"]

@@ -1,0 +1,83 @@
+"""Battery-life projection.
+
+Turns per-utterance energy measurements into the number an IoT product
+team actually argues about: days on a battery.  Models a duty-cycled
+device — mostly idle at the power model's idle draw, waking to process
+utterances at a given rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.model import PowerModel
+
+_SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class BatteryProjection:
+    """Estimated lifetime for one configuration."""
+
+    battery_mwh: float
+    utterances_per_day: float
+    energy_per_utterance_mj: float
+    idle_power_mw: float
+
+    @property
+    def active_mj_per_day(self) -> float:
+        """Daily energy spent processing utterances."""
+        return self.utterances_per_day * self.energy_per_utterance_mj
+
+    @property
+    def idle_mj_per_day(self) -> float:
+        """Daily idle floor."""
+        return self.idle_power_mw * _SECONDS_PER_DAY
+
+    @property
+    def days(self) -> float:
+        """Projected battery life in days."""
+        per_day_mj = self.active_mj_per_day + self.idle_mj_per_day
+        budget_mj = self.battery_mwh * 3600.0  # mWh -> mJ
+        if per_day_mj <= 0:
+            return float("inf")
+        return budget_mj / per_day_mj
+
+
+def project_battery_life(
+    energy_per_utterance_mj: float,
+    utterances_per_day: float = 200.0,
+    battery_mwh: float = 18_500.0,  # ~5000 mAh at 3.7 V
+    power: PowerModel | None = None,
+) -> BatteryProjection:
+    """Project lifetime from a measured per-utterance energy figure."""
+    if energy_per_utterance_mj < 0:
+        raise ValueError("energy per utterance cannot be negative")
+    if utterances_per_day < 0:
+        raise ValueError("utterance rate cannot be negative")
+    if battery_mwh <= 0:
+        raise ValueError("battery capacity must be positive")
+    model = power or PowerModel()
+    return BatteryProjection(
+        battery_mwh=battery_mwh,
+        utterances_per_day=utterances_per_day,
+        energy_per_utterance_mj=energy_per_utterance_mj,
+        idle_power_mw=model.idle_mw,
+    )
+
+
+def compare_days(
+    baseline_mj: float,
+    secure_mj: float,
+    **kwargs,
+) -> dict[str, float]:
+    """Battery-days for both configurations plus the relative cost."""
+    baseline = project_battery_life(baseline_mj, **kwargs)
+    secure = project_battery_life(secure_mj, **kwargs)
+    return {
+        "baseline_days": baseline.days,
+        "secure_days": secure.days,
+        "days_lost_pct": 100.0 * (1 - secure.days / baseline.days)
+        if baseline.days
+        else 0.0,
+    }

@@ -1,0 +1,220 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises exceptions rooted at :class:`ReproError` so callers
+can catch domain failures without swallowing programming errors.  The
+hierarchy deliberately mirrors the system decomposition: TrustZone faults,
+OP-TEE (GlobalPlatform-style) results, kernel faults, driver faults, ML
+errors, and protocol errors each get their own subtree.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+# ---------------------------------------------------------------------------
+# TrustZone machine faults
+# ---------------------------------------------------------------------------
+
+
+class TrustZoneError(ReproError):
+    """Base class for TrustZone machine faults."""
+
+
+class SecureAccessViolation(TrustZoneError):
+    """A non-secure access targeted a secure-world memory partition.
+
+    On real hardware this is an external abort raised by the TZASC; in the
+    simulator it is the primary security signal used by tests and attack
+    models to establish that isolation holds.
+    """
+
+
+class InvalidAddressError(TrustZoneError):
+    """An access referenced an address outside every mapped region."""
+
+
+class SmcError(TrustZoneError):
+    """A secure monitor call was malformed or used an unknown function id."""
+
+
+class WorldStateError(TrustZoneError):
+    """An operation was attempted from the wrong world or CPU state."""
+
+
+# ---------------------------------------------------------------------------
+# OP-TEE faults
+# ---------------------------------------------------------------------------
+
+
+class TeeError(ReproError):
+    """Base class for OP-TEE errors.
+
+    Mirrors the GlobalPlatform ``TEEC_ERROR_*`` constants: each subclass
+    carries the numeric ``code`` of the closest GP result code so client
+    code can branch on it the way a real OP-TEE client would.
+    """
+
+    code = 0xFFFF0000  # TEEC_ERROR_GENERIC
+
+    def __init__(self, message: str = ""):
+        super().__init__(message or self.__class__.__name__)
+
+
+class TeeItemNotFound(TeeError):
+    """Requested TA, PTA, session or storage object does not exist."""
+
+    code = 0xFFFF0008  # TEEC_ERROR_ITEM_NOT_FOUND
+
+
+class TeeAccessDenied(TeeError):
+    """Caller lacks the privilege for the requested operation."""
+
+    code = 0xFFFF0001  # TEEC_ERROR_ACCESS_DENIED
+
+
+class TeeOutOfMemory(TeeError):
+    """The secure heap cannot satisfy an allocation request."""
+
+    code = 0xFFFF000C  # TEEC_ERROR_OUT_OF_MEMORY
+
+
+class TeeBadParameters(TeeError):
+    """Parameters passed to a TA/PTA command were malformed."""
+
+    code = 0xFFFF0006  # TEEC_ERROR_BAD_PARAMETERS
+
+
+class TeeBusy(TeeError):
+    """The TEE cannot service the request right now (e.g. single-session TA)."""
+
+    code = 0xFFFF000D  # TEEC_ERROR_BUSY
+
+
+class TeeCommunicationError(TeeError):
+    """RPC between secure world and the supplicant failed."""
+
+    code = 0xFFFF000E  # TEEC_ERROR_COMMUNICATION
+
+
+class TeeSecurityError(TeeError):
+    """A security policy was violated inside the TEE."""
+
+    code = 0xFFFF000F  # TEEC_ERROR_SECURITY
+
+
+class TeeTargetDead(TeeError):
+    """The TA panicked and its sessions are no longer usable."""
+
+    code = 0xFFFF3024  # TEE_ERROR_TARGET_DEAD
+
+
+# ---------------------------------------------------------------------------
+# Kernel / driver faults
+# ---------------------------------------------------------------------------
+
+
+class KernelError(ReproError):
+    """Base class for untrusted-kernel faults."""
+
+
+class DriverError(KernelError):
+    """A device driver operation failed."""
+
+
+class DeviceNotFound(KernelError):
+    """No device/driver is registered under the requested name."""
+
+
+class DeviceBusy(DriverError):
+    """The device is already claimed by another stream."""
+
+
+class DeviceStateError(DriverError):
+    """Operation invalid in the device's current state (e.g. read before start)."""
+
+
+class SyscallError(KernelError):
+    """A simulated syscall failed; carries an errno-style symbolic name."""
+
+    def __init__(self, errno_name: str, message: str = ""):
+        self.errno_name = errno_name
+        super().__init__(f"{errno_name}: {message}" if message else errno_name)
+
+
+# ---------------------------------------------------------------------------
+# Peripheral / bus faults
+# ---------------------------------------------------------------------------
+
+
+class PeripheralError(ReproError):
+    """Base class for peripheral/bus faults."""
+
+
+class BusProtocolError(PeripheralError):
+    """An I²S (or other bus) framing/protocol rule was violated."""
+
+
+class FifoOverrunError(PeripheralError):
+    """Producer outran the consumer and the hardware FIFO overflowed."""
+
+
+class FifoUnderrunError(PeripheralError):
+    """Consumer outran the producer and the hardware FIFO drained."""
+
+
+# ---------------------------------------------------------------------------
+# ML faults
+# ---------------------------------------------------------------------------
+
+
+class MlError(ReproError):
+    """Base class for machine-learning subsystem errors."""
+
+
+class ShapeError(MlError):
+    """Tensor shapes are inconsistent for the requested operation."""
+
+
+class VocabularyError(MlError):
+    """A token is not representable in the tokenizer's vocabulary."""
+
+
+class NotFittedError(MlError):
+    """A model/preprocessor was used before being trained/fitted."""
+
+
+# ---------------------------------------------------------------------------
+# Crypto / protocol faults
+# ---------------------------------------------------------------------------
+
+
+class CryptoError(ReproError):
+    """Base class for (simulation-grade) crypto failures."""
+
+
+class AuthenticationFailure(CryptoError):
+    """AEAD tag or handshake MAC verification failed."""
+
+
+class HandshakeError(CryptoError):
+    """The TLS-like handshake could not be completed."""
+
+
+class RecordError(CryptoError):
+    """A TLS-like record was malformed, replayed or out of sequence."""
+
+
+# ---------------------------------------------------------------------------
+# Pipeline faults
+# ---------------------------------------------------------------------------
+
+
+class PipelineError(ReproError):
+    """Base class for end-to-end pipeline orchestration failures."""
+
+
+class PolicyError(PipelineError):
+    """A filtering policy was misconfigured."""

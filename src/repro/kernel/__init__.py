@@ -1,0 +1,40 @@
+"""The untrusted normal-world kernel.
+
+In the paper's threat model "privileged software like the operating system
+can be compromised" — so this kernel plays two roles: the legitimate
+substrate hosting baseline drivers behind char devices and syscalls, and
+the adversary.  :mod:`~repro.kernel.attacks` implements the compromise:
+buffer snooping, full-memory scanning, and wire eavesdropping, each of
+which succeeds against the baseline configuration and is defeated by the
+secure design (asserted by the security test suite).
+
+:mod:`~repro.kernel.tracer` is the paper's TCB-minimization instrument: an
+ftrace-style function-call logger that records which driver functions a
+task actually executes.
+"""
+
+from repro.kernel.attacks import (
+    AttackResult,
+    BufferSnoopAttack,
+    MemoryScanner,
+    WireEavesdropper,
+)
+from repro.kernel.kernel import CharDevice, I2sCharDevice, Kernel
+from repro.kernel.sched import Process, ProcessState, Scheduler, busy_loop
+from repro.kernel.tracer import FunctionTracer, TraceSession
+
+__all__ = [
+    "AttackResult",
+    "BufferSnoopAttack",
+    "CharDevice",
+    "FunctionTracer",
+    "I2sCharDevice",
+    "Kernel",
+    "MemoryScanner",
+    "Process",
+    "ProcessState",
+    "Scheduler",
+    "TraceSession",
+    "WireEavesdropper",
+    "busy_loop",
+]

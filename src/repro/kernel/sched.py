@@ -1,0 +1,158 @@
+"""Processes and a round-robin scheduler for the untrusted kernel.
+
+Gives the normal world realistic multiprogramming: the voice-assistant
+client is one process among several, the scheduler charges context
+switches, and background load steals time slices — which is how the
+contention experiment measures capture-latency jitter.  An attacker can
+also run *as a process*, modelling malware that arrived through the
+normal software-distribution path rather than an abstract adversary.
+
+The model is a cooperative discrete scheduler over the simulation clock:
+each process is a generator that yields the number of cycles it wants to
+burn before its next scheduling point; the scheduler interleaves runnable
+processes in time slices, advancing the shared clock.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Generator
+from dataclasses import dataclass, field
+
+from repro.errors import KernelError
+from repro.tz.machine import TrustZoneMachine
+from repro.tz.worlds import World
+
+ProcessBody = Callable[["Process"], Generator[int, None, None]]
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a kernel process."""
+
+    READY = "ready"
+    RUNNING = "running"
+    DONE = "done"
+    FAULTED = "faulted"
+
+
+@dataclass
+class Process:
+    """One schedulable normal-world process."""
+
+    name: str
+    body: ProcessBody
+    pid: int = 0
+    state: ProcessState = ProcessState.READY
+    cpu_cycles: int = 0
+    slices_run: int = 0
+    exception: BaseException | None = None
+    _gen: Generator[int, None, None] | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        """Instantiate the process body."""
+        self._gen = self.body(self)
+
+    def step(self) -> int | None:
+        """Advance to the next yield; returns requested cycles or None."""
+        assert self._gen is not None, "process not started"
+        try:
+            return next(self._gen)
+        except StopIteration:
+            self.state = ProcessState.DONE
+            return None
+        except Exception as exc:  # the process crashed; kernel survives
+            self.state = ProcessState.FAULTED
+            self.exception = exc
+            return None
+
+
+class Scheduler:
+    """Round-robin over READY processes with a fixed time slice."""
+
+    def __init__(
+        self,
+        machine: TrustZoneMachine,
+        time_slice_cycles: int = 100_000,
+    ):
+        if time_slice_cycles <= 0:
+            raise KernelError("time slice must be positive")
+        self.machine = machine
+        self.time_slice_cycles = time_slice_cycles
+        self._processes: list[Process] = []
+        self._next_pid = 1
+        self.context_switches = 0
+
+    def spawn(self, name: str, body: ProcessBody) -> Process:
+        """Create and register a process."""
+        process = Process(name=name, body=body, pid=self._next_pid)
+        self._next_pid += 1
+        process.start()
+        self._processes.append(process)
+        return process
+
+    @property
+    def runnable(self) -> list[Process]:
+        """Processes still wanting CPU."""
+        return [p for p in self._processes if p.state is ProcessState.READY]
+
+    def run(self, max_slices: int = 100_000) -> None:
+        """Schedule until every process finishes (or the slice budget ends).
+
+        Each slice: charge a context switch, run the process for up to one
+        time slice of its requested work (larger requests are split across
+        slices), then move on.
+        """
+        pending: dict[int, int] = {}  # pid -> cycles still owed this request
+        slices = 0
+        while self.runnable:
+            if slices >= max_slices:
+                raise KernelError("scheduler slice budget exhausted")
+            for process in list(self.runnable):
+                if slices >= max_slices:
+                    break
+                slices += 1
+                self.context_switches += 1
+                self.machine.cpu.execute(
+                    self.machine.costs.context_switch_cycles
+                )
+                owed = pending.get(process.pid, 0)
+                if owed == 0:
+                    request = process.step()
+                    if request is None:
+                        continue
+                    owed = max(0, int(request))
+                burn = min(owed, self.time_slice_cycles)
+                if burn:
+                    self.machine.cpu.execute(burn)
+                    process.cpu_cycles += burn
+                process.slices_run += 1
+                remaining = owed - burn
+                if remaining > 0:
+                    pending[process.pid] = remaining
+                else:
+                    pending.pop(process.pid, None)
+
+    def stats(self) -> dict[str, dict]:
+        """Per-process accounting."""
+        return {
+            p.name: {
+                "pid": p.pid,
+                "state": p.state.value,
+                "cpu_cycles": p.cpu_cycles,
+                "slices": p.slices_run,
+            }
+            for p in self._processes
+        }
+
+
+def busy_loop(total_cycles: int, chunk: int = 50_000) -> ProcessBody:
+    """A CPU-bound background process body (synthetic load)."""
+
+    def body(process: Process) -> Generator[int, None, None]:
+        remaining = total_cycles
+        while remaining > 0:
+            burn = min(chunk, remaining)
+            remaining -= burn
+            yield burn
+
+    return body

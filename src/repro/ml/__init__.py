@@ -1,0 +1,49 @@
+"""From-scratch numpy machine-learning stack.
+
+Substitutes for the pre-trained models the paper would reuse (Whisper /
+fairseq S2T for ASR; transformer libraries for classification).  Paper
+Section IV-4 enumerates three candidate classifier architectures — CNN,
+Transformer, and a hybrid CNN-Transformer — and this package implements
+all three, plus everything needed to train, evaluate, quantize and deploy
+them into the TEE:
+
+* :mod:`~repro.ml.layers`, :mod:`~repro.ml.attention` — differentiable
+  layers with explicit forward/backward,
+* :mod:`~repro.ml.models` — the three classifier architectures,
+* :mod:`~repro.ml.optim`, :mod:`~repro.ml.losses`, :mod:`~repro.ml.train`
+  — training,
+* :mod:`~repro.ml.metrics` — accuracy/PRF1/confusion/ROC,
+* :mod:`~repro.ml.tokenizer`, :mod:`~repro.ml.dataset` — a synthetic
+  sensitive-utterance corpus with category labels,
+* :mod:`~repro.ml.quantize` — int8 post-training quantization for the TEE
+  memory budget,
+* :mod:`~repro.ml.asr` — the toy vocoder + ASR pair with a controllable
+  word-error-rate channel,
+* :mod:`~repro.ml.image` — a small image classifier for the camera branch.
+"""
+
+from repro.ml.dataset import Corpus, SensitiveCategory, UtteranceGenerator
+from repro.ml.models import (
+    HybridCnnTransformer,
+    TextClassifier,
+    TextCnnClassifier,
+    TransformerClassifier,
+)
+from repro.ml.quantize import QuantizedClassifier, quantize_classifier
+from repro.ml.tokenizer import WordTokenizer
+from repro.ml.train import TrainConfig, Trainer
+
+__all__ = [
+    "Corpus",
+    "HybridCnnTransformer",
+    "QuantizedClassifier",
+    "SensitiveCategory",
+    "TextClassifier",
+    "TextCnnClassifier",
+    "TrainConfig",
+    "Trainer",
+    "TransformerClassifier",
+    "UtteranceGenerator",
+    "WordTokenizer",
+    "quantize_classifier",
+]

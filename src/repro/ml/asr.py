@@ -1,0 +1,242 @@
+"""Synthetic speech: vocoder and ASR.
+
+Substitutes for the pre-trained speech-to-text models the paper would
+reuse (Whisper [18], fairseq S2T [23]).  The pair is designed so the
+*system* properties that matter are preserved:
+
+* The microphone really carries speech-shaped PCM (the vocoder renders
+  each word as a distinct multi-tone syllable), so the capture path moves
+  realistic volumes of audio through the driver.
+* The TA really recovers text from audio (matched-filter decoding), and
+  recovery degrades naturally with acoustic noise.
+* Recognition errors are controllable: :class:`NoisyChannel` injects
+  substitutions/deletions/insertions at a target word-error rate, which is
+  how experiment T6 sweeps classifier robustness against ASR quality.
+
+:func:`word_error_rate` implements the standard Levenshtein WER metric so
+the injected and measured rates can be cross-checked.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.errors import MlError
+from repro.ml.tokenizer import normalize
+from repro.sim.rng import SimRng
+
+SAMPLE_RATE = 16_000
+SAMPLES_PER_WORD = 320  # 20 ms syllable
+GAP_SAMPLES = 80  # 5 ms inter-word silence
+WORD_STRIDE = SAMPLES_PER_WORD + GAP_SAMPLES
+_AMPLITUDE = 0.35
+
+
+def _word_template(word: str) -> np.ndarray:
+    """Deterministic multi-tone waveform for one word (float in [-1, 1])."""
+    h = int.from_bytes(hashlib.sha256(word.encode()).digest()[:8], "little")
+    f1 = 350.0 + (h & 0x3FF)  # 350-1373 Hz
+    f2 = 1500.0 + ((h >> 10) & 0x7FF)  # 1500-3547 Hz
+    f3 = 4000.0 + ((h >> 21) & 0xFFF)  # 4000-8095 Hz
+    phase = ((h >> 33) & 0xFF) / 255.0 * 2 * np.pi
+    t = np.arange(SAMPLES_PER_WORD) / SAMPLE_RATE
+    wave = (
+        np.sin(2 * np.pi * f1 * t + phase)
+        + 0.6 * np.sin(2 * np.pi * f2 * t)
+        + 0.3 * np.sin(2 * np.pi * f3 * t)
+    )
+    envelope = np.hanning(SAMPLES_PER_WORD)
+    return (wave * envelope / np.abs(wave * envelope).max()).astype(np.float32)
+
+
+class SpeechVocoder:
+    """Renders word sequences to int16 PCM."""
+
+    def __init__(self, vocabulary: list[str]):
+        if not vocabulary:
+            raise MlError("vocoder needs a non-empty vocabulary")
+        self.vocabulary = sorted(set(vocabulary))
+        self._templates = {w: _word_template(w) for w in self.vocabulary}
+
+    def render_words(self, words: list[str]) -> np.ndarray:
+        """PCM for a word sequence (unknown words raise)."""
+        chunks = []
+        for word in words:
+            if word not in self._templates:
+                raise MlError(f"vocoder has no template for {word!r}")
+            syllable = (self._templates[word] * _AMPLITUDE * 32767).astype(np.int16)
+            chunks.append(syllable)
+            chunks.append(np.zeros(GAP_SAMPLES, dtype=np.int16))
+        if not chunks:
+            return np.zeros(0, dtype=np.int16)
+        return np.concatenate(chunks)
+
+    def render(self, text: str) -> np.ndarray:
+        """PCM for a sentence (normalized word-by-word)."""
+        return self.render_words(normalize(text))
+
+    def duration_samples(self, text: str) -> int:
+        """Sample count :meth:`render` will produce for ``text``."""
+        return len(normalize(text)) * WORD_STRIDE
+
+
+class MatchedFilterAsr:
+    """Decodes vocoder PCM back to text by matched filtering.
+
+    Each word-stride window is correlated against every template; the
+    best-scoring word wins if its normalized correlation clears
+    ``silence_threshold`` (windows below it are treated as silence/noise
+    and skipped).  Additive noise lowers correlations and produces real
+    substitution errors — no artificial error injection needed for the
+    acoustic branch.
+    """
+
+    def __init__(self, vocoder: SpeechVocoder, silence_threshold: float = 0.25):
+        self.vocoder = vocoder
+        self.silence_threshold = silence_threshold
+        words = vocoder.vocabulary
+        mat = np.stack([vocoder._templates[w] for w in words])
+        norms = np.linalg.norm(mat, axis=1, keepdims=True)
+        self._matrix = (mat / norms).astype(np.float32)
+        self._words = words
+
+    def _decode_at(self, signal: np.ndarray, offset: int) -> tuple[list[str], float]:
+        """Decode assuming words start at ``offset``; returns (words, score)."""
+        out: list[str] = []
+        total = 0.0
+        for start in range(offset, len(signal) - SAMPLES_PER_WORD + 1,
+                           WORD_STRIDE):
+            window = signal[start : start + SAMPLES_PER_WORD]
+            norm = np.linalg.norm(window)
+            if norm < 1e-6:
+                continue
+            scores = self._matrix @ (window / norm)
+            best = int(scores.argmax())
+            if scores[best] >= self.silence_threshold:
+                out.append(self._words[best])
+                total += float(scores[best])
+        return out, total
+
+    def _find_alignment(self, signal: np.ndarray) -> int:
+        """Estimate the word-grid offset of an arbitrarily cut segment.
+
+        VAD-cut segments start on analysis-frame boundaries, not on the
+        vocoder's word grid, and matched filtering decorrelates within a
+        couple of samples (the templates carry components up to 8 kHz).
+        Two stages:
+
+        1. *Envelope fold* — the amplitude envelope is periodic at the
+           word stride (Hann syllable + silent gap); folding |signal| into
+           stride phase and circularly correlating against the known
+           envelope finds the offset to within a few samples, globally and
+           noise-robustly, O(N + stride²).
+        2. *Matched-filter refine* — evaluate the actual decode score at
+           the ±20 samples around the envelope estimate and keep the best
+           (short segments fold few strides, so the estimate can be a
+           dozen samples off).
+        """
+        if len(signal) < 2 * WORD_STRIDE:
+            return 0
+        amplitude = np.abs(signal)
+        usable = (len(amplitude) // WORD_STRIDE) * WORD_STRIDE
+        folded = amplitude[:usable].reshape(-1, WORD_STRIDE).mean(axis=0)
+        envelope = np.concatenate(
+            [np.hanning(SAMPLES_PER_WORD).astype(np.float32),
+             np.zeros(GAP_SAMPLES, dtype=np.float32)]
+        )
+        env_scores = [
+            float(np.dot(np.roll(folded, -shift), envelope))
+            for shift in range(WORD_STRIDE)
+        ]
+        estimate = int(np.argmax(env_scores))
+
+        def decode_score(offset: int) -> float:
+            total = 0.0
+            windows = 0
+            for start in range(offset, len(signal) - SAMPLES_PER_WORD + 1,
+                               WORD_STRIDE):
+                if windows >= 4:
+                    break
+                window = signal[start : start + SAMPLES_PER_WORD]
+                norm = np.linalg.norm(window)
+                if norm < 1e-6:
+                    continue
+                total += float((self._matrix @ (window / norm)).max())
+                windows += 1
+            return total
+
+        candidates = sorted(
+            {(estimate + d) % WORD_STRIDE for d in range(-20, 21)}
+        )
+        return max(candidates, key=decode_score)
+
+    def transcribe(self, pcm: np.ndarray, align: bool = True) -> str:
+        """Decode int16 PCM to text.
+
+        ``align=True`` (default) searches for the word-grid offset first,
+        making decoding robust to segments cut mid-silence by a VAD; pass
+        ``align=False`` for known grid-aligned buffers (slightly cheaper).
+        """
+        if pcm.dtype != np.int16:
+            raise MlError(f"ASR expects int16 PCM, got {pcm.dtype}")
+        signal = pcm.astype(np.float32) / 32767.0
+        offset = self._find_alignment(signal) if align else 0
+        words, _ = self._decode_at(signal, offset)
+        return " ".join(words)
+
+    def macs_per_second(self) -> int:
+        """Decode cost: one correlation per template per stride."""
+        strides_per_second = SAMPLE_RATE // WORD_STRIDE
+        return strides_per_second * len(self._words) * SAMPLES_PER_WORD
+
+
+class NoisyChannel:
+    """Injects word errors at a target rate (substitution-heavy mix).
+
+    Per word, with probability ``wer``: substitution 70%, deletion 20%,
+    insertion 10% — roughly the error profile of a weak ASR on accented
+    speech.  Used by T6 to sweep classifier robustness.
+    """
+
+    def __init__(self, rng: SimRng, wer: float, vocabulary: list[str]):
+        if not 0.0 <= wer <= 1.0:
+            raise MlError(f"wer {wer} out of range")
+        self.rng = rng
+        self.wer = wer
+        self.vocabulary = vocabulary
+
+    def corrupt(self, text: str) -> str:
+        """Apply the error channel to a transcript."""
+        out: list[str] = []
+        for word in normalize(text):
+            if self.rng.random() >= self.wer:
+                out.append(word)
+                continue
+            kind = self.rng.random()
+            if kind < 0.7:  # substitution
+                out.append(self.rng.choice(self.vocabulary))
+            elif kind < 0.9:  # deletion
+                pass
+            else:  # insertion (keep word, add a spurious one)
+                out.append(word)
+                out.append(self.rng.choice(self.vocabulary))
+        return " ".join(out)
+
+
+def word_error_rate(reference: str, hypothesis: str) -> float:
+    """Levenshtein WER between two transcripts."""
+    ref = normalize(reference)
+    hyp = normalize(hypothesis)
+    if not ref:
+        return 0.0 if not hyp else 1.0
+    # Classic DP edit distance.
+    prev = list(range(len(hyp) + 1))
+    for i, r in enumerate(ref, start=1):
+        cur = [i] + [0] * len(hyp)
+        for j, h in enumerate(hyp, start=1):
+            cost = 0 if r == h else 1
+            cur[j] = min(prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost)
+        prev = cur
+    return prev[-1] / len(ref)

@@ -1,0 +1,148 @@
+"""Multi-head self-attention and the Transformer encoder block.
+
+Implements the architecture the paper's Section IV-4 proposes for the
+TA-side classifier: "Transformers can be used to encode the initial input
+data so as to learn relevant features of the data via a self-attention
+mechanism."  Pre-LN encoder blocks (LayerNorm → sublayer → residual),
+which train stably without warmup at these scales.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.ml.layers import Dense, Layer, LayerNorm, Parameter, Relu, softmax
+
+
+def sinusoidal_positions(length: int, dim: int) -> np.ndarray:
+    """The 'Attention is all you need' fixed positional encoding."""
+    positions = np.arange(length)[:, None].astype(np.float64)
+    div = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
+    enc = np.zeros((length, dim), dtype=np.float32)
+    enc[:, 0::2] = np.sin(positions * div)
+    enc[:, 1::2] = np.cos(positions * div[: (dim + 1) // 2][: enc[:, 1::2].shape[1]])
+    return enc
+
+
+class MultiHeadSelfAttention(Layer):
+    """Scaled dot-product self-attention with ``H`` heads."""
+
+    def __init__(self, dim: int, heads: int, rng: np.random.Generator,
+                 name: str = "mha"):
+        if dim % heads != 0:
+            raise ShapeError(f"dim {dim} not divisible by heads {heads}")
+        self.dim = dim
+        self.heads = heads
+        self.head_dim = dim // heads
+        self.wq = Dense(dim, dim, rng, name=f"{name}.q")
+        self.wk = Dense(dim, dim, rng, name=f"{name}.k")
+        self.wv = Dense(dim, dim, rng, name=f"{name}.v")
+        self.wo = Dense(dim, dim, rng, name=f"{name}.o")
+        self._cache: tuple | None = None
+
+    def _split(self, x: np.ndarray) -> np.ndarray:
+        """(B, L, D) → (B, H, L, Dh)."""
+        b, length, _ = x.shape
+        return x.reshape(b, length, self.heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge(self, x: np.ndarray) -> np.ndarray:
+        """(B, H, L, Dh) → (B, L, D)."""
+        b, h, length, hd = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, length, h * hd)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        q = self._split(self.wq.forward(x))
+        k = self._split(self.wk.forward(x))
+        v = self._split(self.wv.forward(x))
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = np.matmul(q, k.transpose(0, 1, 3, 2)) * scale  # (B,H,L,L)
+        attn = softmax(scores, axis=-1)
+        context = np.matmul(attn, v)  # (B,H,L,Dh)
+        self._cache = (q, k, v, attn, scale)
+        return self.wo.forward(self._merge(context))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._cache is not None, "backward before forward"
+        q, k, v, attn, scale = self._cache
+        d_context = self._split(self.wo.backward(grad))
+        d_attn = np.matmul(d_context, v.transpose(0, 1, 3, 2))
+        dv = np.matmul(attn.transpose(0, 1, 3, 2), d_context)
+        # softmax backward: dS = A * (dA - sum(dA * A))
+        inner = (d_attn * attn).sum(axis=-1, keepdims=True)
+        d_scores = attn * (d_attn - inner) * scale
+        dq = np.matmul(d_scores, k)
+        dk = np.matmul(d_scores.transpose(0, 1, 3, 2), q)
+        dx = (
+            self.wq.backward(self._merge(dq))
+            + self.wk.backward(self._merge(dk))
+            + self.wv.backward(self._merge(dv))
+        )
+        return dx.astype(np.float32)
+
+    def params(self) -> list[Parameter]:
+        return (
+            self.wq.params() + self.wk.params() + self.wv.params() + self.wo.params()
+        )
+
+    def macs(self, seq_len: int) -> int:
+        """MACs for one sequence: projections + two attention matmuls."""
+        proj = 4 * seq_len * self.dim * self.dim
+        attn = 2 * self.heads * seq_len * seq_len * self.head_dim
+        return proj + attn
+
+
+class FeedForward(Layer):
+    """Position-wise two-layer MLP (the Transformer FFN sublayer)."""
+
+    def __init__(self, dim: int, hidden: int, rng: np.random.Generator,
+                 name: str = "ffn"):
+        self.dim = dim
+        self.hidden = hidden
+        self.fc1 = Dense(dim, hidden, rng, name=f"{name}.1")
+        self.act = Relu()
+        self.fc2 = Dense(hidden, dim, rng, name=f"{name}.2")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.fc2.forward(self.act.forward(self.fc1.forward(x)))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return self.fc1.backward(self.act.backward(self.fc2.backward(grad)))
+
+    def params(self) -> list[Parameter]:
+        return self.fc1.params() + self.fc2.params()
+
+    def macs(self, seq_len: int) -> int:
+        """MACs for one sequence."""
+        return seq_len * (self.dim * self.hidden + self.hidden * self.dim)
+
+
+class TransformerEncoderBlock(Layer):
+    """Pre-LN encoder block: ``x + MHA(LN(x))`` then ``x + FFN(LN(x))``."""
+
+    def __init__(self, dim: int, heads: int, ffn_hidden: int,
+                 rng: np.random.Generator, name: str = "block"):
+        self.ln1 = LayerNorm(dim, name=f"{name}.ln1")
+        self.mha = MultiHeadSelfAttention(dim, heads, rng, name=f"{name}.mha")
+        self.ln2 = LayerNorm(dim, name=f"{name}.ln2")
+        self.ffn = FeedForward(dim, ffn_hidden, rng, name=f"{name}.ffn")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = x + self.mha.forward(self.ln1.forward(x))
+        x = x + self.ffn.forward(self.ln2.forward(x))
+        return x.astype(np.float32)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = grad + self.ln2.backward(self.ffn.backward(grad))
+        grad = grad + self.ln1.backward(self.mha.backward(grad))
+        return grad.astype(np.float32)
+
+    def params(self) -> list[Parameter]:
+        return (
+            self.ln1.params() + self.mha.params()
+            + self.ln2.params() + self.ffn.params()
+        )
+
+    def macs(self, seq_len: int) -> int:
+        """MACs for one sequence through the block."""
+        return self.mha.macs(seq_len) + self.ffn.macs(seq_len)

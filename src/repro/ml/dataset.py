@@ -1,0 +1,398 @@
+"""Synthetic sensitive-utterance corpus.
+
+Substitutes for the private smart-home audio the paper cannot publish (and
+we cannot collect): a template-based generator producing the utterance mix
+a voice assistant hears.  *Sensitive* categories cover the classic privacy
+taxonomies — health, finance, credentials, identity, location — and the
+*benign* categories the commands a smart home legitimately forwards to the
+cloud (weather, music, timers, shopping, device control).
+
+The generator is seeded (:class:`~repro.sim.rng.SimRng`), so corpora are
+reproducible, and every utterance carries its category so per-category
+leak analysis is possible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.sim.rng import SimRng
+
+
+class SensitiveCategory(enum.Enum):
+    """Utterance categories; ``sensitive`` is the binary label."""
+
+    HEALTH = "health"
+    FINANCE = "finance"
+    CREDENTIALS = "credentials"
+    PERSONAL_ID = "personal_id"
+    LOCATION = "location"
+    WEATHER = "weather"
+    MUSIC = "music"
+    TIMER = "timer"
+    SHOPPING = "shopping"
+    HOME_CONTROL = "home_control"
+    SMALLTALK = "smalltalk"
+
+    @property
+    def sensitive(self) -> bool:
+        """Binary privacy label of this category."""
+        return self in _SENSITIVE
+
+
+_SENSITIVE = {
+    SensitiveCategory.HEALTH,
+    SensitiveCategory.FINANCE,
+    SensitiveCategory.CREDENTIALS,
+    SensitiveCategory.PERSONAL_ID,
+    SensitiveCategory.LOCATION,
+}
+
+# -- slot fillers -----------------------------------------------------------
+
+_NAMES = ["alice", "bob", "carol", "david", "emma", "frank", "grace", "henry"]
+_CONDITIONS = [
+    "diabetes", "depression", "asthma", "cancer", "migraine",
+    "insomnia", "anxiety", "arthritis",
+]
+_MEDICATIONS = [
+    "insulin", "prozac", "metformin", "lisinopril", "ibuprofen", "xanax",
+]
+_BANKS = ["first national", "city bank", "union credit", "coastal savings"]
+_AMOUNTS = ["two hundred", "five hundred", "one thousand", "three thousand"]
+_SERVICES = ["email", "banking app", "router", "work laptop", "cloud drive"]
+_PLACES = ["the clinic", "the courthouse", "school", "the office", "the airport"]
+_STREETS = ["maple street", "oak avenue", "elm road", "park lane"]
+_CITIES = ["springfield", "riverside", "fairview", "greenville"]
+_SONGS = ["jazz", "classical music", "rock", "the new album", "my playlist"]
+_ITEMS = ["paper towels", "coffee beans", "batteries", "dog food", "olive oil"]
+_ROOMS = ["living room", "kitchen", "bedroom", "hallway", "garage"]
+_TIMES = ["five minutes", "ten minutes", "half an hour", "one hour"]
+_DIGITS = ["four two seven one", "nine eight three five", "one one two six"]
+
+# -- templates: {slot} names refer to the filler lists above ------------------
+
+_TEMPLATES: dict[SensitiveCategory, list[str]] = {
+    SensitiveCategory.HEALTH: [
+        "remind me to take my {medication} after dinner",
+        "my {condition} has been getting worse lately",
+        "schedule an appointment about my {condition}",
+        "refill the prescription for {medication}",
+        "tell doctor {name} my {condition} symptoms came back",
+        "what are the side effects of {medication}",
+    ],
+    SensitiveCategory.FINANCE: [
+        "transfer {amount} dollars from {bank} to my checking account",
+        "what is the balance of my {bank} account",
+        "pay the mortgage of {amount} dollars to {bank}",
+        "my credit card from {bank} was declined again",
+        "move {amount} dollars into savings before friday",
+    ],
+    SensitiveCategory.CREDENTIALS: [
+        "the password for the {service} is {digits}",
+        "remind me my {service} pin is {digits}",
+        "change the {service} passcode to {digits}",
+        "the wifi password is {digits} {digits}",
+        "store my {service} login code {digits}",
+    ],
+    SensitiveCategory.PERSONAL_ID: [
+        "my social security number is {digits} {digits}",
+        "the passport number for {name} is {digits}",
+        "note that my drivers license expires soon number {digits}",
+        "add {name} s birthday and id number {digits} to contacts",
+    ],
+    SensitiveCategory.LOCATION: [
+        "i will be at {place} on {street} tomorrow morning",
+        "nobody is home until sunday we are in {city}",
+        "the spare key is hidden near the door on {street}",
+        "pick up {name} from {place} at noon",
+        "we are leaving the house at {street} empty next week",
+    ],
+    SensitiveCategory.WEATHER: [
+        "what is the weather like today",
+        "will it rain in {city} tomorrow",
+        "how cold is it outside right now",
+        "do i need an umbrella this afternoon",
+    ],
+    SensitiveCategory.MUSIC: [
+        "play some {song} in the {room}",
+        "turn up the volume a little",
+        "skip this song please",
+        "put on {song} for dinner",
+    ],
+    SensitiveCategory.TIMER: [
+        "set a timer for {time}",
+        "remind me in {time} to check the oven",
+        "cancel the {time} timer",
+        "how much time is left on the timer",
+    ],
+    SensitiveCategory.SHOPPING: [
+        "add {item} to the shopping list",
+        "order more {item} from the store",
+        "what is on my shopping list",
+        "remove {item} from the list",
+    ],
+    SensitiveCategory.HOME_CONTROL: [
+        "turn off the lights in the {room}",
+        "set the thermostat to seventy degrees",
+        "lock the front door please",
+        "dim the {room} lights to half",
+        "is the {room} window open",
+    ],
+    SensitiveCategory.SMALLTALK: [
+        "tell me a joke",
+        "what time is it",
+        "good morning how are you",
+        "thank you that is all",
+    ],
+}
+
+# Ambiguous templates: the *label* follows the category, but the lexicon
+# deliberately overlaps the opposite class — "add insulin to the shopping
+# list" is a shopping command wearing health vocabulary, and "schedule the
+# appointment" is sensitive with no sensitive keyword in sight.  The
+# ``hard_fraction`` knob mixes these in so classifier curves (ROC, T3/T6)
+# have a non-degenerate regime.
+_HARD_TEMPLATES: dict[SensitiveCategory, list[str]] = {
+    # benign categories using sensitive-adjacent words
+    SensitiveCategory.SHOPPING: [
+        "add {medication} to the shopping list",
+        "order more {medication} from the store",
+        "add a gift for doctor {name} to the list",
+    ],
+    SensitiveCategory.HOME_CONTROL: [
+        "lock the door before we leave for {place}",
+        "turn on the lights near {street}",
+    ],
+    SensitiveCategory.SMALLTALK: [
+        "how do you remember all those numbers",
+        "tell me about the bank holiday",
+    ],
+    SensitiveCategory.TIMER: [
+        "remind me before the appointment at {place}",
+    ],
+    # sensitive categories with bland vocabulary
+    SensitiveCategory.HEALTH: [
+        "remind me about the thing the doctor said",
+        "schedule the appointment we talked about",
+    ],
+    SensitiveCategory.FINANCE: [
+        "how much did we spend at the store this month",
+        "move the usual amount before friday",
+    ],
+    SensitiveCategory.LOCATION: [
+        "nobody will be home this weekend",
+        "we are leaving early tomorrow morning",
+    ],
+    SensitiveCategory.CREDENTIALS: [
+        "the code is the same as last time",
+        "use the number we always use",
+    ],
+}
+
+# Genuinely ambiguous utterances: the *same text* can be either sensitive
+# or benign depending on unobservable context ("the code is the same as
+# last time" — a door code, or a discount code?).  In hard mode these are
+# emitted under both labels, creating irreducible Bayes error: no
+# classifier can reach 100% on them, which is what makes the threshold
+# trade-off (T7) a real decision.
+_SHARED_AMBIGUOUS: list[tuple[str, SensitiveCategory, SensitiveCategory]] = [
+    ("remind me about the appointment tomorrow",
+     SensitiveCategory.HEALTH, SensitiveCategory.TIMER),
+    ("the code is the same as last time",
+     SensitiveCategory.CREDENTIALS, SensitiveCategory.SMALLTALK),
+    ("nobody will be home this weekend",
+     SensitiveCategory.LOCATION, SensitiveCategory.SMALLTALK),
+    ("how much did we spend at the store this month",
+     SensitiveCategory.FINANCE, SensitiveCategory.SHOPPING),
+    ("pick up the usual from {place} at noon",
+     SensitiveCategory.LOCATION, SensitiveCategory.SHOPPING),
+    ("send the number to {name} please",
+     SensitiveCategory.PERSONAL_ID, SensitiveCategory.SMALLTALK),
+    ("we are leaving early tomorrow morning",
+     SensitiveCategory.LOCATION, SensitiveCategory.TIMER),
+    ("note the thing we discussed yesterday",
+     SensitiveCategory.PERSONAL_ID, SensitiveCategory.SMALLTALK),
+]
+
+_FILLERS: dict[str, list[str]] = {
+    "name": _NAMES,
+    "condition": _CONDITIONS,
+    "medication": _MEDICATIONS,
+    "bank": _BANKS,
+    "amount": _AMOUNTS,
+    "service": _SERVICES,
+    "place": _PLACES,
+    "street": _STREETS,
+    "city": _CITIES,
+    "song": _SONGS,
+    "item": _ITEMS,
+    "room": _ROOMS,
+    "time": _TIMES,
+    "digits": _DIGITS,
+}
+
+
+@dataclass(frozen=True)
+class Utterance:
+    """One labelled utterance.
+
+    ``addressed`` marks whether the speaker was talking *to the assistant*
+    (wake word present) or the microphone overheard a side conversation —
+    the accidental-activation case behind the paper's motivating leaks.
+    """
+
+    text: str
+    category: SensitiveCategory
+    addressed: bool = True
+
+    @property
+    def sensitive(self) -> bool:
+        """Binary privacy label."""
+        return self.category.sensitive
+
+
+@dataclass
+class Corpus:
+    """A labelled utterance collection with a deterministic split."""
+
+    utterances: list[Utterance] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.utterances)
+
+    @property
+    def texts(self) -> list[str]:
+        """All utterance strings."""
+        return [u.text for u in self.utterances]
+
+    @property
+    def labels(self) -> list[int]:
+        """Binary labels (1 = sensitive)."""
+        return [int(u.sensitive) for u in self.utterances]
+
+    def split(self, train_fraction: float, rng: SimRng) -> tuple["Corpus", "Corpus"]:
+        """Shuffled train/test split."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        items = list(self.utterances)
+        rng.shuffle(items)
+        cut = int(len(items) * train_fraction)
+        return Corpus(items[:cut]), Corpus(items[cut:])
+
+    def by_category(self) -> dict[SensitiveCategory, int]:
+        """Utterance counts per category."""
+        out: dict[SensitiveCategory, int] = {}
+        for u in self.utterances:
+            out[u.category] = out.get(u.category, 0) + 1
+        return out
+
+
+class UtteranceGenerator:
+    """Seeded template-based utterance generator."""
+
+    def __init__(self, rng: SimRng):
+        self.rng = rng
+
+    def generate_one(
+        self, category: SensitiveCategory, hard: bool = False
+    ) -> Utterance:
+        """One utterance of the given category.
+
+        ``hard=True`` first tries the *shared-ambiguous* pool — texts this
+        category emits under its label while the opposite class emits the
+        identical text under the other label (irreducible error) — and
+        otherwise falls back to the category's lexically-overlapping hard
+        templates, then the clean templates.
+        """
+        pool = _TEMPLATES[category]
+        if hard:
+            shared = [
+                text for text, s, b in _SHARED_AMBIGUOUS
+                if category in (s, b)
+            ]
+            if shared and self.rng.random() < 0.6:
+                pool = shared
+            elif category in _HARD_TEMPLATES:
+                pool = _HARD_TEMPLATES[category]
+        template = self.rng.choice(pool)
+        text = template
+        while "{" in text:
+            start = text.index("{")
+            end = text.index("}", start)
+            slot = text[start + 1 : end]
+            filler = self.rng.choice(_FILLERS[slot])
+            text = text[:start] + filler + text[end + 1 :]
+        return Utterance(text=text, category=category)
+
+    def generate(
+        self,
+        n: int,
+        sensitive_fraction: float = 0.5,
+        categories: list[SensitiveCategory] | None = None,
+        hard_fraction: float = 0.0,
+        addressed_fraction: float = 1.0,
+        wake_word: str = "alexa",
+    ) -> Corpus:
+        """Generate ``n`` utterances with a given sensitive mix.
+
+        ``hard_fraction`` is the probability of drawing each utterance
+        from the ambiguous template pool — 0 gives the cleanly separable
+        corpus, 0.3 a realistic mixture, 1.0 the adversarial worst case.
+
+        ``addressed_fraction`` is the probability an utterance is spoken
+        *to the assistant* (prefixed with ``wake_word``); the remainder
+        model overheard side conversations (accidental captures).
+        """
+        if not 0.0 <= sensitive_fraction <= 1.0:
+            raise ValueError("sensitive_fraction must be in [0, 1]")
+        if not 0.0 <= hard_fraction <= 1.0:
+            raise ValueError("hard_fraction must be in [0, 1]")
+        if not 0.0 <= addressed_fraction <= 1.0:
+            raise ValueError("addressed_fraction must be in [0, 1]")
+        pool = categories or list(SensitiveCategory)
+        sensitive_pool = [c for c in pool if c.sensitive]
+        benign_pool = [c for c in pool if not c.sensitive]
+        if sensitive_fraction > 0 and not sensitive_pool:
+            raise ValueError("no sensitive categories in pool")
+        if sensitive_fraction < 1 and not benign_pool:
+            raise ValueError("no benign categories in pool")
+        out = []
+        for _ in range(n):
+            if self.rng.random() < sensitive_fraction:
+                category = self.rng.choice(sensitive_pool)
+            else:
+                category = self.rng.choice(benign_pool)
+            hard = self.rng.random() < hard_fraction
+            utterance = self.generate_one(category, hard=hard)
+            if self.rng.random() < addressed_fraction:
+                utterance = Utterance(
+                    text=f"{wake_word} {utterance.text}",
+                    category=utterance.category,
+                    addressed=True,
+                )
+            else:
+                utterance = Utterance(
+                    text=utterance.text,
+                    category=utterance.category,
+                    addressed=False,
+                )
+            out.append(utterance)
+        return Corpus(out)
+
+    @staticmethod
+    def all_template_texts() -> list[str]:
+        """Every template with every filler (for vocabulary fitting)."""
+        texts = []
+        for templates in _TEMPLATES.values():
+            texts.extend(templates)
+        for templates in _HARD_TEMPLATES.values():
+            texts.extend(templates)
+        texts.extend(text for text, _, _ in _SHARED_AMBIGUOUS)
+        for fillers in _FILLERS.values():
+            texts.extend(fillers)
+        from repro.core.wakeword import DEFAULT_WAKE_WORDS
+
+        texts.extend(DEFAULT_WAKE_WORDS)
+        return texts

@@ -1,0 +1,112 @@
+"""Image classifier for the camera branch.
+
+Paper Section IV-4: "for an image analysis based system, a pre-trained ML
+classifier alone will be sufficient."  A compact MLP over the grayscale
+frame — tiny enough for the TEE heap, accurate enough on the synthetic
+person/empty-room scenes to demonstrate the camera pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.ml.layers import Dense, Parameter, Relu, softmax
+from repro.ml.losses import cross_entropy
+from repro.ml.optim import Adam
+from repro.sim.rng import SimRng
+
+
+class ImageClassifier:
+    """Two-layer MLP: flatten → hidden ReLU → 2 logits."""
+
+    name = "image-mlp"
+
+    def __init__(self, width: int, height: int, rng: np.random.Generator,
+                 hidden: int = 32):
+        self.width = width
+        self.height = height
+        self.input_dim = width * height
+        self.fc1 = Dense(self.input_dim, hidden, rng, name="img.fc1")
+        self.act = Relu()
+        self.fc2 = Dense(hidden, 2, rng, name="img.fc2")
+
+    # -- core ------------------------------------------------------------------
+
+    def _flatten(self, frames: np.ndarray) -> np.ndarray:
+        if frames.ndim == 2:
+            frames = frames[None]
+        if frames.shape[1:] != (self.height, self.width):
+            raise ShapeError(
+                f"expected frames ({self.height}, {self.width}), got "
+                f"{frames.shape[1:]}"
+            )
+        return frames.reshape(len(frames), -1).astype(np.float32) / 255.0
+
+    def forward(self, frames: np.ndarray) -> np.ndarray:
+        """Frames ``(B, H, W)`` uint8 → logits ``(B, 2)``."""
+        return self.fc2.forward(self.act.forward(self.fc1.forward(
+            self._flatten(frames)
+        )))
+
+    def backward(self, dlogits: np.ndarray) -> None:
+        """Backprop from logits gradient."""
+        self.fc1.backward(self.act.backward(self.fc2.backward(dlogits)))
+
+    def params(self) -> list[Parameter]:
+        """Trainable parameters."""
+        return self.fc1.params() + self.fc2.params()
+
+    # -- convenience training ------------------------------------------------------
+
+    def fit(
+        self,
+        frames: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 10,
+        batch_size: int = 32,
+        lr: float = 1e-3,
+        seed: int = 11,
+    ) -> list[float]:
+        """Train in place; returns per-epoch mean losses."""
+        rng = SimRng(seed, "image-trainer")
+        optimizer = Adam(self.params(), lr=lr)
+        losses = []
+        for _ in range(epochs):
+            order = list(range(len(frames)))
+            rng.shuffle(order)
+            order = np.array(order)
+            total, batches = 0.0, 0
+            for start in range(0, len(frames), batch_size):
+                idx = order[start : start + batch_size]
+                optimizer.zero_grad()
+                logits = self.forward(frames[idx])
+                loss, dlogits = cross_entropy(logits, labels[idx])
+                self.backward(dlogits)
+                optimizer.step()
+                total += loss
+                batches += 1
+            losses.append(total / max(1, batches))
+        return losses
+
+    # -- inference + accounting ---------------------------------------------------
+
+    def predict_proba(self, frames: np.ndarray) -> np.ndarray:
+        """Probability of the *sensitive* ('person present') class."""
+        return softmax(self.forward(frames), axis=-1)[:, 1]
+
+    def predict(self, frames: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Binary predictions."""
+        return (self.predict_proba(frames) >= threshold).astype(np.int64)
+
+    def num_params(self) -> int:
+        """Scalar parameter count."""
+        return sum(p.value.size for p in self.params())
+
+    def size_bytes(self) -> int:
+        """fp32 weight footprint."""
+        return sum(p.size_bytes for p in self.params())
+
+    def macs_per_inference(self) -> int:
+        """MACs per frame."""
+        return self.fc1.macs(1) + self.fc2.macs(1)

@@ -1,0 +1,323 @@
+"""Differentiable layers (numpy, explicit forward/backward).
+
+Conventions
+-----------
+* Batched inputs; token tensors are int32 ``(B, L)``, activations float32.
+* Each layer caches what its backward pass needs during ``forward`` and
+  consumes it in ``backward`` — layers are therefore single-use per step
+  (standard for define-by-run scratch implementations).
+* Parameters are :class:`Parameter` objects; ``layer.params()`` exposes
+  them to the optimizer.
+* Every layer reports ``macs(...)`` — multiply-accumulate counts the TEE
+  cost model uses to charge inference cycles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+class Parameter:
+    """A trainable tensor with its gradient accumulator."""
+
+    def __init__(self, value: np.ndarray, name: str = ""):
+        self.value = value.astype(np.float32)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def size_bytes(self) -> int:
+        """fp32 storage footprint."""
+        return self.value.size * 4
+
+    def zero_grad(self) -> None:
+        """Reset the gradient accumulator."""
+        self.grad[...] = 0.0
+
+
+def glorot(rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    fan_in = shape[0] if len(shape) == 1 else int(np.prod(shape[:-1]))
+    fan_out = shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+class Layer:
+    """Base layer interface."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def params(self) -> list[Parameter]:
+        """Trainable parameters (default: none)."""
+        return []
+
+
+class Embedding(Layer):
+    """Token-id lookup table: ``(B, L)`` int → ``(B, L, D)`` float."""
+
+    def __init__(self, vocab_size: int, dim: int, rng: np.random.Generator):
+        self.vocab_size = vocab_size
+        self.dim = dim
+        self.table = Parameter(
+            (rng.standard_normal((vocab_size, dim)) * 0.1).astype(np.float32),
+            name="embedding",
+        )
+        self._ids: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2:
+            raise ShapeError(f"Embedding expects (B, L), got {x.shape}")
+        if x.max(initial=0) >= self.vocab_size or x.min(initial=0) < 0:
+            raise ShapeError("token id out of vocabulary range")
+        self._ids = x
+        return self.table.value[x]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._ids is not None, "backward before forward"
+        np.add.at(self.table.grad, self._ids, grad)
+        return np.zeros_like(self._ids, dtype=np.float32)  # no grad to ids
+
+    def params(self) -> list[Parameter]:
+        return [self.table]
+
+    def macs(self, batch: int, seq_len: int) -> int:
+        """Lookups are copies, not MACs."""
+        return 0
+
+
+class Dense(Layer):
+    """Affine map on the last axis: ``(..., In)`` → ``(..., Out)``."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator,
+                 name: str = "dense"):
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.w = Parameter(glorot(rng, (in_dim, out_dim)), name=f"{name}.w")
+        self.b = Parameter(np.zeros(out_dim, dtype=np.float32), name=f"{name}.b")
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.in_dim:
+            raise ShapeError(
+                f"Dense({self.in_dim}->{self.out_dim}) got {x.shape}"
+            )
+        self._x = x
+        return x @ self.w.value + self.b.value
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._x is not None, "backward before forward"
+        x2 = self._x.reshape(-1, self.in_dim)
+        g2 = grad.reshape(-1, self.out_dim)
+        self.w.grad += x2.T @ g2
+        self.b.grad += g2.sum(axis=0)
+        return grad @ self.w.value.T
+
+    def params(self) -> list[Parameter]:
+        return [self.w, self.b]
+
+    def macs(self, positions: int) -> int:
+        """MACs for ``positions`` independent applications."""
+        return positions * self.in_dim * self.out_dim
+
+
+class Relu(Layer):
+    """Elementwise rectifier."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0).astype(np.float32)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._mask is not None, "backward before forward"
+        return np.where(self._mask, grad, 0.0).astype(np.float32)
+
+
+class Conv1d(Layer):
+    """1-D convolution over the sequence axis.
+
+    Input ``(B, L, C_in)``, output ``(B, L, C_out)`` with same-length
+    zero padding.  Implemented by gathering the k shifted views and
+    contracting — clear and fast enough for these model sizes.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, width: int,
+                 rng: np.random.Generator, name: str = "conv"):
+        if width % 2 == 0:
+            raise ShapeError("Conv1d width must be odd for same padding")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.width = width
+        self.w = Parameter(
+            glorot(rng, (width, in_channels, out_channels)), name=f"{name}.w"
+        )
+        self.b = Parameter(np.zeros(out_channels, dtype=np.float32),
+                           name=f"{name}.b")
+        self._x_padded: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3 or x.shape[2] != self.in_channels:
+            raise ShapeError(
+                f"Conv1d({self.in_channels}->{self.out_channels}) got {x.shape}"
+            )
+        pad = self.width // 2
+        xp = np.pad(x, ((0, 0), (pad, pad), (0, 0)))
+        self._x_padded = xp
+        length = x.shape[1]
+        out = np.tensordot(
+            self._windows(xp, length), self.w.value, axes=([2, 3], [0, 1])
+        )
+        return (out + self.b.value).astype(np.float32)
+
+    @staticmethod
+    def _windows(xp: np.ndarray, length: int) -> np.ndarray:
+        """Sliding windows view: ``(B, L, width, C)``."""
+        b, _, c = xp.shape
+        width = xp.shape[1] - length + 1
+        stride_b, stride_l, stride_c = xp.strides
+        return np.lib.stride_tricks.as_strided(
+            xp,
+            shape=(b, length, width, c),
+            strides=(stride_b, stride_l, stride_l, stride_c),
+            writeable=False,
+        )
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._x_padded is not None, "backward before forward"
+        xp = self._x_padded
+        pad = self.width // 2
+        length = grad.shape[1]
+        windows = self._windows(xp, length)  # (B, L, W, Cin)
+        # dW[w, i, o] = sum_{b,l} x[b, l+w, i] * g[b, l, o]
+        self.w.grad += np.tensordot(windows, grad, axes=([0, 1], [0, 1]))
+        self.b.grad += grad.sum(axis=(0, 1))
+        # dx via full correlation with flipped kernel.
+        gp = np.pad(grad, ((0, 0), (pad, pad), (0, 0)))
+        gwin = self._windows(gp, length)  # (B, L, W, Cout)
+        w_flip = self.w.value[::-1]  # (W, Cin, Cout)
+        dx = np.einsum("blwo,wio->bli", gwin, w_flip)
+        return dx.astype(np.float32)
+
+    def params(self) -> list[Parameter]:
+        return [self.w, self.b]
+
+    def macs(self, positions: int) -> int:
+        """MACs for a length-``positions`` sequence."""
+        return positions * self.width * self.in_channels * self.out_channels
+
+
+class GlobalMaxPool(Layer):
+    """Max over the sequence axis: ``(B, L, C)`` → ``(B, C)``."""
+
+    def __init__(self) -> None:
+        self._argmax: np.ndarray | None = None
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._argmax = x.argmax(axis=1)
+        self._shape = x.shape
+        return x.max(axis=1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._argmax is not None and self._shape is not None
+        b, length, c = self._shape
+        dx = np.zeros(self._shape, dtype=np.float32)
+        bi = np.arange(b)[:, None]
+        ci = np.arange(c)[None, :]
+        dx[bi, self._argmax, ci] = grad
+        return dx
+
+
+class GlobalMeanPool(Layer):
+    """Mean over the sequence axis: ``(B, L, C)`` → ``(B, C)``."""
+
+    def __init__(self) -> None:
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.mean(axis=1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._shape is not None
+        b, length, c = self._shape
+        return np.broadcast_to(grad[:, None, :] / length, self._shape).astype(
+            np.float32
+        ).copy()
+
+
+class LayerNorm(Layer):
+    """Layer normalization over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5, name: str = "ln"):
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim, dtype=np.float32), name=f"{name}.g")
+        self.beta = Parameter(np.zeros(dim, dtype=np.float32), name=f"{name}.b")
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv = 1.0 / np.sqrt(var + self.eps)
+        xhat = (x - mu) * inv
+        self._cache = (xhat, inv)
+        return (xhat * self.gamma.value + self.beta.value).astype(np.float32)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._cache is not None, "backward before forward"
+        xhat, inv = self._cache
+        self.gamma.grad += (grad * xhat).reshape(-1, self.dim).sum(axis=0)
+        self.beta.grad += grad.reshape(-1, self.dim).sum(axis=0)
+        g = grad * self.gamma.value
+        n = self.dim
+        dx = inv / n * (
+            n * g
+            - g.sum(axis=-1, keepdims=True)
+            - xhat * (g * xhat).sum(axis=-1, keepdims=True)
+        )
+        return dx.astype(np.float32)
+
+    def params(self) -> list[Parameter]:
+        return [self.gamma, self.beta]
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity when ``training`` is False."""
+
+    def __init__(self, rate: float, rng: np.random.Generator):
+        if not 0.0 <= rate < 1.0:
+            raise ShapeError(f"dropout rate {rate} out of range")
+        self.rate = rate
+        self.rng = rng
+        self.training = True
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.random(x.shape) < keep).astype(np.float32) / keep
+        return (x * self._mask).astype(np.float32)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return (grad * self._mask).astype(np.float32)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return (e / e.sum(axis=axis, keepdims=True)).astype(np.float32)

@@ -1,0 +1,34 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.ml.layers import softmax
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Softmax cross-entropy.
+
+    Parameters
+    ----------
+    logits:
+        ``(B, C)`` float scores.
+    labels:
+        ``(B,)`` int class indices.
+
+    Returns
+    -------
+    (loss, dlogits):
+        Mean loss over the batch and the gradient w.r.t. the logits.
+    """
+    if logits.ndim != 2 or labels.ndim != 1 or len(logits) != len(labels):
+        raise ShapeError(f"cross_entropy got {logits.shape} vs {labels.shape}")
+    b = len(labels)
+    probs = softmax(logits, axis=-1)
+    eps = 1e-12
+    loss = float(-np.log(probs[np.arange(b), labels] + eps).mean())
+    dlogits = probs.copy()
+    dlogits[np.arange(b), labels] -= 1.0
+    return loss, (dlogits / b).astype(np.float32)

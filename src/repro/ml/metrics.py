@@ -1,0 +1,88 @@
+"""Classification metrics: accuracy, PRF1, confusion matrix, ROC/AUC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+@dataclass(frozen=True)
+class BinaryMetrics:
+    """Standard binary-classification quality numbers.
+
+    The positive class is 'sensitive'; recall is therefore the privacy
+    metric (missed sensitive content leaks) and precision the utility
+    metric (false positives drop benign traffic the cloud service needed).
+    """
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @classmethod
+    def from_predictions(
+        cls, y_true: np.ndarray, y_pred: np.ndarray
+    ) -> "BinaryMetrics":
+        """Compute from 0/1 label arrays."""
+        y_true = np.asarray(y_true).astype(int)
+        y_pred = np.asarray(y_pred).astype(int)
+        if y_true.shape != y_pred.shape:
+            raise ShapeError(f"{y_true.shape} vs {y_pred.shape}")
+        tp = int(((y_true == 1) & (y_pred == 1)).sum())
+        fp = int(((y_true == 0) & (y_pred == 1)).sum())
+        tn = int(((y_true == 0) & (y_pred == 0)).sum())
+        fn = int(((y_true == 1) & (y_pred == 0)).sum())
+        total = max(1, tp + fp + tn + fn)
+        precision = tp / (tp + fp) if tp + fp else 0.0
+        recall = tp / (tp + fn) if tp + fn else 0.0
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall
+            else 0.0
+        )
+        return cls(
+            accuracy=(tp + tn) / total,
+            precision=precision,
+            recall=recall,
+            f1=f1,
+            tp=tp, fp=fp, tn=tn, fn=fn,
+        )
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray,
+                     num_classes: int) -> np.ndarray:
+    """``(num_classes, num_classes)`` count matrix, rows = true class."""
+    m = np.zeros((num_classes, num_classes), dtype=np.int64)
+    for t, p in zip(np.asarray(y_true).astype(int), np.asarray(y_pred).astype(int)):
+        m[t, p] += 1
+    return m
+
+
+def roc_curve(
+    y_true: np.ndarray, scores: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC points (fpr, tpr, thresholds) sweeping the decision threshold."""
+    y_true = np.asarray(y_true).astype(int)
+    scores = np.asarray(scores, dtype=np.float64)
+    order = np.argsort(-scores)
+    y_sorted = y_true[order]
+    pos = max(1, int((y_true == 1).sum()))
+    neg = max(1, int((y_true == 0).sum()))
+    tpr = np.concatenate([[0.0], np.cumsum(y_sorted == 1) / pos])
+    fpr = np.concatenate([[0.0], np.cumsum(y_sorted == 0) / neg])
+    thresholds = np.concatenate([[np.inf], scores[order]])
+    return fpr, tpr, thresholds
+
+
+def auc(fpr: np.ndarray, tpr: np.ndarray) -> float:
+    """Area under an ROC curve by trapezoid rule."""
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz
+    return float(trapezoid(tpr, fpr))

@@ -1,0 +1,332 @@
+"""The three classifier architectures from paper Section IV-4.
+
+* :class:`TextCnnClassifier` — "feeding the input data into a convolutional
+  layer that learns the relevant features ... fed into a fully connected
+  layer that performs a binary classification";
+* :class:`TransformerClassifier` — "Transformers can be used to encode the
+  initial input data ... via a self-attention mechanism.  The encoded
+  representation can then be fed into a binary classification layer";
+* :class:`HybridCnnTransformer` — "use the CNN model as a feature extractor
+  and the transformer as a classifier".
+
+All three share the :class:`TextClassifier` interface the rest of the
+system consumes: batched forward/backward for training, ``predict_proba``
+for thresholded filtering, and the deployment accounting the TEE needs —
+parameter bytes (does it fit the secure heap?) and MACs per inference
+(what does it cost in cycles?).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.ml.attention import TransformerEncoderBlock, sinusoidal_positions
+from repro.ml.layers import (
+    Conv1d,
+    Dense,
+    Dropout,
+    Embedding,
+    GlobalMaxPool,
+    GlobalMeanPool,
+    Layer,
+    Parameter,
+    Relu,
+    softmax,
+)
+
+NUM_CLASSES = 2  # benign / sensitive
+
+
+class TextClassifier:
+    """Interface shared by all classifier architectures."""
+
+    name = "base"
+
+    def __init__(self, vocab_size: int, max_len: int):
+        self.vocab_size = vocab_size
+        self.max_len = max_len
+        self._training = True
+
+    # -- training interface ------------------------------------------------------
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        """Token ids ``(B, L)`` → logits ``(B, 2)``."""
+        raise NotImplementedError
+
+    def backward(self, dlogits: np.ndarray) -> None:  # pragma: no cover - interface
+        """Backprop from the logits gradient."""
+        raise NotImplementedError
+
+    def params(self) -> list[Parameter]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def train_mode(self, training: bool) -> None:
+        """Toggle dropout etc."""
+        self._training = training
+        for layer in self._dropout_layers():
+            layer.training = training
+
+    def _dropout_layers(self) -> list[Dropout]:
+        return []
+
+    # -- inference interface -------------------------------------------------------
+
+    def predict_proba(self, ids: np.ndarray) -> np.ndarray:
+        """Probability of the *sensitive* class per example."""
+        was_training = self._training
+        self.train_mode(False)
+        try:
+            logits = self.forward(ids)
+        finally:
+            self.train_mode(was_training)
+        return softmax(logits, axis=-1)[:, 1]
+
+    def predict(self, ids: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Binary predictions at a decision threshold."""
+        return (self.predict_proba(ids) >= threshold).astype(np.int64)
+
+    # -- deployment accounting --------------------------------------------------------
+
+    def num_params(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.value.size for p in self.params())
+
+    def size_bytes(self) -> int:
+        """fp32 weight footprint (what the secure heap must hold)."""
+        return sum(p.size_bytes for p in self.params())
+
+    def macs_per_inference(self) -> int:  # pragma: no cover - interface
+        """Multiply-accumulates for one max_len sequence."""
+        raise NotImplementedError
+
+    def serialize(self) -> bytes:
+        """Flat little-endian fp32 dump of all parameters (stable order)."""
+        return b"".join(
+            p.value.astype("<f4").tobytes() for p in self.params()
+        )
+
+    def deserialize(self, blob: bytes) -> None:
+        """Load weights from :meth:`serialize` output."""
+        expect = self.size_bytes()
+        if len(blob) != expect:
+            raise ShapeError(
+                f"weight blob is {len(blob)} bytes, model needs {expect}"
+            )
+        offset = 0
+        for p in self.params():
+            n = p.value.size * 4
+            flat = np.frombuffer(blob[offset : offset + n], dtype="<f4")
+            p.value = flat.reshape(p.value.shape).astype(np.float32).copy()
+            offset += n
+
+
+class TextCnnClassifier(TextClassifier):
+    """Multi-width CNN text classifier (Kim-style).
+
+    Embedding → parallel Conv1d branches (widths 3 and 5) → ReLU →
+    global max pool → concat → dropout → dense logits.
+    """
+
+    name = "cnn"
+
+    def __init__(
+        self,
+        vocab_size: int,
+        max_len: int,
+        rng: np.random.Generator,
+        embed_dim: int = 32,
+        filters: int = 48,
+        widths: tuple[int, ...] = (3, 5),
+        dropout: float = 0.2,
+    ):
+        super().__init__(vocab_size, max_len)
+        self.embed = Embedding(vocab_size, embed_dim, rng)
+        self.branches: list[tuple[Conv1d, Relu, GlobalMaxPool]] = [
+            (Conv1d(embed_dim, filters, w, rng, name=f"conv{w}"),
+             Relu(), GlobalMaxPool())
+            for w in widths
+        ]
+        self.dropout = Dropout(dropout, rng)
+        self.head = Dense(filters * len(widths), NUM_CLASSES, rng, name="head")
+        self.filters = filters
+        self.widths = widths
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        x = self.embed.forward(ids)
+        pooled = []
+        for conv, relu, pool in self.branches:
+            pooled.append(pool.forward(relu.forward(conv.forward(x))))
+        features = np.concatenate(pooled, axis=-1)
+        return self.head.forward(self.dropout.forward(features))
+
+    def backward(self, dlogits: np.ndarray) -> None:
+        dfeat = self.dropout.backward(self.head.backward(dlogits))
+        dx_total = None
+        for i, (conv, relu, pool) in enumerate(self.branches):
+            chunk = dfeat[:, i * self.filters : (i + 1) * self.filters]
+            dx = conv.backward(relu.backward(pool.backward(chunk)))
+            dx_total = dx if dx_total is None else dx_total + dx
+        self.embed.backward(dx_total)
+
+    def params(self) -> list[Parameter]:
+        out = self.embed.params()
+        for conv, _, _ in self.branches:
+            out.extend(conv.params())
+        out.extend(self.head.params())
+        return out
+
+    def _dropout_layers(self) -> list[Dropout]:
+        return [self.dropout]
+
+    def macs_per_inference(self) -> int:
+        total = 0
+        for conv, _, _ in self.branches:
+            total += conv.macs(self.max_len)
+        total += self.head.macs(1)
+        return total
+
+
+class TransformerClassifier(TextClassifier):
+    """Transformer-encoder text classifier.
+
+    Embedding + sinusoidal positions → N pre-LN encoder blocks → mean
+    pool → dense logits.
+    """
+
+    name = "transformer"
+
+    def __init__(
+        self,
+        vocab_size: int,
+        max_len: int,
+        rng: np.random.Generator,
+        embed_dim: int = 32,
+        heads: int = 4,
+        blocks: int = 2,
+        ffn_hidden: int = 64,
+        dropout: float = 0.1,
+    ):
+        super().__init__(vocab_size, max_len)
+        self.embed = Embedding(vocab_size, embed_dim, rng)
+        self.positions = sinusoidal_positions(max_len, embed_dim)
+        self.blocks = [
+            TransformerEncoderBlock(embed_dim, heads, ffn_hidden, rng,
+                                    name=f"block{i}")
+            for i in range(blocks)
+        ]
+        self.dropout = Dropout(dropout, rng)
+        self.pool = GlobalMeanPool()
+        self.head = Dense(embed_dim, NUM_CLASSES, rng, name="head")
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        x = self.embed.forward(ids) + self.positions[: ids.shape[1]]
+        x = self.dropout.forward(x)
+        for block in self.blocks:
+            x = block.forward(x)
+        return self.head.forward(self.pool.forward(x))
+
+    def backward(self, dlogits: np.ndarray) -> None:
+        dx = self.pool.backward(self.head.backward(dlogits))
+        for block in reversed(self.blocks):
+            dx = block.backward(dx)
+        self.embed.backward(self.dropout.backward(dx))
+
+    def params(self) -> list[Parameter]:
+        out = self.embed.params()
+        for block in self.blocks:
+            out.extend(block.params())
+        out.extend(self.head.params())
+        return out
+
+    def _dropout_layers(self) -> list[Dropout]:
+        return [self.dropout]
+
+    def macs_per_inference(self) -> int:
+        total = sum(block.macs(self.max_len) for block in self.blocks)
+        total += self.head.macs(1)
+        return total
+
+
+class HybridCnnTransformer(TextClassifier):
+    """CNN feature extractor + Transformer classifier (paper's hybrid).
+
+    Embedding → Conv1d + ReLU (local features) → one encoder block
+    (global mixing) → mean pool → dense logits.
+    """
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        vocab_size: int,
+        max_len: int,
+        rng: np.random.Generator,
+        embed_dim: int = 32,
+        conv_filters: int = 32,
+        conv_width: int = 3,
+        heads: int = 4,
+        ffn_hidden: int = 64,
+        dropout: float = 0.1,
+    ):
+        super().__init__(vocab_size, max_len)
+        self.embed = Embedding(vocab_size, embed_dim, rng)
+        self.conv = Conv1d(embed_dim, conv_filters, conv_width, rng, name="conv")
+        self.relu = Relu()
+        self.positions = sinusoidal_positions(max_len, conv_filters)
+        self.block = TransformerEncoderBlock(conv_filters, heads, ffn_hidden,
+                                             rng, name="block")
+        self.dropout = Dropout(dropout, rng)
+        self.pool = GlobalMeanPool()
+        self.head = Dense(conv_filters, NUM_CLASSES, rng, name="head")
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        x = self.embed.forward(ids)
+        x = self.relu.forward(self.conv.forward(x))
+        x = x + self.positions[: ids.shape[1]]
+        x = self.dropout.forward(x)
+        x = self.block.forward(x)
+        return self.head.forward(self.pool.forward(x))
+
+    def backward(self, dlogits: np.ndarray) -> None:
+        dx = self.pool.backward(self.head.backward(dlogits))
+        dx = self.block.backward(dx)
+        dx = self.dropout.backward(dx)
+        dx = self.conv.backward(self.relu.backward(dx))
+        self.embed.backward(dx)
+
+    def params(self) -> list[Parameter]:
+        return (
+            self.embed.params() + self.conv.params()
+            + self.block.params() + self.head.params()
+        )
+
+    def _dropout_layers(self) -> list[Dropout]:
+        return [self.dropout]
+
+    def macs_per_inference(self) -> int:
+        return (
+            self.conv.macs(self.max_len)
+            + self.block.macs(self.max_len)
+            + self.head.macs(1)
+        )
+
+
+def build_classifier(
+    architecture: str,
+    vocab_size: int,
+    max_len: int,
+    rng: np.random.Generator,
+    **kwargs,
+) -> TextClassifier:
+    """Factory by architecture name (``cnn`` / ``transformer`` / ``hybrid``)."""
+    classes: dict[str, type[TextClassifier]] = {
+        "cnn": TextCnnClassifier,
+        "transformer": TransformerClassifier,
+        "hybrid": HybridCnnTransformer,
+    }
+    if architecture not in classes:
+        raise ValueError(
+            f"unknown architecture {architecture!r}; pick from {sorted(classes)}"
+        )
+    return classes[architecture](vocab_size, max_len, rng, **kwargs)

@@ -1,0 +1,72 @@
+"""Optimizers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.layers import Parameter
+
+
+class Optimizer:
+    """Base optimizer bound to a parameter list."""
+
+    def __init__(self, params: list[Parameter]):
+        self.params = params
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class Sgd(Optimizer):
+    """Plain SGD with optional momentum."""
+
+    def __init__(self, params: list[Parameter], lr: float = 0.1,
+                 momentum: float = 0.0):
+        super().__init__(params)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.value) for p in params]
+
+    def step(self) -> None:
+        """Apply one update."""
+        for p, v in zip(self.params, self._velocity):
+            if self.momentum:
+                v *= self.momentum
+                v -= self.lr * p.grad
+                p.value += v
+            else:
+                p.value -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015)."""
+
+    def __init__(self, params: list[Parameter], lr: float = 1e-3,
+                 beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8):
+        super().__init__(params)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p.value) for p in params]
+        self._v = [np.zeros_like(p.value) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one bias-corrected update."""
+        self._t += 1
+        b1t = 1 - self.beta1 ** self._t
+        b2t = 1 - self.beta2 ** self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            m *= self.beta1
+            m += (1 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1 - self.beta2) * (p.grad * p.grad)
+            mhat = m / b1t
+            vhat = v / b2t
+            p.value -= self.lr * mhat / (np.sqrt(vhat) + self.eps)

@@ -1,0 +1,107 @@
+"""Post-training int8 quantization.
+
+Paper Section V: TEE memory is small, so the mitigation is "smaller ML
+models".  Symmetric per-tensor int8 quantization cuts the weight footprint
+4× and (per the cost model) speeds up in-TEE inference; experiment T5
+measures the accuracy it costs.
+
+The :class:`QuantizedClassifier` stores int8 weights and dequantizes per
+forward pass — functionally equivalent to int8 inference with fp32
+accumulators, which is what e.g. CMSIS-NN style kernels do, while letting
+us reuse the float forward paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.models import TextClassifier
+
+
+class QuantizedTensor:
+    """One weight tensor in symmetric per-tensor int8."""
+
+    def __init__(self, values: np.ndarray):
+        max_abs = float(np.abs(values).max())
+        self.scale = max_abs / 127.0 if max_abs > 0 else 1.0
+        self.q = np.clip(
+            np.round(values / self.scale), -127, 127
+        ).astype(np.int8)
+        self.shape = values.shape
+        self.mean_abs_error = float(
+            np.abs(values - self.q.astype(np.float32).reshape(values.shape)
+                   * self.scale).mean()
+        )
+
+    def dequantize(self) -> np.ndarray:
+        """Recover fp32 values (with quantization error)."""
+        return (self.q.astype(np.float32) * self.scale).reshape(self.shape)
+
+    @property
+    def size_bytes(self) -> int:
+        """int8 payload plus the fp32 scale."""
+        return self.q.size + 4
+
+
+class QuantizedClassifier:
+    """A :class:`TextClassifier` running on int8 weights.
+
+    Wraps the original model: weights are quantized once, and each
+    prediction call installs the dequantized weights before delegating.
+    The wrapper *owns* the model afterwards — using the original directly
+    would see quantized weights.
+    """
+
+    def __init__(self, model: TextClassifier):
+        self._model = model
+        self._tensors = [QuantizedTensor(p.value) for p in model.params()]
+        self._install()
+        self.name = f"{model.name}-int8"
+        self.max_len = model.max_len
+        self.vocab_size = model.vocab_size
+
+    def _install(self) -> None:
+        for p, qt in zip(self._model.params(), self._tensors):
+            p.value = qt.dequantize()
+
+    # -- inference ------------------------------------------------------------
+
+    def predict_proba(self, ids: np.ndarray) -> np.ndarray:
+        """Sensitive-class probability per example."""
+        return self._model.predict_proba(ids)
+
+    def predict(self, ids: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Binary predictions at a threshold."""
+        return self._model.predict(ids, threshold=threshold)
+
+    # -- deployment accounting ---------------------------------------------------
+
+    def num_params(self) -> int:
+        """Scalar parameter count (unchanged by quantization)."""
+        return self._model.num_params()
+
+    def size_bytes(self) -> int:
+        """int8 weight footprint."""
+        return sum(t.size_bytes for t in self._tensors)
+
+    def macs_per_inference(self) -> int:
+        """MAC count (unchanged; the *rate* improves, see CostModel)."""
+        return self._model.macs_per_inference()
+
+    def serialize(self) -> bytes:
+        """int8 dump: per-tensor scale (fp32) then payload."""
+        parts = []
+        for t in self._tensors:
+            parts.append(np.float32(t.scale).tobytes())
+            parts.append(t.q.tobytes())
+        return b"".join(parts)
+
+    def quantization_error(self) -> float:
+        """Mean absolute weight error introduced by quantization
+    (measured against the original fp32 values at quantization time)."""
+        return float(np.mean([t.mean_abs_error for t in self._tensors]))
+
+
+def quantize_classifier(model: TextClassifier) -> QuantizedClassifier:
+    """Quantize a trained classifier to int8 (consumes the model)."""
+    return QuantizedClassifier(model)

@@ -1,0 +1,110 @@
+"""Word-level tokenizer.
+
+The TA classifies *text* (ASR transcripts), so a word tokenizer with a
+fixed vocabulary is the right substrate: it is what the CNN/Transformer
+classifiers consume, and its ``<unk>`` handling is what makes the WER
+robustness experiment (T6) meaningful — ASR substitutions map to unknown
+or wrong-but-in-vocab tokens exactly as they would in the real system.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.errors import NotFittedError, VocabularyError
+
+PAD = "<pad>"
+UNK = "<unk>"
+_WORD_RE = re.compile(r"[a-z0-9']+")
+
+
+def normalize(text: str) -> list[str]:
+    """Lowercase and split into word tokens."""
+    return _WORD_RE.findall(text.lower())
+
+
+class WordTokenizer:
+    """Fixed-vocabulary word tokenizer with padding/truncation."""
+
+    def __init__(self, max_len: int = 24):
+        if max_len <= 0:
+            raise ValueError("max_len must be positive")
+        self.max_len = max_len
+        self._word_to_id: dict[str, int] = {}
+        self._id_to_word: list[str] = []
+
+    # -- vocabulary ------------------------------------------------------------
+
+    def fit(self, texts: list[str], max_vocab: int = 4096) -> "WordTokenizer":
+        """Build the vocabulary from a corpus (most frequent words kept)."""
+        counts: dict[str, int] = {}
+        for text in texts:
+            for word in normalize(text):
+                counts[word] = counts.get(word, 0) + 1
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        vocab = [PAD, UNK] + [w for w, _ in ranked[: max_vocab - 2]]
+        self._id_to_word = vocab
+        self._word_to_id = {w: i for i, w in enumerate(vocab)}
+        return self
+
+    @property
+    def fitted(self) -> bool:
+        """True once :meth:`fit` has run."""
+        return bool(self._word_to_id)
+
+    @property
+    def vocab_size(self) -> int:
+        """Vocabulary size including PAD/UNK."""
+        self._require_fitted()
+        return len(self._id_to_word)
+
+    @property
+    def pad_id(self) -> int:
+        """Id of the padding token."""
+        return 0
+
+    @property
+    def unk_id(self) -> int:
+        """Id of the unknown-word token."""
+        return 1
+
+    def _require_fitted(self) -> None:
+        if not self.fitted:
+            raise NotFittedError("tokenizer has no vocabulary; call fit()")
+
+    # -- encoding ----------------------------------------------------------------
+
+    def token_id(self, word: str) -> int:
+        """Id of one word (UNK if out of vocabulary)."""
+        self._require_fitted()
+        return self._word_to_id.get(word, self.unk_id)
+
+    def word(self, token_id: int) -> str:
+        """Word for one id."""
+        self._require_fitted()
+        if not 0 <= token_id < len(self._id_to_word):
+            raise VocabularyError(f"token id {token_id} out of range")
+        return self._id_to_word[token_id]
+
+    def encode(self, text: str) -> np.ndarray:
+        """Encode one string to a fixed-length int32 id vector."""
+        self._require_fitted()
+        ids = [self.token_id(w) for w in normalize(text)][: self.max_len]
+        ids += [self.pad_id] * (self.max_len - len(ids))
+        return np.array(ids, dtype=np.int32)
+
+    def encode_batch(self, texts: list[str]) -> np.ndarray:
+        """Encode a list of strings to ``(B, max_len)``."""
+        return np.stack([self.encode(t) for t in texts])
+
+    def decode(self, ids: np.ndarray) -> str:
+        """Invert :meth:`encode` (drops padding)."""
+        words = [self.word(int(i)) for i in ids if int(i) != self.pad_id]
+        return " ".join(words)
+
+    def words(self) -> list[str]:
+        """The full vocabulary, id-ordered."""
+        self._require_fitted()
+        return list(self._id_to_word)

@@ -1,0 +1,130 @@
+"""Energy-based voice activity detection.
+
+The per-utterance pipeline API assumes something told the TA where an
+utterance starts and ends; on a real device that is a VAD segmenting the
+continuous microphone stream.  This is the classic short-time-energy
+detector: frame the signal, threshold normalized energy, bridge short
+gaps (hangover), and drop blips.  It runs inside the TA in the
+continuous-capture mode (``CMD_PROCESS_STREAM``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MlError
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One active-speech span, in sample indices."""
+
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        """Samples covered."""
+        return self.end - self.start
+
+
+class EnergyVad:
+    """Short-time-energy voice activity detector.
+
+    Parameters
+    ----------
+    frame_samples:
+        Analysis frame length (default 10 ms at 16 kHz).
+    threshold:
+        Normalized mean-absolute-amplitude above which a frame is active.
+    hang_frames:
+        Inactive frames bridged when flanked by activity (keeps the
+        vocoder's inter-word gaps inside one segment).
+    min_frames:
+        Minimum active frames for a segment to survive (drops clicks).
+    """
+
+    def __init__(
+        self,
+        frame_samples: int = 160,
+        threshold: float = 0.01,
+        hang_frames: int = 4,
+        min_frames: int = 2,
+        slack_samples: int = 0,
+    ):
+        if frame_samples <= 0:
+            raise MlError("frame_samples must be positive")
+        if not 0.0 < threshold < 1.0:
+            raise MlError("threshold must be in (0, 1)")
+        if slack_samples < 0:
+            raise MlError("slack_samples must be non-negative")
+        self.frame_samples = frame_samples
+        self.threshold = threshold
+        self.hang_frames = hang_frames
+        self.min_frames = min_frames
+        self.slack_samples = slack_samples
+
+    def frame_activity(self, pcm: np.ndarray) -> np.ndarray:
+        """Boolean activity per analysis frame."""
+        if pcm.dtype != np.int16:
+            raise MlError(f"VAD expects int16 PCM, got {pcm.dtype}")
+        n_frames = len(pcm) // self.frame_samples
+        if n_frames == 0:
+            return np.zeros(0, dtype=bool)
+        trimmed = pcm[: n_frames * self.frame_samples].astype(np.float32)
+        frames = trimmed.reshape(n_frames, self.frame_samples)
+        energy = np.abs(frames).mean(axis=1) / 32768.0
+        return energy > self.threshold
+
+    def segment(self, pcm: np.ndarray) -> list[Segment]:
+        """Active-speech segments of a PCM buffer."""
+        active = self.frame_activity(pcm)
+        if not len(active):
+            return []
+        # Hangover: bridge inactive runs shorter than hang_frames.
+        bridged = active.copy()
+        run_start = None
+        for i, a in enumerate(active):
+            if not a:
+                if run_start is None:
+                    run_start = i
+            else:
+                if run_start is not None and i - run_start <= self.hang_frames:
+                    if run_start > 0:  # only bridge gaps, not leading silence
+                        bridged[run_start:i] = True
+                run_start = None
+        # Extract runs of activity.
+        segments: list[Segment] = []
+        start = None
+        for i, a in enumerate(bridged):
+            if a and start is None:
+                start = i
+            elif not a and start is not None:
+                if i - start >= self.min_frames:
+                    segments.append(
+                        Segment(start * self.frame_samples,
+                                i * self.frame_samples)
+                    )
+                start = None
+        if start is not None and len(bridged) - start >= self.min_frames:
+            segments.append(
+                Segment(start * self.frame_samples,
+                        len(bridged) * self.frame_samples)
+            )
+        return segments
+
+    def extract(self, pcm: np.ndarray) -> list[np.ndarray]:
+        """The PCM of each detected segment.
+
+        ``slack_samples`` widens each cut into the surrounding signal so
+        frame-quantized boundaries do not clip syllable onsets/tails —
+        downstream matched-filter ASR needs the whole first and last word.
+        """
+        out = []
+        for s in self.segment(pcm):
+            start = max(0, s.start - self.slack_samples)
+            end = min(len(pcm), s.end + self.slack_samples)
+            out.append(pcm[start:end])
+        return out

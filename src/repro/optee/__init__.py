@@ -1,0 +1,51 @@
+"""OP-TEE behavioural model.
+
+Substitutes for the OP-TEE OS on the Jetson (see DESIGN.md).  The model
+reproduces the architecture Fig. 1 of the paper builds on:
+
+* **Trusted applications (TAs)** — userland-privilege secure programs with
+  the GlobalPlatform lifecycle (create / open session / invoke / close /
+  destroy), hosted by :class:`~repro.optee.os.OpTeeOs`.
+* **Pseudo TAs (PTAs)** — secure modules *with OS-level privileges* that
+  bridge TAs to low-level code such as device drivers (paper Section II).
+* **GP Client API** — the normal world reaches the TEE through
+  :class:`~repro.optee.client.TeeClient`, whose every call crosses the
+  secure monitor via SMC.
+* **TEE supplicant** — the normal-world daemon that performs filesystem
+  and network services on behalf of the TEE (Fig. 1 steps 6–7).
+* **Secure storage** — REE-FS style: objects are sealed (encrypted + MACed)
+  before the supplicant writes them to untrusted storage.
+"""
+
+from repro.optee.client import ClientSession, SharedMemory, TeeClient
+from repro.optee.os import OpTeeOs
+from repro.optee.params import MemRef, Param, Params, Value
+from repro.optee.pta import PseudoTa, PtaContext
+from repro.optee.session import Session
+from repro.optee.signing import sign_ta, verify_ta
+from repro.optee.storage import SecureStorage
+from repro.optee.supplicant import TeeSupplicant
+from repro.optee.ta import TaContext, TaFlags, TrustedApplication
+from repro.optee.uuid import TaUuid
+
+__all__ = [
+    "ClientSession",
+    "MemRef",
+    "OpTeeOs",
+    "Param",
+    "Params",
+    "PseudoTa",
+    "PtaContext",
+    "SecureStorage",
+    "Session",
+    "SharedMemory",
+    "TaContext",
+    "TaFlags",
+    "TaUuid",
+    "TeeClient",
+    "TeeSupplicant",
+    "TrustedApplication",
+    "Value",
+    "sign_ta",
+    "verify_ta",
+]

@@ -1,0 +1,132 @@
+"""GlobalPlatform-style TEE client API (normal world).
+
+This is the library a normal-world application links against to talk to the
+TEE — the analogue of ``libteec``.  Every call crosses the secure monitor
+via SMC, so using this API from the simulator charges the same world-switch
+costs a real client pays.
+
+Shared memory follows the GP model: the client allocates a buffer from the
+non-secure shared-memory carveout (discovered via ``GET_SHM_CONFIG``),
+writes its input there, and passes :class:`~repro.optee.params.MemRef`
+parameters pointing into it.  Because the carveout is non-secure, anything
+placed there is visible to the untrusted OS — which is exactly why the
+paper's design keeps raw peripheral data out of it and only ever exposes
+filtered output.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import TeeBadParameters
+from repro.optee.params import Params
+from repro.optee.uuid import TaUuid
+from repro.tz.machine import TrustZoneMachine
+from repro.tz.monitor import SmcFunction
+from repro.tz.worlds import World
+
+
+class SharedMemory:
+    """A client-owned buffer in the non-secure shared carveout."""
+
+    def __init__(self, machine: TrustZoneMachine, addr: int, size: int):
+        self._machine = machine
+        self.addr = addr
+        self.size = size
+        self.released = False
+
+    def write(self, data: bytes, offset: int = 0) -> None:
+        """Write from the normal world (client side)."""
+        self._check_span(offset, len(data))
+        self._machine.memory.write(self.addr + offset, data, World.NORMAL)
+
+    def read(self, size: int | None = None, offset: int = 0) -> bytes:
+        """Read from the normal world (client side)."""
+        if size is None:
+            size = self.size - offset
+        self._check_span(offset, size)
+        return self._machine.memory.read(self.addr + offset, size, World.NORMAL)
+
+    def _check_span(self, offset: int, size: int) -> None:
+        if self.released:
+            raise TeeBadParameters("use of released shared memory")
+        if offset < 0 or offset + size > self.size:
+            raise TeeBadParameters(
+                f"span [{offset}, {offset + size}) outside {self.size}-byte buffer"
+            )
+
+
+class ClientSession:
+    """An open session handle held by a normal-world client."""
+
+    def __init__(self, client: "TeeClient", session_id: int, uuid: TaUuid):
+        self._client = client
+        self.session_id = session_id
+        self.uuid = uuid
+        self.closed = False
+
+    def invoke(self, cmd: int, params: Params | None = None) -> Any:
+        """Invoke a TA command; one full SMC round trip."""
+        if self.closed:
+            raise TeeBadParameters("invoke on closed session")
+        return self._client._smc_call(
+            {"op": "invoke", "session": self.session_id, "cmd": cmd,
+             "params": params or Params()}
+        )
+
+    def close(self) -> None:
+        """Close the session (idempotent)."""
+        if self.closed:
+            return
+        self._client._smc_call({"op": "close_session", "session": self.session_id})
+        self.closed = True
+
+    def __enter__(self) -> "ClientSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class TeeClient:
+    """Normal-world TEE context (``TEEC_InitializeContext`` analogue)."""
+
+    def __init__(self, machine: TrustZoneMachine):
+        self._machine = machine
+        self._shm_config = machine.monitor.smc(SmcFunction.GET_SHM_CONFIG)
+        self._shared: list[SharedMemory] = []
+
+    def allocate_shared_memory(self, size: int) -> SharedMemory:
+        """Allocate a buffer in the non-secure shared carveout."""
+        self._machine.cpu.require_world(World.NORMAL)
+        self._machine.cpu.execute(self._machine.costs.shared_mem_register_cycles)
+        addr = self._machine.shmem_allocator.alloc(size)
+        shm = SharedMemory(self._machine, addr, size)
+        self._shared.append(shm)
+        return shm
+
+    def release_shared_memory(self, shm: SharedMemory) -> None:
+        """Free a shared buffer."""
+        if shm.released:
+            return
+        self._machine.shmem_allocator.free(shm.addr)
+        shm.released = True
+        if shm in self._shared:
+            self._shared.remove(shm)
+
+    def open_session(self, uuid: TaUuid, params: Params | None = None) -> ClientSession:
+        """Open a session to a TA (``TEEC_OpenSession`` analogue)."""
+        session_id = self._smc_call(
+            {"op": "open_session", "uuid": uuid, "params": params or Params()}
+        )
+        return ClientSession(self, session_id, uuid)
+
+    def _smc_call(self, request: dict[str, Any]) -> Any:
+        self._machine.cpu.require_world(World.NORMAL)
+        self._machine.cpu.execute(self._machine.costs.syscall_cycles)
+        return self._machine.monitor.smc(SmcFunction.CALL_WITH_ARG, request)
+
+    def close(self) -> None:
+        """Release all shared memory this context still owns."""
+        for shm in list(self._shared):
+            self.release_shared_memory(shm)

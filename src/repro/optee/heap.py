@@ -1,0 +1,79 @@
+"""The TA secure heap.
+
+Wraps the machine's secure-heap allocator with OP-TEE semantics: failures
+surface as :class:`TeeOutOfMemory`, allocations are attributed to an owner
+TA, and a high-water mark is kept so experiments T3/T5 can report peak
+secure-memory footprint against the budget the paper's Section V worries
+about.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TeeOutOfMemory
+from repro.tz.memory import MemoryAllocator
+
+
+class SecureHeap:
+    """Owner-attributed secure heap with usage statistics."""
+
+    def __init__(self, allocator: MemoryAllocator):
+        self._alloc = allocator
+        self._owners: dict[int, str] = {}
+        self.high_water_bytes = 0
+        self.failed_allocs = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Configured secure-heap capacity."""
+        return self._alloc.total_bytes
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated."""
+        return self._alloc.used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes currently free."""
+        return self._alloc.free_bytes
+
+    def alloc(self, size: int, owner: str = "?") -> int:
+        """Allocate ``size`` bytes for ``owner``; returns the address."""
+        try:
+            addr = self._alloc.alloc(size)
+        except MemoryError as exc:
+            self.failed_allocs += 1
+            raise TeeOutOfMemory(str(exc)) from exc
+        self._owners[addr] = owner
+        self.high_water_bytes = max(self.high_water_bytes, self.used_bytes)
+        return addr
+
+    def free(self, addr: int) -> None:
+        """Release an allocation."""
+        self._alloc.free(addr)
+        self._owners.pop(addr, None)
+
+    def usage_by_owner(self) -> dict[str, int]:
+        """Live allocation totals grouped by owner TA."""
+        out: dict[str, int] = {}
+        for addr, owner in self._owners.items():
+            # Size lookup goes through the allocator's private table; the
+            # heap is the allocator's only client so this stays coherent.
+            alloc = self._alloc._allocs[addr]
+            out[owner] = out.get(owner, 0) + alloc.size
+        return out
+
+    def owner_of(self, addr: int, size: int = 1) -> str | None:
+        """Owner of the live allocation containing ``[addr, addr+size)``.
+
+        Returns ``None`` if the span is not inside any live allocation —
+        which per-TA isolation treats as equally out of bounds.
+        """
+        for base, alloc in self._alloc._allocs.items():
+            if base <= addr and addr + size <= base + alloc.size:
+                return self._owners.get(base)
+        return None
+
+    def would_fit(self, size: int) -> bool:
+        """Conservative check whether ``size`` bytes could be allocated now."""
+        return size <= self.free_bytes

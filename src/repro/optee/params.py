@@ -1,0 +1,93 @@
+"""Command parameters for TA/PTA invocation.
+
+GlobalPlatform commands carry up to four typed parameters: small value
+pairs or references into shared memory.  We model both, because the
+distinction matters for the reproduction: a :class:`MemRef` into *non-secure*
+shared memory is visible to the untrusted OS (and to the attack models),
+while data passed secure-side between a TA and a PTA never leaves the
+secure world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Union
+
+from repro.errors import TeeBadParameters
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.optee.client import SharedMemory
+
+MAX_PARAMS = 4
+
+
+@dataclass
+class Value:
+    """A pair of 32-bit scalars (``a``, ``b``), in/out by convention."""
+
+    a: int = 0
+    b: int = 0
+
+    def __post_init__(self) -> None:
+        for name, v in (("a", self.a), ("b", self.b)):
+            if not 0 <= v < 2**32:
+                raise TeeBadParameters(f"Value.{name}={v} not a u32")
+
+
+@dataclass
+class MemRef:
+    """A reference into a registered shared-memory object.
+
+    ``shm`` is normal-world shared memory; the secure side reads and writes
+    it through the machine's physical memory (so cycle costs and TZASC
+    checks apply).
+    """
+
+    shm: "SharedMemory"
+    offset: int = 0
+    size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.size is None:
+            self.size = self.shm.size - self.offset
+        if self.offset < 0 or self.offset + self.size > self.shm.size:
+            raise TeeBadParameters(
+                f"memref [{self.offset}, {self.offset + self.size}) outside "
+                f"shared memory of {self.shm.size} bytes"
+            )
+
+
+Param = Union[Value, MemRef, None]
+
+
+@dataclass
+class Params:
+    """Up to four typed parameters for one command invocation."""
+
+    slots: list[Param] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.slots) > MAX_PARAMS:
+            raise TeeBadParameters(
+                f"at most {MAX_PARAMS} parameters allowed, got {len(self.slots)}"
+            )
+        self.slots = list(self.slots) + [None] * (MAX_PARAMS - len(self.slots))
+
+    def value(self, index: int) -> Value:
+        """The :class:`Value` in slot ``index`` (typed accessor)."""
+        p = self.slots[index]
+        if not isinstance(p, Value):
+            raise TeeBadParameters(f"param {index} is not a Value: {p!r}")
+        return p
+
+    def memref(self, index: int) -> MemRef:
+        """The :class:`MemRef` in slot ``index`` (typed accessor)."""
+        p = self.slots[index]
+        if not isinstance(p, MemRef):
+            raise TeeBadParameters(f"param {index} is not a MemRef: {p!r}")
+        return p
+
+    @classmethod
+    def of(cls, *slots: Param) -> "Params":
+        """Build from positional parameters."""
+        return cls(list(slots))

@@ -1,0 +1,51 @@
+"""TA sessions.
+
+A session is the unit of client↔TA conversation: commands are invoked on a
+session, and a TA panic kills every session of its instance (GlobalPlatform
+``TEE_ERROR_TARGET_DEAD`` semantics, which the tests exercise).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.optee.ta import TrustedApplication
+
+_session_ids = itertools.count(1)
+
+
+class SessionState(enum.Enum):
+    """Lifecycle state of a session."""
+
+    OPEN = "open"
+    CLOSED = "closed"
+    DEAD = "dead"  # TA panicked
+
+
+@dataclass
+class Session:
+    """One open client session with a TA instance."""
+
+    ta: "TrustedApplication"
+    id: int = field(default_factory=lambda: next(_session_ids))
+    state: SessionState = SessionState.OPEN
+    user_data: dict[str, Any] = field(default_factory=dict)
+    invoke_count: int = 0
+
+    @property
+    def is_open(self) -> bool:
+        """True while commands may be invoked."""
+        return self.state is SessionState.OPEN
+
+    def close(self) -> None:
+        """Mark closed (idempotent; dead sessions stay dead)."""
+        if self.state is SessionState.OPEN:
+            self.state = SessionState.CLOSED
+
+    def kill(self) -> None:
+        """Mark dead after a TA panic."""
+        self.state = SessionState.DEAD

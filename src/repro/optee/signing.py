@@ -1,0 +1,67 @@
+"""TA image signing and verification.
+
+On real OP-TEE, trusted applications ship as signed binaries and the TEE
+refuses to load anything the embedded public key does not vouch for —
+without this, the 'trusted' in TA is circular.  The simulator's analogue
+signs a TA class's identity and code: the UUID, name, flags, and a digest
+of the Python source of the class (the closest stand-in for the binary
+image — any edit to the TA's code invalidates the signature).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+import inspect
+
+from repro.crypto.kdf import hmac_sha256
+from repro.errors import TeeSecurityError
+from repro.optee.ta import TrustedApplication
+
+
+def ta_image_digest(ta_class: type[TrustedApplication]) -> bytes:
+    """Digest of a TA's 'binary image' (identity + source code).
+
+    Dynamically created classes (factories like ``make_audio_filter_ta``)
+    may not expose retrievable source; their closure variables are part of
+    the image, so the digest falls back to the qualified name plus the
+    factory cell contents' reprs — still change-detecting for weights and
+    configuration baked into the closure.
+    """
+    probe = ta_class()
+    parts = [probe.NAME.encode(), probe.uuid.bytes, str(probe.FLAGS).encode()]
+    try:
+        parts.append(inspect.getsource(ta_class).encode())
+    except (OSError, TypeError):
+        parts.append(ta_class.__qualname__.encode())
+    # Factory-built TA classes carry configuration (weights, endpoints)
+    # in their methods' closures; those are part of the image.  reprs are
+    # stable within a process, which is the lifetime of this simulated
+    # device — a production implementation would hash the serialized
+    # payloads instead.
+    for attr in vars(ta_class).values():
+        closure = getattr(attr, "__closure__", None)
+        if closure:
+            parts.extend(
+                repr(cell.cell_contents).encode() for cell in closure
+            )
+    return hashlib.sha256(b"\x00".join(parts)).digest()
+
+
+def sign_ta(ta_class: type[TrustedApplication], signing_key: bytes) -> bytes:
+    """Vendor side: produce the load signature for a TA class."""
+    return hmac_sha256(signing_key, b"ta-image-v1" + ta_image_digest(ta_class))
+
+
+def verify_ta(
+    ta_class: type[TrustedApplication],
+    signature: bytes,
+    verification_key: bytes,
+) -> None:
+    """TEE side: raise :class:`TeeSecurityError` unless the signature holds."""
+    expect = sign_ta(ta_class, verification_key)
+    if not _hmac.compare_digest(expect, signature):
+        probe = ta_class()
+        raise TeeSecurityError(
+            f"TA {probe.NAME!r} failed image verification; refusing to load"
+        )

@@ -1,0 +1,40 @@
+"""GlobalPlatform-style TA identifiers.
+
+Every TA and PTA is addressed by a UUID.  We keep the canonical textual
+form and add a deterministic derivation from a name so tests and examples
+can mint stable identifiers without hardcoding hex blobs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class TaUuid:
+    """A 128-bit TA identifier in canonical 8-4-4-4-12 text form."""
+
+    text: str
+
+    def __post_init__(self) -> None:
+        parts = self.text.split("-")
+        lengths = [len(p) for p in parts]
+        if lengths != [8, 4, 4, 4, 12]:
+            raise ValueError(f"malformed TA UUID: {self.text!r}")
+        int(self.text.replace("-", ""), 16)  # raises if not hex
+
+    @classmethod
+    def from_name(cls, name: str) -> "TaUuid":
+        """Derive a stable UUID from a human-readable name."""
+        h = hashlib.sha256(name.encode()).hexdigest()
+        text = f"{h[0:8]}-{h[8:12]}-{h[12:16]}-{h[16:20]}-{h[20:32]}"
+        return cls(text)
+
+    @property
+    def bytes(self) -> bytes:
+        """The raw 16 bytes."""
+        return bytes.fromhex(self.text.replace("-", ""))
+
+    def __str__(self) -> str:
+        return self.text

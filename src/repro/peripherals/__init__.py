@@ -1,0 +1,48 @@
+"""Hardware peripherals.
+
+Substitutes for the Jetson's I/O (DESIGN.md): an I²S bus with a
+register-level controller model (the paper's preliminary use case), a
+digital microphone, a camera, and a TrustZone-aware DMA engine.  The
+microphone consumes an :class:`~repro.peripherals.audio.AudioSource`, which
+the pipeline wires to the synthetic speech vocoder.
+"""
+
+from repro.peripherals.audio import (
+    AudioFormat,
+    AudioSource,
+    BufferSource,
+    SilenceSource,
+    ToneSource,
+)
+from repro.peripherals.camera import Camera, SceneSource, SyntheticScene
+from repro.peripherals.codec import (
+    mulaw_decode,
+    mulaw_encode,
+    pcm16_decode,
+    pcm16_encode,
+)
+from repro.peripherals.dma import DmaEngine
+from repro.peripherals.i2s import I2sBus, I2sController, I2sReg
+from repro.peripherals.microphone import DigitalMicrophone
+from repro.peripherals.mmio import MmioMux
+
+__all__ = [
+    "AudioFormat",
+    "AudioSource",
+    "BufferSource",
+    "Camera",
+    "DigitalMicrophone",
+    "DmaEngine",
+    "I2sBus",
+    "I2sController",
+    "I2sReg",
+    "MmioMux",
+    "SceneSource",
+    "SilenceSource",
+    "SyntheticScene",
+    "ToneSource",
+    "mulaw_decode",
+    "mulaw_encode",
+    "pcm16_decode",
+    "pcm16_encode",
+]

@@ -1,0 +1,111 @@
+"""Audio sources and formats.
+
+An :class:`AudioSource` produces mono int16 PCM on demand; the microphone
+pulls from it.  Sources included here are synthetic test signals; the
+speech-bearing source is built by the pipeline from the vocoder in
+:mod:`repro.ml.asr` via :class:`BufferSource`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AudioFormat:
+    """PCM stream parameters (defaults match the Knowles I²S mic class)."""
+
+    sample_rate: int = 16_000
+    bit_depth: int = 16
+    channels: int = 1
+
+    def __post_init__(self) -> None:
+        if self.bit_depth not in (16, 24, 32):
+            raise ValueError(f"unsupported bit depth {self.bit_depth}")
+        if self.channels not in (1, 2):
+            raise ValueError(f"unsupported channel count {self.channels}")
+        if self.sample_rate <= 0:
+            raise ValueError("sample rate must be positive")
+
+    @property
+    def bytes_per_frame(self) -> int:
+        """Bytes of one frame across all channels."""
+        return (self.bit_depth // 8) * self.channels
+
+
+class AudioSource(Protocol):
+    """Anything that can produce mono int16 samples on demand."""
+
+    def next_samples(self, n: int) -> np.ndarray:
+        """Return exactly ``n`` int16 samples (zero-padded at stream end)."""
+        ...
+
+    def exhausted(self) -> bool:
+        """True once the source has no real signal left."""
+        ...
+
+
+class SilenceSource:
+    """Endless silence (useful for idle-channel tests)."""
+
+    def next_samples(self, n: int) -> np.ndarray:
+        """``n`` zero samples."""
+        return np.zeros(n, dtype=np.int16)
+
+    def exhausted(self) -> bool:
+        """Silence never ends, but carries no signal either."""
+        return True
+
+
+class ToneSource:
+    """A pure sine tone (calibration signal)."""
+
+    def __init__(self, freq_hz: float = 440.0, amplitude: float = 0.5,
+                 sample_rate: int = 16_000):
+        if not 0.0 < amplitude <= 1.0:
+            raise ValueError("amplitude must be in (0, 1]")
+        self.freq_hz = freq_hz
+        self.amplitude = amplitude
+        self.sample_rate = sample_rate
+        self._phase = 0
+
+    def next_samples(self, n: int) -> np.ndarray:
+        """Next ``n`` samples of the tone, phase-continuous."""
+        t = (np.arange(n) + self._phase) / self.sample_rate
+        self._phase += n
+        wave = self.amplitude * np.sin(2 * np.pi * self.freq_hz * t)
+        return (wave * 32767).astype(np.int16)
+
+    def exhausted(self) -> bool:
+        """A tone generator never runs out."""
+        return False
+
+
+class BufferSource:
+    """Plays back a fixed PCM buffer, then silence."""
+
+    def __init__(self, samples: np.ndarray):
+        if samples.dtype != np.int16:
+            raise ValueError("BufferSource requires int16 samples")
+        self._samples = samples
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        """Samples of real signal left."""
+        return max(0, len(self._samples) - self._pos)
+
+    def next_samples(self, n: int) -> np.ndarray:
+        """Next ``n`` samples; zero-padded past the end of the buffer."""
+        chunk = self._samples[self._pos : self._pos + n]
+        self._pos += len(chunk)
+        if len(chunk) < n:
+            chunk = np.concatenate([chunk, np.zeros(n - len(chunk), dtype=np.int16)])
+        return chunk
+
+    def exhausted(self) -> bool:
+        """True once playback has consumed the whole buffer."""
+        return self._pos >= len(self._samples)

@@ -1,0 +1,89 @@
+"""Camera peripheral.
+
+The paper's design generalizes beyond microphones to "cameras" producing
+"images" (Section II); research plan item 6 makes generic peripherals an
+explicit goal.  This model produces 8-bit grayscale frames from a scene
+source, enough to exercise the image branch of the pipeline and the camera
+driver.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import PeripheralError
+from repro.sim.rng import SimRng
+
+
+class SceneSource(Protocol):
+    """Anything that can render grayscale frames on demand."""
+
+    def next_frame(self, width: int, height: int) -> np.ndarray:
+        """Return a ``(height, width)`` uint8 frame."""
+        ...
+
+
+class SyntheticScene:
+    """Procedural scene: a moving gradient blob over noise.
+
+    Frames carry a ``label`` stream alongside (``"person"`` /
+    ``"empty_room"``) so the image classifier has ground truth; a 'person'
+    renders as a bright vertical blob — a toy but learnable distinction.
+    """
+
+    def __init__(self, rng: SimRng, person_probability: float = 0.5):
+        if not 0.0 <= person_probability <= 1.0:
+            raise ValueError("person_probability must be in [0, 1]")
+        self._rng = rng
+        self.person_probability = person_probability
+        self.last_label: str | None = None
+        self._t = 0
+
+    def next_frame(self, width: int, height: int) -> np.ndarray:
+        """Render one frame and set :attr:`last_label`."""
+        gen = self._rng.generator
+        frame = gen.integers(0, 40, size=(height, width)).astype(np.uint8)
+        self._t += 1
+        if self._rng.random() < self.person_probability:
+            self.last_label = "person"
+            cx = (self._t * 7) % max(1, width - 8)
+            x0, x1 = cx, min(width, cx + 8)
+            y0, y1 = height // 4, height - height // 4
+            frame[y0:y1, x0:x1] = np.clip(
+                frame[y0:y1, x0:x1].astype(int) + 160, 0, 255
+            ).astype(np.uint8)
+        else:
+            self.last_label = "empty_room"
+        return frame
+
+
+class Camera:
+    """A simple frame-capture camera."""
+
+    def __init__(self, scene: SceneSource, width: int = 32, height: int = 24):
+        if width <= 0 or height <= 0:
+            raise PeripheralError("camera dimensions must be positive")
+        self.scene = scene
+        self.width = width
+        self.height = height
+        self.frames_captured = 0
+        self.powered = True
+
+    def capture_frame(self) -> np.ndarray:
+        """Capture one grayscale frame (black when unpowered)."""
+        if not self.powered:
+            return np.zeros((self.height, self.width), dtype=np.uint8)
+        frame = self.scene.next_frame(self.width, self.height)
+        if frame.shape != (self.height, self.width) or frame.dtype != np.uint8:
+            raise PeripheralError(
+                f"scene returned bad frame: shape={frame.shape}, dtype={frame.dtype}"
+            )
+        self.frames_captured += 1
+        return frame
+
+    @property
+    def frame_bytes(self) -> int:
+        """Size of one raw frame in bytes."""
+        return self.width * self.height

@@ -1,0 +1,49 @@
+"""PCM codecs.
+
+The secure driver "securely processes (e.g., encoding an audio signal)"
+the captured data before handing it up (paper Section II).  We provide
+plain PCM16 packing and G.711 µ-law companding — the classic lightweight
+speech codec — so the driver has a real encode step whose cost and
+round-trip fidelity tests can check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PeripheralError
+
+_MULAW_MU = 255.0
+_MULAW_CLIP = 32635
+
+
+def pcm16_encode(samples: np.ndarray) -> bytes:
+    """Pack int16 samples little-endian."""
+    if samples.dtype != np.int16:
+        raise PeripheralError(f"pcm16_encode needs int16, got {samples.dtype}")
+    return samples.astype("<i2").tobytes()
+
+
+def pcm16_decode(data: bytes) -> np.ndarray:
+    """Unpack little-endian int16 PCM."""
+    if len(data) % 2 != 0:
+        raise PeripheralError("pcm16 byte stream has odd length")
+    return np.frombuffer(data, dtype="<i2").astype(np.int16)
+
+
+def mulaw_encode(samples: np.ndarray) -> bytes:
+    """G.711 µ-law compand int16 samples to one byte each."""
+    if samples.dtype != np.int16:
+        raise PeripheralError(f"mulaw_encode needs int16, got {samples.dtype}")
+    x = np.clip(samples.astype(np.float64), -_MULAW_CLIP, _MULAW_CLIP) / 32768.0
+    y = np.sign(x) * np.log1p(_MULAW_MU * np.abs(x)) / np.log1p(_MULAW_MU)
+    quantized = ((y + 1.0) / 2.0 * 255.0 + 0.5).astype(np.uint8)
+    return quantized.tobytes()
+
+
+def mulaw_decode(data: bytes) -> np.ndarray:
+    """Expand µ-law bytes back to int16 PCM (lossy round trip)."""
+    q = np.frombuffer(data, dtype=np.uint8).astype(np.float64)
+    y = q / 255.0 * 2.0 - 1.0
+    x = np.sign(y) * (np.expm1(np.abs(y) * np.log1p(_MULAW_MU))) / _MULAW_MU
+    return (x * 32768.0).clip(-32768, 32767).astype(np.int16)

@@ -1,0 +1,53 @@
+"""Digital I²S microphone.
+
+Substitutes for the Knowles I²S-output digital microphone in the paper's
+POC: a device on the I²S bus producing int16 PCM frames from whatever
+:class:`~repro.peripherals.audio.AudioSource` it is wired to — the speech
+vocoder in the pipeline, a tone generator in calibration tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PeripheralError
+from repro.peripherals.audio import AudioFormat, AudioSource
+
+
+class DigitalMicrophone:
+    """A mono digital mic clocked by the I²S controller."""
+
+    def __init__(self, source: AudioSource, fmt: AudioFormat | None = None):
+        self.source = source
+        self.format = fmt or AudioFormat()
+        if self.format.channels != 1:
+            raise PeripheralError("digital mic model is mono")
+        self.frames_read = 0
+        self.powered = True
+
+    def power_off(self) -> None:
+        """Cut power (a SeCloak-style peripheral kill switch)."""
+        self.powered = False
+
+    def power_on(self) -> None:
+        """Restore power."""
+        self.powered = True
+
+    def read_frames(self, n: int) -> np.ndarray:
+        """Produce the next ``n`` int16 samples (zeros when unpowered)."""
+        if n < 0:
+            raise PeripheralError("cannot read a negative number of frames")
+        if not self.powered:
+            return np.zeros(n, dtype=np.int16)
+        samples = self.source.next_samples(n)
+        if samples.dtype != np.int16 or len(samples) != n:
+            raise PeripheralError(
+                f"audio source returned bad data: dtype={samples.dtype}, "
+                f"len={len(samples)} (wanted {n})"
+            )
+        self.frames_read += n
+        return samples
+
+    def swap_source(self, source: AudioSource) -> None:
+        """Point the mic at a new audio source (next utterance)."""
+        self.source = source

@@ -1,0 +1,63 @@
+"""MMIO window multiplexer.
+
+The machine maps one device region; individual peripherals claim offset
+windows within it.  The mux routes each access to the owning device and
+faults on unclaimed offsets, like a real SoC bus fabric returning an
+external abort for holes in the device map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidAddressError
+from repro.tz.memory import MmioHandler
+
+
+@dataclass(frozen=True)
+class _Window:
+    name: str
+    base: int
+    size: int
+    device: MmioHandler
+
+    def contains(self, offset: int, size: int) -> bool:
+        return self.base <= offset and offset + size <= self.base + self.size
+
+
+class MmioMux(MmioHandler):
+    """Routes region-relative offsets to per-device register files."""
+
+    def __init__(self) -> None:
+        self._windows: list[_Window] = []
+
+    def claim(self, name: str, base: int, size: int, device: MmioHandler) -> None:
+        """Assign ``[base, base+size)`` (region-relative) to ``device``."""
+        new = _Window(name, base, size, device)
+        for w in self._windows:
+            if w.base < new.base + new.size and new.base < w.base + w.size:
+                raise ValueError(f"MMIO window {name!r} overlaps {w.name!r}")
+        self._windows.append(new)
+
+    def window_base(self, name: str) -> int:
+        """Region-relative base of a claimed window."""
+        for w in self._windows:
+            if w.name == name:
+                return w.base
+        raise InvalidAddressError(f"no MMIO window named {name!r}")
+
+    def _route(self, offset: int, size: int) -> _Window:
+        for w in self._windows:
+            if w.contains(offset, size):
+                return w
+        raise InvalidAddressError(f"MMIO access to unclaimed offset 0x{offset:x}")
+
+    def mmio_read(self, offset: int, size: int) -> bytes:
+        """Route a load to the owning device."""
+        w = self._route(offset, size)
+        return w.device.mmio_read(offset - w.base, size)
+
+    def mmio_write(self, offset: int, data: bytes) -> None:
+        """Route a store to the owning device."""
+        w = self._route(offset, len(data))
+        w.device.mmio_write(offset - w.base, data)

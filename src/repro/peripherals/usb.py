@@ -1,0 +1,245 @@
+"""USB bus and audio-class microphone device model.
+
+The paper picks I²S for the POC "because it is lightweight, contrary to
+more complex protocols like USB" (§III).  To *measure* that claim
+(experiment T8) we model just enough USB for an audio-class capture
+driver to be realistic: control transfers against binary descriptors,
+standard requests (GET_DESCRIPTOR / SET_ADDRESS / SET_CONFIGURATION /
+SET_INTERFACE), audio-class requests (sample rate, mute, volume), and an
+isochronous IN endpoint streaming microphone samples.
+
+Descriptors are genuine USB wire format (18-byte device descriptor,
+9-byte configuration/interface headers, 7-byte endpoints), so the driver
+side has the real parsing burden — which is exactly the complexity the
+experiment quantifies.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import BusProtocolError, PeripheralError
+from repro.peripherals.audio import AudioFormat, AudioSource
+from repro.sim.clock import CycleDomain, SimClock
+
+# Standard request codes
+GET_DESCRIPTOR = 0x06
+SET_ADDRESS = 0x05
+SET_CONFIGURATION = 0x09
+SET_INTERFACE = 0x0B
+CLEAR_FEATURE = 0x01
+
+# Descriptor types
+DESC_DEVICE = 1
+DESC_CONFIGURATION = 2
+DESC_STRING = 3
+DESC_INTERFACE = 4
+DESC_ENDPOINT = 5
+
+# Audio-class requests (subset of UAC1)
+UAC_SET_CUR = 0x01
+UAC_GET_CUR = 0x81
+UAC_SAMPLE_RATE_CONTROL = 0x0100
+UAC_MUTE_CONTROL = 0x0101
+UAC_VOLUME_CONTROL = 0x0102
+
+ISO_IN_ENDPOINT = 0x81  # EP1, IN
+
+
+@dataclass(frozen=True)
+class SetupPacket:
+    """The 8-byte USB control-setup packet."""
+
+    bmRequestType: int
+    bRequest: int
+    wValue: int
+    wIndex: int
+    wLength: int
+    data: bytes = b""
+
+
+class UsbAudioMicrophone:
+    """A UAC1-flavoured USB microphone device."""
+
+    VENDOR_ID = 0x1D6B
+    PRODUCT_ID = 0x0A17
+
+    def __init__(self, source: AudioSource, fmt: AudioFormat | None = None):
+        self.source = source
+        self.format = fmt or AudioFormat()
+        self.address = 0
+        self.configured = False
+        self.alt_setting = 0  # alt 0 = zero-bandwidth, alt 1 = streaming
+        self.muted = False
+        self.volume = 100
+        self.sample_rate = self.format.sample_rate
+        self.stall_next = False  # fault injection hook
+        self.frames_streamed = 0
+
+    # -- descriptors (genuine wire format) ----------------------------------
+
+    def device_descriptor(self) -> bytes:
+        """18-byte standard device descriptor."""
+        return struct.pack(
+            "<BBHBBBBHHHBBBB",
+            18, DESC_DEVICE, 0x0200,  # bcdUSB 2.0
+            0, 0, 0,  # class/subclass/protocol (per interface)
+            64,  # ep0 max packet
+            self.VENDOR_ID, self.PRODUCT_ID, 0x0100,
+            1, 2, 0,  # string indices
+            1,  # one configuration
+        )
+
+    def configuration_descriptor(self) -> bytes:
+        """Config + 2 interfaces (control, streaming alt0/alt1) + iso EP."""
+        interface_ctl = struct.pack(
+            "<BBBBBBBBB", 9, DESC_INTERFACE, 0, 0, 0, 1, 1, 0, 0
+        )  # AudioControl
+        interface_alt0 = struct.pack(
+            "<BBBBBBBBB", 9, DESC_INTERFACE, 1, 0, 0, 1, 2, 0, 0
+        )  # AudioStreaming, zero-bandwidth
+        interface_alt1 = struct.pack(
+            "<BBBBBBBBB", 9, DESC_INTERFACE, 1, 1, 1, 1, 2, 0, 0
+        )  # AudioStreaming, operational
+        packet = self.format.sample_rate // 1000 * self.format.bytes_per_frame
+        endpoint = struct.pack(
+            "<BBBBHB", 7, DESC_ENDPOINT, ISO_IN_ENDPOINT,
+            0x01,  # isochronous
+            packet, 1,  # 1 ms interval
+        )
+        body = interface_ctl + interface_alt0 + interface_alt1 + endpoint
+        header = struct.pack(
+            "<BBHBBBBB", 9, DESC_CONFIGURATION, 9 + len(body),
+            2, 1, 0, 0x80, 50,  # two interfaces, bus powered, 100 mA
+        )
+        return header + body
+
+    def string_descriptor(self, index: int) -> bytes:
+        """UTF-16LE string descriptors."""
+        strings = {1: "repro devices", 2: "usb audio mic"}
+        text = strings.get(index, "?")
+        payload = text.encode("utf-16-le")
+        return struct.pack("<BB", 2 + len(payload), DESC_STRING) + payload
+
+    # -- control plane ---------------------------------------------------------
+
+    def handle_control(self, setup: SetupPacket) -> bytes:
+        """Service one control transfer.
+
+        Dispatch follows the spec: bits 5-6 of ``bmRequestType`` select
+        standard vs class requests — necessary because request *codes*
+        collide across the spaces (CLEAR_FEATURE and UAC SET_CUR are both
+        0x01).
+        """
+        if self.stall_next:
+            self.stall_next = False
+            raise BusProtocolError("endpoint stalled")
+        if (setup.bmRequestType & 0x60) == 0x20:  # class request
+            return self._handle_class_request(setup)
+        if setup.bRequest == GET_DESCRIPTOR:
+            desc_type = setup.wValue >> 8
+            index = setup.wValue & 0xFF
+            if desc_type == DESC_DEVICE:
+                return self.device_descriptor()[: setup.wLength]
+            if desc_type == DESC_CONFIGURATION:
+                return self.configuration_descriptor()[: setup.wLength]
+            if desc_type == DESC_STRING:
+                return self.string_descriptor(index)[: setup.wLength]
+            raise BusProtocolError(f"no descriptor type {desc_type}")
+        if setup.bRequest == SET_ADDRESS:
+            self.address = setup.wValue
+            return b""
+        if setup.bRequest == SET_CONFIGURATION:
+            self.configured = setup.wValue == 1
+            return b""
+        if setup.bRequest == SET_INTERFACE:
+            if setup.wIndex != 1:
+                raise BusProtocolError("only interface 1 has alt settings")
+            if setup.wValue not in (0, 1):
+                raise BusProtocolError(f"no alt setting {setup.wValue}")
+            self.alt_setting = setup.wValue
+            return b""
+        if setup.bRequest == CLEAR_FEATURE:
+            return b""  # endpoint halt cleared
+        raise BusProtocolError(f"unsupported request 0x{setup.bRequest:02x}")
+
+    def _handle_class_request(self, setup: SetupPacket) -> bytes:
+        control = setup.wValue
+        if control == UAC_SAMPLE_RATE_CONTROL:
+            if setup.bRequest == UAC_SET_CUR:
+                (rate,) = struct.unpack("<I", setup.data.ljust(4, b"\x00"))
+                if rate != self.format.sample_rate:
+                    raise BusProtocolError(
+                        f"device supports only {self.format.sample_rate} Hz"
+                    )
+                self.sample_rate = rate
+                return b""
+            return struct.pack("<I", self.sample_rate)
+        if control == UAC_MUTE_CONTROL:
+            if setup.bRequest == UAC_SET_CUR:
+                self.muted = bool(setup.data and setup.data[0])
+                return b""
+            return bytes([int(self.muted)])
+        if control == UAC_VOLUME_CONTROL:
+            if setup.bRequest == UAC_SET_CUR:
+                self.volume = setup.data[0] if setup.data else 100
+                return b""
+            return bytes([self.volume])
+        raise BusProtocolError(f"unknown class control 0x{control:04x}")
+
+    # -- streaming plane ----------------------------------------------------------
+
+    def iso_in(self, n_frames: int) -> np.ndarray:
+        """Deliver ``n_frames`` of audio over the isochronous endpoint."""
+        if not self.configured or self.alt_setting != 1:
+            raise BusProtocolError("streaming interface not selected")
+        samples = self.source.next_samples(n_frames)
+        if self.muted:
+            samples = np.zeros_like(samples)
+        elif self.volume != 100:
+            samples = (
+                samples.astype(np.int32) * self.volume // 100
+            ).clip(-32768, 32767).astype(np.int16)
+        self.frames_streamed += n_frames
+        return samples
+
+
+class UsbBus:
+    """A single-device USB host-controller model."""
+
+    def __init__(self, clock: SimClock, device: UsbAudioMicrophone):
+        self.clock = clock
+        self.device = device
+        self.control_transfers = 0
+        self.iso_transfers = 0
+
+    def reset(self) -> None:
+        """Bus reset: device back to default state."""
+        self.clock.advance(50_000, CycleDomain.PERIPHERAL)  # 10 ms+ on wire
+        self.device.address = 0
+        self.device.configured = False
+        self.device.alt_setting = 0
+
+    def control(self, setup: SetupPacket) -> bytes:
+        """One control transfer (setup + data + status stages)."""
+        self.control_transfers += 1
+        # Control transfers are slow: several bus turnarounds.
+        self.clock.advance(4_000, CycleDomain.PERIPHERAL)
+        return self.device.handle_control(setup)
+
+    def iso_in(self, endpoint: int, n_frames: int) -> np.ndarray:
+        """One isochronous IN transfer burst."""
+        if endpoint != ISO_IN_ENDPOINT:
+            raise BusProtocolError(f"no such endpoint 0x{endpoint:02x}")
+        if n_frames < 0:
+            raise PeripheralError("cannot stream a negative frame count")
+        self.iso_transfers += 1
+        # Real-time capture: n frames take n/sample_rate seconds.
+        cycles = int(
+            n_frames * self.clock.freq_hz / self.device.format.sample_rate
+        )
+        self.clock.advance(cycles, CycleDomain.PERIPHERAL)
+        return self.device.iso_in(n_frames)

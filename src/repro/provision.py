@@ -1,0 +1,127 @@
+"""Provisioning helpers: train a classifier and assemble a deployment.
+
+The device-side pipeline needs a trained :class:`~repro.core.filter.FilterBundle`;
+these helpers are the 'factory floor' that produces one — corpus
+generation, tokenizer fitting, training, optional quantization — plus a
+one-call demo assembly used by the quickstart and many tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.filter import FilterBundle, FilterPolicy, SensitiveFilter
+from repro.core.pipeline import SecurePipeline
+from repro.core.platform import IotPlatform
+from repro.core.workload import UtteranceWorkload
+from repro.ml.asr import MatchedFilterAsr, SpeechVocoder
+from repro.ml.dataset import Corpus, UtteranceGenerator
+from repro.ml.models import build_classifier
+from repro.ml.quantize import quantize_classifier
+from repro.ml.tokenizer import WordTokenizer
+from repro.ml.train import TrainConfig, Trainer
+from repro.sim.rng import SimRng
+
+
+@dataclass
+class ProvisionResult:
+    """A trained bundle plus its training artifacts."""
+
+    bundle: FilterBundle
+    tokenizer: WordTokenizer
+    train_corpus: Corpus
+    test_corpus: Corpus
+    test_accuracy: float
+
+
+def provision_bundle(
+    seed: int = 42,
+    architecture: str = "cnn",
+    corpus_size: int = 1200,
+    max_len: int = 16,
+    epochs: int = 5,
+    threshold: float = 0.5,
+    policy: FilterPolicy = FilterPolicy.DROP,
+    quantize: bool = False,
+    train_wer: float = 0.0,
+    hard_fraction: float = 0.0,
+) -> ProvisionResult:
+    """Train a sensitive-content classifier and wrap it for deployment.
+
+    ``train_wer`` optionally corrupts the training texts through the
+    ASR noise channel, which hardens the classifier for noisy
+    deployments (used by experiment T6).  ``hard_fraction`` mixes in
+    lexically ambiguous utterances (experiment T7), making the task —
+    and the resulting decision curves — non-trivial.
+    """
+    rng = SimRng(seed, "provision")
+    generator = UtteranceGenerator(rng.fork("corpus"))
+    corpus = generator.generate(
+        corpus_size, sensitive_fraction=0.5, hard_fraction=hard_fraction
+    )
+    train_corpus, test_corpus = corpus.split(0.8, rng.fork("split"))
+
+    tokenizer = WordTokenizer(max_len=max_len).fit(
+        UtteranceGenerator.all_template_texts()
+    )
+    vocabulary = [w for w in tokenizer.words()[2:]]  # skip <pad>/<unk>
+    vocoder = SpeechVocoder(vocabulary)
+    asr = MatchedFilterAsr(vocoder)
+
+    if train_wer > 0.0:
+        from repro.ml.asr import NoisyChannel
+        from repro.ml.dataset import Utterance
+
+        channel = NoisyChannel(rng.fork("train-noise"), train_wer, vocabulary)
+        train_corpus = Corpus(
+            [
+                Utterance(text=channel.corrupt(u.text), category=u.category)
+                for u in train_corpus.utterances
+            ]
+        )
+
+    model = build_classifier(
+        architecture, tokenizer.vocab_size, tokenizer.max_len,
+        np.random.default_rng(seed),
+    )
+    trainer = Trainer(model, tokenizer, TrainConfig(epochs=epochs, seed=seed))
+    trainer.fit(train_corpus, test_corpus)
+    accuracy = trainer.evaluate(test_corpus).accuracy
+
+    classifier = quantize_classifier(model) if quantize else model
+    bundle = FilterBundle(
+        vocoder=vocoder,
+        asr=asr,
+        filter=SensitiveFilter(
+            classifier, tokenizer, threshold=threshold, policy=policy
+        ),
+    )
+    return ProvisionResult(
+        bundle=bundle,
+        tokenizer=tokenizer,
+        train_corpus=train_corpus,
+        test_corpus=test_corpus,
+        test_accuracy=accuracy,
+    )
+
+
+def build_demo_pipeline(
+    seed: int = 42,
+    utterances: int = 20,
+    architecture: str = "cnn",
+    policy: FilterPolicy = FilterPolicy.DROP,
+    **provision_kwargs,
+) -> tuple[SecurePipeline, UtteranceWorkload, IotPlatform]:
+    """One-call demo: platform + trained secure pipeline + workload."""
+    provisioned = provision_bundle(
+        seed=seed, architecture=architecture, policy=policy, **provision_kwargs
+    )
+    platform = IotPlatform.create(seed=seed)
+    pipeline = SecurePipeline(platform, provisioned.bundle)
+    rng = SimRng(seed, "demo-workload")
+    generator = UtteranceGenerator(rng)
+    corpus = generator.generate(utterances, sensitive_fraction=0.5)
+    workload = UtteranceWorkload.from_corpus(corpus, provisioned.bundle.vocoder)
+    return pipeline, workload, platform

@@ -1,0 +1,14 @@
+"""The relay module: TLS endpoint + cloud voice-service protocol.
+
+Paper Section IV-5: "this module constitutes a TLS endpoint which
+implements an API, e.g., Amazon Alexa voice service (AVS), used to
+communicate with the cloud service provider."  The relay lives in the TA
+(secure world) and reaches the network through supplicant RPCs, so the
+normal world ever only sees TLS records.
+"""
+
+from repro.relay.avs import AvsClient, AvsEvent
+from repro.relay.relay import RelayModule
+from repro.relay.tls import TlsClient, TlsServer
+
+__all__ = ["AvsClient", "AvsEvent", "RelayModule", "TlsClient", "TlsServer"]

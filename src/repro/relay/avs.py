@@ -1,0 +1,95 @@
+"""AVS-style application protocol.
+
+A minimal Alexa-Voice-Service-shaped event protocol: the device sends
+JSON *events* (``Recognize`` with a transcript, ``Heartbeat``), the cloud
+answers with *directives* (``Ack``, ``Response``).  Enough structure for
+the cloud service to act as a realistic recorder of what it was sent.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import RecordError
+
+
+@dataclass(frozen=True)
+class AvsEvent:
+    """One device→cloud event."""
+
+    namespace: str
+    name: str
+    payload: dict[str, Any]
+
+    def to_bytes(self) -> bytes:
+        """JSON wire encoding."""
+        return json.dumps(
+            {
+                "event": {
+                    "header": {"namespace": self.namespace, "name": self.name},
+                    "payload": self.payload,
+                }
+            }
+        ).encode()
+
+    @classmethod
+    def recognize(cls, transcript: str, dialog_id: int) -> "AvsEvent":
+        """The speech-recognition event carrying a transcript."""
+        return cls(
+            namespace="SpeechRecognizer",
+            name="Recognize",
+            payload={"transcript": transcript, "dialogRequestId": dialog_id},
+        )
+
+    @classmethod
+    def heartbeat(cls) -> "AvsEvent":
+        """Keep-alive event."""
+        return cls(namespace="System", name="SynchronizeState", payload={})
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "AvsEvent":
+        """Parse the wire encoding."""
+        try:
+            doc = json.loads(data.decode())
+            header = doc["event"]["header"]
+            return cls(
+                namespace=header["namespace"],
+                name=header["name"],
+                payload=doc["event"].get("payload", {}),
+            )
+        except (KeyError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise RecordError(f"malformed AVS event: {exc}") from exc
+
+
+class AvsClient:
+    """Device-side AVS protocol over an encrypted request function."""
+
+    def __init__(self, request):
+        """``request`` is a ``bytes -> bytes`` secure channel call."""
+        self._request = request
+        self._dialog_id = 0
+        self.events_sent = 0
+
+    def recognize(self, transcript: str) -> dict[str, Any]:
+        """Send a transcript; returns the cloud's directive."""
+        self._dialog_id += 1
+        reply = self._request(
+            AvsEvent.recognize(transcript, self._dialog_id).to_bytes()
+        )
+        self.events_sent += 1
+        return self._parse_directive(reply)
+
+    def heartbeat(self) -> dict[str, Any]:
+        """Send a keep-alive."""
+        reply = self._request(AvsEvent.heartbeat().to_bytes())
+        self.events_sent += 1
+        return self._parse_directive(reply)
+
+    @staticmethod
+    def _parse_directive(reply: bytes) -> dict[str, Any]:
+        try:
+            return json.loads(reply.decode())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise RecordError(f"malformed directive: {exc}") from exc

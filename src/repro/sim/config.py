@@ -1,0 +1,41 @@
+"""Top-level simulation configuration.
+
+:class:`SimConfig` gathers the knobs that span subsystems — the master
+seed, CPU frequency, and trace capacity — and builds the shared substrate
+objects.  Subsystem-specific cost tables live next to their subsystems
+(e.g. :class:`repro.tz.costs.CostModel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.clock import SimClock
+from repro.sim.rng import SimRng
+from repro.sim.trace import TraceLog
+
+
+@dataclass
+class SimConfig:
+    """Shared configuration for one simulation instance."""
+
+    seed: int = 42
+    freq_hz: float = 2.0e9
+    trace_capacity: int = 1_000_000
+    trace_enabled: bool = True
+    metadata: dict = field(default_factory=dict)
+
+    def build_clock(self) -> SimClock:
+        """Create the clock configured by this instance."""
+        return SimClock(freq_hz=self.freq_hz)
+
+    def build_rng(self) -> SimRng:
+        """Create the master RNG configured by this instance."""
+        return SimRng(self.seed)
+
+    def build_trace(self) -> TraceLog:
+        """Create the trace log configured by this instance."""
+        log = TraceLog(capacity=self.trace_capacity)
+        if not self.trace_enabled:
+            log.disable()
+        return log

@@ -1,0 +1,151 @@
+"""Structured event tracing for the simulator.
+
+Subsystems emit :class:`TraceEvent` records into a shared :class:`TraceLog`.
+Tests assert on the event stream ("a world switch happened before the driver
+read"), the TCB analyzer consumes kernel-tracer events, and benchmarks use
+category filters to attribute costs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One simulation event.
+
+    Attributes
+    ----------
+    timestamp:
+        Clock cycles at emission time.
+    category:
+        Dotted namespace, e.g. ``"tz.smc"``, ``"optee.ta.invoke"``,
+        ``"kernel.ftrace"``.
+    name:
+        Event name within the category.
+    data:
+        Arbitrary JSON-ish payload.
+    """
+
+    timestamp: int
+    category: str
+    name: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def matches(self, category_prefix: str) -> bool:
+        """True if this event's category equals or nests under the prefix."""
+        return self.category == category_prefix or self.category.startswith(
+            category_prefix + "."
+        )
+
+
+class TraceLog:
+    """Append-only event log with category filtering.
+
+    A ``capacity`` bound keeps long benchmark runs from accumulating
+    unbounded memory; when full, the oldest events are dropped and
+    ``dropped_events`` counts them so nothing disappears silently.
+    """
+
+    def __init__(self, capacity: int = 1_000_000):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: list[TraceEvent] = []
+        self.dropped_events = 0
+        self._enabled = True
+
+    def emit(
+        self,
+        timestamp: int,
+        category: str,
+        name: str,
+        **data: Any,
+    ) -> None:
+        """Record one event (cheap no-op when disabled)."""
+        if not self._enabled:
+            return
+        if len(self._events) >= self.capacity:
+            # Drop the oldest half in one slice; amortizes the O(n) cost.
+            drop = self.capacity // 2
+            self._events = self._events[drop:]
+            self.dropped_events += drop
+        self._events.append(TraceEvent(timestamp, category, name, data))
+
+    def disable(self) -> None:
+        """Stop recording (events already recorded are kept)."""
+        self._enabled = False
+
+    def enable(self) -> None:
+        """Resume recording."""
+        self._enabled = True
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(self, category_prefix: str | None = None) -> list[TraceEvent]:
+        """All events, optionally filtered to a category subtree."""
+        if category_prefix is None:
+            return list(self._events)
+        return [e for e in self._events if e.matches(category_prefix)]
+
+    def count(self, category_prefix: str) -> int:
+        """Number of events under a category subtree."""
+        return sum(1 for e in self._events if e.matches(category_prefix))
+
+    def last(self, category_prefix: str) -> TraceEvent | None:
+        """Most recent event under a category subtree, or ``None``."""
+        for event in reversed(self._events):
+            if event.matches(category_prefix):
+                return event
+        return None
+
+    def clear(self) -> None:
+        """Drop all recorded events and reset the drop counter."""
+        self._events.clear()
+        self.dropped_events = 0
+
+    def to_jsonl(self, category_prefix: str | None = None) -> str:
+        """Export events as JSON Lines (for external analysis tooling)."""
+        import json
+
+        lines = []
+        for event in self.events(category_prefix):
+            lines.append(
+                json.dumps(
+                    {
+                        "ts": event.timestamp,
+                        "category": event.category,
+                        "name": event.name,
+                        "data": event.data,
+                    },
+                    default=str,
+                )
+            )
+        return "\n".join(lines)
+
+    @staticmethod
+    def from_jsonl(text: str) -> list[TraceEvent]:
+        """Parse a JSONL export back into events."""
+        import json
+
+        out = []
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            doc = json.loads(line)
+            out.append(
+                TraceEvent(
+                    timestamp=int(doc["ts"]),
+                    category=str(doc["category"]),
+                    name=str(doc["name"]),
+                    data=dict(doc.get("data", {})),
+                )
+            )
+        return out

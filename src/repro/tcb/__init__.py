@@ -1,0 +1,21 @@
+"""TCB minimization toolkit.
+
+Implements the paper's research plan item 2 end to end: trace a task with
+the kernel tracer, analyze the logs "to identify a minimal set of executed
+functions necessary for the task to complete", and apply conditional
+compilation "to selectively exclude driver functions which are not
+required for the task from being compiled and included in the final
+OP-TEE image".
+
+Pipeline: :class:`~repro.kernel.tracer.TraceSession` →
+:class:`~repro.tcb.analyze.TcbAnalyzer` →
+:class:`~repro.tcb.minimize.MinimizedBuild` →
+:class:`~repro.tcb.metrics.TcbReport`.
+"""
+
+from repro.tcb.analyze import MinimizationPlan, TcbAnalyzer
+from repro.tcb.callgraph import CallGraph
+from repro.tcb.metrics import TcbReport
+from repro.tcb.minimize import MinimizedBuild
+
+__all__ = ["CallGraph", "MinimizationPlan", "MinimizedBuild", "TcbAnalyzer", "TcbReport"]

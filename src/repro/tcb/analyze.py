@@ -1,0 +1,90 @@
+"""Trace analysis: from call logs to a minimization plan.
+
+"The logs are then analyzed to identify a minimal set of executed
+functions necessary for the task to complete" (paper, research plan 2).
+
+The analyzer unions the functions observed across the given trace
+sessions, closes over observed call edges from the roots (defensive: a
+record could be lost to ring-buffer overruns on real ftrace; closure keeps
+chains intact), and optionally adds a caller-specified keep-list for
+functions that run rarely but must survive (e.g. the overrun IRQ handler,
+which a clean trace never exercises).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.drivers.base import Driver
+from repro.kernel.tracer import TraceSession
+from repro.tcb.callgraph import CallGraph
+from repro.tcb.metrics import TcbReport
+
+
+@dataclass(frozen=True)
+class MinimizationPlan:
+    """Which functions to keep / compile out for one task profile."""
+
+    driver: str
+    task: str
+    keep: frozenset[str]
+    compiled_out: frozenset[str]
+    report: TcbReport = field(compare=False, default=None)  # type: ignore[assignment]
+
+
+class TcbAnalyzer:
+    """Computes minimization plans from trace sessions."""
+
+    def __init__(self, driver_class: type[Driver]):
+        self.driver_class = driver_class
+        self.static_graph = CallGraph.static_of(driver_class)
+
+    def analyze(
+        self,
+        sessions: list[TraceSession],
+        task: str,
+        always_keep: frozenset[str] = frozenset(),
+    ) -> MinimizationPlan:
+        """Produce a plan keeping exactly what the traced task needs.
+
+        ``always_keep`` names functions to retain regardless of the trace
+        (rare paths like error/IRQ handlers); unknown names raise so a
+        typo cannot silently keep nothing.
+        """
+        declared = set(self.static_graph.nodes)
+        unknown = always_keep - declared
+        if unknown:
+            raise ValueError(
+                f"always_keep names unknown functions: {sorted(unknown)}"
+            )
+
+        dynamic = CallGraph.dynamic_of(self.driver_class, sessions)
+        observed = set(dynamic.nodes)
+        closed = dynamic.reachable_from(dynamic.roots()) | observed
+        keep = frozenset(closed | always_keep)
+        compiled_out = frozenset(declared - keep)
+        report = TcbReport.compute(self.driver_class, keep)
+        return MinimizationPlan(
+            driver=self.driver_class.NAME,
+            task=task,
+            keep=keep,
+            compiled_out=compiled_out,
+            report=report,
+        )
+
+    def analyze_union(
+        self,
+        plans: list[MinimizationPlan],
+        task: str = "union",
+    ) -> MinimizationPlan:
+        """Merge plans for several tasks into one build supporting all."""
+        keep = frozenset().union(*(p.keep for p in plans)) if plans else frozenset()
+        declared = frozenset(self.static_graph.nodes)
+        report = TcbReport.compute(self.driver_class, keep)
+        return MinimizationPlan(
+            driver=self.driver_class.NAME,
+            task=task,
+            keep=keep,
+            compiled_out=declared - keep,
+            report=report,
+        )

@@ -1,0 +1,92 @@
+"""Driver call graphs.
+
+Two graphs matter for minimization:
+
+* the **static** graph — every function the driver declares (nodes only;
+  Python introspection cannot see call edges without execution), and
+* the **dynamic** graph — the (caller → callee) edges actually observed by
+  the tracer while a task ran.
+
+The analyzer works from the dynamic graph, with reachability closure so a
+function observed only as a callee keeps its whole observed call chain.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.drivers.base import Driver, DriverFunctionInfo
+from repro.kernel.tracer import TraceSession
+
+
+@dataclass
+class CallGraph:
+    """A set of functions and observed call edges among them."""
+
+    nodes: dict[str, DriverFunctionInfo] = field(default_factory=dict)
+    edges: set[tuple[str | None, str]] = field(default_factory=set)
+
+    @classmethod
+    def static_of(cls, driver_class: type[Driver]) -> "CallGraph":
+        """The static graph: all declared functions, no edges."""
+        return cls(nodes=dict(driver_class.functions()))
+
+    @classmethod
+    def dynamic_of(
+        cls,
+        driver_class: type[Driver],
+        sessions: list[TraceSession],
+        driver_name: str | None = None,
+    ) -> "CallGraph":
+        """The dynamic graph observed across one or more trace sessions."""
+        name = driver_name or driver_class.NAME
+        declared = driver_class.functions()
+        graph = cls()
+        for session in sessions:
+            for record in session.records:
+                if record.driver != name:
+                    continue
+                info = declared.get(record.fn)
+                if info is None:
+                    continue  # record from another driver build/version
+                graph.nodes[record.fn] = info
+                graph.edges.add((record.caller, record.fn))
+        return graph
+
+    # -- queries ---------------------------------------------------------------
+
+    def roots(self) -> set[str]:
+        """Functions observed being called from outside the driver."""
+        return {callee for caller, callee in self.edges if caller is None}
+
+    def callees_of(self, fn: str) -> set[str]:
+        """Direct callees observed for ``fn``."""
+        return {callee for caller, callee in self.edges if caller == fn}
+
+    def reachable_from(self, starts: set[str]) -> set[str]:
+        """Transitive closure over observed edges from ``starts``."""
+        adjacency: dict[str, set[str]] = defaultdict(set)
+        for caller, callee in self.edges:
+            if caller is not None:
+                adjacency[caller].add(callee)
+        seen: set[str] = set()
+        frontier = [s for s in starts if s in self.nodes]
+        while frontier:
+            fn = frontier.pop()
+            if fn in seen:
+                continue
+            seen.add(fn)
+            frontier.extend(adjacency[fn] - seen)
+        return seen
+
+    def total_loc(self) -> int:
+        """Sum of LoC over all nodes."""
+        return sum(info.loc for info in self.nodes.values())
+
+    def by_subsystem(self) -> dict[str, list[DriverFunctionInfo]]:
+        """Nodes grouped by subsystem."""
+        out: dict[str, list[DriverFunctionInfo]] = defaultdict(list)
+        for info in self.nodes.values():
+            out[info.subsystem].append(info)
+        return dict(out)

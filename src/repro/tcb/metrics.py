@@ -1,0 +1,82 @@
+"""TCB size metrics.
+
+The quantity the paper cares about: how much driver code ends up inside
+the OP-TEE image.  Reported in both functions and LoC, with per-subsystem
+breakdowns, since 'porting effort' and 'attack surface' both track source
+volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.drivers.base import Driver
+
+
+@dataclass(frozen=True)
+class TcbReport:
+    """Full-vs-minimized sizing for one driver build."""
+
+    driver: str
+    functions_total: int
+    functions_kept: int
+    loc_total: int
+    loc_kept: int
+    kept_by_subsystem: dict[str, int]
+    total_by_subsystem: dict[str, int]
+
+    @classmethod
+    def compute(cls, driver_class: type[Driver], keep: frozenset[str]) -> "TcbReport":
+        """Size a keep-set against the driver's full declaration."""
+        functions = driver_class.functions()
+        kept_by_subsystem: dict[str, int] = {}
+        total_by_subsystem: dict[str, int] = {}
+        loc_kept = 0
+        for info in functions.values():
+            total_by_subsystem[info.subsystem] = (
+                total_by_subsystem.get(info.subsystem, 0) + info.loc
+            )
+            if info.name in keep:
+                loc_kept += info.loc
+                kept_by_subsystem[info.subsystem] = (
+                    kept_by_subsystem.get(info.subsystem, 0) + info.loc
+                )
+        return cls(
+            driver=driver_class.NAME,
+            functions_total=len(functions),
+            functions_kept=len(keep & set(functions)),
+            loc_total=sum(i.loc for i in functions.values()),
+            loc_kept=loc_kept,
+            kept_by_subsystem=kept_by_subsystem,
+            total_by_subsystem=total_by_subsystem,
+        )
+
+    @property
+    def function_reduction_pct(self) -> float:
+        """Share of functions eliminated, in percent."""
+        if self.functions_total == 0:
+            return 0.0
+        return 100.0 * (1 - self.functions_kept / self.functions_total)
+
+    @property
+    def loc_reduction_pct(self) -> float:
+        """Share of LoC eliminated, in percent."""
+        if self.loc_total == 0:
+            return 0.0
+        return 100.0 * (1 - self.loc_kept / self.loc_total)
+
+    def rows(self) -> list[dict]:
+        """Per-subsystem rows for tabular reports."""
+        out = []
+        for subsystem in sorted(self.total_by_subsystem):
+            total = self.total_by_subsystem[subsystem]
+            kept = self.kept_by_subsystem.get(subsystem, 0)
+            out.append(
+                {
+                    "subsystem": subsystem,
+                    "loc_total": total,
+                    "loc_kept": kept,
+                    "reduction_pct": 100.0 * (1 - kept / total) if total else 0.0,
+                }
+            )
+        return out

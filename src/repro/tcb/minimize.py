@@ -1,0 +1,55 @@
+"""Conditional-compilation projection.
+
+Applies a :class:`~repro.tcb.analyze.MinimizationPlan` the way the paper's
+compiler directives would: the minimized build simply does not contain the
+excluded functions, so invoking one fails at the driver boundary.  The
+build also re-verifies that the plan matches the driver class it is being
+applied to, catching plan/driver version skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.drivers.base import Driver
+from repro.errors import DriverError
+from repro.tcb.analyze import MinimizationPlan
+
+
+@dataclass(frozen=True)
+class MinimizedBuild:
+    """A driver class paired with its compiled-out set."""
+
+    driver_class: type[Driver]
+    plan: MinimizationPlan
+
+    def __post_init__(self) -> None:
+        if self.plan.driver != self.driver_class.NAME:
+            raise DriverError(
+                f"plan is for driver {self.plan.driver!r}, not "
+                f"{self.driver_class.NAME!r}"
+            )
+        declared = set(self.driver_class.functions())
+        stray = set(self.plan.compiled_out) - declared
+        if stray:
+            raise DriverError(
+                f"plan excludes functions the driver does not declare: "
+                f"{sorted(stray)}"
+            )
+
+    def instantiate(self, *args: Any, **kwargs: Any) -> Driver:
+        """Construct the minimized driver instance."""
+        return self.driver_class(
+            *args, compiled_out=self.plan.compiled_out, **kwargs
+        )
+
+    @property
+    def loc(self) -> int:
+        """LoC present in this build."""
+        return self.plan.report.loc_kept
+
+    @property
+    def functions(self) -> int:
+        """Function count present in this build."""
+        return self.plan.report.functions_kept

@@ -1,0 +1,67 @@
+"""Human-readable TCB minimization reports.
+
+Turns a :class:`~repro.tcb.analyze.MinimizationPlan` into the markdown
+artifact an engineer would attach to a port review: headline reduction,
+per-subsystem table, and the exact keep/strip lists (the input to the
+conditional-compilation configuration).
+"""
+
+from __future__ import annotations
+
+from repro.tcb.analyze import MinimizationPlan
+
+
+def render_markdown(plan: MinimizationPlan) -> str:
+    """Render one plan as a markdown document."""
+    r = plan.report
+    lines = [
+        f"# TCB minimization report — `{plan.driver}` / task `{plan.task}`",
+        "",
+        f"* functions: **{r.functions_kept} / {r.functions_total}** kept "
+        f"({r.function_reduction_pct:.1f}% removed)",
+        f"* LoC: **{r.loc_kept} / {r.loc_total}** kept "
+        f"({r.loc_reduction_pct:.1f}% removed)",
+        "",
+        "## Per-subsystem",
+        "",
+        "| subsystem | LoC total | LoC kept | reduction |",
+        "|---|---:|---:|---:|",
+    ]
+    for row in r.rows():
+        lines.append(
+            f"| {row['subsystem']} | {row['loc_total']} | "
+            f"{row['loc_kept']} | {row['reduction_pct']:.1f}% |"
+        )
+    lines += [
+        "",
+        "## Functions kept",
+        "",
+    ]
+    lines += [f"* `{fn}`" for fn in sorted(plan.keep)]
+    lines += [
+        "",
+        "## Functions compiled out",
+        "",
+    ]
+    lines += [f"* `{fn}`" for fn in sorted(plan.compiled_out)]
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_compile_config(plan: MinimizationPlan) -> str:
+    """Render the conditional-compilation configuration.
+
+    The analogue of the paper's compiler-directive list: one
+    ``CONFIG_<DRIVER>_<FN>=n`` line per excluded function, consumable by a
+    Kconfig-style build.
+    """
+    prefix = plan.driver.upper().replace("-", "_")
+    lines = [f"# auto-generated for task {plan.task!r}"]
+    for fn in sorted(plan.compiled_out):
+        symbol = fn.strip("_").upper()
+        lines.append(f"CONFIG_{prefix}_{symbol}=n")
+    for fn in sorted(plan.keep):
+        symbol = fn.strip("_").upper()
+        lines.append(f"CONFIG_{prefix}_{symbol}=y")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""ARM TrustZone machine model.
+
+This package substitutes for the NVIDIA Jetson AGX Xavier's TrustZone-enabled
+ARMv8.2 CPU (see DESIGN.md, substitution table).  It models the parts of the
+architecture that the paper's security argument rests on:
+
+* two *worlds* (secure / normal) with a current security state per CPU,
+* a TZASC-style partitioning of physical memory into secure and non-secure
+  regions, enforced on every access,
+* a secure monitor (EL3) that owns world switches, dispatched via SMC, and
+* a cost model charging cycles for switches, SMCs and memory traffic so the
+  paper's anticipated performance trade-offs are measurable.
+"""
+
+from repro.tz.costs import CostModel
+from repro.tz.machine import MachineConfig, TrustZoneMachine
+from repro.tz.memory import (
+    MemoryAllocator,
+    MemoryRegion,
+    PhysicalMemory,
+    SecurityAttr,
+    Tzasc,
+)
+from repro.tz.monitor import SecureMonitor, SmcFunction
+from repro.tz.worlds import Cpu, World
+
+__all__ = [
+    "CostModel",
+    "Cpu",
+    "MachineConfig",
+    "MemoryAllocator",
+    "MemoryRegion",
+    "PhysicalMemory",
+    "SecureMonitor",
+    "SecurityAttr",
+    "SmcFunction",
+    "TrustZoneMachine",
+    "Tzasc",
+    "World",
+]

@@ -1,0 +1,135 @@
+"""Cycle cost model for TrustZone and OP-TEE operations.
+
+The absolute values are calibrated to the published microbenchmark
+literature on TrustZone/OP-TEE (world switches on Cortex-A cost on the
+order of a few thousand cycles; a full GP ``InvokeCommand`` round trip
+including scheduling costs tens of thousands; supplicant RPCs cost more
+still because they bounce through the normal-world userland daemon).
+What the reproduction relies on is the *relative ordering* — switch <
+invoke < RPC — which shapes the secure-vs-baseline overhead trends the
+paper anticipates in Sections III and V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle costs charged by the machine, OP-TEE layer and drivers.
+
+    All values are cycles at the machine clock frequency unless noted.
+    """
+
+    # -- world transitions -------------------------------------------------
+    world_switch_cycles: int = 2_500
+    """One direction of a secure<->normal switch at the monitor (bank/restore
+    registers, change security state)."""
+
+    smc_dispatch_cycles: int = 400
+    """Monitor-side decode and dispatch of one SMC function id."""
+
+    cache_maintenance_cycles: int = 1_200
+    """Cache/TLB maintenance the monitor performs around a switch."""
+
+    # -- memory traffic -----------------------------------------------------
+    mem_access_base_cycles: int = 60
+    """Fixed cost of one memory transaction (request setup, TZASC check)."""
+
+    mem_cycles_per_64_bytes: int = 8
+    """Streaming cost per 64-byte line moved."""
+
+    secure_mem_penalty_cycles: int = 4
+    """Extra per-line cost for secure-region traffic (TZASC lookup, no
+    speculative prefetch across the partition boundary)."""
+
+    # -- OP-TEE layer ---------------------------------------------------------
+    session_open_cycles: int = 30_000
+    """Open a TA session: TA load/instance checks, session setup."""
+
+    ta_invoke_cycles: int = 8_000
+    """Fixed secure-world cost of dispatching one TA command (entry
+    trampoline, parameter unmarshalling), excluding the SMC/world switch."""
+
+    pta_invoke_cycles: int = 1_500
+    """TA -> PTA internal call (same world, privilege hop, no world switch)."""
+
+    supplicant_rpc_cycles: int = 18_000
+    """One secure->normal RPC to the TEE supplicant and back (two world
+    switches are charged separately by the monitor; this is the queueing,
+    daemon wakeup, and copy overhead)."""
+
+    shared_mem_register_cycles: int = 3_000
+    """Registering a shared-memory handle with the TEE."""
+
+    # -- kernel side ----------------------------------------------------------
+    syscall_cycles: int = 800
+    """Normal-world syscall entry/exit."""
+
+    context_switch_cycles: int = 2_000
+    """Normal-world process context switch."""
+
+    interrupt_cycles: int = 600
+    """Taking and returning from one interrupt."""
+
+    # -- driver / peripheral ---------------------------------------------------
+    driver_call_cycles: int = 150
+    """Average cost of one driver-internal function call's bookkeeping.
+    (Used by the tracer-driven cost accounting; real work is charged
+    separately per byte moved.)"""
+
+    dma_setup_cycles: int = 900
+    """Programming one DMA descriptor."""
+
+    i2s_fifo_word_cycles: int = 4
+    """Draining one 32-bit word from the I²S controller FIFO (PIO mode)."""
+
+    # -- ML inference -----------------------------------------------------------
+    ml_macs_per_cycle_normal: float = 8.0
+    """Multiply-accumulates per cycle for fp32 inference in the normal world
+    (vectorized NEON-class throughput)."""
+
+    ml_macs_per_cycle_secure: float = 6.0
+    """Same in the secure world; slightly lower because OP-TEE TAs run
+    without the full vendor BLAS and with smaller caches mapped."""
+
+    ml_int8_speedup: float = 2.5
+    """Throughput multiplier for int8-quantized inference."""
+
+    # -- crypto / relay -----------------------------------------------------------
+    crypto_cycles_per_byte: float = 12.0
+    """AEAD encrypt/decrypt cost per byte (software implementation)."""
+
+    handshake_cycles: int = 450_000
+    """One TLS-like handshake (asymmetric crypto dominated)."""
+
+    network_cycles_per_byte: float = 2.0
+    """NIC + normal-world stack cost per byte sent."""
+
+    def mem_copy_cycles(self, nbytes: int, secure: bool) -> int:
+        """Cycles to move ``nbytes`` through one memory transaction."""
+        lines = (nbytes + 63) // 64
+        per_line = self.mem_cycles_per_64_bytes
+        if secure:
+            per_line += self.secure_mem_penalty_cycles
+        return self.mem_access_base_cycles + lines * per_line
+
+    def full_world_switch_cycles(self) -> int:
+        """Total monitor cost of one direction of a world switch."""
+        return (
+            self.world_switch_cycles
+            + self.smc_dispatch_cycles
+            + self.cache_maintenance_cycles
+        )
+
+    def ml_inference_cycles(self, macs: int, secure: bool, int8: bool) -> int:
+        """Cycles to execute ``macs`` multiply-accumulates of inference."""
+        rate = self.ml_macs_per_cycle_secure if secure else self.ml_macs_per_cycle_normal
+        if int8:
+            rate *= self.ml_int8_speedup
+        return max(1, int(macs / rate))
+
+
+DEFAULT_COSTS = CostModel()
+"""Module-level default cost model used when callers do not supply one."""

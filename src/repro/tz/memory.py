@@ -1,0 +1,327 @@
+"""Physical memory, TZASC partitioning, and secure allocation.
+
+The TrustZone Address Space Controller (TZASC) is the hardware mechanism
+that makes the paper's design sound: once a region is marked *secure*, a
+normal-world access to it faults.  Porting the driver into OP-TEE only
+protects peripheral data because the driver's I/O buffers live in such a
+region (Fig. 1 step 3).
+
+This module models:
+
+* :class:`MemoryRegion` — one contiguous range with a byte backing store,
+* :class:`Tzasc` — the partition table and the access check,
+* :class:`PhysicalMemory` — the address-space router that performs every
+  load/store, charging cycles and emitting trace events,
+* :class:`MemoryAllocator` — a first-fit allocator used for both the
+  normal-world heap and the OP-TEE secure heap.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidAddressError, SecureAccessViolation
+from repro.sim.clock import CycleDomain, SimClock
+from repro.sim.trace import TraceLog
+from repro.tz.costs import CostModel
+from repro.tz.worlds import World
+
+
+class SecurityAttr(enum.Enum):
+    """TZASC security attribute of a memory partition."""
+
+    SECURE = "secure"
+    NONSECURE = "nonsecure"
+
+    def accessible_from(self, world: World) -> bool:
+        """Hardware rule: secure world sees everything; normal world sees
+        only non-secure partitions."""
+        if self is SecurityAttr.NONSECURE:
+            return True
+        return world is World.SECURE
+
+
+@dataclass
+class MemoryRegion:
+    """One contiguous physical region with a byte backing store."""
+
+    name: str
+    base: int
+    size: int
+    attr: SecurityAttr
+    device: bool = False
+    _data: bytearray = field(default_factory=bytearray, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"region {self.name!r} must have positive size")
+        if self.base < 0:
+            raise ValueError(f"region {self.name!r} has negative base")
+        if not self._data:
+            self._data = bytearray(self.size)
+
+    @property
+    def end(self) -> int:
+        """One past the last valid address."""
+        return self.base + self.size
+
+    def contains(self, addr: int, size: int = 1) -> bool:
+        """True if ``[addr, addr+size)`` lies entirely in this region."""
+        return self.base <= addr and addr + size <= self.end
+
+    def overlaps(self, other: "MemoryRegion") -> bool:
+        """True if this region shares any address with ``other``."""
+        return self.base < other.end and other.base < self.end
+
+    def read_raw(self, addr: int, size: int) -> bytes:
+        """Read without any security check (backdoor for attack models)."""
+        off = addr - self.base
+        return bytes(self._data[off : off + size])
+
+    def write_raw(self, addr: int, data: bytes) -> None:
+        """Write without any security check (backdoor for attack models)."""
+        off = addr - self.base
+        self._data[off : off + len(data)] = data
+
+
+class Tzasc:
+    """The TZASC partition table.
+
+    Regions register here with an initial attribute; secure-world software
+    (and only secure-world software) may later reprogram a partition, which
+    is how OP-TEE claims carveouts at boot.
+    """
+
+    def __init__(self, trace: TraceLog | None = None):
+        self._attrs: dict[str, SecurityAttr] = {}
+        self._trace = trace
+
+    def register(self, region: MemoryRegion) -> None:
+        """Add a partition with the region's declared attribute."""
+        self._attrs[region.name] = region.attr
+
+    def attr_of(self, region: MemoryRegion) -> SecurityAttr:
+        """Current attribute of a partition."""
+        return self._attrs.get(region.name, region.attr)
+
+    def reprogram(self, region: MemoryRegion, attr: SecurityAttr, world: World) -> None:
+        """Change a partition's attribute.  Secure world only.
+
+        Raises :class:`SecureAccessViolation` if the normal world attempts
+        it — on hardware the TZASC programming interface is itself a secure
+        peripheral.
+        """
+        if world is not World.SECURE:
+            raise SecureAccessViolation(
+                f"normal world attempted to reprogram TZASC partition "
+                f"{region.name!r}"
+            )
+        self._attrs[region.name] = attr
+        region.attr = attr
+        if self._trace is not None:
+            self._trace.emit(0, "tz.tzasc", "reprogram", region=region.name, attr=attr.value)
+
+    def check(self, region: MemoryRegion, world: World) -> None:
+        """Raise :class:`SecureAccessViolation` on a forbidden access."""
+        if not self.attr_of(region).accessible_from(world):
+            raise SecureAccessViolation(
+                f"{world.value} world access to secure region {region.name!r}"
+            )
+
+
+class PhysicalMemory:
+    """The machine's physical address space.
+
+    All architectural loads/stores go through :meth:`read` / :meth:`write`,
+    which resolve the target region, apply the TZASC check for the acting
+    world, charge memory cycles, and log a trace event.  Device regions may
+    attach MMIO handlers that intercept accesses (used by the I²S
+    controller's register file).
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        trace: TraceLog,
+        costs: CostModel,
+    ):
+        self.clock = clock
+        self.trace = trace
+        self.costs = costs
+        self.tzasc = Tzasc(trace)
+        self._regions: list[MemoryRegion] = []
+        self._mmio_handlers: dict[str, "MmioHandler"] = {}
+        self.access_count = 0
+        self.violation_count = 0
+
+    # -- topology ------------------------------------------------------------
+
+    def add_region(self, region: MemoryRegion) -> MemoryRegion:
+        """Map a region into the address space (must not overlap)."""
+        for existing in self._regions:
+            if existing.overlaps(region):
+                raise ValueError(
+                    f"region {region.name!r} overlaps {existing.name!r}"
+                )
+        self._regions.append(region)
+        self._regions.sort(key=lambda r: r.base)
+        self.tzasc.register(region)
+        return region
+
+    def region(self, name: str) -> MemoryRegion:
+        """Look up a region by name."""
+        for r in self._regions:
+            if r.name == name:
+                return r
+        raise InvalidAddressError(f"no region named {name!r}")
+
+    def regions(self) -> list[MemoryRegion]:
+        """All mapped regions, sorted by base address."""
+        return list(self._regions)
+
+    def resolve(self, addr: int, size: int = 1) -> MemoryRegion:
+        """Find the region containing ``[addr, addr+size)``."""
+        for r in self._regions:
+            if r.contains(addr, size):
+                return r
+        raise InvalidAddressError(
+            f"access to unmapped address 0x{addr:x} (+{size})"
+        )
+
+    def attach_mmio(self, region_name: str, handler: "MmioHandler") -> None:
+        """Attach an MMIO handler to a device region."""
+        region = self.region(region_name)
+        if not region.device:
+            raise ValueError(f"region {region_name!r} is not a device region")
+        self._mmio_handlers[region_name] = handler
+
+    # -- architectural access ---------------------------------------------------
+
+    def read(self, addr: int, size: int, world: World) -> bytes:
+        """Architectural load with TZASC enforcement and cycle charging."""
+        region = self.resolve(addr, size)
+        self._check(region, world, addr, write=False)
+        self._charge(size, region, world)
+        handler = self._mmio_handlers.get(region.name)
+        if handler is not None:
+            return handler.mmio_read(addr - region.base, size)
+        return region.read_raw(addr, size)
+
+    def write(self, addr: int, data: bytes, world: World) -> None:
+        """Architectural store with TZASC enforcement and cycle charging."""
+        region = self.resolve(addr, len(data))
+        self._check(region, world, addr, write=True)
+        self._charge(len(data), region, world)
+        handler = self._mmio_handlers.get(region.name)
+        if handler is not None:
+            handler.mmio_write(addr - region.base, data)
+            return
+        region.write_raw(addr, data)
+
+    def attr_at(self, addr: int) -> SecurityAttr:
+        """Security attribute of the partition containing ``addr``."""
+        return self.tzasc.attr_of(self.resolve(addr))
+
+    # -- internals ------------------------------------------------------------
+
+    def _check(self, region: MemoryRegion, world: World, addr: int, write: bool) -> None:
+        self.access_count += 1
+        try:
+            self.tzasc.check(region, world)
+        except SecureAccessViolation:
+            self.violation_count += 1
+            self.trace.emit(
+                self.clock.now,
+                "tz.fault",
+                "secure_access_violation",
+                region=region.name,
+                addr=addr,
+                world=world.value,
+                write=write,
+            )
+            raise
+
+    def _charge(self, nbytes: int, region: MemoryRegion, world: World) -> None:
+        secure = self.tzasc.attr_of(region) is SecurityAttr.SECURE
+        cycles = self.costs.mem_copy_cycles(nbytes, secure)
+        self.clock.advance(cycles, world.domain)
+
+
+class MmioHandler:
+    """Interface for device register files mapped into a device region."""
+
+    def mmio_read(self, offset: int, size: int) -> bytes:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def mmio_write(self, offset: int, data: bytes) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass
+class _Allocation:
+    offset: int
+    size: int
+
+
+class MemoryAllocator:
+    """First-fit allocator over one region.
+
+    Used for the normal-world heap and — with a deliberately small region —
+    the OP-TEE secure heap, so 'model does not fit in the TEE' is a real,
+    observable failure mode (paper Section V).
+    """
+
+    def __init__(self, region: MemoryRegion, align: int = 64):
+        self.region = region
+        self.align = align
+        self._allocs: dict[int, _Allocation] = {}  # base addr -> allocation
+
+    @property
+    def total_bytes(self) -> int:
+        """Capacity of the managed region."""
+        return self.region.size
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated."""
+        return sum(a.size for a in self._allocs.values())
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes not currently allocated (may be fragmented)."""
+        return self.total_bytes - self.used_bytes
+
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the physical base address.
+
+        Raises :class:`MemoryError` when no free gap fits (callers in the
+        OP-TEE layer translate this to ``TeeOutOfMemory``).
+        """
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        size = (size + self.align - 1) // self.align * self.align
+        cursor = 0
+        for off in sorted(a.offset for a in self._allocs.values()):
+            alloc = next(a for a in self._allocs.values() if a.offset == off)
+            if off - cursor >= size:
+                break
+            cursor = off + alloc.size
+        if cursor + size > self.region.size:
+            raise MemoryError(
+                f"allocator for {self.region.name!r} exhausted: "
+                f"need {size}, free {self.free_bytes} (fragmented)"
+            )
+        addr = self.region.base + cursor
+        self._allocs[addr] = _Allocation(cursor, size)
+        return addr
+
+    def free(self, addr: int) -> None:
+        """Release an allocation by its base address."""
+        if addr not in self._allocs:
+            raise ValueError(f"free of unallocated address 0x{addr:x}")
+        del self._allocs[addr]
+
+    def owns(self, addr: int) -> bool:
+        """True if ``addr`` is the base of a live allocation."""
+        return addr in self._allocs

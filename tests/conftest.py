@@ -1,0 +1,77 @@
+"""Shared fixtures.
+
+Training is the expensive part of the suite, so trained artifacts
+(provisioned bundles) are session-scoped and shared; anything mutable
+(machines, platforms, pipelines) is function-scoped and cheap to build.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.platform import IotPlatform
+from repro.ml.asr import MatchedFilterAsr, SpeechVocoder
+from repro.ml.dataset import UtteranceGenerator
+from repro.ml.tokenizer import WordTokenizer
+from repro.provision import provision_bundle
+from repro.sim.rng import SimRng
+from repro.tz.machine import TrustZoneMachine
+
+
+@pytest.fixture
+def machine() -> TrustZoneMachine:
+    """A fresh TrustZone machine."""
+    return TrustZoneMachine()
+
+
+@pytest.fixture
+def platform() -> IotPlatform:
+    """A fully wired device."""
+    return IotPlatform.create(seed=123)
+
+
+@pytest.fixture(scope="session")
+def tokenizer() -> WordTokenizer:
+    """Tokenizer fitted on the full template vocabulary."""
+    return WordTokenizer(max_len=16).fit(UtteranceGenerator.all_template_texts())
+
+
+@pytest.fixture(scope="session")
+def vocoder(tokenizer) -> SpeechVocoder:
+    """Vocoder covering the tokenizer vocabulary (minus pad/unk)."""
+    return SpeechVocoder(tokenizer.words()[2:])
+
+
+@pytest.fixture(scope="session")
+def asr(vocoder) -> MatchedFilterAsr:
+    """Reference matched-filter ASR."""
+    return MatchedFilterAsr(vocoder)
+
+
+@pytest.fixture(scope="session")
+def provisioned():
+    """A trained CNN filter bundle (shared: training costs seconds)."""
+    return provision_bundle(
+        seed=99, architecture="cnn", corpus_size=700, epochs=4
+    )
+
+
+@pytest.fixture(scope="session")
+def provisioned_transformer():
+    """A trained transformer bundle (shared)."""
+    return provision_bundle(
+        seed=99, architecture="transformer", corpus_size=700, epochs=4
+    )
+
+
+@pytest.fixture
+def rng() -> SimRng:
+    """A seeded RNG."""
+    return SimRng(555)
+
+
+@pytest.fixture
+def np_rng() -> np.random.Generator:
+    """A seeded numpy generator for model construction."""
+    return np.random.default_rng(555)

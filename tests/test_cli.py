@@ -1,0 +1,51 @@
+"""Unit tests: the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_parse(self):
+        parser = build_parser()
+        for command in ("demo", "privacy", "tcb", "models", "info"):
+            args = parser.parse_args([command])
+            assert callable(args.func)
+
+    def test_seed_option(self):
+        args = build_parser().parse_args(["demo", "--seed", "99"])
+        assert args.seed == 99
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "dram_secure" in out
+        assert "world switch" in out
+
+    def test_tcb(self, capsys):
+        assert main(["tcb"]) == 0
+        out = capsys.readouterr().out
+        assert "reduction" in out
+        assert "full driver" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--utterances", "4", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "forwarded" in out
+        assert "world switches" in out
+
+    def test_privacy(self, capsys):
+        assert main(["privacy", "--utterances", "6", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "secure (ours)" in out
+        assert "100%" in out and "0%" in out

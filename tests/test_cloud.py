@@ -1,0 +1,130 @@
+"""Unit tests: cloud service recording + leak auditor."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.auditor import LeakAuditor, transcript_match
+from repro.cloud.service import VoiceCloudService
+from repro.ml.dataset import SensitiveCategory, Utterance
+from repro.relay.avs import AvsClient, AvsEvent
+from repro.relay.tls import TlsClient
+from repro.sim.rng import SimRng
+
+
+@pytest.fixture
+def cloud():
+    return VoiceCloudService(SimRng(4))
+
+
+class TestCloudService:
+    def test_tls_client_reaches_service(self, cloud):
+        client = TlsClient(cloud.receive, cloud.tls.static_public, SimRng(5))
+        client.handshake()
+        avs = AvsClient(client.request)
+        directive = avs.recognize("turn off the lights")
+        assert directive["directive"] == "Response"
+        assert cloud.received_transcripts == ["turn off the lights"]
+        assert cloud.received[0].encrypted_transport
+
+    def test_plaintext_endpoint_records_too(self, cloud):
+        endpoint = cloud.plaintext_endpoint
+        endpoint.receive(AvsEvent.recognize("hello", 1).to_bytes())
+        assert cloud.received_transcripts == ["hello"]
+        assert not cloud.received[0].encrypted_transport
+
+    def test_cloud_records_everything(self, cloud):
+        endpoint = cloud.plaintext_endpoint
+        for i in range(5):
+            endpoint.receive(AvsEvent.recognize(f"utterance {i}", i).to_bytes())
+        assert len(cloud.received) == 5
+
+    def test_non_recognize_events_not_recorded(self, cloud):
+        cloud.plaintext_endpoint.receive(AvsEvent.heartbeat().to_bytes())
+        assert cloud.received == []
+        assert cloud.events_handled == 1
+
+    def test_garbage_gets_error_directive(self, cloud):
+        reply = cloud.plaintext_endpoint.receive(b'{"not": "an event"}')
+        assert b"error" in reply
+
+
+class TestTranscriptMatch:
+    def test_exact(self):
+        assert transcript_match("play some jazz", "play some jazz")
+
+    def test_asr_noise_tolerated(self):
+        assert transcript_match(
+            "transfer five hundred dollars from city bank",
+            "transfer five hundred dollars from bank",
+        )
+
+    def test_different_content_rejected(self):
+        assert not transcript_match("play some jazz", "what is the weather")
+
+    def test_empty_reference(self):
+        assert transcript_match("", "")
+        assert not transcript_match("", "anything here")
+
+
+def utt(text, category=SensitiveCategory.CREDENTIALS):
+    return Utterance(text=text, category=category)
+
+
+class TestLeakAuditor:
+    def test_full_leak(self):
+        truth = [
+            utt("the password is four two"),
+            utt("play some jazz", SensitiveCategory.MUSIC),
+        ]
+        auditor = LeakAuditor(truth)
+        report = auditor.report(["the password is four two", "play some jazz"])
+        assert report.cloud_leak_rate == 1.0
+        assert report.utility_rate == 1.0
+
+    def test_perfect_filter(self):
+        truth = [
+            utt("the password is four two"),
+            utt("play some jazz", SensitiveCategory.MUSIC),
+        ]
+        report = LeakAuditor(truth).report(["play some jazz"])
+        assert report.cloud_leak_rate == 0.0
+        assert report.utility_rate == 1.0
+
+    def test_overblocking_hurts_utility(self):
+        truth = [utt("play some jazz", SensitiveCategory.MUSIC)]
+        report = LeakAuditor(truth).report([])
+        assert report.utility_rate == 0.0
+
+    def test_empty_ground_truth(self):
+        report = LeakAuditor([]).report(["anything"])
+        assert report.cloud_leak_rate == 0.0
+        assert report.utility_rate == 1.0
+
+    def test_wire_leak_detection(self):
+        truth = [utt("the password is four two seven one")]
+        report = LeakAuditor(truth).report(
+            [], wire_bytes=[b"...the password is four two seven one..."]
+        )
+        assert report.wire_leak_rate == 1.0
+        report2 = LeakAuditor(truth).report([], wire_bytes=[b"ciphertext9a8b"])
+        assert report2.wire_leak_rate == 0.0
+
+    def test_device_capture_decoding(self, vocoder, asr):
+        text = "the password for the email is four two seven one"
+        truth = [utt(text)]
+        auditor = LeakAuditor(truth, reference_asr=asr)
+        pcm_bytes = vocoder.render(text).astype("<i2").tobytes()
+        decoded = auditor.decode_device_captures([pcm_bytes])
+        assert decoded, "capture should decode"
+        report = auditor.report([])
+        assert report.device_leak_rate == 1.0
+
+    def test_garbage_captures_do_not_count(self, asr):
+        truth = [utt("the password is four two")]
+        auditor = LeakAuditor(truth, reference_asr=asr)
+        auditor.decode_device_captures([b"", b"\x01", b"\xff" * 501, b"\x00" * 100])
+        assert auditor.report([]).device_leak_rate == 0.0
+
+    def test_decode_requires_reference_asr(self):
+        with pytest.raises(ValueError):
+            LeakAuditor([]).decode_device_captures([b"1234"])

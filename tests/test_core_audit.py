@@ -1,0 +1,82 @@
+"""Unit + integration tests: the security audit report."""
+
+import pytest
+
+from repro.core.audit import audit_machine
+from repro.core.pipeline import SecurePipeline
+from repro.core.platform import IotPlatform
+from repro.errors import SecureAccessViolation
+from repro.kernel.attacks import BufferSnoopAttack
+from repro.tz.worlds import World
+from tests.test_core_pipeline import MIXED, make_workload
+
+
+class TestCleanRun:
+    def test_unattacked_run_is_clean(self, provisioned):
+        platform = IotPlatform.create(seed=201)
+        pipeline = SecurePipeline(platform, provisioned.bundle)
+        pipeline.process(make_workload(provisioned, MIXED[:2]))
+        report = audit_machine(platform.machine, platform.supplicant)
+        assert not report.compromised_indicators
+        assert report.world_switches > 0
+        assert report.smc_calls > 0
+        assert report.bytes_on_wire > 0
+        assert "clean" in report.render()
+
+    def test_counters_match_machine(self, provisioned):
+        platform = IotPlatform.create(seed=202)
+        pipeline = SecurePipeline(platform, provisioned.bundle)
+        pipeline.process(make_workload(provisioned, MIXED[:1]))
+        report = audit_machine(platform.machine, platform.supplicant)
+        assert report.world_switches == platform.machine.cpu.switch_count
+        assert report.smc_calls == platform.machine.monitor.smc_count
+
+
+class TestAttackedRun:
+    def test_attack_leaves_evidence(self, provisioned):
+        platform = IotPlatform.create(seed=203)
+        pipeline = SecurePipeline(platform, provisioned.bundle)
+        snoop = BufferSnoopAttack(platform.machine)
+        pipeline.process(
+            make_workload(provisioned, MIXED[:3]),
+            after_each=lambda p: snoop.run(p.attack_targets()),
+        )
+        report = audit_machine(platform.machine, platform.supplicant)
+        assert report.compromised_indicators
+        assert len(report.violations) > 0
+        assert report.violations_by_region  # attributed to regions
+        assert "ATTENTION" in report.render()
+
+    def test_violation_records_attributed(self, machine):
+        with pytest.raises(SecureAccessViolation):
+            machine.memory.read(machine.dram_secure.base + 64, 8, World.NORMAL)
+        with pytest.raises(SecureAccessViolation):
+            machine.memory.write(machine.secure_heap_region.base, b"x",
+                                 World.NORMAL)
+        report = audit_machine(machine)
+        assert report.violations_by_region == {
+            "dram_secure": 1, "secure_heap": 1,
+        }
+        reads = [v for v in report.violations if not v.write]
+        writes = [v for v in report.violations if v.write]
+        assert len(reads) == 1 and len(writes) == 1
+        assert reads[0].address == machine.dram_secure.base + 64
+
+    def test_panic_counted(self, provisioned):
+        platform = IotPlatform.create(seed=204)
+        pipeline = SecurePipeline(platform, provisioned.bundle)
+        workload = make_workload(provisioned, MIXED[:2])
+        original = provisioned.bundle.asr.transcribe
+        provisioned.bundle.asr.transcribe = lambda pcm: (
+            (_ for _ in ()).throw(RuntimeError("crash"))
+        )
+        try:
+            from repro.errors import TeeTargetDead
+
+            with pytest.raises(TeeTargetDead):
+                pipeline.process_item(workload.items[0])
+        finally:
+            provisioned.bundle.asr.transcribe = original
+        report = audit_machine(platform.machine, platform.supplicant)
+        assert report.ta_panics == 1
+        assert report.compromised_indicators

@@ -1,0 +1,114 @@
+"""Integration tests: the secure camera pipeline (research plan item 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.camera_pipeline import (
+    SecureCameraPipeline,
+    train_person_detector,
+)
+from repro.core.platform import IotPlatform
+from repro.errors import SecureAccessViolation
+from repro.peripherals.camera import SyntheticScene
+from repro.sim.rng import SimRng
+from repro.tz.worlds import World
+
+
+@pytest.fixture(scope="module")
+def detector():
+    return train_person_detector(seed=3, frames_per_class=60, epochs=8)
+
+
+@pytest.fixture
+def camera_platform():
+    platform = IotPlatform.create(seed=61)
+    return platform
+
+
+class TestGuardDecisions:
+    def test_person_frames_blocked(self, detector):
+        platform = IotPlatform.create(seed=62)
+        platform.camera.scene = SyntheticScene(
+            SimRng(1, "p"), person_probability=1.0
+        )
+        pipeline = SecureCameraPipeline(platform, detector)
+        result = pipeline.run(10)
+        assert result.blocked >= 9  # near-perfect detector
+
+    def test_empty_frames_released(self, detector):
+        platform = IotPlatform.create(seed=63)
+        platform.camera.scene = SyntheticScene(
+            SimRng(2, "e"), person_probability=0.0
+        )
+        pipeline = SecureCameraPipeline(platform, detector)
+        result = pipeline.run(10)
+        assert result.released >= 9
+
+    def test_mixed_stream_accuracy(self, detector, camera_platform):
+        pipeline = SecureCameraPipeline(camera_platform, detector)
+        result = pipeline.run(20)
+        assert result.accuracy() > 0.85
+        assert result.released + result.blocked == 20
+
+    def test_ta_stats_match(self, detector, camera_platform):
+        pipeline = SecureCameraPipeline(camera_platform, detector)
+        result = pipeline.run(8)
+        stats = pipeline.stats()
+        assert stats["blocked"] == result.blocked
+        assert stats["released"] == result.released
+
+    def test_released_payload_is_digest_not_pixels(self, detector,
+                                                   camera_platform):
+        from repro.core.camera_pipeline import CMD_GRAB_AND_GUARD
+
+        pipeline = SecureCameraPipeline(camera_platform, detector)
+        for _ in range(10):
+            verdict = pipeline.session.invoke(CMD_GRAB_AND_GUARD)
+            if verdict["released"]:
+                assert set(verdict) == {"released", "probability",
+                                        "brightness"}
+                return
+        pytest.fail("no frame released in 10 tries")
+
+    def test_threshold_changes_behaviour(self, detector, camera_platform):
+        paranoid = SecureCameraPipeline(
+            camera_platform, detector, threshold=0.01
+        )
+        result = paranoid.run(10)
+        assert result.blocked == 10  # blocks virtually everything
+
+
+class TestCameraIsolation:
+    def test_frame_buffer_is_secure(self, detector, camera_platform):
+        pipeline = SecureCameraPipeline(camera_platform, detector)
+        pipeline.run(1)
+        driver = pipeline.pta.driver
+        assert driver is not None and driver._buf_addr is not None
+        with pytest.raises(SecureAccessViolation):
+            camera_platform.machine.memory.read(
+                driver._buf_addr, camera_platform.camera.frame_bytes,
+                World.NORMAL,
+            )
+
+    def test_latency_and_switches_accounted(self, detector, camera_platform):
+        pipeline = SecureCameraPipeline(camera_platform, detector)
+        switches_before = camera_platform.machine.cpu.switch_count
+        result = pipeline.run(4)
+        assert all(f.latency_cycles > 0 for f in result.frames)
+        assert camera_platform.machine.cpu.switch_count - switches_before >= 8
+
+    def test_close(self, detector, camera_platform):
+        pipeline = SecureCameraPipeline(camera_platform, detector)
+        pipeline.run(1)
+        pipeline.close()
+        assert pipeline.session.closed
+
+
+class TestDetectorTraining:
+    def test_detector_quality(self, detector):
+        from repro.peripherals.camera import Camera
+
+        scene = SyntheticScene(SimRng(9, "eval"), person_probability=1.0)
+        cam = Camera(scene)
+        frames = np.stack([cam.capture_frame() for _ in range(20)])
+        assert detector.predict(frames).mean() > 0.9

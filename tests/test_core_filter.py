@@ -1,0 +1,104 @@
+"""Unit tests: filter policies and bundle accounting."""
+
+import pytest
+
+from repro.core.filter import (
+    REDACTED_PLACEHOLDER,
+    FilterPolicy,
+    SensitiveFilter,
+)
+from repro.errors import PolicyError
+
+
+@pytest.fixture
+def trained_filter(provisioned):
+    return provisioned.bundle.filter
+
+
+class TestSensitiveFilter:
+    def test_benign_passes_through(self, trained_filter):
+        decision = trained_filter.apply("what is the weather like today")
+        assert not decision.sensitive
+        assert decision.forwarded
+        assert decision.payload == "what is the weather like today"
+        assert not decision.blocked
+
+    def test_sensitive_dropped(self, trained_filter):
+        decision = trained_filter.apply(
+            "the password for the email is four two seven one"
+        )
+        assert decision.sensitive
+        assert not decision.forwarded
+        assert decision.payload is None
+        assert decision.blocked
+
+    def test_probability_reported(self, trained_filter):
+        decision = trained_filter.apply("my diabetes has been getting worse lately")
+        assert 0.0 <= decision.probability <= 1.0
+        assert decision.probability >= trained_filter.threshold
+
+    def test_redact_policy(self, provisioned):
+        f = SensitiveFilter(
+            provisioned.bundle.filter.classifier,
+            provisioned.bundle.filter.tokenizer,
+            policy=FilterPolicy.REDACT,
+        )
+        decision = f.apply("the password for the email is four two seven one")
+        assert decision.forwarded
+        assert decision.payload == REDACTED_PLACEHOLDER
+
+    def test_hash_policy(self, provisioned):
+        f = SensitiveFilter(
+            provisioned.bundle.filter.classifier,
+            provisioned.bundle.filter.tokenizer,
+            policy=FilterPolicy.HASH,
+        )
+        a = f.apply("the password for the email is four two seven one")
+        b = f.apply("my social security number is nine eight three five")
+        assert a.payload.startswith("hashed:")
+        assert b.payload.startswith("hashed:")
+        assert a.payload != b.payload
+        # Original words absent from the hash payload.
+        assert "password" not in a.payload
+
+    def test_threshold_validation(self, provisioned):
+        with pytest.raises(PolicyError):
+            SensitiveFilter(
+                provisioned.bundle.filter.classifier,
+                provisioned.bundle.filter.tokenizer,
+                threshold=0.0,
+            )
+
+    def test_threshold_tradeoff(self, provisioned):
+        """Lower threshold blocks at least as much as a higher one."""
+        clf = provisioned.bundle.filter.classifier
+        tok = provisioned.bundle.filter.tokenizer
+        texts = [u.text for u in provisioned.test_corpus.utterances[:50]]
+        strict = SensitiveFilter(clf, tok, threshold=0.05)
+        lax = SensitiveFilter(clf, tok, threshold=0.95)
+        blocked_strict = sum(strict.apply(t).sensitive for t in texts)
+        blocked_lax = sum(lax.apply(t).sensitive for t in texts)
+        assert blocked_strict >= blocked_lax
+
+
+class TestFilterBundleAccounting:
+    def test_model_size_includes_asr(self, provisioned):
+        bundle = provisioned.bundle
+        assert bundle.model_size_bytes > bundle.classifier_size()
+
+    def test_inference_macs_positive(self, provisioned):
+        assert provisioned.bundle.inference_macs() > 0
+
+    def test_asr_macs_scale_with_audio(self, provisioned):
+        bundle = provisioned.bundle
+        assert bundle.asr_macs(32_000) > bundle.asr_macs(16_000)
+
+    def test_end_to_end_accuracy(self, provisioned):
+        """Provisioned bundle classifies held-out utterances well."""
+        bundle = provisioned.bundle
+        correct = 0
+        sample = provisioned.test_corpus.utterances[:80]
+        for u in sample:
+            decision = bundle.filter.apply(u.text)
+            correct += decision.sensitive == u.sensitive
+        assert correct / len(sample) > 0.9

@@ -1,0 +1,130 @@
+"""Unit tests: workloads and run-result aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import PipelineRunResult, UtteranceResult
+from repro.core.workload import UtteranceWorkload, WorkloadItem
+from repro.ml.dataset import Corpus, SensitiveCategory, Utterance
+from repro.sim.clock import CycleDomain
+
+
+def utt(text="hello", sensitive=False):
+    category = (
+        SensitiveCategory.CREDENTIALS if sensitive else SensitiveCategory.MUSIC
+    )
+    return Utterance(text=text, category=category)
+
+
+def result(
+    sensitive=False, predicted=None, forwarded=None, latency=1000,
+    energy=1.0, peripheral=0,
+):
+    predicted = sensitive if predicted is None else predicted
+    forwarded = (not predicted) if forwarded is None else forwarded
+    u = utt(sensitive=sensitive)
+    return UtteranceResult(
+        utterance=u,
+        transcript=u.text,
+        sensitive_predicted=predicted,
+        forwarded=forwarded,
+        payload=u.text if forwarded else None,
+        latency_cycles=latency,
+        energy_mj=energy,
+        domain_cycles={CycleDomain.PERIPHERAL: peripheral},
+    )
+
+
+class TestWorkload:
+    def test_from_corpus_renders_pcm(self, vocoder):
+        corpus = Corpus([utt("play some jazz"), utt("tell me a joke")])
+        workload = UtteranceWorkload.from_corpus(corpus, vocoder)
+        assert len(workload) == 2
+        for item in workload:
+            assert item.pcm.dtype == np.int16
+            assert item.frames == len(item.pcm) > 0
+
+    def test_totals(self, vocoder):
+        corpus = Corpus([utt("play some jazz"), utt("what time is it")])
+        workload = UtteranceWorkload.from_corpus(corpus, vocoder)
+        assert workload.total_frames == sum(i.frames for i in workload)
+        assert workload.max_frames == max(i.frames for i in workload)
+
+    def test_empty_workload(self):
+        workload = UtteranceWorkload(items=[])
+        assert workload.max_frames == 0
+        assert workload.total_frames == 0
+        assert workload.utterances == []
+
+    def test_ground_truth_order_preserved(self, vocoder):
+        texts = ["play some jazz", "tell me a joke", "what time is it"]
+        corpus = Corpus([utt(t) for t in texts])
+        workload = UtteranceWorkload.from_corpus(corpus, vocoder)
+        assert [u.text for u in workload.utterances] == texts
+
+
+class TestRunResult:
+    def test_latency_stats(self):
+        run = PipelineRunResult(pipeline="x")
+        run.results = [result(latency=l) for l in (100, 200, 300)]
+        assert run.mean_latency_cycles() == 200
+        assert run.p95_latency_cycles() >= 200
+
+    def test_empty_run(self):
+        run = PipelineRunResult(pipeline="x")
+        assert run.mean_latency_cycles() == 0.0
+        assert run.p95_latency_cycles() == 0.0
+        assert run.classifier_accuracy() == 0.0
+        assert run.summary()["utterances"] == 0
+
+    def test_processing_latency_subtracts_peripheral(self):
+        run = PipelineRunResult(pipeline="x")
+        run.results = [result(latency=1000, peripheral=800)]
+        assert run.processing_latency_cycles()[0] == 200
+
+    def test_decision_counts(self):
+        run = PipelineRunResult(pipeline="x")
+        run.results = [
+            result(sensitive=True),   # blocked
+            result(sensitive=False),  # forwarded
+            result(sensitive=False),  # forwarded
+        ]
+        assert run.forwarded_count() == 2
+        assert run.blocked_count() == 1
+
+    def test_accuracy_against_ground_truth(self):
+        run = PipelineRunResult(pipeline="x")
+        run.results = [
+            result(sensitive=True, predicted=True),
+            result(sensitive=False, predicted=True),  # false positive
+        ]
+        assert run.classifier_accuracy() == 0.5
+
+    def test_energy_total(self):
+        run = PipelineRunResult(pipeline="x")
+        run.results = [result(energy=1.5), result(energy=2.5)]
+        assert run.total_energy_mj() == pytest.approx(4.0)
+
+    def test_summary_schema(self):
+        run = PipelineRunResult(pipeline="x")
+        run.results = [result()]
+        assert {
+            "pipeline", "utterances", "mean_latency_cycles",
+            "p95_latency_cycles", "mean_processing_cycles",
+            "total_energy_mj", "forwarded", "accuracy",
+        } == set(run.summary())
+
+    def test_redacted_counts_as_blocked(self):
+        run = PipelineRunResult(pipeline="x")
+        r = UtteranceResult(
+            utterance=utt(sensitive=True),
+            transcript="secret text",
+            sensitive_predicted=True,
+            forwarded=True,
+            payload="redacted by privacy filter",
+            latency_cycles=10,
+            energy_mj=0.1,
+        )
+        run.results = [r]
+        assert run.forwarded_count() == 1
+        assert run.blocked_count() == 1  # payload != transcript

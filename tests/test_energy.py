@@ -1,0 +1,75 @@
+"""Unit tests: power model and energy meter."""
+
+import pytest
+
+from repro.energy.model import EnergyMeter, PowerModel
+from repro.sim.clock import CycleDomain, SimClock
+
+
+class TestPowerModel:
+    def test_all_domains_covered(self):
+        model = PowerModel()
+        for domain in CycleDomain:
+            assert model.power_mw(domain) > 0
+
+    def test_secure_draws_more_than_normal(self):
+        model = PowerModel()
+        assert model.power_mw(CycleDomain.SECURE_CPU) > model.power_mw(
+            CycleDomain.NORMAL_CPU
+        )
+
+    def test_peripherals_cheap(self):
+        model = PowerModel()
+        assert model.power_mw(CycleDomain.PERIPHERAL) < model.power_mw(
+            CycleDomain.NORMAL_CPU
+        ) / 10
+
+
+class TestEnergyMeter:
+    def test_integrates_power_over_time(self):
+        clock = SimClock(freq_hz=1e9)
+        meter = EnergyMeter(clock, PowerModel(normal_cpu_mw=1000.0))
+        clock.advance(1_000_000_000, CycleDomain.NORMAL_CPU)  # 1 second
+        report = meter.report()
+        assert report.total_mj == pytest.approx(1000.0)  # 1 W * 1 s
+
+    def test_per_domain_split(self):
+        clock = SimClock(freq_hz=1e9)
+        meter = EnergyMeter(clock)
+        clock.advance(500_000_000, CycleDomain.NORMAL_CPU)
+        clock.advance(500_000_000, CycleDomain.DMA)
+        report = meter.report()
+        assert report.domain_mj(CycleDomain.NORMAL_CPU) > report.domain_mj(
+            CycleDomain.DMA
+        )
+        assert report.total_mj == pytest.approx(
+            report.domain_mj(CycleDomain.NORMAL_CPU)
+            + report.domain_mj(CycleDomain.DMA)
+        )
+
+    def test_delta_measurement(self):
+        clock = SimClock(freq_hz=1e9)
+        meter = EnergyMeter(clock)
+        clock.advance(100_000, CycleDomain.NORMAL_CPU)
+        snap = meter.snapshot()
+        clock.advance(200_000, CycleDomain.SECURE_CPU)
+        delta = meter.delta_since(snap)
+        assert delta.domain_mj(CycleDomain.NORMAL_CPU) == 0.0
+        assert delta.domain_mj(CycleDomain.SECURE_CPU) > 0
+
+    def test_detach_stops_metering(self):
+        clock = SimClock()
+        meter = EnergyMeter(clock)
+        meter.detach()
+        clock.advance(1_000_000, CycleDomain.NORMAL_CPU)
+        assert meter.report().total_mj == 0.0
+
+    def test_same_cycles_secure_costs_more_energy(self):
+        clock = SimClock(freq_hz=1e9)
+        meter = EnergyMeter(clock)
+        clock.advance(1_000_000, CycleDomain.NORMAL_CPU)
+        normal = meter.report().total_mj
+        clock2 = SimClock(freq_hz=1e9)
+        meter2 = EnergyMeter(clock2)
+        clock2.advance(1_000_000, CycleDomain.SECURE_CPU)
+        assert meter2.report().total_mj > normal

@@ -1,0 +1,63 @@
+"""Unit tests: battery-life projection."""
+
+import pytest
+
+from repro.energy.battery import (
+    BatteryProjection,
+    compare_days,
+    project_battery_life,
+)
+from repro.energy.model import PowerModel
+
+
+class TestProjection:
+    def test_idle_floor_dominates_at_low_rates(self):
+        p = project_battery_life(energy_per_utterance_mj=15.0,
+                                 utterances_per_day=10)
+        assert p.idle_mj_per_day > p.active_mj_per_day
+
+    def test_more_usage_fewer_days(self):
+        light = project_battery_life(15.0, utterances_per_day=50)
+        heavy = project_battery_life(15.0, utterances_per_day=5000)
+        assert light.days > heavy.days
+
+    def test_more_energy_fewer_days(self):
+        cheap = project_battery_life(10.0, utterances_per_day=1000)
+        costly = project_battery_life(30.0, utterances_per_day=1000)
+        assert cheap.days > costly.days
+
+    def test_bigger_battery_more_days(self):
+        small = project_battery_life(15.0, battery_mwh=10_000)
+        big = project_battery_life(15.0, battery_mwh=20_000)
+        assert big.days == pytest.approx(small.days * 2)
+
+    def test_plausible_magnitude(self):
+        """A 5 Ah pack at ~15 mW idle should run on the order of weeks."""
+        p = project_battery_life(15.0, utterances_per_day=200)
+        assert 10 < p.days < 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            project_battery_life(-1.0)
+        with pytest.raises(ValueError):
+            project_battery_life(1.0, utterances_per_day=-1)
+        with pytest.raises(ValueError):
+            project_battery_life(1.0, battery_mwh=0)
+
+    def test_custom_power_model(self):
+        hungry = PowerModel(idle_mw=150.0)
+        p = project_battery_life(15.0, power=hungry)
+        q = project_battery_life(15.0)
+        assert p.days < q.days
+
+
+class TestComparison:
+    def test_secure_costs_days(self):
+        out = compare_days(baseline_mj=14.78, secure_mj=15.04,
+                           utterances_per_day=2000)
+        assert out["secure_days"] < out["baseline_days"]
+        assert 0 < out["days_lost_pct"] < 5  # modest, per T4
+
+    def test_equal_energy_no_loss(self):
+        out = compare_days(10.0, 10.0)
+        assert out["days_lost_pct"] == pytest.approx(0.0)

@@ -1,0 +1,65 @@
+"""Smoke tests: the shipped examples must actually run.
+
+Each example is executed as a subprocess (fresh interpreter, exactly the
+way a user runs it) with output sanity checks.  The heavier examples get
+generous timeouts; all are deterministic.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "BLOCKED" in out
+        assert "forwarded" in out
+        assert "cloud saw:" in out
+        assert "TZASC violations" in out
+
+    def test_tcb_minimization(self):
+        out = run_example("tcb_minimization.py")
+        assert "PASS" in out and "FAIL" not in out
+        assert "record+volume+debug" in out
+        assert "Per-subsystem breakdown" in out
+
+    def test_camera_guard(self):
+        out = run_example("camera_guard.py")
+        assert "BLOCKED" in out
+        assert "released" in out
+        assert "never left the TEE" in out
+
+    def test_smart_home_privacy(self):
+        out = run_example("smart_home_privacy.py", timeout=300)
+        assert "secure (ours, DROP)" in out
+        assert "100%" in out and "0%" in out
+        assert "0 contained sensitive content" in out
+
+    @pytest.mark.slow
+    def test_model_zoo(self):
+        out = run_example("model_zoo.py", timeout=420)
+        assert "transformer-int8" in out
+        assert "secure heap budget" in out
+
+    def test_continuous_assistant(self):
+        out = run_example("continuous_assistant.py", timeout=300)
+        assert "accepted: now at v2" in out
+        assert "signature invalid" in out
+        assert "rollback rejected" in out
+        assert "VAD found" in out

@@ -1,0 +1,204 @@
+"""Unit tests: vocoder, matched-filter ASR, WER channel and metric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MlError
+from repro.ml.asr import (
+    GAP_SAMPLES,
+    SAMPLES_PER_WORD,
+    WORD_STRIDE,
+    MatchedFilterAsr,
+    NoisyChannel,
+    SpeechVocoder,
+    word_error_rate,
+)
+from repro.sim.rng import SimRng
+
+VOCAB = ["alexa", "play", "music", "password", "is", "seven", "doctor",
+         "transfer", "dollars", "weather", "today", "the"]
+
+
+@pytest.fixture(scope="module")
+def voc():
+    return SpeechVocoder(VOCAB)
+
+
+@pytest.fixture(scope="module")
+def asr_small(voc):
+    return MatchedFilterAsr(voc)
+
+
+class TestVocoder:
+    def test_render_length(self, voc):
+        pcm = voc.render("play music today")
+        assert len(pcm) == 3 * WORD_STRIDE
+        assert pcm.dtype == np.int16
+
+    def test_duration_helper(self, voc):
+        assert voc.duration_samples("play music") == len(voc.render("play music"))
+
+    def test_unknown_word_rejected(self, voc):
+        with pytest.raises(MlError):
+            voc.render("xylophone")
+
+    def test_empty_text(self, voc):
+        assert len(voc.render("")) == 0
+
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(MlError):
+            SpeechVocoder([])
+
+    def test_words_have_distinct_waveforms(self, voc):
+        a = voc.render("play")[:SAMPLES_PER_WORD].astype(np.float64)
+        b = voc.render("music")[:SAMPLES_PER_WORD].astype(np.float64)
+        corr = np.abs(np.dot(a, b)) / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-9)
+        assert corr < 0.5
+
+    def test_gap_is_silent(self, voc):
+        pcm = voc.render("play")
+        assert not np.any(pcm[SAMPLES_PER_WORD:])
+
+    def test_normalization_applied(self, voc):
+        pcm = voc.render("Play, MUSIC!")
+        assert np.array_equal(pcm, voc.render("play music"))
+
+
+class TestAsr:
+    def test_clean_round_trip(self, voc, asr_small):
+        text = "transfer seven dollars the password is seven"
+        assert asr_small.transcribe(voc.render(text)) == text
+
+    def test_every_vocab_word_decodes(self, voc, asr_small):
+        for word in VOCAB:
+            assert asr_small.transcribe(voc.render(word)) == word
+
+    def test_silence_decodes_to_nothing(self, asr_small):
+        assert asr_small.transcribe(np.zeros(4000, dtype=np.int16)) == ""
+
+    def test_noise_only_below_threshold(self, asr_small):
+        rng = np.random.default_rng(0)
+        noise = (rng.normal(0, 400, 4000)).astype(np.int16)
+        assert asr_small.transcribe(noise) == ""
+
+    def test_moderate_noise_tolerated(self, voc, asr_small):
+        rng = np.random.default_rng(1)
+        text = "play music today"
+        pcm = voc.render(text).astype(np.int32)
+        noisy = (pcm + rng.normal(0, 1500, len(pcm)).astype(np.int32)).clip(
+            -32768, 32767
+        ).astype(np.int16)
+        assert word_error_rate(text, asr_small.transcribe(noisy)) < 0.4
+
+    def test_heavy_noise_degrades(self, voc, asr_small):
+        """WER grows with noise — the natural acoustic channel."""
+        rng = np.random.default_rng(2)
+        text = "transfer seven dollars doctor is the weather today play music"
+        pcm = voc.render(text).astype(np.int32)
+        wers = []
+        for sigma in (0, 4000, 12000):
+            noisy = (pcm + rng.normal(0, sigma, len(pcm)).astype(np.int32)).clip(
+                -32768, 32767
+            ).astype(np.int16)
+            wers.append(word_error_rate(text, asr_small.transcribe(noisy)))
+        assert wers[0] == 0.0
+        assert wers[2] >= wers[1] >= wers[0]
+
+    def test_requires_int16(self, asr_small):
+        with pytest.raises(MlError):
+            asr_small.transcribe(np.zeros(100, dtype=np.float32))
+
+    def test_alignment_recovers_shifted_segment(self, voc, asr_small):
+        """A VAD-style cut (arbitrary leading silence) must still decode."""
+        text = "transfer seven dollars"
+        pcm = voc.render(text)
+        for lead in (37, 111, 250, 399):
+            shifted = np.concatenate(
+                [np.zeros(lead, dtype=np.int16), pcm]
+            )
+            assert asr_small.transcribe(shifted) == text
+
+    def test_align_false_fails_on_shift(self, voc, asr_small):
+        """Documents why alignment matters: naive decode garbles shifts."""
+        text = "transfer seven dollars"
+        shifted = np.concatenate(
+            [np.zeros(170, dtype=np.int16), voc.render(text)]
+        )
+        assert asr_small.transcribe(shifted, align=False) != text
+
+    def test_clipped_tail_recoverable_with_slack(self, voc, asr_small):
+        """A tail clipped mid-gap still decodes (the last word is whole)."""
+        text = "play music today"
+        pcm = voc.render(text)[:-60]  # clip into the final gap
+        assert asr_small.transcribe(pcm) == text
+
+    def test_macs_positive(self, asr_small):
+        assert asr_small.macs_per_second() > 0
+
+
+class TestNoisyChannel:
+    def test_zero_wer_is_identity(self, voc):
+        channel = NoisyChannel(SimRng(1), 0.0, voc.vocabulary)
+        text = "play music today"
+        assert channel.corrupt(text) == text
+
+    def test_full_wer_changes_everything(self, voc):
+        channel = NoisyChannel(SimRng(1), 1.0, voc.vocabulary)
+        text = "play music today play music today"
+        assert word_error_rate(text, channel.corrupt(text)) > 0.5
+
+    def test_target_rate_approximate(self, voc):
+        channel = NoisyChannel(SimRng(3), 0.3, voc.vocabulary)
+        text = " ".join(["play"] * 400)
+        measured = word_error_rate(text, channel.corrupt(text))
+        assert 0.2 < measured < 0.4
+
+    def test_bad_rate_rejected(self, voc):
+        with pytest.raises(MlError):
+            NoisyChannel(SimRng(1), 1.5, voc.vocabulary)
+
+
+class TestWordErrorRate:
+    def test_identical(self):
+        assert word_error_rate("a b c", "a b c") == 0.0
+
+    def test_substitution(self):
+        assert word_error_rate("a b c", "a x c") == pytest.approx(1 / 3)
+
+    def test_deletion(self):
+        assert word_error_rate("a b c", "a c") == pytest.approx(1 / 3)
+
+    def test_insertion(self):
+        assert word_error_rate("a b", "a x b") == pytest.approx(1 / 2)
+
+    def test_empty_reference(self):
+        assert word_error_rate("", "") == 0.0
+        assert word_error_rate("", "x") == 1.0
+
+    def test_case_insensitive(self):
+        assert word_error_rate("Hello World", "hello world") == 0.0
+
+    @given(st.lists(st.sampled_from(VOCAB), min_size=1, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_property_wer_zero_iff_equal(self, words):
+        text = " ".join(words)
+        assert word_error_rate(text, text) == 0.0
+
+    @given(
+        st.lists(st.sampled_from(VOCAB), min_size=1, max_size=8),
+        st.lists(st.sampled_from(VOCAB), min_size=0, max_size=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_wer_nonnegative(self, ref, hyp):
+        assert word_error_rate(" ".join(ref), " ".join(hyp)) >= 0.0
+
+
+class TestEndToEndVocoderAsr:
+    @given(st.lists(st.sampled_from(VOCAB), min_size=1, max_size=12))
+    @settings(max_examples=20, deadline=None)
+    def test_property_clean_channel_is_lossless(self, words):
+        voc = SpeechVocoder(VOCAB)
+        asr = MatchedFilterAsr(voc)
+        text = " ".join(words)
+        assert asr.transcribe(voc.render(text)) == text

@@ -1,0 +1,123 @@
+"""Unit tests: attention and the Transformer encoder block."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.ml.attention import (
+    FeedForward,
+    MultiHeadSelfAttention,
+    TransformerEncoderBlock,
+    sinusoidal_positions,
+)
+from tests.test_ml_layers import check_input_grad, numeric_grad
+
+RNG = np.random.default_rng(1)
+
+
+class TestPositions:
+    def test_shape(self):
+        assert sinusoidal_positions(10, 16).shape == (10, 16)
+
+    def test_bounded(self):
+        enc = sinusoidal_positions(50, 32)
+        assert np.abs(enc).max() <= 1.0 + 1e-6
+
+    def test_rows_distinct(self):
+        enc = sinusoidal_positions(20, 16)
+        assert len({tuple(np.round(row, 5)) for row in enc}) == 20
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self):
+        mha = MultiHeadSelfAttention(8, 2, RNG)
+        x = RNG.standard_normal((2, 5, 8)).astype(np.float32)
+        assert mha.forward(x).shape == (2, 5, 8)
+
+    def test_dim_head_divisibility(self):
+        with pytest.raises(ShapeError):
+            MultiHeadSelfAttention(10, 3, RNG)
+
+    def test_input_gradient(self):
+        mha = MultiHeadSelfAttention(4, 2, RNG)
+        x = RNG.standard_normal((1, 3, 4)).astype(np.float32)
+        check_input_grad(mha, x, tol=5e-2)
+
+    def test_projection_weight_gradient(self):
+        mha = MultiHeadSelfAttention(4, 2, RNG)
+        x = RNG.standard_normal((1, 3, 4)).astype(np.float32)
+        out = mha.forward(x)
+        for p in mha.params():
+            p.zero_grad()
+        mha.backward(np.ones_like(out))
+        analytic = mha.wq.w.grad.copy()
+        numeric = numeric_grad(
+            lambda: float(mha.forward(x).sum()), mha.wq.w.value
+        )
+        assert np.allclose(analytic, numeric, atol=5e-2)
+
+    def test_permutation_equivariance(self):
+        """Self-attention without positions commutes with permutation."""
+        mha = MultiHeadSelfAttention(8, 2, RNG)
+        x = RNG.standard_normal((1, 6, 8)).astype(np.float32)
+        out = mha.forward(x)
+        perm = np.array([3, 1, 5, 0, 4, 2])
+        out_perm = mha.forward(x[:, perm])
+        assert np.allclose(out[:, perm], out_perm, atol=1e-4)
+
+    def test_macs_grow_quadratically_in_seq(self):
+        mha = MultiHeadSelfAttention(8, 2, RNG)
+        assert mha.macs(64) > 2 * mha.macs(32)
+
+    def test_param_count(self):
+        mha = MultiHeadSelfAttention(8, 2, RNG)
+        total = sum(p.value.size for p in mha.params())
+        assert total == 4 * (8 * 8 + 8)  # 4 projections with bias
+
+
+class TestFeedForward:
+    def test_shape(self):
+        ffn = FeedForward(8, 16, RNG)
+        x = RNG.standard_normal((2, 5, 8)).astype(np.float32)
+        assert ffn.forward(x).shape == (2, 5, 8)
+
+    def test_input_gradient(self):
+        ffn = FeedForward(4, 8, RNG)
+        x = RNG.standard_normal((2, 3, 4)).astype(np.float32)
+        check_input_grad(ffn, x, tol=5e-2)
+
+    def test_macs(self):
+        assert FeedForward(8, 16, RNG).macs(10) == 10 * (8 * 16 * 2)
+
+
+class TestEncoderBlock:
+    def test_shape_preserved(self):
+        block = TransformerEncoderBlock(8, 2, 16, RNG)
+        x = RNG.standard_normal((2, 5, 8)).astype(np.float32)
+        assert block.forward(x).shape == (2, 5, 8)
+
+    def test_residual_path(self):
+        """Zeroing all sublayer outputs leaves the residual identity."""
+        block = TransformerEncoderBlock(8, 2, 16, RNG)
+        block.mha.wo.w.value[...] = 0
+        block.mha.wo.b.value[...] = 0
+        block.ffn.fc2.w.value[...] = 0
+        block.ffn.fc2.b.value[...] = 0
+        x = RNG.standard_normal((1, 4, 8)).astype(np.float32)
+        assert np.allclose(block.forward(x), x, atol=1e-5)
+
+    def test_input_gradient(self):
+        block = TransformerEncoderBlock(4, 2, 8, RNG)
+        x = RNG.standard_normal((1, 3, 4)).astype(np.float32)
+        check_input_grad(block, x, tol=8e-2)
+
+    def test_params_collected(self):
+        block = TransformerEncoderBlock(8, 2, 16, RNG)
+        names = {p.name for p in block.params()}
+        assert any("mha" in n for n in names)
+        assert any("ffn" in n for n in names)
+        assert any("ln1" in n for n in names)
+
+    def test_macs_sum(self):
+        block = TransformerEncoderBlock(8, 2, 16, RNG)
+        assert block.macs(12) == block.mha.macs(12) + block.ffn.macs(12)

@@ -1,0 +1,261 @@
+"""Unit tests: layers — shapes, semantics, and numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.ml.layers import (
+    Conv1d,
+    Dense,
+    Dropout,
+    Embedding,
+    GlobalMaxPool,
+    GlobalMeanPool,
+    LayerNorm,
+    Relu,
+    softmax,
+)
+
+
+def numeric_grad(f, x, eps=1e-3):
+    """Central-difference gradient of scalar f w.r.t. array x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = f()
+        flat[i] = orig - eps
+        lo = f()
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_input_grad(layer, x, tol=2e-2):
+    """Backprop grad vs numeric grad of sum(forward(x))."""
+    out = layer.forward(x)
+    analytic = layer.backward(np.ones_like(out))
+    numeric = numeric_grad(lambda: float(layer.forward(x).sum()), x)
+    assert np.allclose(analytic, numeric, atol=tol), (
+        f"max err {np.abs(analytic - numeric).max()}"
+    )
+
+
+def check_param_grad(layer, x, param, tol=2e-2):
+    out = layer.forward(x)
+    param.zero_grad()
+    layer.backward(np.ones_like(out))
+    analytic = param.grad.copy()
+    numeric = numeric_grad(lambda: float(layer.forward(x).sum()), param.value)
+    assert np.allclose(analytic, numeric, atol=tol), (
+        f"max err {np.abs(analytic - numeric).max()}"
+    )
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestDense:
+    def test_shape(self):
+        layer = Dense(4, 3, RNG)
+        assert layer.forward(np.ones((2, 4), dtype=np.float32)).shape == (2, 3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            Dense(4, 3, RNG).forward(np.ones((2, 5), dtype=np.float32))
+
+    def test_input_gradient(self):
+        x = RNG.standard_normal((3, 4)).astype(np.float32)
+        check_input_grad(Dense(4, 3, RNG), x)
+
+    def test_weight_gradient(self):
+        layer = Dense(4, 3, RNG)
+        x = RNG.standard_normal((3, 4)).astype(np.float32)
+        check_param_grad(layer, x, layer.w)
+
+    def test_bias_gradient(self):
+        layer = Dense(4, 3, RNG)
+        x = RNG.standard_normal((3, 4)).astype(np.float32)
+        check_param_grad(layer, x, layer.b)
+
+    def test_3d_input(self):
+        layer = Dense(4, 3, RNG)
+        out = layer.forward(RNG.standard_normal((2, 5, 4)).astype(np.float32))
+        assert out.shape == (2, 5, 3)
+
+    def test_macs(self):
+        assert Dense(4, 3, RNG).macs(10) == 120
+
+
+class TestRelu:
+    def test_semantics(self):
+        layer = Relu()
+        x = np.array([[-1.0, 0.0, 2.0]], dtype=np.float32)
+        assert list(layer.forward(x)[0]) == [0.0, 0.0, 2.0]
+
+    def test_gradient_mask(self):
+        layer = Relu()
+        x = np.array([[-1.0, 3.0]], dtype=np.float32)
+        layer.forward(x)
+        grad = layer.backward(np.ones((1, 2), dtype=np.float32))
+        assert list(grad[0]) == [0.0, 1.0]
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        layer = Embedding(10, 4, RNG)
+        ids = np.array([[1, 2], [3, 3]], dtype=np.int32)
+        out = layer.forward(ids)
+        assert out.shape == (2, 2, 4)
+        assert np.array_equal(out[1, 0], out[1, 1])
+
+    def test_out_of_range(self):
+        layer = Embedding(10, 4, RNG)
+        with pytest.raises(ShapeError):
+            layer.forward(np.array([[10]], dtype=np.int32))
+
+    def test_gradient_accumulates_per_id(self):
+        layer = Embedding(5, 3, RNG)
+        ids = np.array([[1, 1, 2]], dtype=np.int32)
+        out = layer.forward(ids)
+        layer.table.zero_grad()
+        layer.backward(np.ones_like(out))
+        assert np.allclose(layer.table.grad[1], 2.0)  # used twice
+        assert np.allclose(layer.table.grad[2], 1.0)
+        assert np.allclose(layer.table.grad[0], 0.0)
+
+    def test_macs_zero(self):
+        assert Embedding(5, 3, RNG).macs(1, 10) == 0
+
+
+class TestConv1d:
+    def test_same_length_output(self):
+        layer = Conv1d(4, 6, 3, RNG)
+        out = layer.forward(RNG.standard_normal((2, 9, 4)).astype(np.float32))
+        assert out.shape == (2, 9, 6)
+
+    def test_even_width_rejected(self):
+        with pytest.raises(ShapeError):
+            Conv1d(4, 6, 2, RNG)
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ShapeError):
+            Conv1d(4, 6, 3, RNG).forward(
+                np.ones((1, 5, 3), dtype=np.float32)
+            )
+
+    def test_input_gradient(self):
+        x = RNG.standard_normal((2, 6, 3)).astype(np.float32)
+        check_input_grad(Conv1d(3, 4, 3, RNG), x)
+
+    def test_weight_gradient(self):
+        layer = Conv1d(3, 4, 3, RNG)
+        x = RNG.standard_normal((2, 6, 3)).astype(np.float32)
+        check_param_grad(layer, x, layer.w)
+
+    def test_bias_gradient(self):
+        layer = Conv1d(3, 4, 3, RNG)
+        x = RNG.standard_normal((2, 6, 3)).astype(np.float32)
+        check_param_grad(layer, x, layer.b)
+
+    def test_identity_kernel(self):
+        """A kernel with a single centered 1 reproduces the input channel."""
+        layer = Conv1d(1, 1, 3, RNG)
+        layer.w.value[...] = 0
+        layer.w.value[1, 0, 0] = 1.0
+        layer.b.value[...] = 0
+        x = RNG.standard_normal((1, 7, 1)).astype(np.float32)
+        assert np.allclose(layer.forward(x), x, atol=1e-6)
+
+    def test_macs(self):
+        assert Conv1d(3, 4, 5, RNG).macs(10) == 10 * 5 * 3 * 4
+
+
+class TestPools:
+    def test_max_pool_value(self):
+        pool = GlobalMaxPool()
+        x = np.array([[[1.0, -5.0], [3.0, -1.0], [2.0, -9.0]]], dtype=np.float32)
+        assert list(pool.forward(x)[0]) == [3.0, -1.0]
+
+    def test_max_pool_gradient_routes_to_argmax(self):
+        pool = GlobalMaxPool()
+        x = np.array([[[1.0], [3.0], [2.0]]], dtype=np.float32)
+        pool.forward(x)
+        grad = pool.backward(np.array([[5.0]], dtype=np.float32))
+        assert grad[0, 1, 0] == 5.0
+        assert grad.sum() == 5.0
+
+    def test_mean_pool_gradient_uniform(self):
+        pool = GlobalMeanPool()
+        x = RNG.standard_normal((1, 4, 2)).astype(np.float32)
+        pool.forward(x)
+        grad = pool.backward(np.ones((1, 2), dtype=np.float32))
+        assert np.allclose(grad, 0.25)
+
+    def test_mean_pool_input_gradient(self):
+        x = RNG.standard_normal((2, 4, 3)).astype(np.float32)
+        check_input_grad(GlobalMeanPool(), x)
+
+
+class TestLayerNorm:
+    def test_normalizes(self):
+        layer = LayerNorm(8)
+        x = RNG.standard_normal((4, 8)).astype(np.float32) * 10 + 3
+        out = layer.forward(x)
+        assert np.allclose(out.mean(axis=-1), 0, atol=1e-4)
+        assert np.allclose(out.std(axis=-1), 1, atol=1e-2)
+
+    def test_input_gradient(self):
+        x = RNG.standard_normal((3, 6)).astype(np.float32)
+        check_input_grad(LayerNorm(6), x, tol=5e-2)
+
+    def test_gamma_beta_gradients(self):
+        layer = LayerNorm(6)
+        x = RNG.standard_normal((3, 6)).astype(np.float32)
+        check_param_grad(layer, x, layer.gamma, tol=5e-2)
+        layer2 = LayerNorm(6)
+        check_param_grad(layer2, x, layer2.beta, tol=5e-2)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.5, RNG)
+        layer.training = False
+        x = RNG.standard_normal((4, 4)).astype(np.float32)
+        assert np.array_equal(layer.forward(x), x)
+
+    def test_training_zeroes_and_scales(self):
+        layer = Dropout(0.5, np.random.default_rng(1))
+        x = np.ones((100, 100), dtype=np.float32)
+        out = layer.forward(x)
+        zero_rate = float((out == 0).mean())
+        assert 0.4 < zero_rate < 0.6
+        # Survivors are scaled by 1/keep.
+        assert np.allclose(out[out != 0], 2.0)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, np.random.default_rng(1))
+        x = np.ones((10, 10), dtype=np.float32)
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(x))
+        assert np.array_equal(grad == 0, out == 0)
+
+    def test_bad_rate(self):
+        with pytest.raises(ShapeError):
+            Dropout(1.0, RNG)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        out = softmax(RNG.standard_normal((5, 7)).astype(np.float32))
+        assert np.allclose(out.sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_numerical_stability(self):
+        out = softmax(np.array([[1e4, 0.0]], dtype=np.float32))
+        assert np.isfinite(out).all()
+
+    def test_invariant_to_shift(self):
+        x = RNG.standard_normal((2, 4)).astype(np.float32)
+        assert np.allclose(softmax(x), softmax(x + 100), atol=1e-5)

@@ -1,0 +1,153 @@
+"""Unit tests: the three classifier architectures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.ml.models import (
+    HybridCnnTransformer,
+    TextCnnClassifier,
+    TransformerClassifier,
+    build_classifier,
+)
+from tests.test_ml_layers import numeric_grad
+
+VOCAB, MAX_LEN = 50, 8
+ARCHS = ["cnn", "transformer", "hybrid"]
+
+
+def make(arch, seed=0, **kw):
+    return build_classifier(arch, VOCAB, MAX_LEN, np.random.default_rng(seed), **kw)
+
+
+def ids(batch=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, VOCAB, size=(batch, MAX_LEN)).astype(np.int32)
+
+
+class TestInterfaces:
+    @pytest.mark.parametrize("arch", ARCHS)
+    def test_logit_shape(self, arch):
+        model = make(arch)
+        assert model.forward(ids()).shape == (3, 2)
+
+    @pytest.mark.parametrize("arch", ARCHS)
+    def test_predict_proba_in_unit_interval(self, arch):
+        proba = make(arch).predict_proba(ids())
+        assert proba.shape == (3,)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    @pytest.mark.parametrize("arch", ARCHS)
+    def test_predict_threshold(self, arch):
+        model = make(arch)
+        all_pos = model.predict(ids(), threshold=1e-9)
+        all_neg = model.predict(ids(), threshold=1 - 1e-9)
+        assert np.all(all_pos == 1)
+        assert np.all(all_neg == 0)
+
+    @pytest.mark.parametrize("arch", ARCHS)
+    def test_predict_is_deterministic_despite_dropout(self, arch):
+        """predict_proba must run in eval mode even if training was on."""
+        model = make(arch)
+        model.train_mode(True)
+        a = model.predict_proba(ids())
+        b = model.predict_proba(ids())
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("arch", ARCHS)
+    def test_accounting_positive(self, arch):
+        model = make(arch)
+        assert model.num_params() > 0
+        assert model.size_bytes() == model.num_params() * 4
+        assert model.macs_per_inference() > 0
+
+    @pytest.mark.parametrize("arch", ARCHS)
+    def test_deterministic_construction(self, arch):
+        a, b = make(arch, seed=7), make(arch, seed=7)
+        assert np.array_equal(a.forward(ids()), b.forward(ids()))
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ValueError, match="unknown architecture"):
+            make("rnn")
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("arch", ARCHS)
+    def test_round_trip(self, arch):
+        model = make(arch, seed=1)
+        model.train_mode(False)  # dropout off: forward must be deterministic
+        blob = model.serialize()
+        clone = make(arch, seed=2)
+        clone.train_mode(False)
+        assert not np.array_equal(clone.forward(ids()), model.forward(ids()))
+        clone.deserialize(blob)
+        assert np.allclose(clone.forward(ids()), model.forward(ids()), atol=1e-6)
+
+    def test_wrong_size_rejected(self):
+        model = make("cnn")
+        with pytest.raises(ShapeError):
+            model.deserialize(b"\x00" * 10)
+
+    def test_blob_size_matches_accounting(self):
+        model = make("cnn")
+        assert len(model.serialize()) == model.size_bytes()
+
+
+class TestGradients:
+    @pytest.mark.parametrize("arch", ARCHS)
+    def test_head_weight_gradient(self, arch):
+        """Numeric check through the full model to the head weights."""
+        model = make(arch)
+        model.train_mode(False)
+        x = ids(batch=2)
+
+        def loss():
+            return float(model.forward(x).sum())
+
+        for p in model.params():
+            p.zero_grad()
+        logits = model.forward(x)
+        model.backward(np.ones_like(logits))
+        head_w = model.head.w
+        numeric = numeric_grad(loss, head_w.value)
+        assert np.allclose(head_w.grad, numeric, atol=8e-2), (
+            np.abs(head_w.grad - numeric).max()
+        )
+
+    @pytest.mark.parametrize("arch", ARCHS)
+    def test_embedding_receives_gradient(self, arch):
+        model = make(arch)
+        model.train_mode(False)
+        x = ids(batch=2)
+        for p in model.params():
+            p.zero_grad()
+        logits = model.forward(x)
+        model.backward(np.ones_like(logits))
+        assert np.abs(model.embed.table.grad).sum() > 0
+
+
+class TestLearning:
+    @pytest.mark.parametrize("arch", ARCHS)
+    def test_overfits_tiny_task(self, arch):
+        """Every architecture must fit a trivially separable batch."""
+        from repro.ml.losses import cross_entropy
+        from repro.ml.optim import Adam
+
+        model = make(arch)
+        x = np.zeros((8, MAX_LEN), dtype=np.int32)
+        x[:4] = 5  # class-0 pattern: all token 5
+        x[4:] = 9  # class-1 pattern: all token 9
+        y = np.array([0] * 4 + [1] * 4)
+        optimizer = Adam(model.params(), lr=5e-3)
+        model.train_mode(True)
+        for _ in range(120):
+            optimizer.zero_grad()
+            loss, dlogits = cross_entropy(model.forward(x), y)
+            model.backward(dlogits)
+            optimizer.step()
+        model.train_mode(False)
+        assert np.array_equal(model.predict(x), y)
+
+    def test_architectures_have_distinct_sizes(self):
+        sizes = {arch: make(arch).num_params() for arch in ARCHS}
+        assert len(set(sizes.values())) == 3

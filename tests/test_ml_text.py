@@ -1,0 +1,251 @@
+"""Unit tests: tokenizer, dataset, losses, optimizers, metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NotFittedError, VocabularyError
+from repro.ml.dataset import Corpus, SensitiveCategory, Utterance, UtteranceGenerator
+from repro.ml.layers import Parameter
+from repro.ml.losses import cross_entropy
+from repro.ml.metrics import BinaryMetrics, auc, confusion_matrix, roc_curve
+from repro.ml.optim import Adam, Sgd
+from repro.ml.tokenizer import WordTokenizer, normalize
+from repro.sim.rng import SimRng
+
+
+class TestNormalize:
+    def test_lowercase_and_split(self):
+        assert normalize("Hello, World!") == ["hello", "world"]
+
+    def test_keeps_digits_and_apostrophes(self):
+        assert normalize("it's 42") == ["it's", "42"]
+
+    def test_empty(self):
+        assert normalize("...") == []
+
+
+class TestTokenizer:
+    def test_requires_fit(self):
+        tok = WordTokenizer()
+        with pytest.raises(NotFittedError):
+            tok.encode("hello")
+
+    def test_fixed_length_with_padding(self):
+        tok = WordTokenizer(max_len=6).fit(["a b c"])
+        ids = tok.encode("a b")
+        assert len(ids) == 6
+        assert list(ids[2:]) == [tok.pad_id] * 4
+
+    def test_truncation(self):
+        tok = WordTokenizer(max_len=3).fit(["a b c d e"])
+        assert len(tok.encode("a b c d e")) == 3
+
+    def test_unknown_maps_to_unk(self):
+        tok = WordTokenizer(max_len=4).fit(["known words only"])
+        ids = tok.encode("unknown")
+        assert ids[0] == tok.unk_id
+
+    def test_round_trip(self):
+        tok = WordTokenizer(max_len=8).fit(["the cat sat on the mat"])
+        text = "the cat sat"
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_vocab_capped(self):
+        texts = [f"word{i}" for i in range(100)]
+        tok = WordTokenizer().fit(texts, max_vocab=10)
+        assert tok.vocab_size == 10
+
+    def test_frequent_words_kept(self):
+        tok = WordTokenizer().fit(["common common common rare"], max_vocab=3)
+        assert tok.token_id("common") != tok.unk_id
+        assert tok.token_id("rare") == tok.unk_id
+
+    def test_batch_shape(self):
+        tok = WordTokenizer(max_len=5).fit(["a b"])
+        batch = tok.encode_batch(["a", "b", "a b"])
+        assert batch.shape == (3, 5)
+
+    def test_word_id_range_checked(self):
+        tok = WordTokenizer().fit(["a"])
+        with pytest.raises(VocabularyError):
+            tok.word(9999)
+
+    def test_bad_max_len(self):
+        with pytest.raises(ValueError):
+            WordTokenizer(max_len=0)
+
+    @given(st.text(alphabet="abcdefgh ", min_size=0, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_property_encode_always_fixed_length(self, text):
+        tok = WordTokenizer(max_len=7).fit(["a b c d e f g h"])
+        assert len(tok.encode(text)) == 7
+
+
+class TestDataset:
+    def test_generation_is_deterministic(self):
+        a = UtteranceGenerator(SimRng(5)).generate(50)
+        b = UtteranceGenerator(SimRng(5)).generate(50)
+        assert a.texts == b.texts
+
+    def test_sensitive_fraction_respected(self):
+        corpus = UtteranceGenerator(SimRng(5)).generate(
+            400, sensitive_fraction=0.25
+        )
+        rate = sum(corpus.labels) / len(corpus)
+        assert 0.15 < rate < 0.35
+
+    def test_all_slots_filled(self):
+        corpus = UtteranceGenerator(SimRng(5)).generate(300)
+        assert not any("{" in t for t in corpus.texts)
+
+    def test_category_label_consistency(self):
+        for category in SensitiveCategory:
+            utt = UtteranceGenerator(SimRng(1)).generate_one(category)
+            assert utt.sensitive == category.sensitive
+
+    def test_sensitive_categories(self):
+        assert SensitiveCategory.HEALTH.sensitive
+        assert SensitiveCategory.CREDENTIALS.sensitive
+        assert not SensitiveCategory.WEATHER.sensitive
+        assert not SensitiveCategory.TIMER.sensitive
+
+    def test_split_partitions(self):
+        corpus = UtteranceGenerator(SimRng(5)).generate(100)
+        train, test = corpus.split(0.8, SimRng(6))
+        assert len(train) == 80 and len(test) == 20
+        assert sorted(train.texts + test.texts) == sorted(corpus.texts)
+
+    def test_split_bad_fraction(self):
+        corpus = UtteranceGenerator(SimRng(5)).generate(10)
+        with pytest.raises(ValueError):
+            corpus.split(1.0, SimRng(6))
+
+    def test_by_category_counts(self):
+        corpus = UtteranceGenerator(SimRng(5)).generate(200)
+        assert sum(corpus.by_category().values()) == 200
+
+    def test_pure_category_pools(self):
+        corpus = UtteranceGenerator(SimRng(5)).generate(
+            50, sensitive_fraction=1.0,
+            categories=[SensitiveCategory.HEALTH, SensitiveCategory.WEATHER],
+        )
+        assert all(u.category is SensitiveCategory.HEALTH
+                   for u in corpus.utterances)
+
+    def test_template_texts_nonempty(self):
+        assert len(UtteranceGenerator.all_template_texts()) > 50
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]], dtype=np.float32)
+        loss, _ = cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-3
+
+    def test_uniform_prediction_log2(self):
+        logits = np.zeros((4, 2), dtype=np.float32)
+        loss, _ = cross_entropy(logits, np.array([0, 1, 0, 1]))
+        assert loss == pytest.approx(np.log(2), rel=1e-4)
+
+    def test_gradient_sums_to_zero_per_row(self):
+        rng = np.random.default_rng(0)
+        logits = rng.standard_normal((5, 2)).astype(np.float32)
+        _, grad = cross_entropy(logits, np.array([0, 1, 1, 0, 1]))
+        assert np.allclose(grad.sum(axis=1), 0, atol=1e-6)
+
+    def test_numeric_gradient(self):
+        from tests.test_ml_layers import numeric_grad
+
+        rng = np.random.default_rng(0)
+        logits = rng.standard_normal((3, 2)).astype(np.float32)
+        labels = np.array([0, 1, 0])
+        _, grad = cross_entropy(logits, labels)
+        numeric = numeric_grad(
+            lambda: cross_entropy(logits, labels)[0], logits
+        )
+        assert np.allclose(grad, numeric, atol=1e-3)
+
+    def test_shape_mismatch(self):
+        from repro.errors import ShapeError
+
+        with pytest.raises(ShapeError):
+            cross_entropy(np.zeros((2, 2), dtype=np.float32), np.array([0]))
+
+
+class TestOptimizers:
+    def _quadratic_param(self):
+        return Parameter(np.array([5.0, -3.0], dtype=np.float32))
+
+    def test_sgd_descends(self):
+        p = self._quadratic_param()
+        optimizer = Sgd([p], lr=0.1)
+        for _ in range(100):
+            p.zero_grad()
+            p.grad[...] = 2 * p.value  # d/dx of x^2
+            optimizer.step()
+        assert np.abs(p.value).max() < 1e-3
+
+    def test_sgd_momentum_descends(self):
+        p = self._quadratic_param()
+        optimizer = Sgd([p], lr=0.05, momentum=0.9)
+        for _ in range(400):
+            p.zero_grad()
+            p.grad[...] = 2 * p.value
+            optimizer.step()
+        assert np.abs(p.value).max() < 1e-2
+
+    def test_adam_descends(self):
+        p = self._quadratic_param()
+        optimizer = Adam([p], lr=0.1)
+        for _ in range(200):
+            p.zero_grad()
+            p.grad[...] = 2 * p.value
+            optimizer.step()
+        assert np.abs(p.value).max() < 1e-2
+
+    def test_zero_grad(self):
+        p = self._quadratic_param()
+        p.grad[...] = 7
+        Adam([p]).zero_grad()
+        assert not np.any(p.grad)
+
+
+class TestMetrics:
+    def test_perfect(self):
+        m = BinaryMetrics.from_predictions([1, 0, 1], [1, 0, 1])
+        assert m.accuracy == m.precision == m.recall == m.f1 == 1.0
+
+    def test_confusion_counts(self):
+        m = BinaryMetrics.from_predictions([1, 1, 0, 0], [1, 0, 1, 0])
+        assert (m.tp, m.fn, m.fp, m.tn) == (1, 1, 1, 1)
+        assert m.accuracy == 0.5
+
+    def test_degenerate_no_positives(self):
+        m = BinaryMetrics.from_predictions([0, 0], [0, 0])
+        assert m.precision == 0.0 and m.recall == 0.0 and m.f1 == 0.0
+        assert m.accuracy == 1.0
+
+    def test_confusion_matrix(self):
+        m = confusion_matrix([0, 1, 1, 0], [0, 1, 0, 1], 2)
+        assert m[0, 0] == 1 and m[1, 1] == 1 and m[1, 0] == 1 and m[0, 1] == 1
+
+    def test_roc_perfect_classifier(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert auc(fpr, tpr) == pytest.approx(1.0)
+
+    def test_roc_random_classifier(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 2000)
+        scores = rng.random(2000)
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert 0.45 < auc(fpr, tpr) < 0.55
+
+    def test_roc_monotone(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 100)
+        fpr, tpr, _ = roc_curve(y, rng.random(100))
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)

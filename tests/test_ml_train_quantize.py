@@ -1,0 +1,171 @@
+"""Unit tests: training loop, quantization, image classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.dataset import UtteranceGenerator
+from repro.ml.image import ImageClassifier
+from repro.ml.models import TextCnnClassifier
+from repro.ml.quantize import QuantizedTensor, quantize_classifier
+from repro.ml.tokenizer import WordTokenizer
+from repro.ml.train import TrainConfig, Trainer
+from repro.peripherals.camera import Camera, SyntheticScene
+from repro.sim.rng import SimRng
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """A small trained CNN (module-scoped; training is the cost)."""
+    rng = SimRng(11)
+    corpus = UtteranceGenerator(rng.fork("c")).generate(400)
+    train, test = corpus.split(0.8, rng.fork("s"))
+    tok = WordTokenizer(max_len=12).fit(UtteranceGenerator.all_template_texts())
+    model = TextCnnClassifier(tok.vocab_size, tok.max_len,
+                              np.random.default_rng(0))
+    trainer = Trainer(model, tok, TrainConfig(epochs=4, seed=1))
+    result = trainer.fit(train, test)
+    return model, tok, trainer, result, test
+
+
+class TestTrainer:
+    def test_reaches_high_accuracy(self, trained):
+        _, _, _, result, _ = trained
+        assert result.best_val_accuracy > 0.9
+
+    def test_loss_decreases(self, trained):
+        _, _, _, result, _ = trained
+        losses = [s.train_loss for s in result.history]
+        assert losses[-1] < losses[0]
+
+    def test_final_metrics_populated(self, trained):
+        _, _, _, result, _ = trained
+        m = result.final_metrics
+        assert m is not None
+        assert m.tp + m.fp + m.tn + m.fn > 0
+
+    def test_training_is_deterministic(self):
+        def run():
+            rng = SimRng(22)
+            corpus = UtteranceGenerator(rng.fork("c")).generate(120)
+            train, test = corpus.split(0.8, rng.fork("s"))
+            tok = WordTokenizer(max_len=10).fit(
+                UtteranceGenerator.all_template_texts()
+            )
+            model = TextCnnClassifier(
+                tok.vocab_size, tok.max_len, np.random.default_rng(3)
+            )
+            Trainer(model, tok, TrainConfig(epochs=2, seed=5)).fit(train, test)
+            return model.serialize()
+
+        assert run() == run()
+
+    def test_evaluate_threshold_changes_recall(self, trained):
+        _, _, trainer, _, test = trained
+        strict = trainer.evaluate(test, threshold=0.95)
+        lax = trainer.evaluate(test, threshold=0.05)
+        assert lax.recall >= strict.recall
+
+
+class TestQuantizedTensor:
+    def test_int8_range(self):
+        values = np.random.default_rng(0).standard_normal(100).astype(np.float32)
+        qt = QuantizedTensor(values)
+        assert qt.q.dtype == np.int8
+        assert np.abs(qt.q).max() <= 127
+
+    def test_dequantize_error_bounded_by_scale(self):
+        values = np.random.default_rng(0).standard_normal(100).astype(np.float32)
+        qt = QuantizedTensor(values)
+        err = np.abs(qt.dequantize() - values)
+        assert err.max() <= qt.scale / 2 + 1e-6
+
+    def test_zero_tensor(self):
+        qt = QuantizedTensor(np.zeros(10, dtype=np.float32))
+        assert not np.any(qt.dequantize())
+
+    def test_size(self):
+        qt = QuantizedTensor(np.zeros((5, 5), dtype=np.float32))
+        assert qt.size_bytes == 25 + 4
+
+
+class TestQuantizedClassifier:
+    @staticmethod
+    def _fresh_copy(trained):
+        """quantize_classifier consumes its model; give each test a copy."""
+        model, tok, _, _, _ = trained
+        clone = TextCnnClassifier(tok.vocab_size, tok.max_len,
+                                  np.random.default_rng(1))
+        clone.deserialize(model.serialize())
+        return clone
+
+    def test_size_reduction(self, trained):
+        model = self._fresh_copy(trained)
+        fp32_bytes = model.size_bytes()
+        q = quantize_classifier(model)
+        assert q.size_bytes() < fp32_bytes / 3.5  # ~4x minus scales
+
+    def test_accuracy_mostly_preserved(self, trained):
+        _, tok, _, _, test = trained
+        ids = tok.encode_batch(test.texts)
+        labels = np.array(test.labels)
+        q = quantize_classifier(self._fresh_copy(trained))
+        q_acc = (q.predict(ids) == labels).mean()
+        assert q_acc > 0.85
+
+    def test_macs_unchanged(self, trained):
+        model = self._fresh_copy(trained)
+        macs = model.macs_per_inference()
+        assert quantize_classifier(model).macs_per_inference() == macs
+
+    def test_serialize_size(self, trained):
+        q = quantize_classifier(self._fresh_copy(trained))
+        assert len(q.serialize()) == q.size_bytes()
+
+    def test_quantization_error_reported(self, trained):
+        q = quantize_classifier(self._fresh_copy(trained))
+        assert 0 < q.quantization_error() < 0.1
+
+    def test_double_quantization_is_lossless(self, trained):
+        """Quantizing already-quantized weights changes nothing."""
+        q1 = quantize_classifier(self._fresh_copy(trained))
+        q2 = quantize_classifier(q1._model)
+        assert q2.quantization_error() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestImageClassifier:
+    def _data(self, n=120):
+        frames, labels = [], []
+        scene_p = SyntheticScene(SimRng(1), person_probability=1.0)
+        scene_e = SyntheticScene(SimRng(2), person_probability=0.0)
+        cam_p, cam_e = Camera(scene_p), Camera(scene_e)
+        for _ in range(n // 2):
+            frames.append(cam_p.capture_frame())
+            labels.append(1)
+            frames.append(cam_e.capture_frame())
+            labels.append(0)
+        return np.stack(frames), np.array(labels)
+
+    def test_learns_person_detection(self):
+        frames, labels = self._data()
+        clf = ImageClassifier(32, 24, np.random.default_rng(0))
+        losses = clf.fit(frames, labels, epochs=8)
+        assert losses[-1] < losses[0]
+        acc = (clf.predict(frames) == labels).mean()
+        assert acc > 0.9
+
+    def test_single_frame_predict(self):
+        clf = ImageClassifier(32, 24, np.random.default_rng(0))
+        frame = np.zeros((24, 32), dtype=np.uint8)
+        assert clf.predict_proba(frame).shape == (1,)
+
+    def test_wrong_shape_rejected(self):
+        from repro.errors import ShapeError
+
+        clf = ImageClassifier(32, 24, np.random.default_rng(0))
+        with pytest.raises(ShapeError):
+            clf.forward(np.zeros((10, 10), dtype=np.uint8))
+
+    def test_accounting(self):
+        clf = ImageClassifier(32, 24, np.random.default_rng(0))
+        assert clf.size_bytes() == clf.num_params() * 4
+        assert clf.macs_per_inference() > 0

@@ -1,0 +1,129 @@
+"""Unit tests: energy VAD + continuous-capture pipeline mode."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MlError
+from repro.ml.vad import EnergyVad, Segment
+
+
+def tone(n, amplitude=0.4):
+    t = np.arange(n) / 16_000
+    return (np.sin(2 * np.pi * 700 * t) * amplitude * 32767).astype(np.int16)
+
+
+def silence(n):
+    return np.zeros(n, dtype=np.int16)
+
+
+class TestEnergyVad:
+    def test_silence_has_no_segments(self):
+        assert EnergyVad().segment(silence(16_000)) == []
+
+    def test_pure_tone_is_one_segment(self):
+        segments = EnergyVad().segment(tone(8_000))
+        assert len(segments) == 1
+        assert segments[0].start == 0
+        assert segments[0].length >= 7_500
+
+    def test_two_bursts_detected(self):
+        pcm = np.concatenate(
+            [silence(4_000), tone(3_200), silence(4_000), tone(3_200),
+             silence(4_000)]
+        )
+        segments = EnergyVad().segment(pcm)
+        assert len(segments) == 2
+        # Segments roughly where the bursts were.
+        assert abs(segments[0].start - 4_000) <= 320
+        assert abs(segments[1].start - 11_200) <= 320
+
+    def test_hangover_bridges_short_gaps(self):
+        gap = silence(EnergyVad().frame_samples * 3)  # under hang_frames
+        pcm = np.concatenate([tone(3_200), gap, tone(3_200)])
+        assert len(EnergyVad().segment(pcm)) == 1
+
+    def test_long_gap_splits(self):
+        gap = silence(EnergyVad().frame_samples * 20)
+        pcm = np.concatenate([tone(3_200), gap, tone(3_200)])
+        assert len(EnergyVad().segment(pcm)) == 2
+
+    def test_blips_dropped(self):
+        vad = EnergyVad(min_frames=3)
+        blip = tone(vad.frame_samples)  # one frame only
+        pcm = np.concatenate([silence(4_000), blip, silence(4_000)])
+        assert vad.segment(pcm) == []
+
+    def test_extract_returns_pcm(self):
+        pcm = np.concatenate([silence(4_000), tone(3_200), silence(4_000)])
+        chunks = EnergyVad().extract(pcm)
+        assert len(chunks) == 1
+        assert np.abs(chunks[0]).mean() > np.abs(pcm).mean()
+
+    def test_requires_int16(self):
+        with pytest.raises(MlError):
+            EnergyVad().segment(np.zeros(100, dtype=np.float32))
+
+    def test_bad_parameters(self):
+        with pytest.raises(MlError):
+            EnergyVad(frame_samples=0)
+        with pytest.raises(MlError):
+            EnergyVad(threshold=0.0)
+
+    def test_short_input(self):
+        assert EnergyVad().segment(np.zeros(10, dtype=np.int16)) == []
+
+    def test_vocoder_output_segments_per_utterance(self, vocoder):
+        """The real use: utterances separated by silence gaps."""
+        texts = ["what is the weather like today",
+                 "set a timer for ten minutes"]
+        gap = silence(3_000)
+        pcm = np.concatenate(
+            [np.concatenate([vocoder.render(t), gap]) for t in texts]
+        )
+        segments = EnergyVad().segment(pcm)
+        assert len(segments) == 2
+
+    @given(st.integers(min_value=0, max_value=20_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_segments_ordered_and_disjoint(self, offset):
+        pcm = np.concatenate(
+            [silence(offset % 5_000), tone(3_200), silence(2_500),
+             tone(3_200), silence(1_000)]
+        )
+        segments = EnergyVad().segment(pcm)
+        for a, b in zip(segments, segments[1:]):
+            assert a.end <= b.start
+        for s in segments:
+            assert 0 <= s.start < s.end <= len(pcm)
+
+
+class TestContinuousPipeline:
+    def test_stream_mode_matches_per_utterance_decisions(self, provisioned):
+        from repro.core.platform import IotPlatform
+        from repro.core.pipeline import SecurePipeline
+        from tests.test_core_pipeline import MIXED, make_workload
+
+        platform = IotPlatform.create(seed=91)
+        pipeline = SecurePipeline(platform, provisioned.bundle)
+        workload = make_workload(provisioned, MIXED)
+        run = pipeline.process_continuous(workload)
+
+        assert len(run) == len(workload)
+        for result in run.results:
+            assert result.transcript == result.utterance.text
+            assert result.forwarded == (not result.utterance.sensitive)
+        assert run.stage_cycles["vad"] > 0
+
+    def test_stream_mode_cloud_content(self, provisioned):
+        from repro.core.platform import IotPlatform
+        from repro.core.pipeline import SecurePipeline
+        from tests.test_core_pipeline import MIXED, make_workload
+
+        platform = IotPlatform.create(seed=92)
+        pipeline = SecurePipeline(platform, provisioned.bundle)
+        workload = make_workload(provisioned, MIXED)
+        pipeline.process_continuous(workload)
+        received = platform.cloud.received_transcripts
+        benign = [u.text for u in workload.utterances if not u.sensitive]
+        assert sorted(received) == sorted(benign)

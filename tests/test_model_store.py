@@ -1,0 +1,152 @@
+"""Unit tests: signed model packages + anti-rollback store."""
+
+import pytest
+
+from repro.core.model_store import ModelPackage, ModelStore, sign_package
+from repro.errors import (
+    AuthenticationFailure,
+    TeeItemNotFound,
+    TeeSecurityError,
+)
+from repro.optee.os import OpTeeOs
+from repro.optee.supplicant import TeeSupplicant
+from repro.tz.worlds import World
+
+VENDOR_KEY = b"vendor-signing-key-0123456789abc"
+WEIGHTS = bytes(range(256)) * 8
+
+
+@pytest.fixture
+def store(machine):
+    tee = OpTeeOs(machine)
+    tee.attach_supplicant(TeeSupplicant(machine))
+    machine.cpu._set_world(World.SECURE)
+    yield ModelStore(tee.storage, VENDOR_KEY), tee
+    machine.cpu._set_world(World.NORMAL)
+
+
+def package(version=1, weights=WEIGHTS, key=VENDOR_KEY, arch="cnn"):
+    return sign_package(arch, version, weights, key)
+
+
+class TestPackageFormat:
+    def test_round_trip(self):
+        pkg = package(version=3)
+        parsed = ModelPackage.from_bytes(pkg.to_bytes())
+        assert parsed == pkg
+
+    def test_bad_magic(self):
+        with pytest.raises(AuthenticationFailure):
+            ModelPackage.from_bytes(b"XXXXXX" + b"\x00" * 32)
+
+    def test_truncated(self):
+        blob = package().to_bytes()
+        with pytest.raises(AuthenticationFailure):
+            ModelPackage.from_bytes(blob[: len(blob) // 2])
+
+    def test_signature_covers_all_fields(self):
+        base = package(version=1)
+        for variant in (
+            package(version=2),
+            package(weights=WEIGHTS[:-1]),
+            package(arch="transformer"),
+        ):
+            assert variant.signature != base.signature
+
+
+class TestInstall:
+    def test_install_and_load(self, store):
+        model_store, _ = store
+        installed = model_store.install(package(version=1).to_bytes())
+        assert installed.version == 1
+        loaded = model_store.load()
+        assert loaded.weights == WEIGHTS
+        assert model_store.installed_version() == 1
+
+    def test_forged_signature_rejected(self, store):
+        model_store, _ = store
+        forged = package(key=b"not-the-vendor-key-000000000000!")
+        with pytest.raises(AuthenticationFailure):
+            model_store.install(forged.to_bytes())
+        assert model_store.installed_version() == 0
+
+    def test_tampered_weights_rejected(self, store):
+        model_store, _ = store
+        blob = bytearray(package().to_bytes())
+        blob[40] ^= 0xFF  # flip a weight byte
+        with pytest.raises(AuthenticationFailure):
+            model_store.install(bytes(blob))
+
+    def test_upgrade_accepted(self, store):
+        model_store, _ = store
+        model_store.install(package(version=1).to_bytes())
+        model_store.install(package(version=2).to_bytes())
+        assert model_store.installed_version() == 2
+
+    def test_rollback_rejected(self, store):
+        model_store, _ = store
+        model_store.install(package(version=5).to_bytes())
+        with pytest.raises(TeeSecurityError, match="rollback"):
+            model_store.install(package(version=4).to_bytes())
+        with pytest.raises(TeeSecurityError, match="rollback"):
+            model_store.install(package(version=5).to_bytes())  # replay
+        assert model_store.load().version == 5
+
+    def test_load_before_install(self, store):
+        model_store, _ = store
+        with pytest.raises(TeeItemNotFound):
+            model_store.load()
+
+
+class TestAtRestProtection:
+    def test_normal_world_cannot_read_weights(self, store):
+        model_store, tee = store
+        model_store.install(package().to_bytes())
+        stored = tee.supplicant.fs.files["tee/objects/model-package"]
+        assert WEIGHTS[:32] not in stored
+
+    def test_normal_world_blob_swap_detected(self, store):
+        """Swapping the sealed package for the sealed counter must fail."""
+        model_store, tee = store
+        model_store.install(package().to_bytes())
+        fs = tee.supplicant.fs.files
+        fs["tee/objects/model-package"] = fs[
+            "tee/objects/model-version-counter"
+        ]
+        with pytest.raises(AuthenticationFailure):
+            model_store.load()
+
+    def test_counter_tamper_detected(self, store):
+        model_store, tee = store
+        model_store.install(package(version=3).to_bytes())
+        path = "tee/objects/model-version-counter"
+        blob = bytearray(tee.supplicant.fs.files[path])
+        blob[-1] ^= 1
+        tee.supplicant.fs.files[path] = bytes(blob)
+        with pytest.raises(AuthenticationFailure):
+            model_store.installed_version()
+
+
+class TestEndToEndProvisioning:
+    def test_real_classifier_weights_round_trip(self, store, provisioned):
+        """Ship the actual trained CNN through the update path."""
+        import numpy as np
+
+        from repro.ml.models import TextCnnClassifier
+
+        model_store, _ = store
+        original = provisioned.bundle.filter.classifier
+        blob = sign_package(
+            "cnn", 1, original.serialize(), VENDOR_KEY
+        ).to_bytes()
+        model_store.install(blob)
+        loaded = model_store.load()
+
+        tok = provisioned.tokenizer
+        clone = TextCnnClassifier(
+            tok.vocab_size, tok.max_len, np.random.default_rng(9)
+        )
+        clone.deserialize(loaded.weights)
+        texts = provisioned.test_corpus.texts[:40]
+        ids = tok.encode_batch(texts)
+        assert np.array_equal(clone.predict(ids), original.predict(ids))

@@ -1,0 +1,140 @@
+"""Unit tests: GP client API — sessions, shared memory, params."""
+
+import pytest
+
+from repro.errors import TeeBadParameters
+from repro.optee.client import TeeClient
+from repro.optee.os import OpTeeOs
+from repro.optee.params import MemRef, Params, Value
+from repro.optee.supplicant import TeeSupplicant
+from repro.optee.ta import TrustedApplication
+
+
+class UpperTa(TrustedApplication):
+    """Uppercases a memref in place (classic in/out buffer TA)."""
+
+    NAME = "ta.test-upper"
+
+    def on_invoke(self, session, cmd, params):
+        ref = params.memref(0)
+        data = self.ctx.read_memref(ref)
+        self.ctx.write_memref(ref, data.upper())
+        return len(data)
+
+
+@pytest.fixture
+def stack(machine):
+    tee = OpTeeOs(machine)
+    tee.attach_supplicant(TeeSupplicant(machine))
+    tee.install_ta(UpperTa)
+    return machine, tee, TeeClient(machine)
+
+
+class TestSessions:
+    def test_open_invoke_close(self, stack):
+        machine, tee, client = stack
+        session = client.open_session(UpperTa().uuid)
+        shm = client.allocate_shared_memory(64)
+        shm.write(b"hello tee")
+        n = session.invoke(0, Params.of(MemRef(shm, size=9)))
+        assert n == 9
+        assert shm.read(9) == b"HELLO TEE"
+        session.close()
+
+    def test_context_manager(self, stack):
+        machine, tee, client = stack
+        with client.open_session(UpperTa().uuid) as session:
+            assert not session.closed
+        assert session.closed
+
+    def test_invoke_after_close_rejected(self, stack):
+        machine, tee, client = stack
+        session = client.open_session(UpperTa().uuid)
+        session.close()
+        with pytest.raises(TeeBadParameters):
+            session.invoke(0)
+
+    def test_each_call_crosses_the_monitor(self, stack):
+        machine, tee, client = stack
+        smc_before = machine.monitor.smc_count
+        session = client.open_session(UpperTa().uuid)
+        shm = client.allocate_shared_memory(16)
+        shm.write(b"x")
+        session.invoke(0, Params.of(MemRef(shm, size=1)))
+        session.close()
+        # open + invoke + close = 3 SMCs (shm alloc is local).
+        assert machine.monitor.smc_count - smc_before == 3
+
+
+class TestSharedMemory:
+    def test_allocated_in_shm_carveout(self, stack):
+        machine, tee, client = stack
+        shm = client.allocate_shared_memory(128)
+        region = machine.shmem
+        assert region.base <= shm.addr < region.end
+
+    def test_bounds_checked(self, stack):
+        machine, tee, client = stack
+        shm = client.allocate_shared_memory(16)
+        with pytest.raises(TeeBadParameters):
+            shm.write(b"0" * 17)
+        with pytest.raises(TeeBadParameters):
+            shm.read(8, offset=12)
+
+    def test_release_blocks_use(self, stack):
+        machine, tee, client = stack
+        shm = client.allocate_shared_memory(16)
+        client.release_shared_memory(shm)
+        with pytest.raises(TeeBadParameters):
+            shm.write(b"x")
+
+    def test_close_releases_all(self, stack):
+        machine, tee, client = stack
+        shm = client.allocate_shared_memory(16)
+        client.close()
+        assert shm.released
+
+    def test_shared_memory_is_normal_world_visible(self, stack):
+        """The shm carveout is genuinely non-secure — by design."""
+        machine, tee, client = stack
+        shm = client.allocate_shared_memory(16)
+        shm.write(b"public")
+        from repro.tz.worlds import World
+
+        assert machine.memory.read(shm.addr, 6, World.NORMAL) == b"public"
+
+
+class TestParams:
+    def test_value_ranges(self):
+        Value(0, 2**32 - 1)
+        with pytest.raises(TeeBadParameters):
+            Value(-1, 0)
+        with pytest.raises(TeeBadParameters):
+            Value(0, 2**32)
+
+    def test_max_four_params(self):
+        Params.of(Value(), Value(), Value(), Value())
+        with pytest.raises(TeeBadParameters):
+            Params([Value()] * 5)
+
+    def test_typed_accessors(self, stack):
+        machine, tee, client = stack
+        shm = client.allocate_shared_memory(8)
+        params = Params.of(Value(1, 2), MemRef(shm))
+        assert params.value(0).a == 1
+        assert params.memref(1).shm is shm
+        with pytest.raises(TeeBadParameters):
+            params.value(1)
+        with pytest.raises(TeeBadParameters):
+            params.memref(0)
+
+    def test_memref_bounds(self, stack):
+        machine, tee, client = stack
+        shm = client.allocate_shared_memory(8)
+        with pytest.raises(TeeBadParameters):
+            MemRef(shm, offset=4, size=8)
+
+    def test_memref_default_size(self, stack):
+        machine, tee, client = stack
+        shm = client.allocate_shared_memory(8)
+        assert MemRef(shm, offset=2).size == 6

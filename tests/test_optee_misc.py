@@ -1,0 +1,144 @@
+"""Unit tests: UUIDs, secure heap, supplicant services."""
+
+import pytest
+
+from repro.errors import TeeCommunicationError, TeeOutOfMemory
+from repro.optee.heap import SecureHeap
+from repro.optee.supplicant import TeeSupplicant
+from repro.optee.uuid import TaUuid
+from repro.tz.memory import MemoryAllocator, MemoryRegion, SecurityAttr
+
+
+class TestTaUuid:
+    def test_from_name_stable(self):
+        assert TaUuid.from_name("x") == TaUuid.from_name("x")
+
+    def test_from_name_distinct(self):
+        assert TaUuid.from_name("x") != TaUuid.from_name("y")
+
+    def test_canonical_form(self):
+        uuid = TaUuid.from_name("demo")
+        parts = str(uuid).split("-")
+        assert [len(p) for p in parts] == [8, 4, 4, 4, 12]
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            TaUuid("not-a-uuid")
+        with pytest.raises(ValueError):
+            TaUuid("zzzzzzzz-0000-0000-0000-000000000000")
+
+    def test_bytes(self):
+        assert len(TaUuid.from_name("demo").bytes) == 16
+
+    def test_ordering_and_hash(self):
+        a = TaUuid.from_name("a")
+        b = TaUuid.from_name("b")
+        assert len({a, b, TaUuid.from_name("a")}) == 2
+        assert (a < b) or (b < a)
+
+
+class TestSecureHeap:
+    def _heap(self, size=4096) -> SecureHeap:
+        return SecureHeap(
+            MemoryAllocator(MemoryRegion("sh", 0, size, SecurityAttr.SECURE))
+        )
+
+    def test_alloc_free(self):
+        heap = self._heap()
+        addr = heap.alloc(100, owner="ta.x")
+        assert heap.used_bytes > 0
+        heap.free(addr)
+        assert heap.used_bytes == 0
+
+    def test_out_of_memory_translated(self):
+        heap = self._heap(size=256)
+        with pytest.raises(TeeOutOfMemory):
+            heap.alloc(512)
+        assert heap.failed_allocs == 1
+
+    def test_high_water_mark(self):
+        heap = self._heap()
+        a = heap.alloc(1024)
+        heap.free(a)
+        heap.alloc(128)
+        assert heap.high_water_bytes >= 1024
+
+    def test_usage_by_owner(self):
+        heap = self._heap()
+        heap.alloc(128, owner="ta.a")
+        heap.alloc(256, owner="ta.b")
+        heap.alloc(128, owner="ta.a")
+        usage = heap.usage_by_owner()
+        assert usage["ta.a"] == 256
+        assert usage["ta.b"] == 256
+
+    def test_would_fit(self):
+        heap = self._heap(size=256)
+        assert heap.would_fit(128)
+        assert not heap.would_fit(512)
+
+
+class TestSupplicantServices:
+    def test_fs_operations(self, machine):
+        sup = TeeSupplicant(machine)
+        assert sup.fs.call("write", "a/b", b"data") == 4
+        assert sup.fs.call("read", "a/b") == b"data"
+        assert sup.fs.call("exists", "a/b")
+        assert sup.fs.call("list", "a/") == ["a/b"]
+        sup.fs.call("delete", "a/b")
+        assert not sup.fs.call("exists", "a/b")
+
+    def test_fs_read_missing(self, machine):
+        sup = TeeSupplicant(machine)
+        with pytest.raises(TeeCommunicationError):
+            sup.fs.call("read", "ghost")
+
+    def test_net_requires_endpoint(self, machine):
+        sup = TeeSupplicant(machine)
+        with pytest.raises(TeeCommunicationError):
+            sup.net.call("send", "nowhere", 1, b"x")
+
+    def test_net_delivers_and_logs(self, machine):
+        sup = TeeSupplicant(machine)
+
+        class Echo:
+            def receive(self, payload):
+                return payload[::-1]
+
+        sup.net.register_endpoint("h", 1, Echo())
+        assert sup.net.call("send", "h", 1, b"abc") == b"cba"
+        assert sup.net.wire_log == [b"abc"]
+        assert sup.net.bytes_sent == 3
+
+    def test_time_service(self, machine):
+        sup = TeeSupplicant(machine)
+        t0 = sup.time.call("now")
+        machine.cpu.execute(2_000_000)
+        assert sup.time.call("now") > t0
+
+    def test_unknown_service(self, machine):
+        sup = TeeSupplicant(machine)
+        with pytest.raises(TeeCommunicationError):
+            sup.handle("quantum", "entangle")
+
+    def test_handle_requires_normal_world(self, machine):
+        from repro.errors import WorldStateError
+        from repro.tz.worlds import World
+
+        sup = TeeSupplicant(machine)
+        machine.cpu._set_world(World.SECURE)
+        try:
+            with pytest.raises(WorldStateError):
+                sup.handle("fs", "exists", "x")
+        finally:
+            machine.cpu._set_world(World.NORMAL)
+
+    def test_custom_service_registration(self, machine):
+        sup = TeeSupplicant(machine)
+
+        class Fancy:
+            def call(self, method, *args):
+                return (method, args)
+
+        sup.register_service("fancy", Fancy())
+        assert sup.handle("fancy", "go", 1) == ("go", (1,))

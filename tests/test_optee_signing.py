@@ -1,0 +1,123 @@
+"""Unit tests: signed TA loading."""
+
+import pytest
+
+from repro.errors import TeeSecurityError
+from repro.optee.os import OpTeeOs
+from repro.optee.signing import sign_ta, ta_image_digest, verify_ta
+from repro.optee.supplicant import TeeSupplicant
+from repro.optee.ta import TrustedApplication
+
+SIGNING_KEY = b"ta-vendor-signing-key-0123456789"
+
+
+class GoodTa(TrustedApplication):
+    NAME = "ta.signed-good"
+
+    def on_invoke(self, session, cmd, params):
+        return "ok"
+
+
+class OtherTa(TrustedApplication):
+    NAME = "ta.signed-other"
+
+    def on_invoke(self, session, cmd, params):
+        return "other"
+
+
+@pytest.fixture
+def secure_tee(machine):
+    tee = OpTeeOs(machine, ta_verification_key=SIGNING_KEY)
+    tee.attach_supplicant(TeeSupplicant(machine))
+    return tee
+
+
+class TestImageDigest:
+    def test_stable(self):
+        assert ta_image_digest(GoodTa) == ta_image_digest(GoodTa)
+
+    def test_distinct_tas_distinct_digests(self):
+        assert ta_image_digest(GoodTa) != ta_image_digest(OtherTa)
+
+    def test_factory_built_ta_digest_covers_closure(self, provisioned):
+        """TAs from factories (model baked into the closure) are signable,
+        and different bundles give different images."""
+        from repro.core.ta_filter import make_audio_filter_ta
+        from repro.optee.uuid import TaUuid
+        from repro.sim.rng import SimRng
+
+        def build(port):
+            return make_audio_filter_ta(
+                provisioned.bundle, TaUuid.from_name("pta.x"),
+                "host", port, b"\x00" * 256, SimRng(1),
+            )
+
+        assert ta_image_digest(build(443)) != ta_image_digest(build(8443))
+
+
+class TestSignedLoading:
+    def test_signed_ta_loads_and_runs(self, secure_tee, machine):
+        from repro.optee.params import Params
+        from repro.tz.monitor import SmcFunction
+
+        signature = sign_ta(GoodTa, SIGNING_KEY)
+        uuid = secure_tee.install_ta(GoodTa, signature=signature)
+        sid = machine.monitor.smc(
+            SmcFunction.CALL_WITH_ARG,
+            {"op": "open_session", "uuid": uuid, "params": Params()},
+        )
+        assert machine.monitor.smc(
+            SmcFunction.CALL_WITH_ARG,
+            {"op": "invoke", "session": sid, "cmd": 1, "params": Params()},
+        ) == "ok"
+
+    def test_unsigned_ta_rejected(self, secure_tee):
+        with pytest.raises(TeeSecurityError, match="no signature"):
+            secure_tee.install_ta(GoodTa)
+
+    def test_wrong_key_rejected(self, secure_tee):
+        forged = sign_ta(GoodTa, b"attacker-key-00000000000000000!!")
+        with pytest.raises(TeeSecurityError, match="verification"):
+            secure_tee.install_ta(GoodTa, signature=forged)
+
+    def test_signature_not_transferable_between_tas(self, secure_tee):
+        signature = sign_ta(GoodTa, SIGNING_KEY)
+        with pytest.raises(TeeSecurityError):
+            secure_tee.install_ta(OtherTa, signature=signature)
+
+    def test_verification_disabled_by_default(self, machine):
+        tee = OpTeeOs(machine)
+        tee.install_ta(GoodTa)  # no signature needed
+
+    def test_verify_ta_direct(self):
+        signature = sign_ta(GoodTa, SIGNING_KEY)
+        verify_ta(GoodTa, signature, SIGNING_KEY)  # no raise
+        with pytest.raises(TeeSecurityError):
+            verify_ta(GoodTa, b"garbage", SIGNING_KEY)
+
+
+class TestSignedPipeline:
+    def test_secure_pipeline_on_verified_platform(self, provisioned):
+        """End to end with signed-TA loading enforced platform-wide."""
+        from repro.core.pipeline import SecurePipeline
+        from repro.core.platform import IotPlatform
+        from tests.test_core_pipeline import MIXED, make_workload
+
+        platform = IotPlatform.create(
+            seed=601, ta_verification_key=SIGNING_KEY
+        )
+        pipeline = SecurePipeline(
+            platform, provisioned.bundle, ta_signing_key=SIGNING_KEY
+        )
+        run = pipeline.process(make_workload(provisioned, MIXED[:2]))
+        assert len(run) == 2
+
+    def test_unsigned_pipeline_rejected_on_verified_platform(self, provisioned):
+        from repro.core.pipeline import SecurePipeline
+        from repro.core.platform import IotPlatform
+
+        platform = IotPlatform.create(
+            seed=602, ta_verification_key=SIGNING_KEY
+        )
+        with pytest.raises(TeeSecurityError):
+            SecurePipeline(platform, provisioned.bundle)

@@ -1,0 +1,91 @@
+"""Unit tests: secure storage (seal/unseal, tamper detection)."""
+
+import pytest
+
+from repro.errors import AuthenticationFailure, TeeItemNotFound
+from repro.optee.os import OpTeeOs
+from repro.optee.supplicant import TeeSupplicant
+from repro.tz.worlds import World
+
+
+@pytest.fixture
+def tee(machine):
+    os_ = OpTeeOs(machine)
+    os_.attach_supplicant(TeeSupplicant(machine))
+    # Storage operations run secure-side (they are TA-initiated).
+    machine.cpu._set_world(World.SECURE)
+    yield os_
+    machine.cpu._set_world(World.NORMAL)
+
+
+class TestRoundTrip:
+    def test_put_get(self, tee):
+        tee.storage.put("model", b"weights-blob")
+        assert tee.storage.get("model") == b"weights-blob"
+
+    def test_overwrite(self, tee):
+        tee.storage.put("k", b"v1")
+        tee.storage.put("k", b"v2")
+        assert tee.storage.get("k") == b"v2"
+
+    def test_missing_object(self, tee):
+        with pytest.raises(TeeItemNotFound):
+            tee.storage.get("ghost")
+
+    def test_exists_and_list(self, tee):
+        assert not tee.storage.exists("a")
+        tee.storage.put("a", b"1")
+        tee.storage.put("b", b"2")
+        assert tee.storage.exists("a")
+        assert tee.storage.list() == ["a", "b"]
+
+    def test_delete(self, tee):
+        tee.storage.put("a", b"1")
+        tee.storage.delete("a")
+        assert not tee.storage.exists("a")
+        tee.storage.delete("a")  # idempotent
+
+    def test_empty_payload(self, tee):
+        tee.storage.put("empty", b"")
+        assert tee.storage.get("empty") == b""
+
+    def test_large_payload(self, tee):
+        blob = bytes(range(256)) * 512  # 128 KiB
+        tee.storage.put("big", blob)
+        assert tee.storage.get("big") == blob
+
+
+class TestAtRestSecurity:
+    def test_normal_world_sees_only_ciphertext(self, tee):
+        secret = b"the wifi password is hunter2"
+        tee.storage.put("note", secret)
+        stored = tee.supplicant.fs.files["tee/objects/note"]
+        assert secret not in stored
+        # No long plaintext substring survives either.
+        assert b"hunter2" not in stored
+
+    def test_tamper_detected(self, tee):
+        tee.storage.put("note", b"payload")
+        path = "tee/objects/note"
+        blob = bytearray(tee.supplicant.fs.files[path])
+        blob[-1] ^= 0xFF
+        tee.supplicant.fs.files[path] = bytes(blob)
+        with pytest.raises(AuthenticationFailure):
+            tee.storage.get("note")
+
+    def test_blob_swap_detected(self, tee):
+        """Name binding: moving blob A under name B must fail."""
+        tee.storage.put("a", b"aaaa")
+        tee.storage.put("b", b"bbbb")
+        fs = tee.supplicant.fs.files
+        fs["tee/objects/b"] = fs["tee/objects/a"]
+        with pytest.raises(AuthenticationFailure):
+            tee.storage.get("b")
+
+    def test_distinct_nonces(self, tee):
+        """Same plaintext twice must not produce identical ciphertext."""
+        tee.storage.put("x", b"same")
+        first = tee.supplicant.fs.files["tee/objects/x"]
+        tee.storage.put("x", b"same")
+        second = tee.supplicant.fs.files["tee/objects/x"]
+        assert first != second

@@ -1,0 +1,252 @@
+"""Unit tests: audio sources, codecs, microphone, camera, DMA, MMIO mux."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import (
+    InvalidAddressError,
+    PeripheralError,
+    SecureAccessViolation,
+)
+from repro.peripherals.audio import (
+    AudioFormat,
+    BufferSource,
+    SilenceSource,
+    ToneSource,
+)
+from repro.peripherals.camera import Camera, SyntheticScene
+from repro.peripherals.codec import (
+    mulaw_decode,
+    mulaw_encode,
+    pcm16_decode,
+    pcm16_encode,
+)
+from repro.peripherals.dma import DmaEngine
+from repro.peripherals.microphone import DigitalMicrophone
+from repro.peripherals.mmio import MmioMux
+from repro.sim.rng import SimRng
+from repro.tz.memory import MmioHandler
+from repro.tz.worlds import World
+
+
+class TestAudioFormat:
+    def test_defaults(self):
+        fmt = AudioFormat()
+        assert fmt.sample_rate == 16_000
+        assert fmt.bytes_per_frame == 2
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            AudioFormat(bit_depth=12)
+        with pytest.raises(ValueError):
+            AudioFormat(channels=3)
+        with pytest.raises(ValueError):
+            AudioFormat(sample_rate=0)
+
+
+class TestSources:
+    def test_silence(self):
+        src = SilenceSource()
+        assert not np.any(src.next_samples(100))
+
+    def test_tone_amplitude_and_continuity(self):
+        src = ToneSource(freq_hz=1000, amplitude=0.5)
+        a = src.next_samples(100)
+        b = src.next_samples(100)
+        assert np.abs(a).max() <= 0.5 * 32767 + 1
+        joined = np.concatenate([a, b]).astype(np.float64)
+        # No discontinuity: max adjacent step bounded by the tone slope.
+        assert np.abs(np.diff(joined)).max() < 0.5 * 32767 * 2 * np.pi * 1000 / 16000 * 1.1
+
+    def test_tone_bad_amplitude(self):
+        with pytest.raises(ValueError):
+            ToneSource(amplitude=0.0)
+        with pytest.raises(ValueError):
+            ToneSource(amplitude=1.5)
+
+    def test_buffer_source_pads_with_silence(self):
+        src = BufferSource(np.array([1, 2, 3], dtype=np.int16))
+        out = src.next_samples(5)
+        assert list(out) == [1, 2, 3, 0, 0]
+        assert src.exhausted()
+
+    def test_buffer_source_requires_int16(self):
+        with pytest.raises(ValueError):
+            BufferSource(np.array([1.0, 2.0]))
+
+    def test_buffer_source_remaining(self):
+        src = BufferSource(np.zeros(10, dtype=np.int16))
+        src.next_samples(4)
+        assert src.remaining == 6
+
+
+class TestCodecs:
+    def test_pcm16_round_trip(self):
+        samples = np.array([-32768, -1, 0, 1, 32767], dtype=np.int16)
+        assert np.array_equal(pcm16_decode(pcm16_encode(samples)), samples)
+
+    def test_pcm16_odd_stream_rejected(self):
+        with pytest.raises(PeripheralError):
+            pcm16_decode(b"\x00\x01\x02")
+
+    def test_pcm16_wrong_dtype_rejected(self):
+        with pytest.raises(PeripheralError):
+            pcm16_encode(np.zeros(4, dtype=np.float32))
+
+    def test_mulaw_compresses_to_one_byte(self):
+        samples = np.zeros(100, dtype=np.int16)
+        assert len(mulaw_encode(samples)) == 100
+
+    def test_mulaw_round_trip_error_bounded(self):
+        rng = np.random.default_rng(0)
+        samples = (rng.normal(0, 8000, 1000)).clip(-32768, 32767).astype(np.int16)
+        decoded = mulaw_decode(mulaw_encode(samples))
+        # µ-law is logarithmic: SNR should be decent on speech-level signals.
+        err = np.abs(decoded.astype(int) - samples.astype(int))
+        assert np.median(err) < 600
+
+    @given(st.lists(st.integers(-32000, 32000), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_property_mulaw_monotone_sign(self, values):
+        samples = np.array(values, dtype=np.int16)
+        decoded = mulaw_decode(mulaw_encode(samples))
+        big = np.abs(samples) > 1000
+        assert np.all(np.sign(decoded[big]) == np.sign(samples[big]))
+
+
+class TestMicrophone:
+    def test_reads_from_source(self):
+        mic = DigitalMicrophone(BufferSource(np.arange(8, dtype=np.int16)))
+        assert list(mic.read_frames(4)) == [0, 1, 2, 3]
+        assert mic.frames_read == 4
+
+    def test_power_off_silences(self):
+        mic = DigitalMicrophone(ToneSource())
+        mic.power_off()
+        assert not np.any(mic.read_frames(100))
+        mic.power_on()
+        assert np.any(mic.read_frames(100))
+
+    def test_swap_source(self):
+        mic = DigitalMicrophone(SilenceSource())
+        mic.swap_source(BufferSource(np.array([7], dtype=np.int16)))
+        assert mic.read_frames(1)[0] == 7
+
+    def test_negative_read_rejected(self):
+        mic = DigitalMicrophone(SilenceSource())
+        with pytest.raises(PeripheralError):
+            mic.read_frames(-1)
+
+
+class TestCamera:
+    def test_frame_shape(self):
+        cam = Camera(SyntheticScene(SimRng(1)), width=32, height=24)
+        frame = cam.capture_frame()
+        assert frame.shape == (24, 32)
+        assert frame.dtype == np.uint8
+
+    def test_scene_labels(self):
+        scene = SyntheticScene(SimRng(2), person_probability=1.0)
+        cam = Camera(scene)
+        cam.capture_frame()
+        assert scene.last_label == "person"
+        scene2 = SyntheticScene(SimRng(2), person_probability=0.0)
+        Camera(scene2).capture_frame()
+        assert scene2.last_label == "empty_room"
+
+    def test_person_frames_brighter(self):
+        bright = SyntheticScene(SimRng(3), person_probability=1.0)
+        dark = SyntheticScene(SimRng(3), person_probability=0.0)
+        b = Camera(bright).capture_frame().mean()
+        d = Camera(dark).capture_frame().mean()
+        assert b > d
+
+    def test_power_off(self):
+        cam = Camera(SyntheticScene(SimRng(1)))
+        cam.powered = False
+        assert not np.any(cam.capture_frame())
+
+    def test_bad_dimensions(self):
+        with pytest.raises(PeripheralError):
+            Camera(SyntheticScene(SimRng(1)), width=0)
+
+
+class TestDma:
+    def test_fifo_to_nonsecure_memory(self, machine):
+        from tests.test_peripherals_i2s import enable, make_controller, wire
+
+        ctrl = make_controller()
+        ctrl.clock = machine.clock
+        wire(ctrl)
+        enable(ctrl)
+        ctrl.capture(8)
+        dma = DmaEngine(machine)
+        dest = machine.ns_allocator.alloc(64)
+        moved = dma.fifo_to_memory(ctrl, dest, 8, World.NORMAL)
+        assert moved == 8
+        assert dma.words_moved == 8
+        data = machine.memory.read(dest, 32, World.NORMAL)
+        assert len(data) == 32
+
+    def test_nonsecure_dma_blocked_from_secure_target(self, machine):
+        from tests.test_peripherals_i2s import enable, make_controller, wire
+
+        ctrl = make_controller()
+        wire(ctrl)
+        enable(ctrl)
+        ctrl.capture(4)
+        dma = DmaEngine(machine)
+        dest = machine.secure_allocator.alloc(64)
+        with pytest.raises(SecureAccessViolation):
+            dma.fifo_to_memory(ctrl, dest, 4, World.NORMAL)
+
+    def test_secure_dma_reaches_secure_target(self, machine):
+        from tests.test_peripherals_i2s import enable, make_controller, wire
+
+        ctrl = make_controller()
+        wire(ctrl)
+        enable(ctrl)
+        ctrl.capture(4)
+        dma = DmaEngine(machine)
+        dest = machine.secure_allocator.alloc(64)
+        assert dma.fifo_to_memory(ctrl, dest, 4, World.SECURE) == 4
+
+
+class TestMmioMux:
+    class Probe(MmioHandler):
+        def __init__(self):
+            self.calls = []
+
+        def mmio_read(self, offset, size):
+            self.calls.append(("r", offset, size))
+            return b"\x00" * size
+
+        def mmio_write(self, offset, data):
+            self.calls.append(("w", offset, data))
+
+    def test_routing_subtracts_window_base(self):
+        mux = MmioMux()
+        probe = self.Probe()
+        mux.claim("dev", 0x100, 0x100, probe)
+        mux.mmio_read(0x104, 4)
+        assert probe.calls == [("r", 4, 4)]
+
+    def test_overlap_rejected(self):
+        mux = MmioMux()
+        mux.claim("a", 0x0, 0x100, self.Probe())
+        with pytest.raises(ValueError):
+            mux.claim("b", 0x80, 0x100, self.Probe())
+
+    def test_unclaimed_offset_faults(self):
+        mux = MmioMux()
+        mux.claim("a", 0x0, 0x10, self.Probe())
+        with pytest.raises(InvalidAddressError):
+            mux.mmio_read(0x20, 4)
+
+    def test_window_base_lookup(self):
+        mux = MmioMux()
+        mux.claim("a", 0x40, 0x10, self.Probe())
+        assert mux.window_base("a") == 0x40
+        with pytest.raises(InvalidAddressError):
+            mux.window_base("zzz")

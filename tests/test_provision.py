@@ -1,0 +1,84 @@
+"""Unit tests: provisioning helpers."""
+
+import pytest
+
+from repro.core.filter import FilterPolicy
+from repro.ml.quantize import QuantizedClassifier
+from repro.provision import build_demo_pipeline, provision_bundle
+
+
+class TestProvisionBundle:
+    def test_default_provision_quality(self, provisioned):
+        assert provisioned.test_accuracy > 0.9
+        assert len(provisioned.train_corpus) > len(provisioned.test_corpus)
+
+    def test_architectures(self):
+        for arch in ("cnn", "transformer", "hybrid"):
+            provisioned = provision_bundle(
+                seed=5, architecture=arch, corpus_size=300, epochs=2
+            )
+            assert provisioned.bundle.filter.classifier is not None
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ValueError):
+            provision_bundle(architecture="rnn", corpus_size=100, epochs=1)
+
+    def test_quantized_provisioning(self):
+        provisioned = provision_bundle(
+            seed=5, corpus_size=300, epochs=2, quantize=True
+        )
+        assert isinstance(
+            provisioned.bundle.filter.classifier, QuantizedClassifier
+        )
+        assert provisioned.bundle.filter.is_quantized
+
+    def test_policy_propagates(self):
+        provisioned = provision_bundle(
+            seed=5, corpus_size=300, epochs=2, policy=FilterPolicy.REDACT
+        )
+        assert provisioned.bundle.filter.policy is FilterPolicy.REDACT
+
+    def test_threshold_propagates(self):
+        provisioned = provision_bundle(
+            seed=5, corpus_size=300, epochs=2, threshold=0.8
+        )
+        assert provisioned.bundle.filter.threshold == 0.8
+
+    def test_deterministic(self):
+        a = provision_bundle(seed=6, corpus_size=200, epochs=2)
+        b = provision_bundle(seed=6, corpus_size=200, epochs=2)
+        assert (
+            a.bundle.filter.classifier.serialize()
+            == b.bundle.filter.classifier.serialize()
+        )
+
+    def test_train_wer_hardening(self):
+        provisioned = provision_bundle(
+            seed=5, corpus_size=300, epochs=2, train_wer=0.2
+        )
+        # Still learns despite corrupted training text.
+        assert provisioned.test_accuracy > 0.7
+
+    def test_hard_fraction_lowers_ceiling(self):
+        clean = provision_bundle(seed=8, corpus_size=500, epochs=3)
+        hard = provision_bundle(
+            seed=8, corpus_size=500, epochs=3, hard_fraction=0.8
+        )
+        assert hard.test_accuracy <= clean.test_accuracy
+        assert hard.test_accuracy < 1.0  # irreducible shared-text error
+
+    def test_vocoder_covers_generated_corpus(self, provisioned):
+        """Every word the generator can emit must be renderable."""
+        for u in provisioned.test_corpus.utterances:
+            provisioned.bundle.vocoder.render(u.text)  # no raise
+
+
+class TestBuildDemoPipeline:
+    def test_demo_assembly(self):
+        secure, workload, platform = build_demo_pipeline(
+            seed=5, utterances=4, corpus_size=300, epochs=2
+        )
+        assert len(workload) == 4
+        run = secure.process(workload)
+        assert len(run) == 4
+        assert platform.cloud.events_handled >= 0

@@ -1,0 +1,169 @@
+"""Unit tests: TLS-like handshake, record layer, AVS protocol."""
+
+import json
+
+import pytest
+
+from repro.errors import HandshakeError, RecordError
+from repro.relay.avs import AvsClient, AvsEvent
+from repro.relay.tls import TlsClient, TlsServer
+from repro.sim.rng import SimRng
+
+
+@pytest.fixture
+def pair():
+    server = TlsServer(SimRng(1, "server"))
+    client = TlsClient(server.handle, server.static_public, SimRng(2, "client"))
+    return server, client
+
+
+class TestHandshake:
+    def test_handshake_succeeds(self, pair):
+        server, client = pair
+        client.handshake()
+        assert client.connected
+        assert client.handshakes == 1
+
+    def test_request_before_handshake_rejected(self, pair):
+        _, client = pair
+        with pytest.raises(HandshakeError):
+            client.request(b"early")
+
+    def test_wrong_pinned_key_detected(self):
+        """MITM: client pins key A, talks to server with key B."""
+        real = TlsServer(SimRng(1, "server"))
+        mitm = TlsServer(SimRng(9, "mitm"))
+        client = TlsClient(mitm.handle, real.static_public, SimRng(2, "c"))
+        with pytest.raises(HandshakeError, match="MITM|finished"):
+            client.handshake()
+
+    def test_rehandshake_resets_sequences(self, pair):
+        server, client = pair
+        client.handshake()
+        client.request(b"one")
+        client.handshake()
+        assert client.request(b"two") is not None
+
+
+class TestRecords:
+    def test_round_trip(self, pair):
+        server, client = pair
+        server.set_handler(lambda pt: pt.upper())
+        client.handshake()
+        assert client.request(b"hello") == b"HELLO"
+
+    def test_multiple_records_in_order(self, pair):
+        server, client = pair
+        server.set_handler(lambda pt: pt)
+        client.handshake()
+        for i in range(5):
+            assert client.request(f"msg{i}".encode()) == f"msg{i}".encode()
+
+    def test_plaintext_never_on_wire(self, pair):
+        server, client = pair
+        wire = []
+        original = server.handle
+
+        def tapped(request):
+            wire.append(request)
+            return original(request)
+
+        client._transport = tapped
+        client.handshake()
+        client.request(b"my social security number")
+        joined = b"".join(wire)
+        assert b"social security" not in joined
+
+    def test_replayed_record_rejected(self, pair):
+        server, client = pair
+        client.handshake()
+        captured = {}
+        original = server.handle
+
+        def capture(request):
+            msg = json.loads(request.decode())
+            if msg.get("type") == "record":
+                captured["wire"] = request
+            return original(request)
+
+        client._transport = capture
+        client.request(b"first")
+        with pytest.raises(RecordError, match="sequence"):
+            server.handle(captured["wire"])  # replay
+
+    def test_record_before_handshake_rejected(self):
+        server = TlsServer(SimRng(1, "s"))
+        wire = json.dumps({"type": "record", "seq": 0, "payload": "00"}).encode()
+        with pytest.raises(HandshakeError):
+            server.handle(wire)
+
+    def test_malformed_message_rejected(self):
+        server = TlsServer(SimRng(1, "s"))
+        with pytest.raises(RecordError):
+            server.handle(b"\xff\xfe not json")
+        with pytest.raises(RecordError):
+            server.handle(json.dumps({"type": "martian"}).encode())
+
+    def test_tampered_record_rejected(self, pair):
+        from repro.errors import AuthenticationFailure
+
+        server, client = pair
+        client.handshake()
+        original_transport = client._transport
+
+        def tamper(request):
+            msg = json.loads(request.decode())
+            if msg.get("type") == "record":
+                payload = bytearray.fromhex(msg["payload"])
+                payload[0] ^= 0xFF
+                msg["payload"] = payload.hex()
+                request = json.dumps(msg).encode()
+            return original_transport(request)
+
+        client._transport = tamper
+        with pytest.raises(AuthenticationFailure):
+            client.request(b"data")
+
+
+class TestAvsProtocol:
+    def test_event_round_trip(self):
+        event = AvsEvent.recognize("play music", dialog_id=3)
+        parsed = AvsEvent.from_bytes(event.to_bytes())
+        assert parsed.name == "Recognize"
+        assert parsed.payload["transcript"] == "play music"
+        assert parsed.payload["dialogRequestId"] == 3
+
+    def test_heartbeat_shape(self):
+        event = AvsEvent.heartbeat()
+        assert event.namespace == "System"
+
+    def test_malformed_event_rejected(self):
+        with pytest.raises(RecordError):
+            AvsEvent.from_bytes(b"{}")
+        with pytest.raises(RecordError):
+            AvsEvent.from_bytes(b"junk")
+
+    def test_client_over_secure_channel(self, pair):
+        server, client = pair
+        received = []
+
+        def app(plaintext):
+            received.append(AvsEvent.from_bytes(plaintext))
+            return json.dumps({"directive": "Ack"}).encode()
+
+        server.set_handler(app)
+        client.handshake()
+        avs = AvsClient(client.request)
+        directive = avs.recognize("what time is it")
+        assert directive == {"directive": "Ack"}
+        assert received[0].payload["transcript"] == "what time is it"
+        assert avs.events_sent == 1
+
+    def test_dialog_ids_increment(self, pair):
+        server, client = pair
+        server.set_handler(lambda pt: b'{"directive":"Ack"}')
+        client.handshake()
+        avs = AvsClient(client.request)
+        avs.recognize("a")
+        avs.recognize("b")
+        assert avs._dialog_id == 2

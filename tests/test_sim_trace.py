@@ -1,0 +1,85 @@
+"""Unit tests: trace log."""
+
+import pytest
+
+from repro.sim.trace import TraceLog
+
+
+class TestEmit:
+    def test_emit_and_len(self):
+        log = TraceLog()
+        log.emit(0, "tz.smc", "enter")
+        log.emit(1, "tz.smc", "exit")
+        assert len(log) == 2
+
+    def test_event_fields(self):
+        log = TraceLog()
+        log.emit(42, "kernel.driver", "call", fn="probe")
+        event = log.events()[0]
+        assert event.timestamp == 42
+        assert event.category == "kernel.driver"
+        assert event.name == "call"
+        assert event.data == {"fn": "probe"}
+
+
+class TestFiltering:
+    def _populated(self) -> TraceLog:
+        log = TraceLog()
+        log.emit(0, "tz.smc", "enter")
+        log.emit(1, "tz.fault", "violation")
+        log.emit(2, "tz.smc", "exit")
+        log.emit(3, "optee.ta.echo", "cmd")
+        return log
+
+    def test_prefix_filter(self):
+        log = self._populated()
+        assert len(log.events("tz")) == 3
+        assert len(log.events("tz.smc")) == 2
+        assert len(log.events("optee")) == 1
+
+    def test_prefix_does_not_match_substring(self):
+        log = TraceLog()
+        log.emit(0, "tzx.other", "e")
+        assert log.events("tz") == []
+
+    def test_count(self):
+        assert self._populated().count("tz.smc") == 2
+
+    def test_last(self):
+        log = self._populated()
+        assert log.last("tz.smc").name == "exit"
+        assert log.last("nothing") is None
+
+
+class TestCapacity:
+    def test_capacity_drops_oldest(self):
+        log = TraceLog(capacity=10)
+        for i in range(15):
+            log.emit(i, "c", f"e{i}")
+        assert len(log) <= 10
+        assert log.dropped_events >= 5
+        names = [e.name for e in log]
+        assert "e14" in names  # newest retained
+        assert "e0" not in names  # oldest dropped
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLog(capacity=0)
+
+
+class TestEnableDisable:
+    def test_disable_stops_recording(self):
+        log = TraceLog()
+        log.emit(0, "a", "kept")
+        log.disable()
+        log.emit(1, "a", "dropped")
+        log.enable()
+        log.emit(2, "a", "kept2")
+        assert [e.name for e in log] == ["kept", "kept2"]
+
+    def test_clear(self):
+        log = TraceLog()
+        log.emit(0, "a", "x")
+        log.clear()
+        assert len(log) == 0
+        assert log.dropped_events == 0

@@ -1,0 +1,87 @@
+"""Edge cases of the continuous-capture mode."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import SecurePipeline
+from repro.core.platform import IotPlatform
+from repro.core.ta_filter import CMD_PROCESS_STREAM
+from repro.optee.params import Params, Value
+from repro.peripherals.audio import BufferSource
+
+
+@pytest.fixture
+def stream_pipeline(provisioned):
+    platform = IotPlatform.create(seed=301)
+    pipeline = SecurePipeline(platform, provisioned.bundle)
+    return platform, pipeline
+
+
+class TestStreamEdges:
+    def test_silent_stream_yields_no_decisions(self, stream_pipeline):
+        platform, pipeline = stream_pipeline
+        platform.mic.swap_source(
+            BufferSource(np.zeros(8_000, dtype=np.int16))
+        )
+        records = pipeline.session.invoke(
+            CMD_PROCESS_STREAM, Params.of(Value(a=8_000))
+        )
+        assert records == []
+        assert platform.cloud.received_transcripts == []
+
+    def test_noise_only_stream_sends_nothing_sensitive(self, stream_pipeline):
+        """Loud non-speech: VAD fires, ASR finds no words, empty
+        transcripts classify benign — nothing sensitive can leak because
+        nothing sensitive was said."""
+        platform, pipeline = stream_pipeline
+        rng = np.random.default_rng(0)
+        noise = (rng.normal(0, 9_000, 12_000)).clip(-32768, 32767).astype(
+            np.int16
+        )
+        platform.mic.swap_source(BufferSource(noise))
+        records = pipeline.session.invoke(
+            CMD_PROCESS_STREAM, Params.of(Value(a=12_000))
+        )
+        for record in records:
+            assert not record["sensitive"] or not record["forwarded"]
+
+    def test_single_word_stream(self, stream_pipeline, provisioned):
+        platform, pipeline = stream_pipeline
+        pcm = provisioned.bundle.vocoder.render("jazz")
+        padded = np.concatenate(
+            [np.zeros(2_000, dtype=np.int16), pcm,
+             np.zeros(2_000, dtype=np.int16)]
+        )
+        platform.mic.swap_source(BufferSource(padded))
+        records = pipeline.session.invoke(
+            CMD_PROCESS_STREAM, Params.of(Value(a=len(padded)))
+        )
+        assert len(records) == 1
+        assert records[0]["transcript"] == "jazz"
+
+    def test_empty_workload_continuous(self, stream_pipeline):
+        from repro.core.workload import UtteranceWorkload
+
+        _, pipeline = stream_pipeline
+        with pytest.raises(Exception):
+            # Zero-sample stream is a degenerate request; the concatenation
+            # in process_continuous raises before any TEE call.
+            pipeline.process_continuous(UtteranceWorkload(items=[]))
+
+    def test_back_to_back_streams_accumulate_stats(self, stream_pipeline,
+                                                   provisioned):
+        platform, pipeline = stream_pipeline
+        from repro.core.workload import UtteranceWorkload
+        from repro.ml.dataset import Corpus, SensitiveCategory, Utterance
+
+        corpus = Corpus([
+            Utterance("set a timer for five minutes",
+                      SensitiveCategory.TIMER)
+        ])
+        workload = UtteranceWorkload.from_corpus(
+            corpus, provisioned.bundle.vocoder
+        )
+        run1 = pipeline.process_continuous(workload)
+        run2 = pipeline.process_continuous(workload)
+        assert len(run1) == len(run2) == 1
+        assert run2.stage_cycles["vad"] > run1.stage_cycles["vad"]

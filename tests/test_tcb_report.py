@@ -1,0 +1,54 @@
+"""Unit tests: TCB report rendering."""
+
+import pytest
+
+from repro.drivers.i2s_driver import I2sDriver
+from repro.tcb.analyze import TcbAnalyzer
+from repro.tcb.report import render_compile_config, render_markdown
+from tests.test_tcb import build_rig, trace_record_task
+
+
+@pytest.fixture(scope="module")
+def plan():
+    _, kernel, _, _ = build_rig()
+    session = trace_record_task(kernel)
+    return TcbAnalyzer(I2sDriver).analyze([session], task="record")
+
+
+class TestMarkdown:
+    def test_headline_numbers_present(self, plan):
+        doc = render_markdown(plan)
+        assert f"{plan.report.loc_kept} / {plan.report.loc_total}" in doc
+        assert "tegra-i2s" in doc
+        assert "task `record`" in doc
+
+    def test_all_functions_listed_exactly_once(self, plan):
+        doc = render_markdown(plan)
+        for fn in plan.keep | plan.compiled_out:
+            assert doc.count(f"`{fn}`") == 1
+
+    def test_subsystem_table_complete(self, plan):
+        doc = render_markdown(plan)
+        for row in plan.report.rows():
+            assert f"| {row['subsystem']} |" in doc
+
+    def test_is_valid_markdown_table(self, plan):
+        doc = render_markdown(plan)
+        table_lines = [l for l in doc.splitlines() if l.startswith("|")]
+        widths = {l.count("|") for l in table_lines}
+        assert widths == {5}  # consistent 4-column table
+
+
+class TestCompileConfig:
+    def test_every_function_configured(self, plan):
+        config = render_compile_config(plan)
+        total = len(plan.keep) + len(plan.compiled_out)
+        assert config.count("CONFIG_TEGRA_I2S_") == total
+
+    def test_kept_yes_stripped_no(self, plan):
+        config = render_compile_config(plan)
+        assert "CONFIG_TEGRA_I2S_READ_CHUNK=y" in config
+        assert "CONFIG_TEGRA_I2S_WRITE_CHUNK=n" in config
+
+    def test_task_recorded(self, plan):
+        assert "'record'" in render_compile_config(plan)

@@ -1,0 +1,135 @@
+"""Unit tests: composed machine, CPU worlds, secure monitor."""
+
+import pytest
+
+from repro.errors import SecureAccessViolation, SmcError, WorldStateError
+from repro.sim.clock import CycleDomain
+from repro.tz.machine import MachineConfig, TrustZoneMachine
+from repro.tz.monitor import SmcFunction
+from repro.tz.worlds import World
+
+
+class TestMemoryMap:
+    def test_default_regions_present(self, machine):
+        names = {r.name for r in machine.memory.regions()}
+        assert {"dram_ns", "shmem", "dram_secure", "secure_heap", "mmio"} <= names
+
+    def test_boot_world_is_normal(self, machine):
+        assert machine.world() is World.NORMAL
+
+    def test_secure_regions_protected_at_boot(self, machine):
+        for name in ("dram_secure", "secure_heap"):
+            region = machine.memory.region(name)
+            with pytest.raises(SecureAccessViolation):
+                machine.memory.read(region.base, 4, World.NORMAL)
+
+    def test_config_sizes_respected(self):
+        config = MachineConfig(secure_heap_bytes=1024 * 1024)
+        machine = TrustZoneMachine(config)
+        assert machine.secure_heap.total_bytes == 1024 * 1024
+
+
+class TestCpuWorlds:
+    def test_execute_charges_current_world(self, machine):
+        machine.cpu.execute(100)
+        assert machine.clock.cycles_in(CycleDomain.NORMAL_CPU) == 100
+        assert machine.clock.cycles_in(CycleDomain.SECURE_CPU) == 0
+
+    def test_require_world(self, machine):
+        machine.cpu.require_world(World.NORMAL)  # no raise
+        with pytest.raises(WorldStateError):
+            machine.cpu.require_world(World.SECURE)
+
+    def test_world_other(self):
+        assert World.NORMAL.other is World.SECURE
+        assert World.SECURE.other is World.NORMAL
+
+
+class TestSecureMonitor:
+    def test_smc_runs_handler_in_secure_world(self, machine):
+        seen = {}
+
+        def handler():
+            seen["world"] = machine.cpu.world
+            return "ok"
+
+        machine.monitor.register(SmcFunction.CALL_WITH_ARG, handler)
+        result = machine.monitor.smc(SmcFunction.CALL_WITH_ARG)
+        assert result == "ok"
+        assert seen["world"] is World.SECURE
+        assert machine.cpu.world is World.NORMAL  # restored
+
+    def test_smc_restores_world_on_handler_exception(self, machine):
+        def handler():
+            raise RuntimeError("boom")
+
+        machine.monitor.register(SmcFunction.CALL_WITH_ARG, handler)
+        with pytest.raises(RuntimeError):
+            machine.monitor.smc(SmcFunction.CALL_WITH_ARG)
+        assert machine.cpu.world is World.NORMAL
+
+    def test_unknown_smc_rejected(self, machine):
+        with pytest.raises(SmcError):
+            machine.monitor.smc(SmcFunction.ENABLE_SHM_CACHE)
+
+    def test_duplicate_registration_rejected(self, machine):
+        machine.monitor.register(SmcFunction.CALL_WITH_ARG, lambda: None)
+        with pytest.raises(SmcError):
+            machine.monitor.register(SmcFunction.CALL_WITH_ARG, lambda: None)
+
+    def test_smc_from_secure_world_rejected(self, machine):
+        machine.monitor.register(SmcFunction.CALL_WITH_ARG, lambda: None)
+        machine.cpu._set_world(World.SECURE)
+        with pytest.raises(WorldStateError):
+            machine.monitor.smc(SmcFunction.CALL_WITH_ARG)
+
+    def test_smc_charges_monitor_cycles(self, machine):
+        machine.monitor.register(SmcFunction.CALL_WITH_ARG, lambda: None)
+        machine.monitor.smc(SmcFunction.CALL_WITH_ARG)
+        # Two transitions (enter + exit), each a full switch cost.
+        expect = 2 * machine.costs.full_world_switch_cycles()
+        assert machine.clock.cycles_in(CycleDomain.MONITOR) == expect
+
+    def test_smc_counts_switches(self, machine):
+        machine.monitor.register(SmcFunction.CALL_WITH_ARG, lambda: None)
+        machine.monitor.smc(SmcFunction.CALL_WITH_ARG)
+        assert machine.cpu.switch_count == 2
+        assert machine.monitor.smc_count == 1
+
+    def test_rpc_leg_runs_in_normal_world(self, machine):
+        seen = {}
+
+        def handler():
+            return machine.monitor.secure_call_to_normal(
+                lambda: seen.setdefault("world", machine.cpu.world)
+            )
+
+        machine.monitor.register(SmcFunction.CALL_WITH_ARG, handler)
+        machine.monitor.smc(SmcFunction.CALL_WITH_ARG)
+        assert seen["world"] is World.NORMAL
+
+    def test_rpc_from_normal_world_rejected(self, machine):
+        with pytest.raises(WorldStateError):
+            machine.monitor.secure_call_to_normal(lambda: None)
+
+
+class TestSecurePeripheral:
+    def test_claiming_requires_secure_world(self, machine):
+        region = machine.memory.region("mmio")
+        with pytest.raises(SecureAccessViolation):
+            machine.secure_peripheral(region)
+
+    def test_claimed_region_blocked_from_normal(self, machine):
+        region = machine.memory.region("mmio")
+        machine.cpu._set_world(World.SECURE)
+        machine.secure_peripheral(region)
+        machine.cpu._set_world(World.NORMAL)
+        with pytest.raises(SecureAccessViolation):
+            machine.memory.read(region.base, 4, World.NORMAL)
+
+
+class TestSummary:
+    def test_summary_keys(self, machine):
+        summary = machine.summary()
+        assert {"cycles", "world_switches", "smc_calls",
+                "tzasc_violations"} <= set(summary)

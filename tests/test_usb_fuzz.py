@@ -1,0 +1,130 @@
+"""Fuzz/property tests: USB control plane robustness.
+
+A driver's enumeration code is the classic parser-attack surface; these
+tests throw malformed setup packets and corrupted descriptor blobs at the
+device and driver and require *typed errors, never crashes*.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.drivers.hosting import KernelDriverHost
+from repro.drivers.usb_audio_driver import UsbAudioDriver
+from repro.errors import BusProtocolError, ReproError
+from repro.peripherals.audio import ToneSource
+from repro.peripherals.usb import SetupPacket, UsbAudioMicrophone, UsbBus
+from repro.tz.machine import TrustZoneMachine
+
+
+def make_bus():
+    machine = TrustZoneMachine()
+    mic = UsbAudioMicrophone(ToneSource())
+    return machine, UsbBus(machine.clock, mic)
+
+
+class TestSetupPacketFuzz:
+    @given(
+        bmRequestType=st.integers(0, 255),
+        bRequest=st.integers(0, 255),
+        wValue=st.integers(0, 0xFFFF),
+        wIndex=st.integers(0, 0xFFFF),
+        data=st.binary(max_size=16),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_property_control_never_crashes(
+        self, bmRequestType, bRequest, wValue, wIndex, data
+    ):
+        _, bus = make_bus()
+        setup = SetupPacket(
+            bmRequestType, bRequest, wValue, wIndex, len(data), data
+        )
+        try:
+            result = bus.control(setup)
+        except ReproError:
+            return  # typed rejection is the correct outcome
+        assert isinstance(result, bytes)
+
+
+class TestDescriptorCorruption:
+    def _driver_with_corruptor(self, corrupt):
+        """A driver whose device returns corrupted config descriptors."""
+        machine, bus = make_bus()
+        device = bus.device
+        original = device.configuration_descriptor
+
+        def corrupted():
+            return corrupt(original())
+
+        device.configuration_descriptor = corrupted
+        return UsbAudioDriver(KernelDriverHost(machine), bus)
+
+    def test_zero_length_descriptor_rejected(self):
+        def corrupt(blob):
+            mutated = bytearray(blob)
+            mutated[9] = 0  # first sub-descriptor length = 0
+            return bytes(mutated)
+
+        driver = self._driver_with_corruptor(corrupt)
+        with pytest.raises(BusProtocolError, match="zero-length"):
+            driver.probe()
+
+    def test_non_audio_device_rejected(self):
+        def corrupt(blob):
+            # Rewrite every interface class byte to vendor-specific (0xFF).
+            # Interface descriptor layout: len, type, num, alt, numEP,
+            # class, subclass, protocol, iInterface — class at offset+5.
+            mutated = bytearray(blob)
+            offset = mutated[0]
+            while offset < len(mutated):
+                length, desc_type = mutated[offset], mutated[offset + 1]
+                if desc_type == 4:  # interface
+                    mutated[offset + 5] = 0xFF
+                offset += max(1, length)
+            return bytes(mutated)
+
+        driver = self._driver_with_corruptor(corrupt)
+        with pytest.raises(BusProtocolError, match="audio-class"):
+            driver.probe()
+
+    def test_truncated_blob_rejected(self):
+        driver = self._driver_with_corruptor(lambda blob: blob[: len(blob) // 2])
+        with pytest.raises(ReproError):
+            driver.probe()
+
+    @given(
+        index=st.integers(min_value=9, max_value=40),
+        value=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_single_byte_corruption_never_crashes(self, index, value):
+        def corrupt(blob):
+            mutated = bytearray(blob)
+            if index < len(mutated):
+                mutated[index] = value
+            return bytes(mutated)
+
+        driver = self._driver_with_corruptor(corrupt)
+        try:
+            driver.probe()
+        except ReproError:
+            return  # typed rejection
+        # Or enumeration survived the flip; the driver must be coherent.
+        assert driver.state == "idle"
+        assert driver.device_info
+
+
+class TestBandwidthValidation:
+    def test_insufficient_iso_bandwidth_rejected(self):
+        machine, bus = make_bus()
+        driver = UsbAudioDriver(KernelDriverHost(machine), bus)
+        driver.probe()
+        # Shrink the parsed endpoint's max packet below the stream's need.
+        for endpoint in driver.endpoints:
+            endpoint["max_packet"] = 4
+        from repro.errors import DriverError
+
+        with pytest.raises(DriverError, match="bandwidth"):
+            driver.pcm_open_capture(128)

@@ -1,0 +1,109 @@
+"""Tests: wake-word gating — the accidental-activation defense."""
+
+import pytest
+
+from repro.cloud.auditor import LeakAuditor
+from repro.core.pipeline import SecurePipeline
+from repro.core.platform import IotPlatform
+from repro.core.wakeword import DEFAULT_WAKE_WORDS, GateDecision, WakeWordGate
+from repro.core.workload import UtteranceWorkload
+from repro.ml.dataset import UtteranceGenerator
+from repro.sim.rng import SimRng
+
+
+class TestGateUnit:
+    def test_wake_word_detected_and_stripped(self):
+        gate = WakeWordGate()
+        decision = gate.check("alexa set a timer for ten minutes")
+        assert decision.intended
+        assert decision.command == "set a timer for ten minutes"
+
+    def test_side_conversation_rejected(self):
+        gate = WakeWordGate()
+        decision = gate.check("did you hear what the doctor said")
+        assert not decision.intended
+
+    def test_wake_word_mid_sentence_does_not_trigger(self):
+        gate = WakeWordGate()
+        assert not gate.check("i think alexa is listening").intended
+
+    def test_case_and_punctuation_insensitive(self):
+        gate = WakeWordGate()
+        assert gate.check("Alexa, play jazz!").intended
+
+    def test_custom_wake_words(self):
+        gate = WakeWordGate(wake_words=("jarvis",))
+        assert gate.check("jarvis open the pod bay doors").intended
+        assert not gate.check("alexa play jazz").intended
+
+    def test_empty_wake_words_rejected(self):
+        with pytest.raises(ValueError):
+            WakeWordGate(wake_words=())
+
+    def test_empty_transcript(self):
+        assert not WakeWordGate().check("").intended
+
+
+@pytest.fixture(scope="module")
+def gated_setup(provisioned):
+    """A gated bundle plus a mixed addressed/overheard workload."""
+    bundle = provisioned.bundle
+    corpus = UtteranceGenerator(SimRng(17, "household")).generate(
+        16, sensitive_fraction=0.5, addressed_fraction=0.5,
+    )
+    workload = UtteranceWorkload.from_corpus(corpus, bundle.vocoder)
+    return bundle, workload
+
+
+class TestGatedPipeline:
+    def _run(self, bundle, workload, gate):
+        original_gate = bundle.gate
+        bundle.gate = gate
+        try:
+            platform = IotPlatform.create(seed=501)
+            pipeline = SecurePipeline(platform, bundle)
+            run = pipeline.process(workload)
+        finally:
+            bundle.gate = original_gate
+        return platform, run
+
+    def test_overheard_conversations_never_sent(self, gated_setup):
+        bundle, workload = gated_setup
+        platform, run = self._run(bundle, workload, WakeWordGate())
+        overheard = [r for r in run.results if not r.utterance.addressed]
+        assert overheard, "workload must contain side conversations"
+        assert all(not r.forwarded for r in overheard)
+        sensitive = [r for r in run.results if r.utterance.sensitive]
+        assert all(not r.forwarded for r in sensitive)
+
+    def test_addressed_benign_still_delivered(self, gated_setup):
+        bundle, workload = gated_setup
+        platform, run = self._run(bundle, workload, WakeWordGate())
+        addressed_benign = [
+            u for u in workload.utterances if u.addressed and not u.sensitive
+        ]
+        assert len(platform.cloud.received_transcripts) == len(addressed_benign)
+
+    def test_without_gate_accidental_benign_leaks(self, gated_setup):
+        """The counterfactual: content filtering alone cannot stop the
+        2019-style incident — overheard *benign* chat sails through."""
+        bundle, workload = gated_setup
+        platform, run = self._run(bundle, workload, None)
+        report = LeakAuditor(workload.utterances).report(
+            platform.cloud.received_transcripts
+        )
+        assert report.accidental_leak_rate > 0.0
+
+    def test_gate_classifies_command_without_wake_word(self, gated_setup):
+        """The wake word must be stripped before classification, so the
+        classifier sees exactly what it was trained on."""
+        bundle, workload = gated_setup
+        platform, run = self._run(bundle, workload, WakeWordGate())
+        for result in run.results:
+            if result.utterance.addressed:
+                # Content decision matches the ground-truth label.
+                assert result.sensitive_predicted == result.utterance.sensitive
+
+    def test_vocoder_covers_wake_words(self, provisioned):
+        for word in DEFAULT_WAKE_WORDS:
+            provisioned.bundle.vocoder.render(word)  # no raise
