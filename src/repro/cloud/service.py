@@ -28,6 +28,7 @@ class CloudRecord:
     transcript: str
     dialog_id: int
     encrypted_transport: bool
+    attempt: int = 1
 
 
 class VoiceCloudService:
@@ -42,6 +43,11 @@ class VoiceCloudService:
         self.tls.set_handler(lambda pt: self._handle_event(pt, encrypted=True))
         self.received: list[CloudRecord] = []
         self.events_handled = 0
+        # Delivery is at-least-once under an unreliable network: a retry of
+        # a dialog id the service already recorded (attempt > 1, same id)
+        # is acknowledged but not recorded again.
+        self._seen_dialogs: set[tuple[bool, int]] = set()
+        self.duplicates_suppressed = 0
 
     # -- endpoints (supplicant NetworkService interface) ------------------------
 
@@ -64,13 +70,22 @@ class VoiceCloudService:
         self.events_handled += 1
         if event.name == "Recognize":
             transcript = str(event.payload.get("transcript", ""))
-            self.received.append(
-                CloudRecord(
-                    transcript=transcript,
-                    dialog_id=int(event.payload.get("dialogRequestId", -1)),
-                    encrypted_transport=encrypted,
+            dialog_id = int(event.payload.get("dialogRequestId", -1))
+            attempt = int(event.payload.get("attempt", 1))
+            key = (encrypted, dialog_id)
+            if attempt > 1 and key in self._seen_dialogs:
+                # Idempotent replay: the sender never saw our first reply.
+                self.duplicates_suppressed += 1
+            else:
+                self._seen_dialogs.add(key)
+                self.received.append(
+                    CloudRecord(
+                        transcript=transcript,
+                        dialog_id=dialog_id,
+                        encrypted_transport=encrypted,
+                        attempt=attempt,
+                    )
                 )
-            )
             return json.dumps(
                 {"directive": "Response", "speech": f"ok: {len(transcript)} chars"}
             ).encode()

@@ -30,6 +30,7 @@ from repro.core.workload import UtteranceWorkload, WorkloadItem
 from repro.optee.client import TeeClient
 from repro.optee.params import Params, Value
 from repro.peripherals.audio import BufferSource
+from repro.relay.relay import RetryPolicy
 
 
 class SecurePipeline:
@@ -44,6 +45,7 @@ class SecurePipeline:
         chunk_frames: int = 256,
         driver_compiled_out: frozenset[str] = frozenset(),
         ta_signing_key: bytes | None = None,
+        retry_policy: "RetryPolicy | None" = None,
     ):
         self.platform = platform
         self.bundle = bundle
@@ -59,6 +61,7 @@ class SecurePipeline:
             rng=platform.rng.fork("ta"),
             chunk_frames=chunk_frames,
             driver_compiled_out=driver_compiled_out,
+            retry_policy=retry_policy,
         )
         signature = None
         if ta_signing_key is not None:
@@ -91,7 +94,15 @@ class SecurePipeline:
             latency_cycles=clock_after.now - clock_before.now,
             energy_mj=energy.total_mj,
             domain_cycles=clock_after.delta(clock_before),
+            relay_status=record.get("relay_status", ""),
+            relay_attempts=record.get("relay_attempts", 0),
         )
+
+    def _collect_stats(self, run: PipelineRunResult) -> None:
+        """Pull the TA's stage-cycle and relay counters into the run."""
+        stats = self.session.invoke(CMD_STATS)
+        run.stage_cycles = stats["stages"]
+        run.relay_stats = stats["relay"]
 
     def process(
         self,
@@ -104,7 +115,7 @@ class SecurePipeline:
             run.results.append(self.process_item(item))
             if after_each is not None:
                 after_each(self)
-        run.stage_cycles = self.session.invoke(CMD_STATS)
+        self._collect_stats(run)
         return run
 
     def process_continuous(
@@ -119,6 +130,14 @@ class SecurePipeline:
         segments it with its in-enclave VAD, and filters each detected
         utterance.  Results map to ground truth by order (the VAD's
         segment order is the stream order).
+
+        The VAD can disagree with the ground-truth segmentation: a short
+        ``gap_samples`` lets its hangover merge adjacent utterances
+        (under-segmentation), and noisy audio can split one utterance in
+        two (over-segmentation).  What aligns is paired in order; the
+        surplus is reported via ``over_segmented`` / ``under_segmented``
+        and surplus decision records are kept in ``unpaired_records``
+        rather than silently discarded.
         """
         import numpy as np
 
@@ -137,8 +156,17 @@ class SecurePipeline:
         energy = self.platform.energy.delta_since(energy_before)
 
         run = PipelineRunResult(pipeline=f"{self.name}-continuous")
+        items = list(workload)
+        run.over_segmented = max(0, len(records) - len(items))
+        run.under_segmented = max(0, len(items) - len(records))
+        run.unpaired_records = list(records[len(items):])
+        if run.over_segmented or run.under_segmented:
+            machine.trace.emit(
+                machine.clock.now, "core.pipeline", "segmentation_mismatch",
+                items=len(items), segments=len(records),
+            )
         per_record = max(1, len(records))
-        for item, record in zip(workload, records):
+        for item, record in zip(items, records):
             run.results.append(
                 UtteranceResult(
                     utterance=item.utterance,
@@ -150,9 +178,11 @@ class SecurePipeline:
                     // per_record,
                     energy_mj=energy.total_mj / per_record,
                     domain_cycles=clock_after.delta(clock_before),
+                    relay_status=record.get("relay_status", ""),
+                    relay_attempts=record.get("relay_attempts", 0),
                 )
             )
-        run.stage_cycles = self.session.invoke(CMD_STATS)
+        self._collect_stats(run)
         return run
 
     # -- adversary-facing surface ------------------------------------------------

@@ -20,6 +20,7 @@ from repro.peripherals.audio import AudioFormat, SilenceSource
 from repro.peripherals.camera import Camera, SyntheticScene
 from repro.peripherals.i2s import I2sBus, I2sController, I2sReg  # noqa: F401
 from repro.peripherals.microphone import DigitalMicrophone
+from repro.sim.faults import FaultConfig, FaultInjector
 from repro.sim.rng import SimRng
 from repro.tz.machine import MachineConfig, TrustZoneMachine
 from repro.tz.memory import MemoryRegion, SecurityAttr
@@ -54,6 +55,7 @@ class IotPlatform:
         i2s_fifo_depth: int = 64,
         power_model: PowerModel | None = None,
         ta_verification_key: bytes | None = None,
+        network_faults: FaultConfig | None = None,
     ) -> "IotPlatform":
         """Build the device.
 
@@ -61,6 +63,10 @@ class IotPlatform:
         the secure design can claim exactly that peripheral without
         affecting other devices — mirroring per-device TZASC/TZPC control
         on real SoCs.
+
+        ``network_faults`` installs a deterministic fault injector on the
+        supplicant's network service (the untrusted relay link of the
+        threat model); omit it for a perfectly reliable network.
         """
         config = machine_config or MachineConfig()
         if seed != 42 and machine_config is None:
@@ -70,6 +76,10 @@ class IotPlatform:
 
         tee = OpTeeOs(machine, ta_verification_key=ta_verification_key)
         supplicant = TeeSupplicant(machine)
+        if network_faults is not None and network_faults.enabled:
+            supplicant.net.set_fault_injector(
+                FaultInjector(network_faults, rng.fork("net"))
+            )
         tee.attach_supplicant(supplicant)
         kernel = Kernel(machine)
 

@@ -13,7 +13,13 @@ from repro.sim.clock import CycleDomain
 
 @dataclass(frozen=True)
 class UtteranceResult:
-    """Outcome + costs of one utterance through a pipeline."""
+    """Outcome + costs of one utterance through a pipeline.
+
+    ``relay_status`` is the delivery outcome for pipelines with a
+    fault-tolerant relay: ``"sent"``, ``"queued"`` (spilled to the sealed
+    store-and-forward queue after retries) or ``"dropped"`` (withheld by
+    the filter).  Pipelines without relay accounting leave it empty.
+    """
 
     utterance: Utterance
     transcript: str
@@ -23,6 +29,8 @@ class UtteranceResult:
     latency_cycles: int
     energy_mj: float
     domain_cycles: dict[CycleDomain, int] = field(default_factory=dict)
+    relay_status: str = ""
+    relay_attempts: int = 0
 
     @property
     def correct(self) -> bool:
@@ -32,11 +40,23 @@ class UtteranceResult:
 
 @dataclass
 class PipelineRunResult:
-    """Aggregate outcome of one workload run."""
+    """Aggregate outcome of one workload run.
+
+    ``relay_stats`` holds the TA's delivery counters (sent / queued /
+    dropped / drained, retries, re-handshakes, backoff cycles, queue
+    depth).  ``over_segmented`` / ``under_segmented`` report how many
+    segments the continuous-capture VAD found beyond / short of the
+    workload's ground-truth utterances; ``unpaired_records`` keeps the raw
+    decision records of surplus segments so nothing is silently discarded.
+    """
 
     pipeline: str
     results: list[UtteranceResult] = field(default_factory=list)
     stage_cycles: dict[str, int] = field(default_factory=dict)
+    relay_stats: dict[str, int] = field(default_factory=dict)
+    over_segmented: int = 0
+    under_segmented: int = 0
+    unpaired_records: list[dict] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.results)
@@ -78,6 +98,29 @@ class PipelineRunResult:
         """Utterances whose payload went to the cloud."""
         return sum(1 for r in self.results if r.forwarded)
 
+    def sent_count(self) -> int:
+        """Utterances whose payload was delivered to the cloud."""
+        return sum(1 for r in self.results if r.relay_status == "sent")
+
+    def queued_count(self) -> int:
+        """Utterances spilled into the store-and-forward queue."""
+        return sum(1 for r in self.results if r.relay_status == "queued")
+
+    def lost_count(self) -> int:
+        """Forwarded decisions that ended neither sent nor queued.
+
+        The fault-tolerance invariant: this must be zero at any fault rate
+        (for pipelines that track relay status at all).
+        """
+        return sum(
+            1 for r in self.results
+            if r.forwarded and r.relay_status not in ("", "sent", "queued")
+        )
+
+    def total_relay_attempts(self) -> int:
+        """Delivery attempts across the run (retries included)."""
+        return sum(r.relay_attempts for r in self.results)
+
     def blocked_count(self) -> int:
         """Utterances withheld (or redacted/hashed)."""
         return sum(
@@ -102,5 +145,8 @@ class PipelineRunResult:
             else 0.0,
             "total_energy_mj": self.total_energy_mj(),
             "forwarded": self.forwarded_count(),
+            "sent": self.sent_count(),
+            "queued": self.queued_count(),
+            "relay_attempts": self.total_relay_attempts(),
             "accuracy": self.classifier_accuracy(),
         }

@@ -15,12 +15,21 @@ raises ``TeeOutOfMemory`` and the TA cannot start.
 Commands::
 
     CMD_PROCESS        (1)  Value(a=frames) → decision dict
-    CMD_STATS          (2)  → accumulated per-stage cycle totals
+    CMD_STATS          (2)  → {"stages": per-stage cycle totals,
+                              "relay": delivery/retry/queue counters}
     CMD_HEARTBEAT      (3)  → relay keep-alive through the secure channel
     CMD_PROCESS_STREAM (4)  Value(a=frames) → list of decision dicts; the
                             TA captures one continuous buffer, VAD-segments
                             it in-enclave, and runs the filter path per
                             detected utterance (deployment-realistic mode)
+
+Relay outcomes: every decision record carries ``relay_status`` —
+``"sent"`` (delivered, possibly after retries), ``"queued"`` (retries
+exhausted; payload sealed into the store-and-forward queue) or
+``"dropped"`` (the filter withheld it; nothing ever left the TEE) — plus
+``relay_attempts``.  Queued payloads are drained oldest-first after the
+next successful send (including heartbeats), so no forwarded decision is
+ever lost to a network outage.
 """
 
 from __future__ import annotations
@@ -29,11 +38,13 @@ from typing import Any
 
 from repro.core import pta_audio
 from repro.core.filter import FilterBundle
+from repro.errors import RelayDeliveryError
 from repro.optee.params import Params
 from repro.optee.session import Session
 from repro.optee.ta import TaContext, TaFlags, TrustedApplication
 from repro.optee.uuid import TaUuid
-from repro.relay.relay import RelayModule
+from repro.relay.queue import StoreForwardQueue
+from repro.relay.relay import RelayModule, RetryPolicy
 from repro.sim.rng import SimRng
 
 CMD_PROCESS = 1
@@ -42,6 +53,10 @@ CMD_HEARTBEAT = 3
 CMD_PROCESS_STREAM = 4
 
 STAGES = ("capture", "vad", "asr", "classify", "filter", "relay")
+
+RELAY_SENT = "sent"
+RELAY_QUEUED = "queued"
+RELAY_DROPPED = "dropped"
 
 
 def make_audio_filter_ta(
@@ -53,6 +68,7 @@ def make_audio_filter_ta(
     rng: SimRng,
     chunk_frames: int = 256,
     driver_compiled_out: frozenset[str] = frozenset(),
+    retry_policy: RetryPolicy | None = None,
 ) -> type[TrustedApplication]:
     """Build the TA class with the model and deployment config baked in."""
 
@@ -66,9 +82,13 @@ def make_audio_filter_ta(
             super().__init__()
             self.bundle = bundle
             self.relay: RelayModule | None = None
+            self.queue: StoreForwardQueue | None = None
             self._model_addr: int | None = None
             self._capture_ready = False
             self.stage_cycles: dict[str, int] = {s: 0 for s in STAGES}
+            self.relay_counts: dict[str, int] = {
+                RELAY_SENT: 0, RELAY_QUEUED: 0, RELAY_DROPPED: 0, "drained": 0,
+            }
             self.decisions: list[dict[str, Any]] = []
 
         # -- lifecycle ---------------------------------------------------------
@@ -83,8 +103,10 @@ def make_audio_filter_ta(
             )
             self.relay = RelayModule(
                 ctx, cloud_host, cloud_port, pinned_server_public,
-                rng.fork("relay"),
+                rng.fork("relay"), retry_policy=retry_policy,
             )
+            # Restores entries a previous instance failed to deliver.
+            self.queue = StoreForwardQueue(ctx.storage)
 
         def on_invoke(self, session: Session, cmd: int, params: Params) -> Any:
             """Dispatch client commands."""
@@ -95,14 +117,27 @@ def make_audio_filter_ta(
                 frames = params.value(0).a
                 return self._process_stream(frames)
             if cmd == CMD_STATS:
-                return dict(self.stage_cycles)
+                return self._stats()
             if cmd == CMD_HEARTBEAT:
                 assert self.relay is not None
-                return self.relay.heartbeat()
+                try:
+                    directive = self.relay.heartbeat()
+                except RelayDeliveryError as exc:
+                    return {
+                        "directive": "error",
+                        "reason": "cloud unreachable",
+                        "attempts": exc.attempts,
+                    }
+                self._drain_queue()
+                return directive
             return super().on_invoke(session, cmd, params)
 
         def on_destroy(self) -> None:
-            """Release the model allocation."""
+            """Stop secure capture and release the model allocation."""
+            if self.ctx is not None and self._capture_ready:
+                self.ctx.invoke_pta(pta_uuid, pta_audio.CMD_STOP, None)
+                self.ctx.invoke_pta(pta_uuid, pta_audio.CMD_CLOSE, None)
+            self._capture_ready = False
             if self.ctx is not None and self._model_addr is not None:
                 self.ctx.free(self._model_addr)
                 self._model_addr = None
@@ -128,6 +163,75 @@ def make_audio_filter_ta(
             now = self.ctx.now()
             self.stage_cycles[name] += now - start
             return now
+
+        # -- fault-tolerant relay ---------------------------------------------
+
+        def _stats(self) -> dict[str, Any]:
+            assert self.relay is not None and self.queue is not None
+            return {
+                "stages": dict(self.stage_cycles),
+                "relay": {
+                    **self.relay_counts,
+                    **self.relay.stats,
+                    "queue_depth": len(self.queue),
+                },
+            }
+
+        def _drain_queue(self) -> int:
+            """Flush stored payloads after a successful send.
+
+            Re-sends reuse each entry's original dialog id and prior
+            attempt count, so the cloud can deduplicate if a pre-spill
+            attempt actually got through and only its reply was lost.
+            """
+            assert self.relay is not None and self.queue is not None
+            if not len(self.queue):
+                return 0
+            relay = self.relay
+            drained = self.queue.drain(
+                lambda payload, meta: relay.send_transcript(
+                    payload,
+                    dialog_id=meta.get("dialog_id"),
+                    prior_attempts=int(meta.get("attempts", 0)),
+                )
+            )
+            self.relay_counts["drained"] += drained
+            if drained:
+                assert self.ctx is not None
+                self.ctx.log(
+                    "relay_queue_drained",
+                    drained=drained, remaining=len(self.queue),
+                )
+            return drained
+
+        def _relay_payload(self, payload: str) -> tuple[str, dict | None, int]:
+            """Deliver one filtered payload; spill to the queue on failure.
+
+            Returns ``(status, directive, attempts)``.  The payload handed
+            over here is already filtered, so queueing it (sealed) leaks
+            nothing the relay would not eventually send anyway.
+            """
+            assert self.ctx is not None
+            assert self.relay is not None and self.queue is not None
+            dialog_id = self.relay.allocate_dialog_id()
+            try:
+                directive = self.relay.send_transcript(
+                    payload, dialog_id=dialog_id
+                )
+            except RelayDeliveryError as exc:
+                name = self.queue.enqueue(
+                    payload,
+                    meta={"dialog_id": dialog_id, "attempts": exc.attempts},
+                )
+                self.relay_counts[RELAY_QUEUED] += 1
+                self.ctx.log(
+                    "relay_queued", entry=name, depth=len(self.queue)
+                )
+                return RELAY_QUEUED, None, exc.attempts
+            self.relay_counts[RELAY_SENT] += 1
+            # The link just worked: opportunistically flush the backlog.
+            self._drain_queue()
+            return RELAY_SENT, directive, self.relay.last_attempts
 
         def _process(self, frames: int) -> dict[str, Any]:
             """Capture → ASR → classify → filter → relay, one utterance."""
@@ -176,7 +280,10 @@ def make_audio_filter_ta(
                         "payload": None,
                         "directive": None,
                         "intended": False,
+                        "relay_status": RELAY_DROPPED,
+                        "relay_attempts": 0,
                     }
+                    self.relay_counts[RELAY_DROPPED] += 1
                     self.decisions.append(record)
                     ctx.log("accidental_capture_dropped")
                     return record
@@ -196,8 +303,13 @@ def make_audio_filter_ta(
             t = self._stage("filter", t)
 
             directive = None
+            relay_status, relay_attempts = RELAY_DROPPED, 0
             if decision.forwarded and decision.payload is not None:
-                directive = self.relay.send_transcript(decision.payload)
+                relay_status, directive, relay_attempts = self._relay_payload(
+                    decision.payload
+                )
+            else:
+                self.relay_counts[RELAY_DROPPED] += 1
             self._stage("relay", t)
             record = {
                 "transcript": transcript,
@@ -207,6 +319,8 @@ def make_audio_filter_ta(
                 "payload": decision.payload,
                 "directive": directive,
                 "intended": True,
+                "relay_status": relay_status,
+                "relay_attempts": relay_attempts,
             }
             self.decisions.append(record)
             return record

@@ -218,3 +218,25 @@ class PipelineError(ReproError):
 
 class PolicyError(PipelineError):
     """A filtering policy was misconfigured."""
+
+
+# ---------------------------------------------------------------------------
+# Relay faults
+# ---------------------------------------------------------------------------
+
+
+class RelayError(ReproError):
+    """Base class for secure-relay failures."""
+
+
+class RelayDeliveryError(RelayError):
+    """Every delivery attempt (including retries) failed.
+
+    Raised secure-side only: the TA catches it and spills the payload into
+    the sealed store-and-forward queue, so the error never crosses the TEE
+    boundary during normal operation.
+    """
+
+    def __init__(self, message: str = "", attempts: int = 0):
+        self.attempts = attempts
+        super().__init__(message or f"delivery failed after {attempts} attempts")

@@ -39,6 +39,12 @@ class SecureStorage:
         self._os = os
         self._aead = StreamAead(derive_key(_HARDWARE_UNIQUE_KEY, "ree-fs-sealing"))
         self._nonce_counter = 0
+        # Secure-side shadow of the object index (REE-FS keeps a sealed
+        # "dirfile" for the same reason): TAs can enumerate their objects
+        # without paying an RPC round trip or trusting the normal world's
+        # answer.  The blobs themselves stay authoritative in the
+        # supplicant fs — tampering there still fails loudly on access.
+        self._index: set[str] = set()
 
     def _path(self, name: str) -> str:
         return _STORE_PREFIX + name
@@ -58,6 +64,7 @@ class SecureStorage:
         sealed = nonce + self._aead.seal(nonce, data, aad=name.encode())
         self._charge(len(sealed))
         self._os.supplicant_rpc("fs", "write", self._path(name), sealed)
+        self._index.add(name)
 
     def get(self, name: str) -> bytes:
         """Fetch and unseal the object ``name``.
@@ -76,10 +83,15 @@ class SecureStorage:
     def delete(self, name: str) -> None:
         """Remove the object (no error if absent)."""
         self._os.supplicant_rpc("fs", "delete", self._path(name))
+        self._index.discard(name)
 
     def exists(self, name: str) -> bool:
         """True if an object is persisted under ``name``."""
         return bool(self._os.supplicant_rpc("fs", "exists", self._path(name)))
+
+    def names(self) -> list[str]:
+        """Object names from the secure-side index (no supplicant RPC)."""
+        return sorted(self._index)
 
     def list(self) -> list[str]:
         """Names of all persisted objects."""

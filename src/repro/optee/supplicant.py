@@ -14,11 +14,14 @@ ciphertext — a property the security tests assert.
 
 from __future__ import annotations
 
-from typing import Any, Protocol
+from typing import TYPE_CHECKING, Any, Protocol
 
 from repro.errors import TeeCommunicationError
 from repro.tz.machine import TrustZoneMachine
 from repro.tz.worlds import World
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.faults import FaultInjector
 
 
 class SupplicantService(Protocol):
@@ -69,28 +72,62 @@ class NetworkService:
     ``send`` delivers bytes and returns the endpoint's reply.  All traffic
     is observable via :attr:`wire_log` — the vantage point of a network
     eavesdropper and of the untrusted OS.
+
+    The network is part of the threat model's untrusted surface, so the
+    service accepts a :class:`~repro.sim.faults.FaultInjector` that makes
+    sends fail deterministically (refused, dropped in transit, corrupted
+    reply, added latency).  Faults are modelled at the point a real network
+    fails — *after* the secure side has already sealed the payload — so
+    even injected failures never expose plaintext.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, machine: TrustZoneMachine | None = None) -> None:
+        self._machine = machine
         self._endpoints: dict[tuple[str, int], Any] = {}
+        self.faults: "FaultInjector | None" = None
         self.wire_log: list[bytes] = []
         self.bytes_sent = 0
+        self.sends_failed = 0
 
     def register_endpoint(self, host: str, port: int, endpoint: Any) -> None:
-        """Expose an endpooint object with a ``receive(bytes) -> bytes`` method."""
+        """Expose an endpoint object with a ``receive(bytes) -> bytes`` method."""
         self._endpoints[(host, port)] = endpoint
+
+    def set_fault_injector(self, injector: "FaultInjector | None") -> None:
+        """Install (or clear) the deterministic fault injector."""
+        self.faults = injector
 
     def call(self, method: str, *args: Any) -> Any:
         """Dispatch ``send`` operations."""
         if method == "send":
             host, port, payload = args
+            fault = self.faults.next_fault() if self.faults is not None else None
+            if fault == "refuse":
+                self.sends_failed += 1
+                raise TeeCommunicationError(
+                    f"connection refused (injected): {host}:{port}"
+                )
             endpoint = self._endpoints.get((host, port))
             if endpoint is None:
                 raise TeeCommunicationError(f"connection refused: {host}:{port}")
             payload = bytes(payload)
             self.wire_log.append(payload)
             self.bytes_sent += len(payload)
-            return endpoint.receive(payload)
+            if fault == "drop":
+                # The ciphertext reached the wire but never the endpoint;
+                # the sender only observes a timeout.
+                self.sends_failed += 1
+                raise TeeCommunicationError(
+                    f"send timed out (injected drop): {host}:{port}"
+                )
+            reply = endpoint.receive(payload)
+            if fault == "corrupt":
+                assert self.faults is not None
+                self.sends_failed += 1
+                reply = self.faults.corrupt(bytes(reply))
+            elif fault == "latency" and self._machine is not None:
+                self._machine.cpu.execute(self.faults.config.latency_cycles)
+            return reply
         raise TeeCommunicationError(f"net: unknown method {method!r}")
 
 
@@ -113,7 +150,7 @@ class TeeSupplicant:
     def __init__(self, machine: TrustZoneMachine):
         self._machine = machine
         self.fs = RamFileSystem()
-        self.net = NetworkService()
+        self.net = NetworkService(machine)
         self.time = TimeService(machine)
         self._services: dict[str, SupplicantService] = {
             "fs": self.fs,

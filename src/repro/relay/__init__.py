@@ -5,10 +5,24 @@ implements an API, e.g., Amazon Alexa voice service (AVS), used to
 communicate with the cloud service provider."  The relay lives in the TA
 (secure world) and reaches the network through supplicant RPCs, so the
 normal world ever only sees TLS records.
+
+The network itself is untrusted: delivery retries with capped exponential
+backoff (:class:`~repro.relay.relay.RetryPolicy`), re-handshaking after
+faults, and payloads that stay undeliverable spill into the sealed
+:class:`~repro.relay.queue.StoreForwardQueue` until the link recovers.
 """
 
 from repro.relay.avs import AvsClient, AvsEvent
-from repro.relay.relay import RelayModule
+from repro.relay.queue import StoreForwardQueue
+from repro.relay.relay import RelayModule, RetryPolicy
 from repro.relay.tls import TlsClient, TlsServer
 
-__all__ = ["AvsClient", "AvsEvent", "RelayModule", "TlsClient", "TlsServer"]
+__all__ = [
+    "AvsClient",
+    "AvsEvent",
+    "RelayModule",
+    "RetryPolicy",
+    "StoreForwardQueue",
+    "TlsClient",
+    "TlsServer",
+]

@@ -35,12 +35,25 @@ class AvsEvent:
         ).encode()
 
     @classmethod
-    def recognize(cls, transcript: str, dialog_id: int) -> "AvsEvent":
-        """The speech-recognition event carrying a transcript."""
+    def recognize(
+        cls, transcript: str, dialog_id: int, attempt: int = 1
+    ) -> "AvsEvent":
+        """The speech-recognition event carrying a transcript.
+
+        ``attempt`` counts delivery attempts of the *same* logical event
+        (``dialogRequestId`` is stable across retries), letting the cloud
+        suppress duplicates when only a reply was lost in transit.  First
+        attempts omit the field (the receiver defaults it to 1), keeping
+        the clean-path wire bytes identical to a retry-free protocol.
+        """
+        payload: dict[str, Any] = {
+            "transcript": transcript,
+            "dialogRequestId": dialog_id,
+        }
+        if attempt > 1:
+            payload["attempt"] = attempt
         return cls(
-            namespace="SpeechRecognizer",
-            name="Recognize",
-            payload={"transcript": transcript, "dialogRequestId": dialog_id},
+            namespace="SpeechRecognizer", name="Recognize", payload=payload
         )
 
     @classmethod
@@ -72,11 +85,22 @@ class AvsClient:
         self._dialog_id = 0
         self.events_sent = 0
 
-    def recognize(self, transcript: str) -> dict[str, Any]:
-        """Send a transcript; returns the cloud's directive."""
+    def allocate_dialog_id(self) -> int:
+        """Reserve the id for one logical event (stable across retries)."""
         self._dialog_id += 1
+        return self._dialog_id
+
+    def recognize(
+        self,
+        transcript: str,
+        dialog_id: int | None = None,
+        attempt: int = 1,
+    ) -> dict[str, Any]:
+        """Send a transcript; returns the cloud's directive."""
+        if dialog_id is None:
+            dialog_id = self.allocate_dialog_id()
         reply = self._request(
-            AvsEvent.recognize(transcript, self._dialog_id).to_bytes()
+            AvsEvent.recognize(transcript, dialog_id, attempt).to_bytes()
         )
         self.events_sent += 1
         return self._parse_directive(reply)

@@ -7,18 +7,57 @@ services such as network communication".
 
 Concretely: the TLS client state (keys!) lives secure-side; each request
 is sealed in the TA, then the ciphertext crosses to the supplicant via
-RPC and onto the in-memory network.  Costs charged: handshake (once),
-AEAD per byte, NIC per byte.
+RPC and onto the in-memory network.  Costs charged: handshake (once per
+connection), AEAD per byte, NIC per byte.
+
+The supplicant and the network are untrusted, so delivery can fail at any
+point: the relay retries with capped exponential backoff and deterministic
+jitter, resetting the TLS connection state between attempts (sequence
+numbers and traffic keys cannot be trusted to match the server's after a
+fault, so each retry re-handshakes).  When every attempt fails it raises
+:class:`~repro.errors.RelayDeliveryError`; the TA catches that and spills
+the payload into the sealed store-and-forward queue.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Callable
 
+from repro.errors import CryptoError, RelayDeliveryError, TeeCommunicationError
 from repro.optee.ta import TaContext
 from repro.relay.avs import AvsClient
 from repro.relay.tls import TlsClient
 from repro.sim.rng import SimRng
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    The ``attempt``-th retry (0-based) waits
+    ``min(cap, base * multiplier**attempt) * (1 + jitter_fraction * u)``
+    cycles, with ``u`` drawn from the relay's own RNG fork — reproducible
+    for a given seed, yet desynchronized across devices sharing a config.
+    """
+
+    max_attempts: int = 4
+    backoff_base_cycles: int = 50_000
+    backoff_multiplier: float = 2.0
+    backoff_cap_cycles: int = 800_000
+    jitter_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+
+    def backoff_cycles(self, attempt: int, rng: SimRng) -> int:
+        """Cycles to wait after failed attempt number ``attempt``."""
+        base = min(
+            self.backoff_cap_cycles,
+            self.backoff_base_cycles * self.backoff_multiplier ** attempt,
+        )
+        return int(base * (1.0 + self.jitter_fraction * rng.random()))
 
 
 class RelayModule:
@@ -31,13 +70,24 @@ class RelayModule:
         port: int,
         pinned_server_public: bytes,
         rng: SimRng,
+        retry_policy: RetryPolicy | None = None,
     ):
         self._ctx = ctx
         self._host = host
         self._port = port
         self._tls = TlsClient(self._transport, pinned_server_public, rng)
         self._avs = AvsClient(self._tls.request)
+        self._backoff_rng = rng.fork("backoff")
+        self.policy = retry_policy or RetryPolicy()
         self.bytes_sent = 0
+        self.last_attempts = 0
+        self.stats: dict[str, int] = {
+            "sent": 0,
+            "failed": 0,
+            "retries": 0,
+            "rehandshakes": 0,
+            "backoff_cycles": 0,
+        }
 
     def _transport(self, payload: bytes) -> bytes:
         """One supplicant-mediated network round trip (ciphertext only)."""
@@ -49,20 +99,78 @@ class RelayModule:
         return bytes(reply)
 
     def connect(self) -> None:
-        """Perform the TLS handshake (idempotent)."""
+        """Perform the TLS handshake (idempotent while connected)."""
         if self._tls.connected:
             return
         costs = self._ctx._os.machine.costs
         self._ctx.compute(costs.handshake_cycles)
+        if self._tls.handshakes > 0:
+            self.stats["rehandshakes"] += 1
         self._tls.handshake()
-        self._ctx.log("tls_connected")
+        self._ctx.log("tls_connected", handshakes=self._tls.handshakes)
 
-    def send_transcript(self, transcript: str) -> dict[str, Any]:
-        """Ship one (already filtered) transcript to the cloud service."""
-        self.connect()
-        return self._avs.recognize(transcript)
+    def _deliver(self, op: Callable[[], dict[str, Any]]) -> dict[str, Any]:
+        """Run one AVS operation with retry, backoff and re-handshake."""
+        last_exc: Exception | None = None
+        for attempt in range(self.policy.max_attempts):
+            try:
+                self.connect()
+                directive = op()
+            except (TeeCommunicationError, CryptoError) as exc:
+                last_exc = exc
+                # The connection state is suspect after any transport or
+                # record failure; force a fresh handshake on the next try.
+                self._tls.reset()
+                self._ctx.log(
+                    "relay_retry",
+                    attempt=attempt + 1,
+                    error=type(exc).__name__,
+                )
+                if attempt + 1 < self.policy.max_attempts:
+                    self.stats["retries"] += 1
+                    delay = self.policy.backoff_cycles(attempt, self._backoff_rng)
+                    self.stats["backoff_cycles"] += delay
+                    self._ctx.compute(delay)
+                continue
+            self.last_attempts = attempt + 1
+            self.stats["sent"] += 1
+            return directive
+        self.last_attempts = self.policy.max_attempts
+        self.stats["failed"] += 1
+        self._ctx.log("relay_exhausted", attempts=self.policy.max_attempts)
+        raise RelayDeliveryError(
+            f"cloud unreachable: {last_exc}", attempts=self.policy.max_attempts
+        )
+
+    def allocate_dialog_id(self) -> int:
+        """Reserve the id for one logical event (stable across retries)."""
+        return self._avs.allocate_dialog_id()
+
+    def send_transcript(
+        self,
+        transcript: str,
+        dialog_id: int | None = None,
+        prior_attempts: int = 0,
+    ) -> dict[str, Any]:
+        """Ship one (already filtered) transcript to the cloud service.
+
+        Retries per :attr:`policy`; raises
+        :class:`~repro.errors.RelayDeliveryError` once exhausted.  Delivery
+        is at-least-once on the wire, but every attempt of one logical
+        event carries the same ``dialog_id`` (pass the stored id and
+        ``prior_attempts`` when re-sending a queued payload), so the cloud
+        can suppress duplicates when only a reply was lost.
+        """
+        if dialog_id is None:
+            dialog_id = self.allocate_dialog_id()
+        attempt = {"n": prior_attempts}
+
+        def op() -> dict[str, Any]:
+            attempt["n"] += 1
+            return self._avs.recognize(transcript, dialog_id, attempt["n"])
+
+        return self._deliver(op)
 
     def heartbeat(self) -> dict[str, Any]:
-        """Send a keep-alive through the secure channel."""
-        self.connect()
-        return self._avs.heartbeat()
+        """Send a keep-alive through the secure channel (with retries)."""
+        return self._deliver(self._avs.heartbeat)

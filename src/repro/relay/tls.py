@@ -49,6 +49,22 @@ def _nonce(seq: int) -> bytes:
     return seq.to_bytes(12, "little")
 
 
+def _parse_wire(data: bytes) -> dict:
+    """Decode one wire message; corruption anywhere becomes RecordError.
+
+    The network is untrusted and may hand back arbitrary bytes — a flipped
+    bit must surface as a catchable protocol error, never as a stray
+    ``UnicodeDecodeError`` escaping into the caller.
+    """
+    try:
+        msg = json.loads(data.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise RecordError(f"malformed TLS message: {exc}") from exc
+    if not isinstance(msg, dict):
+        raise RecordError("malformed TLS message: not an object")
+    return msg
+
+
 class TlsServer:
     """Server side: static identity key + per-connection state.
 
@@ -68,10 +84,7 @@ class TlsServer:
 
     def handle(self, request: bytes) -> bytes:
         """Process one wire message (handshake or record)."""
-        try:
-            msg = json.loads(request.decode())
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise RecordError(f"malformed TLS message: {exc}") from exc
+        msg = _parse_wire(request)
         kind = msg.get("type")
         if kind == "client_hello":
             return self._server_hello(msg)
@@ -151,15 +164,36 @@ class TlsClient:
         self._send_seq = 0
         self._recv_seq = 0
         self.handshakes = 0
+        self.handshake_attempts = 0
 
     @property
     def connected(self) -> bool:
         """True after a successful handshake."""
         return self._send is not None
 
+    def reset(self) -> None:
+        """Drop the connection state (broken transport / failed record).
+
+        After a network fault the client cannot trust its sequence numbers
+        or traffic keys to still match the server's; the next
+        :meth:`handshake` negotiates a fresh connection.  The handshake
+        counters are *not* reset — ``handshake_attempts`` keys the
+        per-handshake ephemeral RNG fork, so every retry uses fresh
+        ephemerals.
+        """
+        self._send = None
+        self._recv = None
+        self._send_seq = 0
+        self._recv_seq = 0
+
     def handshake(self) -> None:
         """Run the 1-RTT handshake; verifies the server's finished MAC."""
-        ephemeral = DhKeyPair.generate(self._rng.fork(f"hs{self.handshakes}").bytes(32))
+        # Keyed by *attempts*, not successes: a failed handshake must not
+        # reuse its ephemeral on the retry.
+        ephemeral = DhKeyPair.generate(
+            self._rng.fork(f"hs{self.handshake_attempts}").bytes(32)
+        )
+        self.handshake_attempts += 1
         client_nonce = self._rng.bytes(16)
         hello = json.dumps(
             {
@@ -168,11 +202,14 @@ class TlsClient:
                 "nonce": client_nonce.hex(),
             }
         ).encode()
-        reply = json.loads(self._transport(hello).decode())
+        reply = _parse_wire(self._transport(hello))
         if reply.get("type") != "server_hello":
             raise HandshakeError(f"unexpected reply {reply.get('type')!r}")
-        server_pub = int(reply["public"], 16)
-        server_nonce = bytes.fromhex(reply["nonce"])
+        try:
+            server_pub = int(reply["public"], 16)
+            server_nonce = bytes.fromhex(reply["nonce"])
+        except (KeyError, ValueError) as exc:
+            raise HandshakeError(f"malformed server hello: {exc}") from exc
         pinned_pub_int = int.from_bytes(self._pinned, "big")
         shared = ephemeral.shared_secret(server_pub) + ephemeral.shared_secret(
             pinned_pub_int
@@ -199,11 +236,15 @@ class TlsClient:
         wire = json.dumps(
             {"type": "record", "seq": seq, "payload": sealed.hex()}
         ).encode()
-        reply = json.loads(self._transport(wire).decode())
+        reply = _parse_wire(self._transport(wire))
         if reply.get("type") != "record":
             raise RecordError(f"unexpected reply {reply.get('type')!r}")
-        rseq = int(reply["seq"])
+        try:
+            rseq = int(reply["seq"])
+            sealed_reply = bytes.fromhex(reply["payload"])
+        except (KeyError, ValueError) as exc:
+            raise RecordError(f"malformed record: {exc}") from exc
         if rseq != self._recv_seq:
             raise RecordError(f"bad reply sequence {rseq}, want {self._recv_seq}")
         self._recv_seq += 1
-        return self._recv.open(_nonce(rseq), bytes.fromhex(reply["payload"]))
+        return self._recv.open(_nonce(rseq), sealed_reply)

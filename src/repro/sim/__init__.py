@@ -9,11 +9,14 @@ for tests, debugging and the benchmark harness.
 
 from repro.sim.clock import CycleDomain, SimClock
 from repro.sim.config import SimConfig
+from repro.sim.faults import FaultConfig, FaultInjector
 from repro.sim.rng import SimRng
 from repro.sim.trace import TraceEvent, TraceLog
 
 __all__ = [
     "CycleDomain",
+    "FaultConfig",
+    "FaultInjector",
     "SimClock",
     "SimConfig",
     "SimRng",

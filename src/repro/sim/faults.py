@@ -1,0 +1,111 @@
+"""Deterministic fault injection for the normal-world service boundary.
+
+The threat model distrusts the OS *and* the network: the supplicant-mediated
+relay path (Fig. 1 steps 6-7) therefore has to be exercised under failure,
+not just under success.  :class:`FaultConfig` declares per-operation fault
+probabilities and :class:`FaultInjector` samples them from a named
+:class:`~repro.sim.rng.SimRng` fork, so a given (seed, config) pair always
+injects the *same* fault sequence — runs stay reproducible and regressions
+stay bisectable.
+
+Fault kinds (all applied at the supplicant's ``NetworkService``):
+
+``refuse``
+    The connection attempt is refused outright; the payload never reaches
+    the wire.
+``drop``
+    The payload reaches the wire (the eavesdropper sees the ciphertext) but
+    is lost in transit; the sender observes a timeout and learns nothing
+    about delivery.
+``corrupt``
+    The endpoint processes the request but its reply is bit-flipped on the
+    way back; the secure side detects this via AEAD/record authentication.
+``latency``
+    Delivery succeeds but the round trip is charged extra cycles, modelling
+    congestion and retransmission delay.
+
+Rates are evaluated in that order on each send; at most one fault fires
+per operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.rng import SimRng
+
+FAULT_KINDS = ("refuse", "drop", "corrupt", "latency")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-send fault probabilities (independent Bernoulli, ordered)."""
+
+    refuse_rate: float = 0.0
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency_cycles: int = 200_000
+
+    def __post_init__(self) -> None:
+        for kind in FAULT_KINDS:
+            rate = getattr(self, f"{kind}_rate")
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{kind}_rate must be in [0, 1], got {rate}")
+        if self.latency_cycles < 0:
+            raise ValueError("latency_cycles must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        """True if any fault can ever fire."""
+        return any(getattr(self, f"{kind}_rate") > 0 for kind in FAULT_KINDS)
+
+    @classmethod
+    def send_failure(cls, rate: float) -> "FaultConfig":
+        """A config where ``rate`` of sends fail, split across fault kinds.
+
+        The headline knob for the robustness experiments: refusal, in-transit
+        drop and reply corruption each get a third of the failure budget.
+        """
+        return cls(
+            refuse_rate=rate / 3,
+            drop_rate=rate / 3,
+            corrupt_rate=rate / 3,
+        )
+
+
+class FaultInjector:
+    """Samples the fault (if any) for each network operation.
+
+    One draw per configured fault kind per send, taken from a dedicated
+    RNG fork — the injector never perturbs any other subsystem's stream.
+    """
+
+    def __init__(self, config: FaultConfig, rng: SimRng):
+        self.config = config
+        self._rng = rng.fork("faults")
+        self.counts: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        self.sends_seen = 0
+
+    def next_fault(self) -> str | None:
+        """The fault kind for the next send, or ``None`` for clean delivery."""
+        self.sends_seen += 1
+        for kind in FAULT_KINDS:
+            rate = getattr(self.config, f"{kind}_rate")
+            if rate > 0 and self._rng.random() < rate:
+                self.counts[kind] += 1
+                return kind
+        return None
+
+    def corrupt(self, payload: bytes) -> bytes:
+        """Deterministically flip bytes of ``payload`` (reply corruption)."""
+        if not payload:
+            return payload
+        out = bytearray(payload)
+        idx = self._rng.randint(0, len(out))
+        out[idx] ^= 0xFF
+        return bytes(out)
+
+    def summary(self) -> dict[str, int]:
+        """Fault counts for reports and tests."""
+        return {"sends": self.sends_seen, **self.counts}

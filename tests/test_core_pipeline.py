@@ -135,6 +135,17 @@ class TestTaInterface:
         pipeline.close()
         assert pipeline.session.closed
 
+    def test_close_stops_secure_capture(self, provisioned):
+        """TA teardown must wind the PTA capture chain all the way down
+        (STOP + CLOSE), not leave the secure driver capturing forever."""
+        platform = IotPlatform.create(seed=36)
+        pipeline = SecurePipeline(platform, provisioned.bundle)
+        pipeline.process(make_workload(provisioned, MIXED[:1]))
+        driver = pipeline.pta.driver
+        assert driver.state == "capturing"  # armed between utterances
+        pipeline.close()
+        assert driver.state == "idle"
+
 
 class TestMinimizedDriverDeployment:
     def test_pipeline_works_with_minimized_driver(self, provisioned):

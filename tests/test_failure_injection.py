@@ -92,16 +92,29 @@ class TestTaPanicMidStream:
 
 
 class TestNetworkOutage:
-    def test_cloud_unreachable_surfaces_communication_error(self, provisioned):
+    def test_cloud_unreachable_queues_instead_of_failing(self, provisioned):
+        """A dead cloud no longer aborts the utterance: after retries the
+        filtered payload is spilled into the sealed store-and-forward
+        queue and the decision completes as ``queued``."""
         platform = IotPlatform.create(seed=73)
         # Deregister the TLS endpoint: connection refused.
         platform.supplicant.net._endpoints.clear()
         pipeline = SecurePipeline(platform, provisioned.bundle)
         workload = make_workload(provisioned, MIXED[:1])  # benign: will relay
-        with pytest.raises(TeeCommunicationError):
-            pipeline.process_item(workload.items[0])
-        # World restored despite the failure mid-RPC.
+        result = pipeline.process_item(workload.items[0])
+        assert result.forwarded
+        assert result.relay_status == "queued"
+        # World restored despite the failures mid-RPC.
         assert platform.machine.cpu.world is World.NORMAL
+
+    def test_raw_rpc_outage_still_surfaces_communication_error(self, machine):
+        """The supplicant RPC layer itself still fails loudly when no
+        endpoint is registered — graceful degradation lives above it."""
+        from repro.optee.supplicant import TeeSupplicant
+
+        supplicant = TeeSupplicant(machine)
+        with pytest.raises(TeeCommunicationError):
+            supplicant.net.call("send", "nowhere.example", 1, b"x")
 
     def test_sensitive_utterances_unaffected_by_outage(self, provisioned):
         """DROP policy never touches the network, so sensitive utterances

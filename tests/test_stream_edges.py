@@ -68,6 +68,50 @@ class TestStreamEdges:
             # in process_continuous raises before any TEE call.
             pipeline.process_continuous(UtteranceWorkload(items=[]))
 
+    def test_merged_utterances_reported_not_dropped(self, stream_pipeline,
+                                                    provisioned):
+        """A gap shorter than the VAD hangover merges adjacent utterances
+        into one segment.  The run must report the under-segmentation,
+        not silently truncate the ground-truth pairing (the old
+        ``zip``-only behaviour)."""
+        from tests.test_core_pipeline import MIXED, make_workload
+
+        platform, pipeline = stream_pipeline
+        workload = make_workload(provisioned, [MIXED[0], MIXED[2]])
+        run = pipeline.process_continuous(workload, gap_samples=64)
+        assert run.under_segmented >= 1
+        assert run.over_segmented == 0
+        assert len(run.results) == len(workload.items) - run.under_segmented
+        mismatches = [
+            e for e in platform.machine.trace.events("core.pipeline")
+            if e.name == "segmentation_mismatch"
+        ]
+        assert len(mismatches) == 1
+
+    def test_split_utterance_keeps_surplus_records(self, stream_pipeline,
+                                                   provisioned):
+        """A long internal pause splits one utterance into two segments;
+        the surplus decision record is preserved, not discarded."""
+        from repro.core.workload import UtteranceWorkload, WorkloadItem
+        from repro.ml.dataset import SensitiveCategory, Utterance
+
+        platform, pipeline = stream_pipeline
+        render = provisioned.bundle.vocoder.render
+        pcm = np.concatenate(
+            [render("jazz"), np.zeros(2_000, dtype=np.int16), render("jazz")]
+        )
+        item = WorkloadItem(
+            utterance=Utterance("jazz", SensitiveCategory.WEATHER), pcm=pcm
+        )
+        run = pipeline.process_continuous(
+            UtteranceWorkload(items=[item]), gap_samples=2_000
+        )
+        assert run.over_segmented == 1
+        assert run.under_segmented == 0
+        assert len(run.results) == 1
+        assert len(run.unpaired_records) == 1
+        assert run.unpaired_records[0]["transcript"] == "jazz"
+
     def test_back_to_back_streams_accumulate_stats(self, stream_pipeline,
                                                    provisioned):
         platform, pipeline = stream_pipeline
