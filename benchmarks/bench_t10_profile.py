@@ -1,0 +1,55 @@
+"""T10: end-to-end per-stage profile — where do the cycles actually go?
+
+Runs :func:`repro.obs.profile.collect_profile` (the engine behind the
+``repro profile`` CLI) over both pipelines and publishes the span-derived
+per-stage table: cycles (total + p50/p95/p99), energy, and world switches
+per Fig. 1 stage, secure vs baseline.  The JSON document lands in
+``benchmarks/results/profile.json`` for downstream tooling; the text table
+in ``results/t10_profile.txt``.
+"""
+
+import json
+
+from benchmarks.conftest import RESULTS_DIR, write_result
+from repro.obs.profile import collect_profile
+
+
+def test_t10_stage_profile(benchmark, bundle_cnn):
+    report = benchmark.pedantic(
+        lambda: collect_profile(seed=11, utterances=8, bundle=bundle_cnn),
+        rounds=1, iterations=1,
+    )
+    write_result("t10_profile", report.table())
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "profile.json").write_text(
+        json.dumps(report.to_doc(), indent=2) + "\n"
+    )
+
+    # Both pipelines profiled, with the Fig. 1 stages present.
+    for pipeline, expected in (
+        ("secure", {"capture", "asr", "classify", "filter", "relay"}),
+        ("baseline", {"capture", "asr", "classify", "relay"}),
+    ):
+        stages = {r.stage for r in report.rows_for(pipeline)}
+        assert expected <= stages, (pipeline, stages)
+
+    # Percentiles are ordered and counts/totals are sane.
+    for row in report.stages:
+        assert row.count > 0
+        assert 0 <= row.p50_cycles <= row.p95_cycles <= row.p99_cycles
+        assert row.total_cycles >= row.p99_cycles >= 0
+
+    # The secure path's compute stages cost more than the baseline's
+    # (in-enclave ML slowdown), and only the secure path world-switches.
+    secure_asr = report.stage("secure", "asr")
+    baseline_asr = report.stage("baseline", "asr")
+    assert secure_asr.total_cycles > baseline_asr.total_cycles
+    assert report.pipelines["secure"]["world_switches"] > 0
+    assert report.pipelines["baseline"]["world_switches"] == 0
+
+    benchmark.extra_info["secure_asr_overhead"] = (
+        secure_asr.total_cycles / baseline_asr.total_cycles
+    )
+    benchmark.extra_info["secure_energy_mj"] = (
+        report.pipelines["secure"]["energy_mj"]
+    )

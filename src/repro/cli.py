@@ -5,6 +5,8 @@ writing Python::
 
     repro demo                 # Fig. 1 pipeline on a sample stream
     repro privacy              # secure vs baseline leak audit
+    repro profile              # per-stage cycle/energy profile, secure vs baseline
+    repro trace                # span / trace-event dump of one run
     repro tcb                  # trace-and-strip the I2S driver
     repro models               # architecture comparison table
     repro info                 # platform/memory-map/cost-model summary
@@ -25,7 +27,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     secure, workload, platform = build_demo_pipeline(
         seed=args.seed, utterances=args.utterances
     )
-    run = secure.process(workload)
+    try:
+        run = secure.process(workload)
+    finally:
+        # The TA session holds secure memory; close it even if the run
+        # raises so repeated CLI invocations in one process can't leak.
+        secure.close()
     for result in run.results:
         action = "forwarded" if result.forwarded else "BLOCKED  "
         print(f"  {action}  \"{result.utterance.text}\"")
@@ -65,17 +72,71 @@ def _cmd_privacy(args: argparse.Namespace) -> int:
         workload = UtteranceWorkload.from_corpus(corpus, bundle.vocoder)
         snoop = BufferSnoopAttack(platform.machine)
         captures = []
-        pipeline.process(
-            workload,
-            after_each=lambda p: captures.extend(
-                snoop.run(p.attack_targets()).captured
-            ),
-        )
+        try:
+            pipeline.process(
+                workload,
+                after_each=lambda p: captures.extend(
+                    snoop.run(p.attack_targets()).captured
+                ),
+            )
+        finally:
+            pipeline.close()
         auditor = LeakAuditor(workload.utterances, reference_asr=bundle.asr)
         auditor.decode_device_captures(captures)
         report = auditor.report(platform.cloud.received_transcripts)
         print(f"{label:16s} {report.cloud_leak_rate:>11.0%} "
               f"{report.device_leak_rate:>12.0%} {report.utility_rate:>8.0%}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.obs.profile import collect_profile
+
+    report = collect_profile(
+        seed=args.seed,
+        utterances=args.utterances,
+        continuous=args.continuous,
+    )
+    print(report.table())
+    if args.output:
+        out = pathlib.Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report.to_doc(), indent=2) + "\n")
+        print(f"\nwrote {out}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import build_demo_pipeline
+
+    secure, workload, platform = build_demo_pipeline(
+        seed=args.seed, utterances=args.utterances
+    )
+    try:
+        if args.continuous:
+            secure.process_continuous(workload)
+        else:
+            secure.process(workload)
+    finally:
+        secure.close()
+
+    machine = platform.machine
+    if args.events:
+        lines = machine.trace.to_jsonl(args.category).splitlines()
+    elif args.format == "chrome":
+        print(machine.obs.tracer.to_chrome_trace(args.category))
+        return 0
+    else:
+        lines = machine.obs.tracer.to_jsonl(args.category).splitlines()
+    if args.limit > 0:
+        dropped = max(0, len(lines) - args.limit)
+        lines = lines[:args.limit]
+        if dropped:
+            lines.append(f"... {dropped} more (raise --limit)")
+    print("\n".join(lines))
     return 0
 
 
@@ -195,6 +256,48 @@ def build_parser() -> argparse.ArgumentParser:
     privacy.add_argument("--seed", type=int, default=7)
     privacy.add_argument("--utterances", type=int, default=12)
     privacy.set_defaults(func=_cmd_privacy)
+
+    profile = sub.add_parser(
+        "profile", help="per-stage cycle/energy profile, secure vs baseline"
+    )
+    profile.add_argument("--seed", type=int, default=7)
+    profile.add_argument("--utterances", type=int, default=8)
+    profile.add_argument(
+        "--continuous", action="store_true",
+        help="drive the secure pipeline in continuous-capture mode",
+    )
+    profile.add_argument(
+        "--output", default="benchmarks/results/profile.json",
+        help="JSON report path (empty string to skip writing)",
+    )
+    profile.set_defaults(func=_cmd_profile)
+
+    trace = sub.add_parser(
+        "trace", help="dump spans (or raw trace events) from one secure run"
+    )
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--utterances", type=int, default=4)
+    trace.add_argument(
+        "--continuous", action="store_true",
+        help="run in continuous-capture mode",
+    )
+    trace.add_argument(
+        "--events", action="store_true",
+        help="dump raw TraceLog events instead of spans",
+    )
+    trace.add_argument(
+        "--category", default=None,
+        help="filter to one category subtree (e.g. stage.secure, rpc, tz)",
+    )
+    trace.add_argument(
+        "--format", choices=("jsonl", "chrome"), default="jsonl",
+        help="span output format (chrome = trace_event JSON for Perfetto)",
+    )
+    trace.add_argument(
+        "--limit", type=int, default=200,
+        help="max lines to print (0 = unlimited)",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     tcb = sub.add_parser("tcb", help="trace-and-strip the I2S driver")
     tcb.add_argument("--seed", type=int, default=7)

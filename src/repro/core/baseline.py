@@ -117,8 +117,10 @@ class BaselinePipeline:
 
     def _connect(self) -> None:
         if self._tls is not None and not self._tls.connected:
-            self._machine.cpu.execute(self._machine.costs.handshake_cycles)
-            self._tls.handshake()
+            with self._machine.obs.span("tls_handshake",
+                                        category="stage.baseline"):
+                self._machine.cpu.execute(self._machine.costs.handshake_cycles)
+                self._tls.handshake()
 
     # -- app-side buffer (the leak surface) ----------------------------------------
 
@@ -141,37 +143,47 @@ class BaselinePipeline:
         platform.mic.swap_source(BufferSource(item.pcm))
         clock_before = machine.clock.snapshot()
         energy_before = platform.energy.snapshot()
+        obs = machine.obs
 
-        pcm = platform.kernel.capture_pcm(
-            DEVICE_PATH, item.frames, chunk_frames=self.chunk_frames
-        )
-        self._land_utterance(pcm.astype("<i2").tobytes())
-
-        from repro.ml.asr import SAMPLE_RATE
-
-        asr_macs = int(self.asr.macs_per_second() * len(pcm) / SAMPLE_RATE)
-        machine.cpu.execute(
-            costs.ml_inference_cycles(asr_macs, secure=False, int8=False)
-        )
-        transcript = self.asr.transcribe(pcm)
-
-        if self.bundle is not None:
-            machine.cpu.execute(
-                costs.ml_inference_cycles(
-                    self.bundle.inference_macs(), secure=False,
-                    int8=self.bundle.filter.is_quantized,
+        with obs.span("utterance", category="pipeline.baseline"):
+            with obs.span("capture", category="stage.baseline",
+                          frames=item.frames):
+                pcm = platform.kernel.capture_pcm(
+                    DEVICE_PATH, item.frames, chunk_frames=self.chunk_frames
                 )
-            )
-            decision = self.bundle.filter.apply(transcript)
-            sensitive, forwarded, payload = (
-                decision.sensitive, decision.forwarded, decision.payload
-            )
-        else:
-            sensitive, forwarded, payload = False, True, transcript
+                self._land_utterance(pcm.astype("<i2").tobytes())
 
-        if forwarded and payload is not None:
-            self._connect()
-            self._avs.recognize(payload)
+            from repro.ml.asr import SAMPLE_RATE
+
+            with obs.span("asr", category="stage.baseline", samples=len(pcm)):
+                asr_macs = int(
+                    self.asr.macs_per_second() * len(pcm) / SAMPLE_RATE
+                )
+                machine.cpu.execute(
+                    costs.ml_inference_cycles(asr_macs, secure=False,
+                                              int8=False)
+                )
+                transcript = self.asr.transcribe(pcm)
+
+            if self.bundle is not None:
+                with obs.span("classify", category="stage.baseline"):
+                    machine.cpu.execute(
+                        costs.ml_inference_cycles(
+                            self.bundle.inference_macs(), secure=False,
+                            int8=self.bundle.filter.is_quantized,
+                        )
+                    )
+                    decision = self.bundle.filter.apply(transcript)
+                sensitive, forwarded, payload = (
+                    decision.sensitive, decision.forwarded, decision.payload
+                )
+            else:
+                sensitive, forwarded, payload = False, True, transcript
+
+            if forwarded and payload is not None:
+                with obs.span("relay", category="stage.baseline"):
+                    self._connect()
+                    self._avs.recognize(payload)
 
         clock_after = machine.clock.snapshot()
         energy = platform.energy.delta_since(energy_before)
@@ -209,3 +221,14 @@ class BaselinePipeline:
         if self._app_buf_addr is not None:
             targets.append((self._app_buf_addr, self._app_buf_size))
         return targets
+
+    def close(self) -> None:
+        """Release normal-world resources (the app's utterance buffer).
+
+        Mirrors :meth:`SecurePipeline.close` so CLI flows can tear down
+        either pipeline uniformly.
+        """
+        if self._app_buf_addr is not None:
+            self._machine.ns_allocator.free(self._app_buf_addr)
+            self._app_buf_addr = None
+            self._app_buf_size = 0

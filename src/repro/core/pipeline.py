@@ -80,9 +80,10 @@ class SecurePipeline:
         self.platform.mic.swap_source(BufferSource(item.pcm))
         clock_before = machine.clock.snapshot()
         energy_before = self.platform.energy.snapshot()
-        record = self.session.invoke(
-            CMD_PROCESS, Params.of(Value(a=item.frames))
-        )
+        with machine.obs.span("utterance", category="pipeline.secure"):
+            record = self.session.invoke(
+                CMD_PROCESS, Params.of(Value(a=item.frames))
+            )
         clock_after = machine.clock.snapshot()
         energy = self.platform.energy.delta_since(energy_before)
         return UtteranceResult(
@@ -149,13 +150,19 @@ class SecurePipeline:
         self.platform.mic.swap_source(BufferSource(stream))
         clock_before = machine.clock.snapshot()
         energy_before = self.platform.energy.snapshot()
-        records = self.session.invoke(
-            CMD_PROCESS_STREAM, Params.of(Value(a=len(stream)))
-        )
+        with machine.obs.span("stream", category="pipeline.secure",
+                              samples=len(stream)):
+            records = self.session.invoke(
+                CMD_PROCESS_STREAM, Params.of(Value(a=len(stream)))
+            )
+        run = PipelineRunResult(pipeline=f"{self.name}-continuous")
+        # Stats retrieval is one more TA invoke; pull it before closing the
+        # measurement window so the run's totals reconstruct the whole
+        # call's clock/energy deltas, not the stream invoke alone.
+        self._collect_stats(run)
         clock_after = machine.clock.snapshot()
         energy = self.platform.energy.delta_since(energy_before)
 
-        run = PipelineRunResult(pipeline=f"{self.name}-continuous")
         items = list(workload)
         run.over_segmented = max(0, len(records) - len(items))
         run.under_segmented = max(0, len(items) - len(records))
@@ -165,8 +172,24 @@ class SecurePipeline:
                 machine.clock.now, "core.pipeline", "segmentation_mismatch",
                 items=len(items), segments=len(records),
             )
-        per_record = max(1, len(records))
-        for item, record in zip(items, records):
+        # Cost attribution: one clock/energy delta covers the whole stream,
+        # so it is apportioned across the *kept* results (the pairs that
+        # align with ground truth) — dividing by the raw VAD segment count
+        # under-counted run totals whenever segmentation disagreed.  Each
+        # domain's total is sliced with cumulative integer boundaries
+        # (result i gets ``v*(i+1)//n - v*i//n``) so the slices sum exactly
+        # to the measured delta, and each result's latency is the sum of
+        # its domain slices — which keeps ``processing_latency_cycles()``
+        # (latency minus the peripheral slice) non-negative by
+        # construction.
+        n = max(1, min(len(items), len(records)))
+        domain_delta = clock_after.delta(clock_before)
+        for i, (item, record) in enumerate(zip(items, records)):
+            domains = {
+                d: v * (i + 1) // n - v * i // n
+                for d, v in domain_delta.items()
+            }
+            domains = {d: c for d, c in domains.items() if c}
             run.results.append(
                 UtteranceResult(
                     utterance=item.utterance,
@@ -174,15 +197,13 @@ class SecurePipeline:
                     sensitive_predicted=record["sensitive"],
                     forwarded=record["forwarded"],
                     payload=record["payload"],
-                    latency_cycles=(clock_after.now - clock_before.now)
-                    // per_record,
-                    energy_mj=energy.total_mj / per_record,
-                    domain_cycles=clock_after.delta(clock_before),
+                    latency_cycles=sum(domains.values()),
+                    energy_mj=energy.total_mj / n,
+                    domain_cycles=domains,
                     relay_status=record.get("relay_status", ""),
                     relay_attempts=record.get("relay_attempts", 0),
                 )
             )
-        self._collect_stats(run)
         return run
 
     # -- adversary-facing surface ------------------------------------------------

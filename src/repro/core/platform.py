@@ -117,6 +117,9 @@ class IotPlatform:
         )
 
         energy = EnergyMeter(machine.clock, power_model or PowerModel())
+        # Wire the meter into the observability layer so spans carry
+        # per-region energy deltas alongside their cycle attribution.
+        machine.obs.attach_energy(energy)
 
         return cls(
             machine=machine,

@@ -92,6 +92,16 @@ class PipelineRunResult:
         """Energy across the whole run."""
         return sum(r.energy_mj for r in self.results)
 
+    def total_latency_cycles(self) -> int:
+        """Cycles across the whole run.
+
+        In continuous mode the per-result attribution slices one whole-run
+        clock delta, so this total reconstructs that measured delta
+        exactly; in batch mode it is simply the sum of per-utterance
+        latencies.
+        """
+        return int(self.latencies.sum()) if self.results else 0
+
     # -- decisions ------------------------------------------------------------------
 
     def forwarded_count(self) -> int:
@@ -143,6 +153,7 @@ class PipelineRunResult:
             "mean_processing_cycles": float(self.processing_latency_cycles().mean())
             if self.results
             else 0.0,
+            "total_latency_cycles": self.total_latency_cycles(),
             "total_energy_mj": self.total_energy_mj(),
             "forwarded": self.forwarded_count(),
             "sent": self.sent_count(),

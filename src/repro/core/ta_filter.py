@@ -34,7 +34,8 @@ ever lost to a network outage.
 
 from __future__ import annotations
 
-from typing import Any
+from contextlib import contextmanager
+from typing import Any, Iterator
 
 from repro.core import pta_audio
 from repro.core.filter import FilterBundle
@@ -158,11 +159,18 @@ def make_audio_filter_ta(
             self.ctx.invoke_pta(pta_uuid, pta_audio.CMD_START, None)
             self._capture_ready = True
 
-        def _stage(self, name: str, start: int) -> int:
+        @contextmanager
+        def _stage(self, name: str, **attrs: Any) -> Iterator[None]:
+            """Bracket one Fig. 1 stage in a span.
+
+            The span feeds the observability layer (per-stage histograms,
+            exportable traces); its duration also accumulates into the
+            legacy ``stage_cycles`` blob that ``CMD_STATS`` reports.
+            """
             assert self.ctx is not None
-            now = self.ctx.now()
-            self.stage_cycles[name] += now - start
-            return now
+            with self.ctx.span(name, category="stage.secure", **attrs) as sp:
+                yield
+            self.stage_cycles[name] += sp.cycles
 
         # -- fault-tolerant relay ---------------------------------------------
 
@@ -239,9 +247,10 @@ def make_audio_filter_ta(
             assert ctx is not None
             self._ensure_capture()
 
-            t = ctx.now()
-            pcm = ctx.invoke_pta(pta_uuid, pta_audio.CMD_READ, {"frames": frames})
-            self._stage("capture", t)
+            with self._stage("capture", frames=frames):
+                pcm = ctx.invoke_pta(
+                    pta_uuid, pta_audio.CMD_READ, {"frames": frames}
+                )
 
             record = self._process_segment(pcm)
             ctx.log(
@@ -257,60 +266,59 @@ def make_audio_filter_ta(
             assert ctx is not None and self.relay is not None
             costs = ctx._os.machine.costs
 
-            t = ctx.now()
-            ctx.compute(
-                costs.ml_inference_cycles(
-                    self.bundle.asr_macs(len(pcm)), secure=True, int8=False
+            with self._stage("asr", samples=len(pcm)):
+                ctx.compute(
+                    costs.ml_inference_cycles(
+                        self.bundle.asr_macs(len(pcm)), secure=True, int8=False
+                    )
                 )
-            )
-            transcript = self.bundle.asr.transcribe(pcm)
-            t = self._stage("asr", t)
+                transcript = self.bundle.asr.transcribe(pcm)
 
-            classify_text = transcript
-            if self.bundle.gate is not None:
-                ctx.compute(300)  # prefix check is trivial
-                gate = self.bundle.gate.check(transcript)
-                if not gate.intended:
-                    # Accidental capture: never classified, never sent.
-                    record = {
-                        "transcript": transcript,
-                        "probability": 0.0,
-                        "sensitive": False,
-                        "forwarded": False,
-                        "payload": None,
-                        "directive": None,
-                        "intended": False,
-                        "relay_status": RELAY_DROPPED,
-                        "relay_attempts": 0,
-                    }
+            with self._stage("classify"):
+                classify_text = transcript
+                if self.bundle.gate is not None:
+                    ctx.compute(300)  # prefix check is trivial
+                    gate = self.bundle.gate.check(transcript)
+                    if not gate.intended:
+                        # Accidental capture: never classified, never sent.
+                        record = {
+                            "transcript": transcript,
+                            "probability": 0.0,
+                            "sensitive": False,
+                            "forwarded": False,
+                            "payload": None,
+                            "directive": None,
+                            "intended": False,
+                            "relay_status": RELAY_DROPPED,
+                            "relay_attempts": 0,
+                        }
+                        self.relay_counts[RELAY_DROPPED] += 1
+                        self.decisions.append(record)
+                        ctx.log("accidental_capture_dropped")
+                        return record
+                    classify_text = gate.command
+
+                ctx.compute(
+                    costs.ml_inference_cycles(
+                        self.bundle.inference_macs(),
+                        secure=True,
+                        int8=self.bundle.filter.is_quantized,
+                    )
+                )
+                decision = self.bundle.filter.apply(classify_text)
+
+            with self._stage("filter"):
+                ctx.compute(200)
+
+            with self._stage("relay"):
+                directive = None
+                relay_status, relay_attempts = RELAY_DROPPED, 0
+                if decision.forwarded and decision.payload is not None:
+                    relay_status, directive, relay_attempts = (
+                        self._relay_payload(decision.payload)
+                    )
+                else:
                     self.relay_counts[RELAY_DROPPED] += 1
-                    self.decisions.append(record)
-                    ctx.log("accidental_capture_dropped")
-                    return record
-                classify_text = gate.command
-
-            ctx.compute(
-                costs.ml_inference_cycles(
-                    self.bundle.inference_macs(),
-                    secure=True,
-                    int8=self.bundle.filter.is_quantized,
-                )
-            )
-            decision = self.bundle.filter.apply(classify_text)
-            t = self._stage("classify", t)
-
-            ctx.compute(200)
-            t = self._stage("filter", t)
-
-            directive = None
-            relay_status, relay_attempts = RELAY_DROPPED, 0
-            if decision.forwarded and decision.payload is not None:
-                relay_status, directive, relay_attempts = self._relay_payload(
-                    decision.payload
-                )
-            else:
-                self.relay_counts[RELAY_DROPPED] += 1
-            self._stage("relay", t)
             record = {
                 "transcript": transcript,
                 "probability": decision.probability,
@@ -333,16 +341,21 @@ def make_audio_filter_ta(
             assert ctx is not None
             self._ensure_capture()
 
-            t = ctx.now()
-            pcm = ctx.invoke_pta(pta_uuid, pta_audio.CMD_READ, {"frames": frames})
-            t = self._stage("capture", t)
+            with self._stage("capture", frames=frames):
+                pcm = ctx.invoke_pta(
+                    pta_uuid, pta_audio.CMD_READ, {"frames": frames}
+                )
 
-            ctx.compute(len(pcm) // 8)  # energy framing is cheap
-            vad = EnergyVad(slack_samples=400)
-            segments = vad.extract(pcm)
-            self._stage("vad", t)
+            with self._stage("vad"):
+                ctx.compute(len(pcm) // 8)  # energy framing is cheap
+                vad = EnergyVad(slack_samples=400, metrics=ctx.metrics)
+                segments = vad.extract(pcm)
             ctx.log("vad", segments=len(segments))
 
-            return [self._process_segment(seg) for seg in segments]
+            records = []
+            for i, seg in enumerate(segments):
+                with ctx.span("segment", category="pipeline.secure", index=i):
+                    records.append(self._process_segment(seg))
+            return records
 
     return AudioFilterTa

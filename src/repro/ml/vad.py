@@ -11,10 +11,14 @@ continuous-capture mode (``CMD_PROCESS_STREAM``).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import MlError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -53,6 +57,7 @@ class EnergyVad:
         hang_frames: int = 4,
         min_frames: int = 2,
         slack_samples: int = 0,
+        metrics: "MetricsRegistry | None" = None,
     ):
         if frame_samples <= 0:
             raise MlError("frame_samples must be positive")
@@ -65,6 +70,7 @@ class EnergyVad:
         self.hang_frames = hang_frames
         self.min_frames = min_frames
         self.slack_samples = slack_samples
+        self.metrics = metrics
 
     def frame_activity(self, pcm: np.ndarray) -> np.ndarray:
         """Boolean activity per analysis frame."""
@@ -127,4 +133,9 @@ class EnergyVad:
             start = max(0, s.start - self.slack_samples)
             end = min(len(pcm), s.end + self.slack_samples)
             out.append(pcm[start:end])
+        if self.metrics is not None:
+            self.metrics.inc("ml.vad.runs")
+            self.metrics.inc("ml.vad.segments", len(out))
+            for seg in out:
+                self.metrics.observe("ml.vad.segment_samples", len(seg))
         return out

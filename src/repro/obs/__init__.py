@@ -1,0 +1,31 @@
+"""Observability: spans, metrics and profiling for the simulated platform.
+
+Layers on the existing :class:`~repro.sim.trace.TraceLog` event stream:
+
+* :mod:`repro.obs.span` — enter/exit spans with cycle, per-domain,
+  world-switch and energy attribution; JSONL and Chrome ``trace_event``
+  export.
+* :mod:`repro.obs.metrics` — counters, gauges and cycle histograms with
+  exact p50/p95/p99.
+* :mod:`repro.obs.context` — the per-machine bundle (``machine.obs``).
+* :mod:`repro.obs.profile` — per-stage secure-vs-baseline cost profiles
+  backing ``repro profile`` and the T10 benchmark.
+
+The layer is strictly read-only with respect to the simulation: it never
+charges cycles or consumes randomness, so enabling or disabling it leaves
+every pipeline decision byte-identical.
+"""
+
+from repro.obs.context import Observability
+from repro.obs.metrics import Counter, CycleHistogram, Gauge, MetricsRegistry
+from repro.obs.span import Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "CycleHistogram",
+    "Gauge",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "SpanTracer",
+]

@@ -1,0 +1,204 @@
+"""Metrics registry: counters, gauges and cycle histograms.
+
+The registry is the aggregate side of the observability layer: spans and
+instrumented subsystems feed it, and ``repro profile`` / benchmarks read
+it back.  Everything here is pure observation — recording a metric never
+charges simulated cycles, touches the RNG, or otherwise perturbs the run,
+which is what lets the instrumentation guarantee byte-identical pipeline
+outcomes whether observability is enabled or not.
+
+Histograms keep raw samples (bounded by ``max_samples`` with reservoir-free
+head-keep semantics: once full, new samples still update count/sum/min/max
+but are not retained for percentiles) so p50/p95/p99 are exact for any run
+the simulator can realistically produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count (events, bytes, cycles)."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be non-negative) to the counter."""
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease by {n}")
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (queue depth, heap usage)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = value
+
+
+@dataclass
+class CycleHistogram:
+    """Distribution of a cycle-valued measurement with exact percentiles."""
+
+    name: str
+    max_samples: int = 65_536
+    count: int = 0
+    total: int = 0
+    min: int | None = None
+    max: int | None = None
+    _samples: list[int] = field(default_factory=list, repr=False)
+
+    def observe(self, value: int) -> None:
+        """Record one sample."""
+        value = int(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100) over retained samples."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return float(ordered[0])
+        rank = (p / 100.0) * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    @property
+    def p50(self) -> float:
+        """Median."""
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        """95th percentile."""
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        """99th percentile."""
+        return self.percentile(99)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean over all observed samples."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, Any]:
+        """Flat dict for reports (count/total/mean/min/max/percentiles)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min or 0,
+            "max": self.max or 0,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, lazily created on first use.
+
+    Instruments fetch their metric by name each time (`counter("tz.smc")`)
+    so call sites stay one line and the registry remains the single
+    namespace.  Dots namespace metrics the same way trace categories do
+    (``tz.*``, ``optee.*``, ``stage.secure.*`` ...).
+    """
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, CycleHistogram] = {}
+
+    # -- access / creation -----------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> CycleHistogram:
+        """Get or create the histogram ``name``."""
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = CycleHistogram(name)
+        return h
+
+    # -- one-line recording (no-ops when disabled) -------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n`` (no-op while disabled)."""
+        if self.enabled:
+            self.counter(name).inc(n)
+
+    def set(self, name: str, value: float) -> None:
+        """Set gauge ``name`` (no-op while disabled)."""
+        if self.enabled:
+            self.gauge(name).set(value)
+
+    def observe(self, name: str, value: int) -> None:
+        """Record a histogram sample (no-op while disabled)."""
+        if self.enabled:
+            self.histogram(name).observe(value)
+
+    # -- reading back -----------------------------------------------------------
+
+    def counters(self, prefix: str = "") -> dict[str, int]:
+        """Counter values whose names start with ``prefix``."""
+        return {
+            name: c.value
+            for name, c in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
+
+    def histograms(self, prefix: str = "") -> dict[str, CycleHistogram]:
+        """Histograms whose names start with ``prefix``."""
+        return {
+            name: h
+            for name, h in sorted(self._histograms.items())
+            if name.startswith(prefix)
+        }
+
+    def snapshot(self) -> dict[str, Any]:
+        """Everything, as a JSON-ready dict."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every metric (a fresh namespace)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

@@ -186,6 +186,7 @@ class OpTeeOs:
 
     def _open_session(self, uuid: TaUuid, params: Params) -> int:
         self.machine.cpu.execute(self.machine.costs.session_open_cycles)
+        self.machine.obs.metrics.inc("optee.session_open")
         ta = self._instantiate(uuid)
         if not (ta.FLAGS & TaFlags.MULTI_SESSION):
             if any(
@@ -210,6 +211,7 @@ class OpTeeOs:
         if not session.is_open:
             raise TeeItemNotFound(f"session {session_id} is closed")
         self.machine.cpu.execute(self.machine.costs.ta_invoke_cycles)
+        self.machine.obs.metrics.inc("optee.ta_invoke")
         session.invoke_count += 1
         self.machine.trace.emit(
             self.machine.clock.now, "optee.ta.invoke", "cmd",
@@ -270,6 +272,7 @@ class OpTeeOs:
         if pta is None:
             raise TeeItemNotFound(f"no PTA with UUID {uuid}")
         self.machine.cpu.execute(self.machine.costs.pta_invoke_cycles)
+        self.machine.obs.metrics.inc("optee.pta_invoke")
         pta.invoke_count += 1
         self.machine.trace.emit(
             self.machine.clock.now, "optee.pta.invoke", "cmd",
@@ -290,13 +293,15 @@ class OpTeeOs:
         supplicant = self.supplicant
         self.machine.cpu.execute(self.machine.costs.supplicant_rpc_cycles)
         self.rpc_count += 1
+        self.machine.obs.metrics.inc("optee.rpc")
         self.machine.trace.emit(
             self.machine.clock.now, "optee.rpc", "call",
             service=service, method=method,
         )
-        return self.machine.monitor.secure_call_to_normal(
-            lambda: supplicant.handle(service, method, *args)
-        )
+        with self.machine.obs.span(f"{service}.{method}", category="rpc"):
+            return self.machine.monitor.secure_call_to_normal(
+                lambda: supplicant.handle(service, method, *args)
+            )
 
     # -- reporting ------------------------------------------------------------------------
 

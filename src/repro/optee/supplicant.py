@@ -171,6 +171,7 @@ class TeeSupplicant:
         if target is None:
             raise TeeCommunicationError(f"supplicant: unknown service {service!r}")
         self.handled += 1
+        self._machine.obs.metrics.inc(f"supplicant.{service}.{method}")
         self._machine.trace.emit(
             self._machine.clock.now, "optee.supplicant", "handle",
             service=service, method=method,

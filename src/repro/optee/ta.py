@@ -19,6 +19,8 @@ from repro.optee.params import MemRef, Params
 from repro.optee.uuid import TaUuid
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.span import _ActiveSpan
     from repro.optee.os import OpTeeOs
     from repro.optee.session import Session
     from repro.optee.storage import SecureStorage
@@ -159,13 +161,31 @@ class TaContext:
         addr = ref.shm.addr + ref.offset
         self._os.machine.memory.write(addr, data, self._os.machine.cpu.world)
 
-    # -- tracing --------------------------------------------------------------------
+    # -- tracing / observability -----------------------------------------------------
 
     def log(self, name: str, **data: Any) -> None:
         """Emit a TA-scoped trace event."""
         self._os.machine.trace.emit(
             self._os.machine.clock.now, f"optee.ta.{self._ta.name}", name, **data
         )
+
+    def span(
+        self, name: str, category: str | None = None, **attrs: Any
+    ) -> "_ActiveSpan":
+        """Open a measurement span on the machine's tracer.
+
+        Spans observe (cycles, domains, world switches, energy) without
+        charging anything, so TA code can bracket its stages freely.
+        Defaults to a TA-scoped category.
+        """
+        return self._os.machine.obs.span(
+            name, category=category or f"ta.{self._ta.name}", **attrs
+        )
+
+    @property
+    def metrics(self) -> "MetricsRegistry":
+        """The machine-wide metrics registry."""
+        return self._os.machine.obs.metrics
 
 
 class TrustedApplication:

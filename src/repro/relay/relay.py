@@ -75,7 +75,10 @@ class RelayModule:
         self._ctx = ctx
         self._host = host
         self._port = port
-        self._tls = TlsClient(self._transport, pinned_server_public, rng)
+        self._tls = TlsClient(
+            self._transport, pinned_server_public, rng,
+            metrics=ctx.metrics,
+        )
         self._avs = AvsClient(self._tls.request)
         self._backoff_rng = rng.fork("backoff")
         self.policy = retry_policy or RetryPolicy()
@@ -92,10 +95,14 @@ class RelayModule:
     def _transport(self, payload: bytes) -> bytes:
         """One supplicant-mediated network round trip (ciphertext only)."""
         costs = self._ctx._os.machine.costs
-        self._ctx.compute(int(len(payload) * costs.crypto_cycles_per_byte))
-        self.bytes_sent += len(payload)
-        reply = self._ctx.rpc("net", "send", self._host, self._port, payload)
-        self._ctx.compute(int(len(reply) * costs.crypto_cycles_per_byte))
+        with self._ctx.span("tls_record", category="stage.secure",
+                            bytes=len(payload)):
+            self._ctx.compute(int(len(payload) * costs.crypto_cycles_per_byte))
+            self.bytes_sent += len(payload)
+            reply = self._ctx.rpc(
+                "net", "send", self._host, self._port, payload
+            )
+            self._ctx.compute(int(len(reply) * costs.crypto_cycles_per_byte))
         return bytes(reply)
 
     def connect(self) -> None:
@@ -103,10 +110,12 @@ class RelayModule:
         if self._tls.connected:
             return
         costs = self._ctx._os.machine.costs
-        self._ctx.compute(costs.handshake_cycles)
-        if self._tls.handshakes > 0:
-            self.stats["rehandshakes"] += 1
-        self._tls.handshake()
+        with self._ctx.span("tls_handshake", category="stage.secure"):
+            self._ctx.compute(costs.handshake_cycles)
+            if self._tls.handshakes > 0:
+                self.stats["rehandshakes"] += 1
+                self._ctx.metrics.inc("relay.rehandshakes")
+            self._tls.handshake()
         self._ctx.log("tls_connected", handshakes=self._tls.handshakes)
 
     def _deliver(self, op: Callable[[], dict[str, Any]]) -> dict[str, Any]:
@@ -128,15 +137,21 @@ class RelayModule:
                 )
                 if attempt + 1 < self.policy.max_attempts:
                     self.stats["retries"] += 1
+                    self._ctx.metrics.inc("relay.retries")
                     delay = self.policy.backoff_cycles(attempt, self._backoff_rng)
                     self.stats["backoff_cycles"] += delay
-                    self._ctx.compute(delay)
+                    with self._ctx.span("relay_backoff", category="stage.secure",
+                                        attempt=attempt + 1):
+                        self._ctx.compute(delay)
                 continue
             self.last_attempts = attempt + 1
             self.stats["sent"] += 1
+            self._ctx.metrics.inc("relay.sent")
+            self._ctx.metrics.observe("relay.attempts", attempt + 1)
             return directive
         self.last_attempts = self.policy.max_attempts
         self.stats["failed"] += 1
+        self._ctx.metrics.inc("relay.failed")
         self._ctx.log("relay_exhausted", attempts=self.policy.max_attempts)
         raise RelayDeliveryError(
             f"cloud unreachable: {last_exc}", attempts=self.policy.max_attempts

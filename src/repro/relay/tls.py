@@ -23,6 +23,10 @@ assert transcripts never appear there in the clear).
 from __future__ import annotations
 
 import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 from repro.crypto.aead import StreamAead
 from repro.crypto.dh import DhKeyPair
@@ -155,16 +159,28 @@ class TlsServer:
 class TlsClient:
     """Client side, bound to a transport callable ``bytes -> bytes``."""
 
-    def __init__(self, transport, pinned_server_public: bytes, rng: SimRng):
+    def __init__(
+        self,
+        transport,
+        pinned_server_public: bytes,
+        rng: SimRng,
+        metrics: "MetricsRegistry | None" = None,
+    ):
         self._transport = transport
         self._pinned = pinned_server_public
         self._rng = rng
+        self._metrics = metrics
         self._send: StreamAead | None = None
         self._recv: StreamAead | None = None
         self._send_seq = 0
         self._recv_seq = 0
         self.handshakes = 0
         self.handshake_attempts = 0
+
+    def _count(self, name: str, n: int = 1) -> None:
+        """Record a connection-layer metric (no-op without a registry)."""
+        if self._metrics is not None:
+            self._metrics.inc(name, n)
 
     @property
     def connected(self) -> bool:
@@ -225,6 +241,7 @@ class TlsClient:
         self._send_seq = 0
         self._recv_seq = 0
         self.handshakes += 1
+        self._count("tls.handshakes")
 
     def request(self, plaintext: bytes) -> bytes:
         """Send one application message; returns the decrypted reply."""
@@ -247,4 +264,7 @@ class TlsClient:
         if rseq != self._recv_seq:
             raise RecordError(f"bad reply sequence {rseq}, want {self._recv_seq}")
         self._recv_seq += 1
-        return self._recv.open(_nonce(rseq), sealed_reply)
+        plaintext = self._recv.open(_nonce(rseq), sealed_reply)
+        self._count("tls.records")
+        self._count("tls.record_bytes", len(wire))
+        return plaintext

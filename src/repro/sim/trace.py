@@ -70,7 +70,11 @@ class TraceLog:
             return
         if len(self._events) >= self.capacity:
             # Drop the oldest half in one slice; amortizes the O(n) cost.
-            drop = self.capacity // 2
+            # At least one event must go (capacity 1 would otherwise evict
+            # nothing), and enough that the append below lands within the
+            # bound even if the log somehow overshot it.
+            drop = max(1, self.capacity // 2)
+            drop = max(drop, len(self._events) - self.capacity + 1)
             self._events = self._events[drop:]
             self.dropped_events += drop
         self._events.append(TraceEvent(timestamp, category, name, data))

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import Observability
 from repro.sim.clock import SimClock
 from repro.sim.config import SimConfig
 from repro.sim.rng import SimRng
@@ -86,7 +87,9 @@ class TrustZoneMachine:
         )
 
         self.cpu = Cpu(self.clock)
-        self.monitor = SecureMonitor(self.cpu, self.clock, self.trace, self.costs)
+        self.obs = Observability(self.clock, self.trace, self.cpu)
+        self.monitor = SecureMonitor(self.cpu, self.clock, self.trace, self.costs,
+                                     metrics=self.obs.metrics)
         from repro.tz.interrupts import InterruptController
 
         self.gic = InterruptController(

@@ -15,9 +15,12 @@ from __future__ import annotations
 
 import enum
 from collections.abc import Callable
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import SmcError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 from repro.sim.clock import CycleDomain, SimClock
 from repro.sim.trace import TraceLog
 from repro.tz.costs import CostModel
@@ -52,11 +55,13 @@ class SecureMonitor:
         clock: SimClock,
         trace: TraceLog,
         costs: CostModel,
+        metrics: "MetricsRegistry | None" = None,
     ):
         self.cpu = cpu
         self.clock = clock
         self.trace = trace
         self.costs = costs
+        self.metrics = metrics
         self._handlers: dict[SmcFunction, SmcHandler] = {}
         self.smc_count = 0
 
@@ -79,6 +84,9 @@ class SecureMonitor:
             raise SmcError(f"unknown SMC function 0x{int(func):08x}")
 
         self.smc_count += 1
+        if self.metrics is not None:
+            self.metrics.inc("tz.smc")
+            self.metrics.inc(f"tz.smc.{func.name.lower()}")
         self.trace.emit(self.clock.now, "tz.smc", "enter", func=func.name)
         self._transition(World.SECURE)
         try:
@@ -105,5 +113,9 @@ class SecureMonitor:
 
     def _transition(self, target: World) -> None:
         """Charge one direction of a world switch and flip the state."""
-        self.clock.advance(self.costs.full_world_switch_cycles(), CycleDomain.MONITOR)
+        cycles = self.costs.full_world_switch_cycles()
+        self.clock.advance(cycles, CycleDomain.MONITOR)
         self.cpu._set_world(target)
+        if self.metrics is not None:
+            self.metrics.inc("tz.world_switch")
+            self.metrics.inc("tz.world_switch_cycles", cycles)

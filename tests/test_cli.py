@@ -12,9 +12,25 @@ class TestParser:
 
     def test_all_subcommands_parse(self):
         parser = build_parser()
-        for command in ("demo", "privacy", "tcb", "models", "info"):
+        for command in ("demo", "privacy", "profile", "trace", "tcb",
+                        "models", "info"):
             args = parser.parse_args([command])
             assert callable(args.func)
+
+    def test_profile_options(self):
+        args = build_parser().parse_args(
+            ["profile", "--utterances", "4", "--continuous",
+             "--output", "out.json"]
+        )
+        assert args.utterances == 4
+        assert args.continuous
+        assert args.output == "out.json"
+
+    def test_trace_format_choices(self):
+        args = build_parser().parse_args(["trace", "--format", "chrome"])
+        assert args.format == "chrome"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--format", "xml"])
 
     def test_seed_option(self):
         args = build_parser().parse_args(["demo", "--seed", "99"])
@@ -49,3 +65,101 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "secure (ours)" in out
         assert "100%" in out and "0%" in out
+
+    def test_profile(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "profile.json"
+        assert main(["profile", "--utterances", "2", "--seed", "5",
+                     "--output", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "secure pipeline" in out
+        assert "baseline pipeline" in out
+        for stage in ("capture", "asr", "classify", "relay"):
+            assert stage in out
+        doc = json.loads(out_path.read_text())
+        assert {r["pipeline"] for r in doc["stages"]} == {
+            "secure", "baseline",
+        }
+        for row in doc["stages"]:
+            assert row["p50_cycles"] <= row["p95_cycles"]
+
+    def test_trace_jsonl(self, capsys):
+        import json
+
+        assert main(["trace", "--utterances", "2", "--seed", "5",
+                     "--category", "stage.secure"]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines()
+                 if l.startswith("{")]
+        assert lines
+        docs = [json.loads(l) for l in lines]
+        assert all(d["category"] == "stage.secure" for d in docs)
+        assert {d["name"] for d in docs} >= {"capture", "asr"}
+
+    def test_trace_chrome(self, capsys):
+        import json
+
+        assert main(["trace", "--utterances", "2", "--seed", "5",
+                     "--format", "chrome"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["traceEvents"]
+        assert all(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_trace_events(self, capsys):
+        assert main(["trace", "--utterances", "2", "--seed", "5",
+                     "--events", "--category", "tz.smc", "--limit", "0"]) == 0
+        out = capsys.readouterr().out
+        assert '"category": "tz.smc"' in out
+
+
+class TestTeardown:
+    def test_demo_closes_pipeline(self, capsys, monkeypatch):
+        import repro
+
+        real = repro.build_demo_pipeline
+        built = {}
+
+        def capture(**kwargs):
+            secure, workload, platform = real(**kwargs)
+            built["pipeline"], built["platform"] = secure, platform
+            return secure, workload, platform
+
+        monkeypatch.setattr(repro, "build_demo_pipeline", capture)
+        assert main(["demo", "--utterances", "2", "--seed", "5"]) == 0
+        pipeline, platform = built["pipeline"], built["platform"]
+        assert pipeline.session.closed
+        assert platform.tee.ta_instance(pipeline.ta_uuid) is None
+
+    def test_trace_closes_pipeline(self, capsys, monkeypatch):
+        import repro
+
+        real = repro.build_demo_pipeline
+        built = {}
+
+        def capture(**kwargs):
+            secure, workload, platform = real(**kwargs)
+            built["pipeline"], built["platform"] = secure, platform
+            return secure, workload, platform
+
+        monkeypatch.setattr(repro, "build_demo_pipeline", capture)
+        assert main(["trace", "--utterances", "2", "--seed", "5"]) == 0
+        pipeline, platform = built["pipeline"], built["platform"]
+        assert pipeline.session.closed
+        assert platform.tee.ta_instance(pipeline.ta_uuid) is None
+
+    def test_privacy_closes_both_pipelines(self, capsys, monkeypatch):
+        from repro.core.baseline import BaselinePipeline
+        from repro.core.pipeline import SecurePipeline
+
+        closed = []
+        for cls in (SecurePipeline, BaselinePipeline):
+            orig = cls.close
+
+            def wrapper(self, _orig=orig, _name=cls.__name__):
+                closed.append(_name)
+                return _orig(self)
+
+            monkeypatch.setattr(cls, "close", wrapper)
+        assert main(["privacy", "--utterances", "4", "--seed", "5"]) == 0
+        assert closed.count("SecurePipeline") == 1
+        assert closed.count("BaselinePipeline") == 1

@@ -1,0 +1,109 @@
+"""Unit tests: the observability metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import Counter, CycleHistogram, Gauge, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("n").inc(-1)
+
+
+class TestGauge:
+    def test_set_replaces(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestCycleHistogram:
+    def test_exact_percentiles(self):
+        h = CycleHistogram("lat")
+        for v in range(1, 101):  # 1..100
+            h.observe(v)
+        # Linear interpolation over sorted samples: p50 of 1..100 is 50.5.
+        assert h.p50 == pytest.approx(50.5)
+        assert h.p95 == pytest.approx(95.05)
+        assert h.p99 == pytest.approx(99.01)
+        assert h.mean == pytest.approx(50.5)
+        assert h.min == 1 and h.max == 100
+        assert h.total == 5050 and h.count == 100
+
+    def test_percentiles_are_ordered(self):
+        h = CycleHistogram("lat")
+        for v in (9, 1, 7, 3, 5):
+            h.observe(v)
+        assert 0 <= h.p50 <= h.p95 <= h.p99 <= h.max
+
+    def test_empty_and_single_sample(self):
+        h = CycleHistogram("lat")
+        assert h.p50 == 0.0 and h.mean == 0.0
+        h.observe(42)
+        assert h.p50 == h.p95 == h.p99 == 42.0
+
+    def test_max_samples_keeps_aggregates_exact(self):
+        h = CycleHistogram("lat", max_samples=4)
+        for v in (1, 2, 3, 4, 100):
+            h.observe(v)
+        # The fifth sample is not retained for percentiles...
+        assert len(h._samples) == 4
+        # ...but count/total/min/max still see it.
+        assert h.count == 5
+        assert h.total == 110
+        assert h.max == 100
+
+    def test_summary_schema(self):
+        h = CycleHistogram("lat")
+        h.observe(10)
+        assert set(h.summary()) == {
+            "count", "total", "mean", "min", "max", "p50", "p95", "p99",
+        }
+
+
+class TestRegistry:
+    def test_lazy_creation_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert reg.gauge("g") is reg.gauge("g")
+
+    def test_one_line_recording(self):
+        reg = MetricsRegistry()
+        reg.inc("tz.smc")
+        reg.inc("tz.smc", 2)
+        reg.set("queue.depth", 7)
+        reg.observe("lat", 100)
+        assert reg.counter("tz.smc").value == 3
+        assert reg.gauge("queue.depth").value == 7
+        assert reg.histogram("lat").count == 1
+
+    def test_disabled_is_a_noop(self):
+        reg = MetricsRegistry()
+        reg.enabled = False
+        reg.inc("a")
+        reg.set("b", 1)
+        reg.observe("c", 1)
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_prefix_filtering(self):
+        reg = MetricsRegistry()
+        reg.inc("tz.smc")
+        reg.inc("tz.world_switch", 4)
+        reg.inc("optee.rpc")
+        assert reg.counters("tz.") == {"tz.smc": 1, "tz.world_switch": 4}
+        assert set(reg.counters()) == {"tz.smc", "tz.world_switch", "optee.rpc"}
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.reset()
+        assert reg.counters() == {}

@@ -1,0 +1,132 @@
+"""Unit + integration tests: the per-stage profiler behind ``repro profile``."""
+
+import json
+
+import pytest
+
+from repro.obs.profile import (
+    ProfileReport,
+    StageRow,
+    aggregate_stage_spans,
+    collect_profile,
+)
+from repro.obs.span import Span
+from repro.sim.clock import CycleDomain
+
+
+def span(name, start, end, energy=0.0, switches=0, domains=None):
+    return Span(
+        id=start, name=name, category="stage.secure",
+        start_cycle=start, end_cycle=end, energy_mj=energy,
+        world_switches=switches, domain_cycles=domains or {},
+    )
+
+
+class TestAggregation:
+    def test_groups_and_sums(self):
+        rows = aggregate_stage_spans(
+            [
+                span("asr", 0, 100, energy=1.0, switches=1),
+                span("asr", 100, 400, energy=2.0, switches=1),
+                span("capture", 400, 500),
+            ],
+            pipeline="secure",
+        )
+        asr = next(r for r in rows if r.stage == "asr")
+        assert asr.count == 2
+        assert asr.total_cycles == 400
+        assert asr.mean_cycles == 200
+        assert asr.energy_mj == pytest.approx(3.0)
+        assert asr.world_switches == 2
+
+    def test_canonical_stage_order(self):
+        rows = aggregate_stage_spans(
+            [
+                span("relay", 0, 1), span("zz_custom", 1, 2),
+                span("capture", 2, 3), span("asr", 3, 4),
+            ],
+            pipeline="secure",
+        )
+        # Fig. 1 order first, unknown stages alphabetically last.
+        assert [r.stage for r in rows] == ["capture", "asr", "relay",
+                                           "zz_custom"]
+
+    def test_percentiles_from_spans(self):
+        spans = [span("asr", i, i + d) for i, d in
+                 enumerate((10, 20, 30, 40, 50))]
+        row = aggregate_stage_spans(spans, "secure")[0]
+        assert row.p50_cycles == 30
+        assert row.p50_cycles <= row.p95_cycles <= row.p99_cycles == pytest.approx(49.6, abs=0.5)
+
+
+class TestReport:
+    def _report(self):
+        report = ProfileReport(seed=1, utterances=2, mode="batch")
+        report.stages = [
+            StageRow("secure", "asr", 2, 400, 200.0, 200.0, 290.0, 298.0,
+                     3.0, 2),
+            StageRow("baseline", "asr", 2, 200, 100.0, 100.0, 145.0, 149.0,
+                     1.5, 0),
+        ]
+        for name in ("secure", "baseline"):
+            report.pipelines[name] = {
+                "total_cycles": 1000, "energy_mj": 5.0, "world_switches": 2,
+                "freq_hz": 2.0e9,
+            }
+        return report
+
+    def test_table_has_both_sections(self):
+        table = self._report().table()
+        assert "secure pipeline" in table
+        assert "baseline pipeline" in table
+        assert table.count("asr") == 2
+
+    def test_to_doc_is_json_ready(self):
+        doc = json.loads(json.dumps(self._report().to_doc()))
+        assert doc["mode"] == "batch"
+        assert {r["pipeline"] for r in doc["stages"]} == {
+            "secure", "baseline",
+        }
+        assert doc["stages"][0]["p50_cycles"] <= doc["stages"][0]["p95_cycles"]
+
+    def test_stage_lookup(self):
+        report = self._report()
+        assert report.stage("secure", "asr").total_cycles == 400
+        assert report.stage("secure", "nope") is None
+
+
+class TestCollectProfile:
+    @pytest.fixture(scope="class")
+    def report(self, provisioned):
+        return collect_profile(seed=5, utterances=3,
+                               bundle=provisioned.bundle)
+
+    def test_fig1_stages_present_for_both_pipelines(self, report):
+        secure = {r.stage for r in report.rows_for("secure")}
+        baseline = {r.stage for r in report.rows_for("baseline")}
+        assert {"capture", "asr", "classify", "filter", "relay"} <= secure
+        assert {"capture", "asr", "classify"} <= baseline
+
+    def test_percentiles_ordered_everywhere(self, report):
+        for row in report.stages:
+            assert 0 <= row.p50_cycles <= row.p95_cycles <= row.p99_cycles
+
+    def test_only_secure_world_switches(self, report):
+        assert report.pipelines["secure"]["world_switches"] > 0
+        assert report.pipelines["baseline"]["world_switches"] == 0
+
+    def test_secure_compute_costs_more(self, report):
+        # In-enclave inference is slower by the cost model.
+        assert (report.stage("secure", "asr").total_cycles
+                > report.stage("baseline", "asr").total_cycles)
+
+    def test_continuous_mode_profiles_vad(self, provisioned):
+        report = collect_profile(seed=5, utterances=2,
+                                 bundle=provisioned.bundle, continuous=True)
+        assert report.mode == "continuous"
+        assert report.stage("secure", "vad") is not None
+        # The whole-run total reconstructed from per-result slices matches
+        # the pipeline's own latency accounting.
+        summary = report.pipelines["secure"]
+        assert summary["total_latency_cycles"] > 0
+        assert summary["total_latency_cycles"] <= summary["total_cycles"]

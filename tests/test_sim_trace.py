@@ -66,6 +66,24 @@ class TestCapacity:
         with pytest.raises(ValueError):
             TraceLog(capacity=0)
 
+    @pytest.mark.parametrize("capacity", [1, 2, 3, 7, 10])
+    def test_bound_holds_for_every_capacity(self, capacity):
+        # capacity=1 is the regression case: capacity // 2 == 0 used to
+        # evict nothing, so the log grew without bound.
+        log = TraceLog(capacity=capacity)
+        for i in range(25):
+            log.emit(i, "c", f"e{i}")
+            assert len(log) <= capacity
+        assert log.last("c").name == "e24"  # newest always retained
+        assert log.dropped_events == 25 - len(log)  # nothing lost silently
+
+    def test_capacity_one_keeps_latest(self):
+        log = TraceLog(capacity=1)
+        for i in range(5):
+            log.emit(i, "c", f"e{i}")
+            assert [e.name for e in log] == [f"e{i}"]
+        assert log.dropped_events == 4
+
 
 class TestEnableDisable:
     def test_disable_stops_recording(self):

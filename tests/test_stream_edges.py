@@ -112,6 +112,74 @@ class TestStreamEdges:
         assert len(run.unpaired_records) == 1
         assert run.unpaired_records[0]["transcript"] == "jazz"
 
+    def test_processing_latency_non_negative(self, stream_pipeline,
+                                             provisioned):
+        """Regression: every result used to get the whole-run domain delta
+        as its ``domain_cycles`` while latency was divided per-record, so
+        subtracting the (whole-run) peripheral share went negative."""
+        from tests.test_core_pipeline import MIXED, make_workload
+
+        _, pipeline = stream_pipeline
+        workload = make_workload(provisioned, MIXED)
+        run = pipeline.process_continuous(workload)
+        assert len(run.results) > 1
+        assert (run.processing_latency_cycles() >= 0).all()
+        assert (run.latencies > 0).all()
+
+    def test_processing_latency_non_negative_when_under_segmented(
+            self, stream_pipeline, provisioned):
+        from tests.test_core_pipeline import MIXED, make_workload
+
+        _, pipeline = stream_pipeline
+        workload = make_workload(provisioned, [MIXED[0], MIXED[2]])
+        run = pipeline.process_continuous(workload, gap_samples=64)
+        assert run.under_segmented >= 1
+        assert (run.processing_latency_cycles() >= 0).all()
+
+    def test_processing_latency_non_negative_when_over_segmented(
+            self, stream_pipeline, provisioned):
+        from repro.core.workload import UtteranceWorkload, WorkloadItem
+        from repro.ml.dataset import SensitiveCategory, Utterance
+
+        _, pipeline = stream_pipeline
+        render = provisioned.bundle.vocoder.render
+        pcm = np.concatenate(
+            [render("jazz"), np.zeros(2_000, dtype=np.int16), render("jazz")]
+        )
+        item = WorkloadItem(
+            utterance=Utterance("jazz", SensitiveCategory.WEATHER), pcm=pcm
+        )
+        run = pipeline.process_continuous(
+            UtteranceWorkload(items=[item]), gap_samples=2_000
+        )
+        assert run.over_segmented == 1
+        assert (run.processing_latency_cycles() >= 0).all()
+
+    def test_totals_reconstruct_whole_run_deltas(self, stream_pipeline,
+                                                 provisioned):
+        """Regression: dividing by the raw VAD segment count under-counted
+        totals whenever segmentation disagreed.  The per-result slices
+        must sum back to the measured whole-run clock and energy deltas,
+        per domain and in total."""
+        from tests.test_core_pipeline import MIXED, make_workload
+
+        platform, pipeline = stream_pipeline
+        workload = make_workload(provisioned, MIXED)
+        clock_before = platform.machine.clock.snapshot()
+        energy_before = platform.energy.snapshot()
+        run = pipeline.process_continuous(workload)
+        delta = platform.machine.clock.snapshot().delta(clock_before)
+        energy = platform.energy.delta_since(energy_before)
+
+        assert run.total_latency_cycles() == sum(delta.values())
+        assert run.summary()["total_latency_cycles"] == sum(delta.values())
+        per_domain = {}
+        for r in run.results:
+            for domain, cycles in r.domain_cycles.items():
+                per_domain[domain] = per_domain.get(domain, 0) + cycles
+        assert per_domain == {d: v for d, v in delta.items() if v}
+        assert run.total_energy_mj() == pytest.approx(energy.total_mj)
+
     def test_back_to_back_streams_accumulate_stats(self, stream_pipeline,
                                                    provisioned):
         platform, pipeline = stream_pipeline
