@@ -20,7 +20,6 @@ def test_t10_stage_profile(benchmark, bundle_cnn):
         rounds=1, iterations=1,
     )
     write_result("t10_profile", report.table())
-    RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "profile.json").write_text(
         json.dumps(report.to_doc(), indent=2) + "\n"
     )

@@ -22,9 +22,20 @@ from repro.sim.rng import SimRng
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _results_dir() -> pathlib.Path:
+    """Results directory, created once per session.
+
+    Benchmarks that write extra artifacts (``profile.json``,
+    ``fleet.json``) rely on this instead of repeating ``mkdir`` inline.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
 def write_result(experiment: str, text: str) -> None:
     """Persist one experiment's table and echo it."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"{experiment}.txt"
     path.write_text(text)
     print(f"\n=== {experiment} ===\n{text}")

@@ -7,6 +7,9 @@ writing Python::
     repro privacy              # secure vs baseline leak audit
     repro profile              # per-stage cycle/energy profile, secure vs baseline
     repro trace                # span / trace-event dump of one run
+    repro fleet                # N simulated devices, merged fleet telemetry
+    repro health               # SLO evaluation + flight-recorder dump
+    repro compare              # perf-regression gate vs committed baseline
     repro tcb                  # trace-and-strip the I2S driver
     repro models               # architecture comparison table
     repro info                 # platform/memory-map/cost-model summary
@@ -18,7 +21,17 @@ accept ``--utterances``.  Installed as the ``repro`` console script.
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
+
+# Default artifact paths resolve against the repo checkout that holds
+# this file, not the CWD, so `repro profile` / `repro fleet` work from
+# any directory.
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+_DEFAULT_PROFILE_OUT = _REPO_ROOT / "benchmarks" / "results" / "profile.json"
+_DEFAULT_BASELINE = (
+    _REPO_ROOT / "benchmarks" / "baselines" / "profile_baseline.json"
+)
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -91,7 +104,6 @@ def _cmd_privacy(args: argparse.Namespace) -> int:
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     import json
-    import pathlib
 
     from repro.obs.profile import collect_profile
 
@@ -101,8 +113,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         continuous=args.continuous,
     )
     print(report.table())
-    if args.output:
-        out = pathlib.Path(args.output)
+    # The default path is repo-rooted (not CWD-relative) so the command
+    # works from any directory; --output "" skips writing entirely.
+    out = _DEFAULT_PROFILE_OUT if args.output is None else (
+        pathlib.Path(args.output) if args.output else None
+    )
+    if out is not None:
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(report.to_doc(), indent=2) + "\n")
         print(f"\nwrote {out}")
@@ -138,6 +154,101 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             lines.append(f"... {dropped} more (raise --limit)")
     print("\n".join(lines))
     return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.export import to_openmetrics
+    from repro.obs.fleet import run_fleet
+
+    report = run_fleet(
+        devices=args.devices, seed=args.seed, utterances=args.utterances
+    )
+    print(report.table())
+    if args.output:
+        out = pathlib.Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report.to_doc(), indent=2) + "\n")
+        print(f"\nwrote {out}")
+    if args.metrics_out:
+        out = pathlib.Path(args.metrics_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(to_openmetrics(report.merged_registry()))
+        print(f"wrote {out}")
+    return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    from repro.obs.fleet import FAULT_PROFILES, DeviceSpec, simulate_device
+    from repro.obs.health import (
+        FlightRecorder,
+        HealthMonitor,
+        Watchdog,
+        default_slo_rules,
+    )
+    from repro.provision import provision_bundle
+
+    bundle = provision_bundle(seed=args.seed).bundle
+    spec = DeviceSpec(
+        device_id="health",
+        seed=args.seed,
+        utterances=args.utterances,
+        sensitive_fraction=0.5,
+        fault_profile=args.fault_profile,
+    )
+    recorder = FlightRecorder(capacity=args.flight_capacity)
+    device = simulate_device(spec, bundle, recorder=recorder)
+    machine = device.machine
+    monitor = HealthMonitor(
+        device.registry,
+        rules=default_slo_rules(
+            latency_budget_cycles=args.latency_budget_ms / 1e3
+            * machine.clock.freq_hz,
+            relay_success_min=args.relay_success_min,
+            max_queue_depth=args.max_queue_depth,
+        ),
+        recorder=recorder,
+        watchdog=Watchdog(machine.obs.tracer, machine.clock),
+    )
+    report = monitor.evaluate(dump_path=args.dump or None)
+    print(f"device {spec.device_id} (seed {spec.seed}, "
+          f"{spec.fault_profile} network, {len(device.latencies)} utterances)")
+    print(report.table())
+    if report.flight_dump is not None:
+        spans = len(report.flight_dump.splitlines())
+        where = f" -> {args.dump}" if args.dump else ""
+        print(f"\nflight recorder: {spans} spans captured{where}")
+    return 0 if report.ok else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.regress import (
+        collect_current_for,
+        compare_profiles,
+        load_profile_doc,
+    )
+
+    baseline_path = pathlib.Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; commit one with "
+              f"`repro profile --output {baseline_path}`", file=sys.stderr)
+        return 2
+    baseline = load_profile_doc(baseline_path)
+    if args.current:
+        current = load_profile_doc(args.current)
+    else:
+        current = collect_current_for(baseline)
+    report = compare_profiles(current, baseline)
+    print(report.table(only_interesting=not args.full))
+    if args.output:
+        out = pathlib.Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report.to_doc(), indent=2) + "\n")
+        print(f"wrote {out}")
+    return 0 if report.passed else 1
 
 
 def _cmd_tcb(args: argparse.Namespace) -> int:
@@ -267,10 +378,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive the secure pipeline in continuous-capture mode",
     )
     profile.add_argument(
-        "--output", default="benchmarks/results/profile.json",
-        help="JSON report path (empty string to skip writing)",
+        "--output", default=None,
+        help="JSON report path (default: benchmarks/results/profile.json "
+             "under the repo root; empty string to skip writing)",
     )
     profile.set_defaults(func=_cmd_profile)
+
+    fleet = sub.add_parser(
+        "fleet", help="simulate N devices and merge their telemetry"
+    )
+    fleet.add_argument("--seed", type=int, default=7)
+    fleet.add_argument("--devices", type=int, default=8)
+    fleet.add_argument(
+        "--utterances", type=int, default=6,
+        help="base workload size per device (varies +0..2 across the fleet)",
+    )
+    fleet.add_argument(
+        "--output", default="",
+        help="write the fleet JSON document here (empty = print only)",
+    )
+    fleet.add_argument(
+        "--metrics-out", default="",
+        help="write the merged registry as OpenMetrics text here",
+    )
+    fleet.set_defaults(func=_cmd_fleet)
+
+    health = sub.add_parser(
+        "health", help="evaluate SLO rules on one device; dump on violation"
+    )
+    health.add_argument("--seed", type=int, default=7)
+    health.add_argument("--utterances", type=int, default=8)
+    health.add_argument(
+        "--fault-profile", default="clean",
+        choices=("clean", "light", "lossy", "congested"),
+        help="network conditions for the device under test",
+    )
+    health.add_argument(
+        "--latency-budget-ms", type=float, default=1000.0,
+        help="p99 end-to-end latency SLO in simulated milliseconds",
+    )
+    health.add_argument(
+        "--relay-success-min", type=float, default=0.9,
+        help="minimum immediate-delivery rate over forwarded decisions",
+    )
+    health.add_argument(
+        "--max-queue-depth", type=int, default=4,
+        help="maximum store-and-forward backlog",
+    )
+    health.add_argument(
+        "--flight-capacity", type=int, default=256,
+        help="flight-recorder ring size (spans)",
+    )
+    health.add_argument(
+        "--dump", default="",
+        help="write the flight-recorder JSONL here on violation",
+    )
+    health.set_defaults(func=_cmd_health)
+
+    compare = sub.add_parser(
+        "compare", help="perf-regression gate against a committed baseline"
+    )
+    compare.add_argument(
+        "--baseline", default=str(_DEFAULT_BASELINE),
+        help="baseline profile.json (committed budget)",
+    )
+    compare.add_argument(
+        "--current", default="",
+        help="existing profile.json to gate (default: re-measure with the "
+             "baseline's seed/utterances/mode)",
+    )
+    compare.add_argument(
+        "--output", default="",
+        help="write the comparison JSON report here",
+    )
+    compare.add_argument(
+        "--full", action="store_true",
+        help="show every row, not just regressions",
+    )
+    compare.set_defaults(func=_cmd_compare)
 
     trace = sub.add_parser(
         "trace", help="dump spans (or raw trace events) from one secure run"

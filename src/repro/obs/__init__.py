@@ -10,6 +10,15 @@ Layers on the existing :class:`~repro.sim.trace.TraceLog` event stream:
 * :mod:`repro.obs.context` — the per-machine bundle (``machine.obs``).
 * :mod:`repro.obs.profile` — per-stage secure-vs-baseline cost profiles
   backing ``repro profile`` and the T10 benchmark.
+* :mod:`repro.obs.export` — OpenMetrics / Prometheus-text and JSONL
+  registry exporters.
+* :mod:`repro.obs.fleet` — N simulated devices merged into one fleet
+  report (``repro fleet``, T11).
+* :mod:`repro.obs.health` — declarative SLO rules, a span-heartbeat
+  watchdog and the violation-triggered flight recorder
+  (``repro health``).
+* :mod:`repro.obs.regress` — the CI perf-regression gate
+  (``repro compare``).
 
 The layer is strictly read-only with respect to the simulation: it never
 charges cycles or consumes randomness, so enabling or disabling it leaves
@@ -17,15 +26,32 @@ every pipeline decision byte-identical.
 """
 
 from repro.obs.context import Observability
-from repro.obs.metrics import Counter, CycleHistogram, Gauge, MetricsRegistry
+from repro.obs.health import (
+    FlightRecorder,
+    HealthMonitor,
+    SloRule,
+    Watchdog,
+)
+from repro.obs.metrics import (
+    BucketHistogram,
+    Counter,
+    CycleHistogram,
+    Gauge,
+    MetricsRegistry,
+)
 from repro.obs.span import Span, SpanTracer
 
 __all__ = [
+    "BucketHistogram",
     "Counter",
     "CycleHistogram",
+    "FlightRecorder",
     "Gauge",
+    "HealthMonitor",
     "MetricsRegistry",
     "Observability",
+    "SloRule",
     "Span",
     "SpanTracer",
+    "Watchdog",
 ]

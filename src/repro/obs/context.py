@@ -19,6 +19,7 @@ from repro.sim.clock import CycleDomain, SimClock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.energy.model import EnergyMeter
+    from repro.obs.health import FlightRecorder
     from repro.sim.trace import TraceLog
     from repro.tz.worlds import Cpu
 
@@ -50,6 +51,10 @@ class Observability:
     def attach_energy(self, meter: "EnergyMeter") -> None:
         """Wire the platform energy meter into span attribution."""
         self.tracer.attach_energy(meter)
+
+    def attach_recorder(self, recorder: "FlightRecorder | None") -> None:
+        """Feed closed spans into a health flight recorder."""
+        self.tracer.attach_recorder(recorder)
 
     def enable(self) -> None:
         """Resume span retention and metric recording."""

@@ -1,0 +1,144 @@
+"""Registry exporters: OpenMetrics / Prometheus text and JSON Lines.
+
+The fleet tier needs metrics to leave the process: the OpenMetrics text
+format feeds any Prometheus-compatible scraper or pushgateway, and the
+JSONL form round-trips (``registry_from_jsonl``) so per-device registries
+can be written by one run and merged by another — the transport behind
+``repro fleet``'s merged report and the CI perf-gate artifacts.
+
+Metric names are sanitized to the Prometheus grammar (dots become
+underscores); :class:`~repro.obs.metrics.BucketHistogram` metrics export
+as native Prometheus histograms with cumulative ``le`` buckets at the
+log-spaced bucket upper bounds.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any
+
+from repro.obs.metrics import BucketHistogram, MetricsRegistry
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_name(name: str) -> str:
+    """Map a dotted metric name onto the Prometheus name grammar."""
+    out = _NAME_OK.sub("_", name)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: dict[str, str] | None) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{sanitize_name(k)}="{_escape_label(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _merge_labels(
+    labels: dict[str, str] | None, extra: dict[str, str]
+) -> dict[str, str]:
+    return {**(labels or {}), **extra}
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def to_openmetrics(
+    registry: MetricsRegistry,
+    namespace: str = "repro",
+    labels: dict[str, str] | None = None,
+) -> str:
+    """The registry in OpenMetrics / Prometheus text exposition format.
+
+    ``labels`` (e.g. ``{"device": "d03"}``) are attached to every sample
+    so fleet exports stay distinguishable after aggregation.  The output
+    ends with ``# EOF`` per the OpenMetrics spec.
+    """
+    lines: list[str] = []
+    snap_labels = _render_labels(labels)
+    for name, value in registry.counters().items():
+        metric = f"{namespace}_{sanitize_name(name)}"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total{snap_labels} {_format_value(float(value))}")
+    for name, value in registry.gauges().items():
+        metric = f"{namespace}_{sanitize_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric}{snap_labels} {_format_value(float(value))}")
+    for name, hist in registry.histograms().items():
+        metric = f"{namespace}_{sanitize_name(name)}"
+        lines.append(f"# TYPE {metric} histogram")
+        cum = hist._zero
+        if hist._zero:
+            le = _render_labels(_merge_labels(labels, {"le": "0"}))
+            lines.append(f"{metric}_bucket{le} {cum}")
+        for idx in sorted(hist._buckets):
+            cum += hist._buckets[idx]
+            bound = hist.gamma ** idx
+            le = _render_labels(_merge_labels(labels, {"le": repr(bound)}))
+            lines.append(f"{metric}_bucket{le} {cum}")
+        le = _render_labels(_merge_labels(labels, {"le": "+Inf"}))
+        lines.append(f"{metric}_bucket{le} {hist.count}")
+        lines.append(f"{metric}_sum{snap_labels} {_format_value(float(hist.total))}")
+        lines.append(f"{metric}_count{snap_labels} {hist.count}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def to_jsonl(registry: MetricsRegistry) -> str:
+    """One JSON object per metric; inverse of :func:`registry_from_jsonl`.
+
+    Histograms carry their full bucket state so a reader can rebuild and
+    *merge* them, not just read point summaries.
+    """
+    lines = []
+    for name, value in registry.counters().items():
+        lines.append(json.dumps(
+            {"kind": "counter", "name": name, "value": value},
+            sort_keys=True,
+        ))
+    for name, value in registry.gauges().items():
+        lines.append(json.dumps(
+            {"kind": "gauge", "name": name, "value": value},
+            sort_keys=True,
+        ))
+    for name, hist in registry.histograms().items():
+        lines.append(json.dumps(
+            {"kind": "histogram", "name": name, "state": hist.to_doc()},
+            sort_keys=True,
+        ))
+    return "\n".join(lines)
+
+
+def registry_from_jsonl(text: str) -> MetricsRegistry:
+    """Rebuild a registry from its :func:`to_jsonl` export."""
+    registry = MetricsRegistry()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        doc: dict[str, Any] = json.loads(line)
+        kind = doc["kind"]
+        if kind == "counter":
+            registry.counter(doc["name"]).inc(int(doc["value"]))
+        elif kind == "gauge":
+            registry.gauge(doc["name"]).set(doc["value"])
+        elif kind == "histogram":
+            hist = BucketHistogram.from_doc(doc["state"])
+            registry._histograms[hist.name] = hist
+        else:
+            raise ValueError(f"unknown metric kind {kind!r}")
+    return registry

@@ -1,0 +1,323 @@
+"""Fleet simulation: N devices, one merged telemetry picture.
+
+The paper's deployment target is "millions of users", so per-device
+observability (PR 2's span profile) has to aggregate: this module runs a
+simulated fleet — each device its own freshly seeded
+:class:`~repro.core.platform.IotPlatform` with a varied workload and
+network fault profile — and folds the per-device telemetry into a single
+:class:`FleetReport` via :meth:`BucketHistogram.merge` and
+:meth:`MetricsRegistry.merge`.  The merged latency quantiles equal the
+quantiles of the concatenated per-device streams within one bucket's
+relative error (exactly, while under the sample cap).
+
+Everything stays inside the repo's determinism contract: device seeds
+derive from the fleet seed, fault sequences come from each device's
+:class:`~repro.sim.faults.FaultInjector` fork, and no wall-clock or
+global RNG is consulted — the same ``(seed, devices)`` pair always
+produces the same fleet report, and running with observability disabled
+leaves every pipeline decision byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import reduce
+from typing import Any
+
+from repro.energy.battery import project_battery_life
+from repro.obs.metrics import BucketHistogram, MetricsRegistry
+from repro.sim.faults import FaultConfig
+
+# Deterministic rotation of network conditions across the fleet.
+FAULT_PROFILES: dict[str, FaultConfig | None] = {
+    "clean": None,
+    "light": FaultConfig.send_failure(0.1),
+    "lossy": FaultConfig.send_failure(0.3),
+    "congested": FaultConfig(latency_rate=0.5, latency_cycles=400_000),
+}
+
+_SENSITIVE_MIX = (0.25, 0.5, 0.75)
+
+LATENCY_METRIC = "fleet.e2e_latency_cycles"
+ENERGY_METRIC = "fleet.e2e_energy_mj"
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One simulated device's identity and operating conditions."""
+
+    device_id: str
+    seed: int
+    utterances: int
+    sensitive_fraction: float
+    fault_profile: str
+
+    def fault_config(self) -> FaultConfig | None:
+        """The named fault profile's config (``None`` for a clean link)."""
+        return FAULT_PROFILES[self.fault_profile]
+
+
+def device_specs(
+    devices: int, seed: int = 7, utterances: int = 6
+) -> list[DeviceSpec]:
+    """Deterministic fleet roster: varied seeds, workloads and networks.
+
+    Device ``i`` gets seed ``seed + 1000 + i`` (offset so no device
+    shares the provisioning seed), a workload size in
+    ``utterances .. utterances + 2``, a rotating sensitive-content mix
+    and a rotating fault profile.
+    """
+    if devices <= 0:
+        raise ValueError("fleet needs at least one device")
+    profiles = list(FAULT_PROFILES)
+    return [
+        DeviceSpec(
+            device_id=f"d{i:02d}",
+            seed=seed + 1000 + i,
+            utterances=utterances + (i % 3),
+            sensitive_fraction=_SENSITIVE_MIX[i % len(_SENSITIVE_MIX)],
+            fault_profile=profiles[i % len(profiles)],
+        )
+        for i in range(devices)
+    ]
+
+
+@dataclass
+class DeviceReport:
+    """One device's run, reduced to mergeable telemetry.
+
+    ``machine`` keeps the simulated machine alive for in-process
+    consumers (the health watchdog reads its tracer and clock); it never
+    appears in :meth:`to_doc`.
+    """
+
+    spec: DeviceSpec
+    summary: dict[str, Any]
+    relay: dict[str, int]
+    latencies: list[int]
+    latency_hist: BucketHistogram
+    registry: MetricsRegistry
+    world_switches: int
+    energy_mj: float
+    battery_days: float
+    machine: Any = None
+
+    @property
+    def relay_success_rate(self) -> float:
+        """Forwarded decisions delivered without spilling to the queue."""
+        forwarded = self.summary["forwarded"]
+        return self.summary["sent"] / forwarded if forwarded else 1.0
+
+    def to_doc(self) -> dict[str, Any]:
+        """JSON-ready per-device row for ``fleet.json``."""
+        return {
+            "device": self.spec.device_id,
+            "seed": self.spec.seed,
+            "fault_profile": self.spec.fault_profile,
+            "utterances": self.summary["utterances"],
+            "sensitive_fraction": self.spec.sensitive_fraction,
+            "accuracy": self.summary["accuracy"],
+            "forwarded": self.summary["forwarded"],
+            "sent": self.summary["sent"],
+            "queued": self.summary["queued"],
+            "relay_attempts": self.summary["relay_attempts"],
+            "relay_success_rate": self.relay_success_rate,
+            "queue_depth": self.relay.get("queue_depth", 0),
+            "retries": self.relay.get("retries", 0),
+            "latency_p50_cycles": self.latency_hist.p50,
+            "latency_p95_cycles": self.latency_hist.p95,
+            "latency_p99_cycles": self.latency_hist.p99,
+            "world_switches": self.world_switches,
+            "energy_mj": self.energy_mj,
+            "battery_days": self.battery_days,
+        }
+
+
+def simulate_device(
+    spec: DeviceSpec, bundle, observability: bool = True, recorder=None
+) -> DeviceReport:
+    """Run one device's workload and reduce it to a :class:`DeviceReport`.
+
+    Fleet-level metrics (``fleet.*``) are recorded into the device's own
+    registry so that merging registries yields the fleet rollup for free;
+    recording is a no-op when the machine's observability is disabled
+    (``observability=False``), and either way the pipeline's decisions
+    are untouched.  ``recorder`` attaches a health
+    :class:`~repro.obs.health.FlightRecorder` before the run so a later
+    SLO violation can dump the spans that led up to it.
+    """
+    from repro.core.pipeline import SecurePipeline
+    from repro.core.platform import IotPlatform
+    from repro.core.workload import UtteranceWorkload
+    from repro.ml.dataset import UtteranceGenerator
+    from repro.sim.rng import SimRng
+
+    platform = IotPlatform.create(
+        seed=spec.seed, network_faults=spec.fault_config()
+    )
+    if not observability:
+        platform.machine.obs.disable()
+    if recorder is not None:
+        platform.machine.obs.attach_recorder(recorder)
+    pipeline = SecurePipeline(platform, bundle)
+    corpus = UtteranceGenerator(SimRng(spec.seed, "fleet")).generate(
+        spec.utterances, sensitive_fraction=spec.sensitive_fraction
+    )
+    workload = UtteranceWorkload.from_corpus(corpus, bundle.vocoder)
+    try:
+        run = pipeline.process(workload)
+    finally:
+        pipeline.close()
+
+    summary = run.summary()
+    relay = dict(run.relay_stats)
+    latencies = [r.latency_cycles for r in run.results]
+    hist = BucketHistogram(LATENCY_METRIC)
+    for lat in latencies:
+        hist.observe(lat)
+
+    machine = platform.machine
+    energy_mj = platform.energy.report().total_mj
+    per_utt_mj = energy_mj / len(run.results) if run.results else 0.0
+    battery = project_battery_life(per_utt_mj)
+
+    metrics = machine.obs.metrics
+    for r in run.results:
+        metrics.observe(LATENCY_METRIC, r.latency_cycles)
+        metrics.observe(ENERGY_METRIC, r.energy_mj)
+    metrics.inc("fleet.utterances", len(run.results))
+    metrics.inc("fleet.relay.forwarded", summary["forwarded"])
+    metrics.inc("fleet.relay.sent", summary["sent"])
+    metrics.inc("fleet.relay.queued", summary["queued"])
+    metrics.inc("fleet.relay.retries", relay.get("retries", 0))
+    metrics.inc("fleet.relay.rehandshakes", relay.get("rehandshakes", 0))
+    metrics.inc("fleet.world_switches", machine.cpu.switch_count)
+    metrics.set("fleet.relay.queue_depth", relay.get("queue_depth", 0))
+    metrics.set("fleet.energy.mj_per_utterance", per_utt_mj)
+
+    return DeviceReport(
+        spec=spec,
+        summary=summary,
+        relay=relay,
+        latencies=latencies,
+        latency_hist=hist,
+        registry=metrics,
+        world_switches=machine.cpu.switch_count,
+        energy_mj=energy_mj,
+        battery_days=battery.days,
+        machine=machine,
+    )
+
+
+@dataclass
+class FleetReport:
+    """Per-device rows plus the merged fleet-wide aggregates."""
+
+    seed: int
+    devices: list[DeviceReport] = field(default_factory=list)
+
+    @property
+    def latency_hist(self) -> BucketHistogram:
+        """All devices' end-to-end latencies, merged."""
+        return reduce(
+            BucketHistogram.merge,
+            (d.latency_hist for d in self.devices),
+        )
+
+    def merged_registry(self) -> MetricsRegistry:
+        """Every device registry folded into one fleet registry."""
+        merged = MetricsRegistry()
+        for device in self.devices:
+            merged.merge(device.registry)
+        return merged
+
+    @property
+    def relay_success_rate(self) -> float:
+        """Fleet-wide immediate-delivery rate over forwarded decisions."""
+        forwarded = sum(d.summary["forwarded"] for d in self.devices)
+        sent = sum(d.summary["sent"] for d in self.devices)
+        return sent / forwarded if forwarded else 1.0
+
+    @property
+    def queue_depth(self) -> int:
+        """Store-and-forward backlog across the fleet."""
+        return sum(d.relay.get("queue_depth", 0) for d in self.devices)
+
+    def to_doc(self) -> dict[str, Any]:
+        """JSON document for ``benchmarks/results/fleet.json``."""
+        hist = self.latency_hist
+        return {
+            "seed": self.seed,
+            "devices": [d.to_doc() for d in self.devices],
+            "fleet": {
+                "devices": len(self.devices),
+                "utterances": sum(len(d.latencies) for d in self.devices),
+                "latency_p50_cycles": hist.p50,
+                "latency_p95_cycles": hist.p95,
+                "latency_p99_cycles": hist.p99,
+                "latency_hist": hist.to_doc(),
+                "relay_success_rate": self.relay_success_rate,
+                "queue_depth": self.queue_depth,
+                "world_switches": sum(d.world_switches for d in self.devices),
+                "energy_mj": sum(d.energy_mj for d in self.devices),
+                "battery_days_min": min(
+                    (d.battery_days for d in self.devices), default=0.0
+                ),
+            },
+        }
+
+    def table(self) -> str:
+        """Human-readable fleet report (``repro fleet``)."""
+        lines = [
+            f"{'device':8s} {'profile':>10s} {'utt':>4s} {'fwd':>4s} "
+            f"{'sent':>5s} {'queued':>6s} {'p50 ms':>7s} {'p95 ms':>7s} "
+            f"{'switches':>8s} {'mJ':>8s} {'days':>7s}"
+        ]
+        for d in self.devices:
+            lines.append(
+                f"{d.spec.device_id:8s} {d.spec.fault_profile:>10s} "
+                f"{len(d.latencies):>4d} {d.summary['forwarded']:>4d} "
+                f"{d.summary['sent']:>5d} {d.summary['queued']:>6d} "
+                f"{d.latency_hist.p50 / 2e9 * 1e3:>7.2f} "
+                f"{d.latency_hist.p95 / 2e9 * 1e3:>7.2f} "
+                f"{d.world_switches:>8d} {d.energy_mj:>8.1f} "
+                f"{d.battery_days:>7.1f}"
+            )
+        hist = self.latency_hist
+        lines.append("")
+        lines.append(
+            f"fleet    p50 {hist.p50 / 2e9 * 1e3:.2f} ms   "
+            f"p95 {hist.p95 / 2e9 * 1e3:.2f} ms   "
+            f"p99 {hist.p99 / 2e9 * 1e3:.2f} ms   "
+            f"relay success {self.relay_success_rate:.0%}   "
+            f"queue depth {self.queue_depth}"
+        )
+        return "\n".join(lines)
+
+
+def run_fleet(
+    devices: int = 8,
+    seed: int = 7,
+    utterances: int = 6,
+    bundle=None,
+    observability: bool = True,
+) -> FleetReport:
+    """Simulate the fleet and return the merged report.
+
+    One bundle is trained from ``seed`` and shared by every device (the
+    fleet ships one model); pass a pre-provisioned ``bundle`` to skip
+    training.  ``observability=False`` disables each device's obs layer —
+    used by the determinism tests to show decisions are byte-identical
+    either way.
+    """
+    if bundle is None:
+        from repro.provision import provision_bundle
+
+        bundle = provision_bundle(seed=seed).bundle
+
+    report = FleetReport(seed=seed)
+    for spec in device_specs(devices, seed=seed, utterances=utterances):
+        report.devices.append(
+            simulate_device(spec, bundle, observability=observability)
+        )
+    return report

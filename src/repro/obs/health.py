@@ -1,0 +1,315 @@
+"""SLO health evaluation, span watchdog and flight recorder.
+
+This is the alerting tier on top of the metrics registry: declarative
+:class:`SloRule` budgets (latency quantiles, relay success ratios, queue
+depth, battery drain) evaluated by a :class:`HealthMonitor`, a
+:class:`Watchdog` that flags pipelines whose span heartbeats have gone
+quiet, and a bounded :class:`FlightRecorder` ring that preserves the last
+N spans so a firing rule dumps the run-up to the violation as JSONL — the
+in-simulator equivalent of a crash dump attached to a page.
+
+Like the rest of ``repro.obs``, all of it is passive: rules read the
+registry, the watchdog reads the clock and retained spans, and the
+recorder copies spans the tracer already measured.  Nothing here charges
+cycles or consumes randomness, so health monitoring on or off leaves
+pipeline decisions byte-identical.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.span import Span, SpanTracer
+    from repro.sim.clock import SimClock
+
+_OPS = ("<=", ">=")
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One declarative budget against the metrics registry.
+
+    The measured value is, in order of precedence: the ``quantile`` of
+    the histogram ``metric``; the ratio ``metric / denominator`` of two
+    counters (1.0 when the denominator is zero — no traffic means no
+    violation); else the counter or gauge named ``metric``.  The rule
+    holds when ``value <op> threshold``.
+    """
+
+    name: str
+    metric: str
+    op: str
+    threshold: float
+    quantile: float | None = None
+    denominator: str | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"op must be one of {_OPS}, got {self.op!r}")
+        if self.quantile is not None and not 0.0 <= self.quantile <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {self.quantile}")
+
+    def measure(self, registry: MetricsRegistry) -> float:
+        """The rule's current value under ``registry``."""
+        if self.quantile is not None:
+            return registry.histogram(self.metric).quantile(self.quantile)
+        if self.denominator is not None:
+            den = registry.counter(self.denominator).value
+            if den == 0:
+                return 1.0
+            return registry.counter(self.metric).value / den
+        if self.metric in registry.counters():
+            return float(registry.counter(self.metric).value)
+        return float(registry.gauge(self.metric).value)
+
+    def evaluate(self, registry: MetricsRegistry) -> "SloEvaluation":
+        """Measure and judge the rule."""
+        value = self.measure(registry)
+        ok = value <= self.threshold if self.op == "<=" else value >= self.threshold
+        return SloEvaluation(rule=self, value=value, ok=ok)
+
+
+@dataclass(frozen=True)
+class SloEvaluation:
+    """One rule's verdict."""
+
+    rule: SloRule
+    value: float
+    ok: bool
+
+    def to_doc(self) -> dict[str, Any]:
+        """JSON-ready row for health reports."""
+        return {
+            "rule": self.rule.name,
+            "metric": self.rule.metric,
+            "op": self.rule.op,
+            "threshold": self.rule.threshold,
+            "value": self.value,
+            "ok": self.ok,
+        }
+
+
+def default_slo_rules(
+    latency_budget_cycles: float = 2.0e9,  # 1 s at the 2 GHz sim clock
+    relay_success_min: float = 0.9,
+    max_queue_depth: int = 4,
+    battery_drain_max_mj: float = 2_000.0,
+) -> list[SloRule]:
+    """The stock fleet SLOs over the ``fleet.*`` metric namespace."""
+    return [
+        SloRule(
+            name="p99_latency",
+            metric="fleet.e2e_latency_cycles",
+            quantile=0.99,
+            op="<=",
+            threshold=latency_budget_cycles,
+            description="p99 end-to-end utterance latency budget",
+        ),
+        SloRule(
+            name="relay_success",
+            metric="fleet.relay.sent",
+            denominator="fleet.relay.forwarded",
+            op=">=",
+            threshold=relay_success_min,
+            description="forwarded decisions delivered without queueing",
+        ),
+        SloRule(
+            name="queue_depth",
+            metric="fleet.relay.queue_depth",
+            op="<=",
+            threshold=float(max_queue_depth),
+            description="store-and-forward backlog bound",
+        ),
+        SloRule(
+            name="battery_drain",
+            metric="fleet.energy.mj_per_utterance",
+            op="<=",
+            threshold=battery_drain_max_mj,
+            description="per-utterance energy (battery drain rate) budget",
+        ),
+    ]
+
+
+@dataclass(frozen=True)
+class WatchdogAlert:
+    """A pipeline whose heartbeat went quiet."""
+
+    category: str
+    last_seen_cycle: int
+    idle_cycles: int
+
+    def to_doc(self) -> dict[str, Any]:
+        """JSON-ready alert row."""
+        return {
+            "category": self.category,
+            "last_seen_cycle": self.last_seen_cycle,
+            "idle_cycles": self.idle_cycles,
+        }
+
+
+class Watchdog:
+    """Flags span categories that stopped producing heartbeats.
+
+    Each retained span counts as a heartbeat for its top-level category
+    (``stage.secure`` beats ``stage``).  A category whose newest span
+    ended more than ``stall_cycles`` before the clock's current cycle is
+    stalled; a tracer with *no* retained spans at all reports the
+    sentinel ``(no spans)`` category so a dead pipeline cannot look
+    healthy.
+    """
+
+    def __init__(self, tracer: "SpanTracer", clock: "SimClock",
+                 stall_cycles: int = 10_000_000_000):
+        if stall_cycles <= 0:
+            raise ValueError("stall_cycles must be positive")
+        self._tracer = tracer
+        self._clock = clock
+        self.stall_cycles = stall_cycles
+
+    def check(self) -> list[WatchdogAlert]:
+        """Stalled categories as of the clock's current cycle."""
+        now = self._clock.now
+        if not self._tracer.spans:
+            return [WatchdogAlert("(no spans)", 0, now)]
+        last_end: dict[str, int] = {}
+        for sp in self._tracer.spans:
+            track = sp.category.split(".")[0]
+            last_end[track] = max(last_end.get(track, 0), sp.end_cycle)
+        return [
+            WatchdogAlert(track, end, now - end)
+            for track, end in sorted(last_end.items())
+            if now - end > self.stall_cycles
+        ]
+
+
+class FlightRecorder:
+    """Bounded ring of the most recent spans, dumped when a rule fires.
+
+    The ring is fed by the tracer (``tracer.attach_recorder``) on every
+    span close, independent of span *retention* — the recorder keeps
+    working even when the tracer's own buffer is disabled or has evicted
+    history, which is exactly when a post-incident dump matters.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._ring: deque["Span"] = deque(maxlen=capacity)
+
+    def record(self, span: "Span") -> None:
+        """Append one closed span (oldest falls off when full)."""
+        self._ring.append(span)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def spans(self) -> list["Span"]:
+        """The retained window, oldest first."""
+        return list(self._ring)
+
+    def dump_jsonl(self) -> str:
+        """The window as JSON Lines (same schema as span exports)."""
+        import json
+
+        return "\n".join(
+            json.dumps(sp.to_doc(), default=str) for sp in self._ring
+        )
+
+
+@dataclass
+class HealthReport:
+    """Every rule's verdict plus watchdog alerts and the flight dump."""
+
+    evaluations: list[SloEvaluation] = field(default_factory=list)
+    stalled: list[WatchdogAlert] = field(default_factory=list)
+    flight_dump: str | None = None
+
+    @property
+    def violations(self) -> list[SloEvaluation]:
+        """The rules that failed."""
+        return [e for e in self.evaluations if not e.ok]
+
+    @property
+    def ok(self) -> bool:
+        """True when every rule holds and nothing stalled."""
+        return not self.violations and not self.stalled
+
+    def to_doc(self) -> dict[str, Any]:
+        """JSON-ready health document."""
+        return {
+            "ok": self.ok,
+            "rules": [e.to_doc() for e in self.evaluations],
+            "stalled": [a.to_doc() for a in self.stalled],
+            "flight_recorder_spans": (
+                len(self.flight_dump.splitlines()) if self.flight_dump else 0
+            ),
+        }
+
+    def table(self) -> str:
+        """Human-readable verdict table (``repro health``)."""
+        lines = [
+            f"{'rule':16s} {'value':>14s} {'budget':>14s} {'status':>8s}"
+        ]
+        for e in self.evaluations:
+            lines.append(
+                f"{e.rule.name:16s} {e.value:>14.3g} "
+                f"{e.rule.op + ' ' + format(e.rule.threshold, '.3g'):>14s} "
+                f"{'ok' if e.ok else 'VIOLATED':>8s}"
+            )
+        for alert in self.stalled:
+            lines.append(
+                f"{'watchdog':16s} {alert.category:>14s} "
+                f"{alert.idle_cycles:>14d} {'STALLED':>8s}"
+            )
+        return "\n".join(lines)
+
+
+class HealthMonitor:
+    """Evaluates SLO rules and triggers the flight recorder.
+
+    Wire it with the registry under observation, the rules, and
+    optionally a recorder (for violation dumps) and a watchdog (for
+    stall detection).  :meth:`evaluate` is pure observation and can run
+    at any cadence.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        rules: list[SloRule] | None = None,
+        recorder: FlightRecorder | None = None,
+        watchdog: Watchdog | None = None,
+    ):
+        self.registry = registry
+        self.rules = list(rules) if rules is not None else default_slo_rules()
+        self.recorder = recorder
+        self.watchdog = watchdog
+
+    def evaluate(self, dump_path=None) -> HealthReport:
+        """Judge every rule; dump the flight recorder if anything fired.
+
+        ``dump_path`` (a path-like) additionally writes the dump to disk,
+        creating parent directories — the alerting hook a deployment
+        would replace with its pager.
+        """
+        report = HealthReport(
+            evaluations=[rule.evaluate(self.registry) for rule in self.rules]
+        )
+        if self.watchdog is not None:
+            report.stalled = self.watchdog.check()
+        if not report.ok and self.recorder is not None:
+            report.flight_dump = self.recorder.dump_jsonl()
+            if dump_path is not None:
+                import pathlib
+
+                path = pathlib.Path(dump_path)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(report.flight_dump + "\n")
+        return report

@@ -7,14 +7,22 @@ charges simulated cycles, touches the RNG, or otherwise perturbs the run,
 which is what lets the instrumentation guarantee byte-identical pipeline
 outcomes whether observability is enabled or not.
 
-Histograms keep raw samples (bounded by ``max_samples`` with reservoir-free
-head-keep semantics: once full, new samples still update count/sum/min/max
-but are not retained for percentiles) so p50/p95/p99 are exact for any run
-the simulator can realistically produce.
+Two histogram flavours:
+
+* :class:`CycleHistogram` keeps raw samples (bounded by ``max_samples``
+  with head-keep semantics) so percentiles are exact for bounded runs —
+  the per-stage profiler uses it because stage counts are small.
+* :class:`BucketHistogram` is the fleet-scale variant: deterministic
+  log-spaced buckets (DDSketch-style, relative-error bound ``gamma``)
+  that stay exact while under the sample cap, degrade to bucket
+  estimates for unbounded streams, and — the point — **merge** across
+  devices without bias.  Registry histograms are bucketed so whole
+  registries can be merged into fleet aggregates.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -47,7 +55,17 @@ class Gauge:
 
 @dataclass
 class CycleHistogram:
-    """Distribution of a cycle-valued measurement with exact percentiles."""
+    """Distribution of a cycle-valued measurement with exact percentiles.
+
+    Samples are retained with *head-keep* semantics: the first
+    ``max_samples`` observations are kept verbatim and later ones still
+    update ``count``/``total``/``min``/``max`` but are **not** retained,
+    so once :attr:`truncated` is true the percentiles describe only the
+    head of the stream (a biased subset if the distribution drifts).
+    :meth:`summary` reports ``truncated`` and ``retained`` so consumers
+    can tell exact percentiles from head-kept ones; use
+    :class:`BucketHistogram` when the stream is unbounded.
+    """
 
     name: str
     max_samples: int = 65_536
@@ -100,8 +118,18 @@ class CycleHistogram:
         """Arithmetic mean over all observed samples."""
         return self.total / self.count if self.count else 0.0
 
+    @property
+    def truncated(self) -> bool:
+        """True once percentiles cover only a head-kept subset."""
+        return self.count > len(self._samples)
+
     def summary(self) -> dict[str, Any]:
-        """Flat dict for reports (count/total/mean/min/max/percentiles)."""
+        """Flat dict for reports (count/total/mean/min/max/percentiles).
+
+        ``truncated`` / ``retained`` expose the head-keep cap: when
+        ``truncated`` is true, only the first ``retained`` samples back
+        the percentile fields.
+        """
         return {
             "count": self.count,
             "total": self.total,
@@ -111,7 +139,229 @@ class CycleHistogram:
             "p50": self.p50,
             "p95": self.p95,
             "p99": self.p99,
+            "truncated": self.truncated,
+            "retained": len(self._samples),
         }
+
+
+class BucketHistogram:
+    """Mergeable distribution with deterministic log-spaced buckets.
+
+    DDSketch-style: a positive value lands in the bucket ``i`` with
+    ``gamma**(i-1) < value <= gamma**i`` (zero gets its own bucket), so a
+    bucket-based quantile estimate is the true quantile within one
+    bucket's relative error — ``q <= estimate <= q * gamma``.  While the
+    total count is at most ``max_samples`` the raw samples are retained
+    too and quantiles are *exact* (interpolated, matching
+    :class:`CycleHistogram`); past the cap the samples are dropped and
+    estimates come from the buckets — no head-keep truncation bias.
+
+    ``merge`` combines two histograms of the same ``gamma`` into the
+    distribution of the concatenated streams; it is associative and
+    commutative, which is what lets a fleet report fold per-device
+    histograms in any order.  Bucket indexing uses no RNG and is
+    FP-guarded, so equal value streams always produce equal histograms.
+    """
+
+    __slots__ = ("name", "gamma", "max_samples", "count", "total",
+                 "min", "max", "_zero", "_buckets", "_samples")
+
+    def __init__(self, name: str, gamma: float = 1.2,
+                 max_samples: int = 65_536):
+        if gamma <= 1.0:
+            raise ValueError(f"gamma must exceed 1.0, got {gamma}")
+        if max_samples < 0:
+            raise ValueError("max_samples cannot be negative")
+        self.name = name
+        self.gamma = gamma
+        self.max_samples = max_samples
+        self.count = 0
+        self.total = 0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._zero = 0
+        self._buckets: dict[int, int] = {}
+        # None once the stream outgrew the cap (estimates only).
+        self._samples: list[float] | None = []
+
+    # -- recording ---------------------------------------------------------------
+
+    def _bucket_index(self, value: float) -> int:
+        i = math.ceil(math.log(value) / math.log(self.gamma))
+        # FP guard: enforce gamma**(i-1) < value <= gamma**i exactly so
+        # boundary values bucket identically on every platform.
+        while self.gamma ** i < value:
+            i += 1
+        while self.gamma ** (i - 1) >= value:
+            i -= 1
+        return i
+
+    def observe(self, value: float) -> None:
+        """Record one sample (non-negative)."""
+        value = float(value)
+        if value < 0:
+            raise ValueError(
+                f"histogram {self.name!r} cannot observe negative {value}"
+            )
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if value == 0.0:
+            self._zero += 1
+        else:
+            idx = self._bucket_index(value)
+            self._buckets[idx] = self._buckets.get(idx, 0) + 1
+        if self._samples is not None:
+            if self.count <= self.max_samples:
+                self._samples.append(value)
+            else:
+                self._samples = None
+
+    # -- merging -----------------------------------------------------------------
+
+    def merge(self, other: "BucketHistogram") -> "BucketHistogram":
+        """The histogram of the two concatenated streams (a new object).
+
+        Associative and commutative: retained samples are kept sorted and
+        only while the combined count fits under ``max_samples``, so the
+        result depends on the merged multiset of values alone, never on
+        merge order.
+        """
+        if not math.isclose(self.gamma, other.gamma):
+            raise ValueError(
+                f"cannot merge gamma={self.gamma} with gamma={other.gamma}"
+            )
+        out = BucketHistogram(
+            self.name, gamma=self.gamma,
+            max_samples=min(self.max_samples, other.max_samples),
+        )
+        out.count = self.count + other.count
+        out.total = self.total + other.total
+        mins = [m for m in (self.min, other.min) if m is not None]
+        maxs = [m for m in (self.max, other.max) if m is not None]
+        out.min = min(mins) if mins else None
+        out.max = max(maxs) if maxs else None
+        out._zero = self._zero + other._zero
+        out._buckets = dict(self._buckets)
+        for idx, n in other._buckets.items():
+            out._buckets[idx] = out._buckets.get(idx, 0) + n
+        if (self._samples is not None and other._samples is not None
+                and out.count <= out.max_samples):
+            out._samples = sorted(self._samples + other._samples)
+        else:
+            out._samples = None
+        return out
+
+    # -- reading back ------------------------------------------------------------
+
+    @property
+    def exact(self) -> bool:
+        """True while quantiles come from retained raw samples."""
+        return self._samples is not None
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean over all observed samples."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0..1): exact under the cap, else bucketed.
+
+        The bucket estimate is each bucket's upper bound (clamped to the
+        observed maximum), so it sits within ``gamma`` relative error
+        above the nearest-rank exact quantile.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        if self._samples is not None:
+            ordered = sorted(self._samples)
+            if len(ordered) == 1:
+                return float(ordered[0])
+            rank = q * (len(ordered) - 1)
+            lo = int(rank)
+            hi = min(lo + 1, len(ordered) - 1)
+            frac = rank - lo
+            return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+        rank = max(1, math.ceil(q * self.count))
+        cum = self._zero
+        if rank <= cum:
+            return 0.0
+        for idx in sorted(self._buckets):
+            cum += self._buckets[idx]
+            if rank <= cum:
+                estimate = self.gamma ** idx
+                return min(estimate, self.max or estimate)
+        return float(self.max or 0.0)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100); see :meth:`quantile`."""
+        return self.quantile(p / 100.0)
+
+    @property
+    def p50(self) -> float:
+        """Median."""
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        """95th percentile."""
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        """99th percentile."""
+        return self.quantile(0.99)
+
+    def summary(self) -> dict[str, Any]:
+        """Flat dict for reports; ``exact`` flags sample-backed quantiles."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min or 0,
+            "max": self.max or 0,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "exact": self.exact,
+        }
+
+    # -- (de)serialization -------------------------------------------------------
+
+    def to_doc(self) -> dict[str, Any]:
+        """JSON-ready state (inverse of :meth:`from_doc`)."""
+        return {
+            "name": self.name,
+            "gamma": self.gamma,
+            "max_samples": self.max_samples,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "zero": self._zero,
+            "buckets": {str(i): n for i, n in sorted(self._buckets.items())},
+            "samples": self._samples,
+        }
+
+    @staticmethod
+    def from_doc(doc: dict[str, Any]) -> "BucketHistogram":
+        """Rebuild a histogram from its :meth:`to_doc` form."""
+        h = BucketHistogram(
+            str(doc["name"]), gamma=float(doc["gamma"]),
+            max_samples=int(doc["max_samples"]),
+        )
+        h.count = int(doc["count"])
+        h.total = doc["total"]
+        h.min = doc["min"]
+        h.max = doc["max"]
+        h._zero = int(doc["zero"])
+        h._buckets = {int(i): int(n) for i, n in doc["buckets"].items()}
+        samples = doc.get("samples")
+        h._samples = None if samples is None else [float(v) for v in samples]
+        return h
 
 
 class MetricsRegistry:
@@ -127,7 +377,7 @@ class MetricsRegistry:
         self.enabled = True
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
-        self._histograms: dict[str, CycleHistogram] = {}
+        self._histograms: dict[str, BucketHistogram] = {}
 
     # -- access / creation -----------------------------------------------------
 
@@ -145,11 +395,11 @@ class MetricsRegistry:
             g = self._gauges[name] = Gauge(name)
         return g
 
-    def histogram(self, name: str) -> CycleHistogram:
-        """Get or create the histogram ``name``."""
+    def histogram(self, name: str) -> BucketHistogram:
+        """Get or create the (mergeable, log-bucketed) histogram ``name``."""
         h = self._histograms.get(name)
         if h is None:
-            h = self._histograms[name] = CycleHistogram(name)
+            h = self._histograms[name] = BucketHistogram(name)
         return h
 
     # -- one-line recording (no-ops when disabled) -------------------------------
@@ -164,7 +414,7 @@ class MetricsRegistry:
         if self.enabled:
             self.gauge(name).set(value)
 
-    def observe(self, name: str, value: int) -> None:
+    def observe(self, name: str, value: float) -> None:
         """Record a histogram sample (no-op while disabled)."""
         if self.enabled:
             self.histogram(name).observe(value)
@@ -179,13 +429,41 @@ class MetricsRegistry:
             if name.startswith(prefix)
         }
 
-    def histograms(self, prefix: str = "") -> dict[str, CycleHistogram]:
+    def histograms(self, prefix: str = "") -> dict[str, BucketHistogram]:
         """Histograms whose names start with ``prefix``."""
         return {
             name: h
             for name, h in sorted(self._histograms.items())
             if name.startswith(prefix)
         }
+
+    def gauges(self, prefix: str = "") -> dict[str, float]:
+        """Gauge values whose names start with ``prefix``."""
+        return {
+            name: g.value
+            for name, g in sorted(self._gauges.items())
+            if name.startswith(prefix)
+        }
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (fleet aggregation).
+
+        Counters add, histograms merge distribution-exactly, and gauges
+        *sum* — the fleet reading of a point-in-time value (total queue
+        depth across devices); keep per-device registries when you need
+        the individual readings.
+        """
+        for name, c in other._counters.items():
+            self.counter(name).inc(c.value)
+        for name, g in other._gauges.items():
+            self.gauge(name).set(self.gauge(name).value + g.value)
+        for name, h in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                mine = BucketHistogram(
+                    name, gamma=h.gamma, max_samples=h.max_samples
+                )
+            self._histograms[name] = mine.merge(h)
 
     def snapshot(self) -> dict[str, Any]:
         """Everything, as a JSON-ready dict."""

@@ -1,0 +1,249 @@
+"""Perf-regression gate: compare a profile against a committed baseline.
+
+``repro profile`` measures where the cycles go; this module *enforces*
+it.  A fresh :class:`~repro.obs.profile.ProfileReport` document is
+compared per stage and per pipeline against a committed baseline
+(``benchmarks/baselines/profile_baseline.json``) with tolerances on
+cycles, world switches and energy.  CI runs it as the ``perf-gate`` job:
+a change that blows a stage's budget fails the build with a table
+pointing at the exact stage and metric.
+
+The simulator is deterministic, so the baseline is tight: tolerances
+exist to absorb numeric drift across numpy versions, not real
+regressions.  Spending *less* than the baseline is reported as
+``improved`` and passes — the gate is one-sided.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any
+
+BASELINE_PATH = (
+    pathlib.Path(__file__).resolve().parents[3]
+    / "benchmarks" / "baselines" / "profile_baseline.json"
+)
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Allowed overshoot: ``current <= baseline * (1 + rel) + abs``."""
+
+    rel: float = 0.10
+    abs: float = 0.0
+
+    def limit(self, baseline: float) -> float:
+        """The largest passing value for ``baseline``."""
+        return baseline * (1.0 + self.rel) + self.abs
+
+
+# Per-metric budgets: relative headroom over baseline plus an absolute
+# slack floor so near-zero baselines (e.g. 0 world switches) don't turn
+# into zero-tolerance gates.
+STAGE_METRICS: dict[str, Tolerance] = {
+    "total_cycles": Tolerance(rel=0.10, abs=10_000),
+    "world_switches": Tolerance(rel=0.10, abs=4),
+    "energy_mj": Tolerance(rel=0.10, abs=0.5),
+}
+
+PIPELINE_METRICS: dict[str, Tolerance] = {
+    "total_cycles": Tolerance(rel=0.10, abs=10_000),
+    "world_switches": Tolerance(rel=0.10, abs=4),
+    "energy_mj": Tolerance(rel=0.10, abs=0.5),
+}
+
+
+@dataclass(frozen=True)
+class RegressionRow:
+    """One (scope, metric) comparison."""
+
+    scope: str  # "stage" or "pipeline"
+    pipeline: str
+    stage: str  # "" for pipeline-level rows
+    metric: str
+    baseline: float
+    current: float
+    limit: float
+    status: str  # "ok" | "improved" | "regressed" | "missing" | "new"
+
+    @property
+    def delta_pct(self) -> float:
+        """Relative change vs baseline (0 when the baseline is 0)."""
+        if self.baseline == 0:
+            return 0.0
+        return 100.0 * (self.current - self.baseline) / self.baseline
+
+    def to_doc(self) -> dict[str, Any]:
+        """JSON-ready comparison row."""
+        return {
+            "scope": self.scope,
+            "pipeline": self.pipeline,
+            "stage": self.stage,
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "current": self.current,
+            "limit": self.limit,
+            "delta_pct": self.delta_pct,
+            "status": self.status,
+        }
+
+
+@dataclass
+class RegressionReport:
+    """Every comparison row plus the overall verdict."""
+
+    rows: list[RegressionRow] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[RegressionRow]:
+        """Rows that fail the gate."""
+        return [r for r in self.rows if r.status in ("regressed", "missing")]
+
+    @property
+    def passed(self) -> bool:
+        """True when no stage regressed or disappeared."""
+        return not self.failures
+
+    def to_doc(self) -> dict[str, Any]:
+        """JSON document for artifacts."""
+        return {
+            "passed": self.passed,
+            "rows": [r.to_doc() for r in self.rows],
+        }
+
+    def table(self, only_interesting: bool = True) -> str:
+        """Human-readable gate output (``repro compare``).
+
+        By default rows within budget are collapsed into a count; pass
+        ``only_interesting=False`` for the full matrix.
+        """
+        shown = [
+            r for r in self.rows
+            if not only_interesting or r.status != "ok"
+        ]
+        lines = [
+            f"{'scope':26s} {'metric':>14s} {'baseline':>13s} "
+            f"{'current':>13s} {'Δ%':>7s} {'status':>9s}"
+        ]
+        for r in shown:
+            where = f"{r.pipeline}/{r.stage}" if r.stage else r.pipeline
+            lines.append(
+                f"{where:26s} {r.metric:>14s} {r.baseline:>13.6g} "
+                f"{r.current:>13.6g} {r.delta_pct:>+7.1f} {r.status:>9s}"
+            )
+        hidden = len(self.rows) - len(shown)
+        if hidden:
+            lines.append(f"... {hidden} within budget")
+        lines.append(
+            f"perf gate: {'PASS' if self.passed else 'FAIL'} "
+            f"({len(self.failures)} failing of {len(self.rows)} checks)"
+        )
+        return "\n".join(lines)
+
+
+def _judge(baseline: float, current: float, tol: Tolerance) -> str:
+    if current > tol.limit(baseline):
+        return "regressed"
+    if current < baseline:
+        return "improved"
+    return "ok"
+
+
+def compare_profiles(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    stage_tolerances: dict[str, Tolerance] | None = None,
+    pipeline_tolerances: dict[str, Tolerance] | None = None,
+) -> RegressionReport:
+    """Compare two ``profile.json`` documents stage by stage.
+
+    Baseline stages missing from the current profile fail (a stage that
+    stopped running is a broken measurement, not a win); stages new in
+    the current profile are reported as ``new`` and pass so adding
+    instrumentation never blocks the gate.
+    """
+    stage_tols = stage_tolerances or STAGE_METRICS
+    pipe_tols = pipeline_tolerances or PIPELINE_METRICS
+    report = RegressionReport()
+
+    def stage_key(doc_row: dict[str, Any]) -> tuple[str, str]:
+        return (doc_row["pipeline"], doc_row["stage"])
+
+    base_stages = {stage_key(r): r for r in baseline.get("stages", [])}
+    cur_stages = {stage_key(r): r for r in current.get("stages", [])}
+
+    for key, base_row in base_stages.items():
+        pipeline, stage = key
+        cur_row = cur_stages.get(key)
+        for metric, tol in stage_tols.items():
+            base_val = float(base_row.get(metric, 0))
+            if cur_row is None:
+                report.rows.append(RegressionRow(
+                    scope="stage", pipeline=pipeline, stage=stage,
+                    metric=metric, baseline=base_val, current=0.0,
+                    limit=tol.limit(base_val), status="missing",
+                ))
+                continue
+            cur_val = float(cur_row.get(metric, 0))
+            report.rows.append(RegressionRow(
+                scope="stage", pipeline=pipeline, stage=stage,
+                metric=metric, baseline=base_val, current=cur_val,
+                limit=tol.limit(base_val),
+                status=_judge(base_val, cur_val, tol),
+            ))
+    for key, cur_row in cur_stages.items():
+        if key in base_stages:
+            continue
+        pipeline, stage = key
+        for metric, tol in stage_tols.items():
+            cur_val = float(cur_row.get(metric, 0))
+            report.rows.append(RegressionRow(
+                scope="stage", pipeline=pipeline, stage=stage,
+                metric=metric, baseline=0.0, current=cur_val,
+                limit=0.0, status="new",
+            ))
+
+    base_pipes = baseline.get("pipelines", {})
+    cur_pipes = current.get("pipelines", {})
+    for name, base_summary in base_pipes.items():
+        cur_summary = cur_pipes.get(name)
+        for metric, tol in pipe_tols.items():
+            base_val = float(base_summary.get(metric, 0))
+            if cur_summary is None:
+                report.rows.append(RegressionRow(
+                    scope="pipeline", pipeline=name, stage="",
+                    metric=metric, baseline=base_val, current=0.0,
+                    limit=tol.limit(base_val), status="missing",
+                ))
+                continue
+            cur_val = float(cur_summary.get(metric, 0))
+            report.rows.append(RegressionRow(
+                scope="pipeline", pipeline=name, stage="",
+                metric=metric, baseline=base_val, current=cur_val,
+                limit=tol.limit(base_val),
+                status=_judge(base_val, cur_val, tol),
+            ))
+    return report
+
+
+def load_profile_doc(path) -> dict[str, Any]:
+    """Read a ``profile.json`` document from disk."""
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def collect_current_for(baseline: dict[str, Any]) -> dict[str, Any]:
+    """Re-measure a profile with the baseline's own parameters.
+
+    Uses the seed/utterances/mode recorded in the baseline document so
+    the comparison is measurement-for-measurement, never
+    workload-vs-workload.
+    """
+    from repro.obs.profile import collect_profile
+
+    report = collect_profile(
+        seed=int(baseline.get("seed", 7)),
+        utterances=int(baseline.get("utterances", 8)),
+        continuous=baseline.get("mode") == "continuous",
+    )
+    return report.to_doc()

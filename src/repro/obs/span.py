@@ -29,6 +29,7 @@ from repro.sim.clock import CycleDomain, SimClock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.energy.model import EnergyMeter
+    from repro.obs.health import FlightRecorder
     from repro.obs.metrics import MetricsRegistry
     from repro.sim.trace import TraceLog
     from repro.tz.worlds import Cpu
@@ -144,6 +145,7 @@ class SpanTracer:
         self._cpu = cpu
         self._metrics = metrics
         self._energy: "EnergyMeter | None" = None
+        self._recorder: "FlightRecorder | None" = None
         self.capacity = capacity
         self.enabled = True
         self.spans: list[Span] = []
@@ -154,6 +156,15 @@ class SpanTracer:
     def attach_energy(self, meter: "EnergyMeter") -> None:
         """Wire the platform's energy meter for per-span energy deltas."""
         self._energy = meter
+
+    def attach_recorder(self, recorder: "FlightRecorder | None") -> None:
+        """Feed every closed span into a health flight recorder.
+
+        The recorder sees spans even while retention is disabled —
+        attachment is the opt-in, and recording is as passive as
+        measuring is.
+        """
+        self._recorder = recorder
 
     # -- recording --------------------------------------------------------------
 
@@ -201,6 +212,8 @@ class SpanTracer:
             sp.world_switches = self._cpu.switch_count - active._start_switches
         if self._energy is not None and active._start_energy is not None:
             sp.energy_mj = self._energy.delta_since(active._start_energy).total_mj
+        if self._recorder is not None:
+            self._recorder.record(sp)
         if not self.enabled:
             return
         if len(self.spans) >= self.capacity:

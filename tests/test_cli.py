@@ -12,8 +12,8 @@ class TestParser:
 
     def test_all_subcommands_parse(self):
         parser = build_parser()
-        for command in ("demo", "privacy", "profile", "trace", "tcb",
-                        "models", "info"):
+        for command in ("demo", "privacy", "profile", "trace", "fleet",
+                        "health", "compare", "tcb", "models", "info"):
             args = parser.parse_args([command])
             assert callable(args.func)
 
@@ -25,6 +25,29 @@ class TestParser:
         assert args.utterances == 4
         assert args.continuous
         assert args.output == "out.json"
+
+    def test_profile_output_defaults_to_repo_root(self):
+        # None means "resolve against the repo checkout", not the CWD.
+        assert build_parser().parse_args(["profile"]).output is None
+
+    def test_fleet_options(self):
+        args = build_parser().parse_args(
+            ["fleet", "--devices", "3", "--metrics-out", "m.txt"]
+        )
+        assert args.devices == 3
+        assert args.metrics_out == "m.txt"
+
+    def test_health_fault_profile_choices(self):
+        args = build_parser().parse_args(
+            ["health", "--fault-profile", "lossy"]
+        )
+        assert args.fault_profile == "lossy"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["health", "--fault-profile", "chaos"])
+
+    def test_compare_baseline_default_is_committed_path(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.baseline.endswith("profile_baseline.json")
 
     def test_trace_format_choices(self):
         args = build_parser().parse_args(["trace", "--format", "chrome"])
@@ -104,6 +127,64 @@ class TestCommands:
         doc = json.loads(capsys.readouterr().out)
         assert doc["traceEvents"]
         assert all(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_fleet(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "fleet.json"
+        metrics = tmp_path / "fleet.openmetrics"
+        assert main(["fleet", "--devices", "2", "--utterances", "2",
+                     "--seed", "5", "--output", str(out),
+                     "--metrics-out", str(metrics)]) == 0
+        text = capsys.readouterr().out
+        assert "relay success" in text
+        doc = json.loads(out.read_text())
+        assert len(doc["devices"]) == 2
+        assert doc["fleet"]["latency_hist"]["count"] == (
+            doc["fleet"]["utterances"]
+        )
+        om = metrics.read_text()
+        assert om.endswith("# EOF\n")
+        assert "repro_fleet_e2e_latency_cycles_count" in om
+
+    def test_health_violation_exits_nonzero_and_dumps(self, capsys, tmp_path):
+        import json
+
+        dump = tmp_path / "flight.jsonl"
+        # A 1 ns latency budget cannot hold: the rule fires, the flight
+        # recorder dumps, and the exit code goes nonzero for alerting.
+        assert main(["health", "--utterances", "2", "--seed", "5",
+                     "--latency-budget-ms", "0.000001",
+                     "--dump", str(dump)]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out
+        assert "flight recorder" in out
+        docs = [json.loads(l) for l in dump.read_text().splitlines()]
+        assert {d["name"] for d in docs} >= {"capture", "asr"}
+
+    def test_compare_exit_codes(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.regress import BASELINE_PATH
+
+        # Baseline vs itself: pass.
+        current = tmp_path / "current.json"
+        doc = json.loads(BASELINE_PATH.read_text())
+        current.write_text(json.dumps(doc))
+        assert main(["compare", "--current", str(current)]) == 0
+        assert "PASS" in capsys.readouterr().out
+        # Doctored: every stage 10x over budget -> fail.
+        for row in doc["stages"]:
+            row["total_cycles"] *= 10
+        current.write_text(json.dumps(doc))
+        out_json = tmp_path / "gate.json"
+        assert main(["compare", "--current", str(current),
+                     "--output", str(out_json)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+        assert json.loads(out_json.read_text())["passed"] is False
+        # Missing baseline -> distinct exit code.
+        assert main(["compare", "--baseline",
+                     str(tmp_path / "nope.json")]) == 2
 
     def test_trace_events(self, capsys):
         assert main(["trace", "--utterances", "2", "--seed", "5",

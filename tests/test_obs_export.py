@@ -1,0 +1,101 @@
+"""Unit tests: OpenMetrics and JSONL registry exporters."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    registry_from_jsonl,
+    sanitize_name,
+    to_jsonl,
+    to_openmetrics,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def populated() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.inc("tz.smc", 3)
+    reg.inc("relay.sent", 7)
+    reg.set("relay.queue_depth", 2)
+    for v in (0, 100, 1_000, 10_000):
+        reg.observe("stage.secure.asr.cycles", v)
+    return reg
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_name("tz.smc") == "tz_smc"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_name("9lives")[0] == "_"
+
+    def test_illegal_chars_replaced(self):
+        assert sanitize_name("a-b c") == "a_b_c"
+
+
+class TestOpenMetrics:
+    def test_counters_gauges_histograms_rendered(self):
+        text = to_openmetrics(populated())
+        assert "# TYPE repro_tz_smc counter" in text
+        assert "repro_tz_smc_total 3" in text
+        assert "# TYPE repro_relay_queue_depth gauge" in text
+        assert "repro_relay_queue_depth 2" in text
+        assert "# TYPE repro_stage_secure_asr_cycles histogram" in text
+        assert "repro_stage_secure_asr_cycles_count 4" in text
+        assert text.endswith("# EOF\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = to_openmetrics(populated())
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_stage_secure_asr_cycles_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4  # le="+Inf" covers everything
+
+    def test_labels_attached_to_every_sample(self):
+        text = to_openmetrics(populated(), labels={"device": "d03"})
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            assert 'device="d03"' in line, line
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.inc("n")
+        text = to_openmetrics(reg, labels={"host": 'a"b\\c'})
+        assert 'host="a\\"b\\\\c"' in text
+
+    def test_empty_registry_is_just_eof(self):
+        assert to_openmetrics(MetricsRegistry()) == "# EOF\n"
+
+
+class TestJsonlRoundTrip:
+    def test_snapshot_survives(self):
+        reg = populated()
+        back = registry_from_jsonl(to_jsonl(reg))
+        assert back.snapshot() == reg.snapshot()
+
+    def test_histogram_state_survives_not_just_summary(self):
+        reg = populated()
+        back = registry_from_jsonl(to_jsonl(reg))
+        orig = reg.histogram("stage.secure.asr.cycles")
+        copy = back.histogram("stage.secure.asr.cycles")
+        assert copy.to_doc() == orig.to_doc()
+        # ...so the rebuilt histogram still merges.
+        merged = copy.merge(orig)
+        assert merged.count == 8
+
+    def test_lines_are_valid_json(self):
+        for line in to_jsonl(populated()).splitlines():
+            json.loads(line)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            registry_from_jsonl('{"kind": "mystery", "name": "x"}')
+
+    def test_blank_lines_ignored(self):
+        reg = registry_from_jsonl("\n\n" + to_jsonl(populated()) + "\n")
+        assert reg.counter("tz.smc").value == 3

@@ -1,0 +1,183 @@
+"""Unit + acceptance tests: fleet simulation and merged telemetry.
+
+The acceptance paths (mirror the issue's criteria): merged fleet
+quantiles equal the concatenated per-device streams' within one bucket's
+relative error, and pipeline decisions are byte-identical with the
+fleet/health instrumentation on or off.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.fleet import (
+    FAULT_PROFILES,
+    DeviceSpec,
+    device_specs,
+    run_fleet,
+    simulate_device,
+)
+from repro.obs.health import FlightRecorder, HealthMonitor, default_slo_rules
+
+
+@pytest.fixture(scope="module")
+def fleet(provisioned):
+    """One small fleet covering every fault profile (shared: ~seconds)."""
+    return run_fleet(devices=4, seed=7, utterances=2,
+                     bundle=provisioned.bundle)
+
+
+class TestDeviceSpecs:
+    def test_roster_is_deterministic_and_varied(self):
+        a = device_specs(8, seed=7)
+        b = device_specs(8, seed=7)
+        assert a == b
+        assert len({s.seed for s in a}) == 8
+        assert {s.fault_profile for s in a} == set(FAULT_PROFILES)
+        assert all(s.seed >= 7 + 1000 for s in a)
+
+    def test_workload_sizes_rotate(self):
+        sizes = {s.utterances for s in device_specs(6, utterances=4)}
+        assert sizes == {4, 5, 6}
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            device_specs(0)
+
+
+class TestDeviceReport:
+    def test_relay_conservation_and_registry(self, fleet):
+        for d in fleet.devices:
+            assert d.summary["sent"] + d.summary["queued"] == (
+                d.summary["forwarded"]
+            )
+            reg = d.registry
+            assert reg.counter("fleet.utterances").value == len(d.latencies)
+            assert reg.histogram("fleet.e2e_latency_cycles").count == len(
+                d.latencies
+            )
+            assert 0.0 <= d.relay_success_rate <= 1.0
+
+    def test_doc_row_is_json_ready(self, fleet):
+        doc = fleet.devices[0].to_doc()
+        json.dumps(doc)
+        assert "machine" not in doc
+        assert doc["device"] == "d00"
+
+
+class TestFleetMerge:
+    def test_merged_quantiles_match_concatenated_stream(self, fleet):
+        merged = fleet.latency_hist
+        concat = sorted(lat for d in fleet.devices for lat in d.latencies)
+        assert merged.count == len(concat)
+        assert merged.min == concat[0] and merged.max == concat[-1]
+        assert merged.total == sum(concat)
+        for q in (0.5, 0.95, 0.99):
+            estimate = merged.quantile(q)
+            if merged.exact:
+                # Under the cap the merge kept every sample: the merged
+                # quantile IS the concatenated stream's (interpolated).
+                rank = q * (len(concat) - 1)
+                lo = int(rank)
+                hi = min(lo + 1, len(concat) - 1)
+                frac = rank - lo
+                expected = concat[lo] * (1.0 - frac) + concat[hi] * frac
+                assert estimate == expected, (q, expected, estimate)
+            else:
+                # Bucket mode: nearest-rank exact bracketed within one
+                # bucket's relative error.
+                rank = max(1, math.ceil(q * len(concat)))
+                exact = concat[rank - 1]
+                assert exact <= estimate * (1 + 1e-12), (q, exact, estimate)
+                assert estimate <= exact * merged.gamma * (1 + 1e-12), (
+                    q, exact, estimate,
+                )
+
+    def test_overflowed_merge_still_brackets(self, fleet):
+        # Force bucket mode by merging into a zero-cap histogram so the
+        # one-bucket-error guarantee is exercised on real fleet data.
+        from repro.obs.metrics import BucketHistogram
+
+        tight = BucketHistogram("fleet.e2e_latency_cycles", max_samples=0)
+        merged = tight
+        for d in fleet.devices:
+            merged = merged.merge(d.latency_hist)
+        assert not merged.exact
+        concat = sorted(lat for d in fleet.devices for lat in d.latencies)
+        for q in (0.5, 0.95, 0.99):
+            rank = max(1, math.ceil(q * len(concat)))
+            exact = concat[rank - 1]
+            estimate = merged.quantile(q)
+            assert exact <= estimate * (1 + 1e-12), (q, exact, estimate)
+            assert estimate <= exact * merged.gamma * (1 + 1e-12), (
+                q, exact, estimate,
+            )
+
+    def test_merged_registry_sums_devices(self, fleet):
+        reg = fleet.merged_registry()
+        for name in ("fleet.utterances", "fleet.relay.sent",
+                     "fleet.relay.forwarded"):
+            assert reg.counter(name).value == sum(
+                d.registry.counter(name).value for d in fleet.devices
+            )
+
+    def test_report_doc_shape(self, fleet):
+        doc = fleet.to_doc()
+        assert len(doc["devices"]) == 4
+        f = doc["fleet"]
+        assert f["latency_p50_cycles"] <= f["latency_p95_cycles"] <= (
+            f["latency_p99_cycles"]
+        )
+        assert f["latency_hist"]["count"] == f["utterances"]
+        json.dumps(doc)
+
+    def test_table_has_per_device_rows_and_fleet_line(self, fleet):
+        table = fleet.table()
+        for d in fleet.devices:
+            assert d.spec.device_id in table
+        assert "relay success" in table
+        assert "p99" in table
+
+
+class TestAcceptanceDeterminism:
+    """Issue criterion: decisions byte-identical with obs on or off."""
+
+    @staticmethod
+    def _decisions(device):
+        """Everything the pipeline decided, serialized."""
+        return json.dumps(
+            {
+                "summary": device.summary,
+                "relay": device.relay,
+                "latencies": device.latencies,
+                "energy_mj": device.energy_mj,
+                "world_switches": device.world_switches,
+            },
+            sort_keys=True,
+        )
+
+    def test_instrumentation_does_not_perturb_decisions(self, provisioned):
+        spec = DeviceSpec(
+            device_id="dut", seed=321, utterances=3,
+            sensitive_fraction=0.5, fault_profile="lossy",
+        )
+        # Fully instrumented run: recorder attached, health evaluated.
+        rec = FlightRecorder(capacity=32)
+        lit = simulate_device(spec, provisioned.bundle, recorder=rec)
+        HealthMonitor(lit.registry, default_slo_rules(),
+                      recorder=rec).evaluate()
+        # Dark run: observability disabled entirely.
+        dark = simulate_device(spec, provisioned.bundle, observability=False)
+
+        assert self._decisions(lit) == self._decisions(dark)
+        # The dark registry recorded nothing; the lit one did.
+        assert dark.registry.counters() == {}
+        assert lit.registry.counter("fleet.utterances").value == 3
+
+    def test_fleet_runs_are_reproducible(self, fleet, provisioned):
+        again = run_fleet(devices=4, seed=7, utterances=2,
+                          bundle=provisioned.bundle)
+        assert json.dumps(again.to_doc(), sort_keys=True) == json.dumps(
+            fleet.to_doc(), sort_keys=True
+        )

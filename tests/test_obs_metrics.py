@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.obs.metrics import Counter, CycleHistogram, Gauge, MetricsRegistry
+from repro.obs.metrics import (
+    BucketHistogram,
+    Counter,
+    CycleHistogram,
+    Gauge,
+    MetricsRegistry,
+)
 
 
 class TestCounter:
@@ -66,7 +72,21 @@ class TestCycleHistogram:
         h.observe(10)
         assert set(h.summary()) == {
             "count", "total", "mean", "min", "max", "p50", "p95", "p99",
+            "truncated", "retained",
         }
+
+    def test_summary_reports_truncation(self):
+        h = CycleHistogram("lat", max_samples=3)
+        for v in (1, 2, 3):
+            h.observe(v)
+        assert h.truncated is False
+        assert h.summary()["truncated"] is False
+        assert h.summary()["retained"] == 3
+        h.observe(4)
+        # Percentiles now describe only the head-kept subset and say so.
+        assert h.truncated is True
+        assert h.summary()["truncated"] is True
+        assert h.summary()["retained"] == 3
 
 
 class TestRegistry:
@@ -107,3 +127,35 @@ class TestRegistry:
         reg.inc("a")
         reg.reset()
         assert reg.counters() == {}
+
+    def test_histograms_are_bucketed_and_mergeable(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 100)
+        assert isinstance(reg.histogram("lat"), BucketHistogram)
+
+    def test_merge_folds_counters_gauges_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("n", 2)
+        b.inc("n", 3)
+        b.inc("only_b")
+        a.set("depth", 1)
+        b.set("depth", 4)
+        for v in (10, 20):
+            a.observe("lat", v)
+        for v in (30, 40):
+            b.observe("lat", v)
+        a.merge(b)
+        assert a.counter("n").value == 5
+        assert a.counter("only_b").value == 1
+        assert a.gauge("depth").value == 5  # gauges sum (fleet totals)
+        hist = a.histogram("lat")
+        assert hist.count == 4
+        assert hist.min == 10 and hist.max == 40
+
+    def test_merge_does_not_alias_source_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.observe("lat", 10)
+        a.merge(b)
+        b.observe("lat", 99)
+        assert a.histogram("lat").count == 1
+        assert b.histogram("lat").count == 2

@@ -1,0 +1,143 @@
+"""Unit tests: the perf-regression gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs.regress import (
+    BASELINE_PATH,
+    Tolerance,
+    compare_profiles,
+    load_profile_doc,
+)
+
+
+def profile_doc(cycles=1_000_000, switches=10, energy=5.0):
+    """A minimal two-stage profile document in profile.json shape."""
+    return {
+        "seed": 7,
+        "utterances": 4,
+        "mode": "batch",
+        "stages": [
+            {"pipeline": "secure", "stage": "asr",
+             "total_cycles": cycles, "world_switches": switches,
+             "energy_mj": energy},
+            {"pipeline": "secure", "stage": "relay",
+             "total_cycles": cycles // 2, "world_switches": switches,
+             "energy_mj": energy / 2},
+        ],
+        "pipelines": {
+            "secure": {"total_cycles": cycles * 2,
+                       "world_switches": switches * 2,
+                       "energy_mj": energy * 2},
+        },
+    }
+
+
+class TestTolerance:
+    def test_limit_combines_rel_and_abs(self):
+        tol = Tolerance(rel=0.10, abs=100)
+        assert tol.limit(1_000) == pytest.approx(1_200)
+
+    def test_abs_floor_protects_zero_baselines(self):
+        assert Tolerance(rel=0.10, abs=4).limit(0) == 4
+
+
+class TestCompareProfiles:
+    def test_identical_profiles_pass(self):
+        report = compare_profiles(profile_doc(), profile_doc())
+        assert report.passed
+        assert {r.status for r in report.rows} == {"ok"}
+
+    def test_improvement_passes(self):
+        report = compare_profiles(
+            current=profile_doc(cycles=500_000), baseline=profile_doc()
+        )
+        assert report.passed
+        assert "improved" in {r.status for r in report.rows}
+
+    def test_regression_fails_and_names_the_stage(self):
+        report = compare_profiles(
+            current=profile_doc(cycles=2_000_000), baseline=profile_doc()
+        )
+        assert not report.passed
+        bad = report.failures
+        assert all(r.status == "regressed" for r in bad)
+        assert ("secure", "asr") in {(r.pipeline, r.stage) for r in bad}
+        assert "FAIL" in report.table()
+
+    def test_within_tolerance_passes(self):
+        report = compare_profiles(
+            current=profile_doc(cycles=1_050_000),  # +5% < 10% budget
+            baseline=profile_doc(),
+        )
+        assert report.passed
+
+    def test_missing_stage_fails(self):
+        current = profile_doc()
+        current["stages"] = [current["stages"][0]]  # relay vanished
+        report = compare_profiles(current, profile_doc())
+        assert not report.passed
+        assert {r.stage for r in report.failures} == {"relay"}
+        assert all(r.status == "missing" for r in report.failures)
+
+    def test_new_stage_passes(self):
+        current = profile_doc()
+        current["stages"].append(
+            {"pipeline": "secure", "stage": "vad",
+             "total_cycles": 99, "world_switches": 0, "energy_mj": 0.1}
+        )
+        report = compare_profiles(current, profile_doc())
+        assert report.passed
+        assert "new" in {r.status for r in report.rows}
+
+    def test_custom_tolerances(self):
+        tight = {"total_cycles": Tolerance(rel=0.0, abs=0)}
+        report = compare_profiles(
+            current=profile_doc(cycles=1_000_001),
+            baseline=profile_doc(),
+            stage_tolerances=tight,
+            pipeline_tolerances=tight,
+        )
+        assert not report.passed
+
+    def test_table_collapses_in_budget_rows(self):
+        report = compare_profiles(profile_doc(), profile_doc())
+        assert "within budget" in report.table()
+        full = report.table(only_interesting=False)
+        assert "within budget" not in full
+        assert "PASS" in full
+
+    def test_delta_pct(self):
+        report = compare_profiles(
+            current=profile_doc(cycles=1_100_000), baseline=profile_doc()
+        )
+        asr = next(
+            r for r in report.rows
+            if r.stage == "asr" and r.metric == "total_cycles"
+        )
+        assert asr.delta_pct == pytest.approx(10.0)
+
+    def test_doc_round_trips_through_json(self):
+        doc = compare_profiles(profile_doc(), profile_doc()).to_doc()
+        assert json.loads(json.dumps(doc)) == doc
+        assert doc["passed"] is True
+
+
+class TestCommittedBaseline:
+    def test_baseline_is_committed_and_well_formed(self):
+        assert BASELINE_PATH.exists(), (
+            "CI perf-gate needs benchmarks/baselines/profile_baseline.json"
+        )
+        doc = load_profile_doc(BASELINE_PATH)
+        assert doc["stages"], doc
+        assert "pipelines" in doc
+        # The gate re-measures with the baseline's own parameters; these
+        # must be present for measurement-for-measurement comparison.
+        assert {"seed", "utterances", "mode"} <= set(doc)
+
+    def test_baseline_compares_clean_against_itself(self):
+        doc = load_profile_doc(BASELINE_PATH)
+        report = compare_profiles(copy.deepcopy(doc), doc)
+        assert report.passed
