@@ -26,8 +26,18 @@ import sys
 
 # Default artifact paths resolve against the repo checkout that holds
 # this file, not the CWD, so `repro profile` / `repro fleet` work from
-# any directory.
-_REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+# any directory.  When the package is installed (the `repro` console
+# script) that walk lands in site-packages' parents, so fall back to
+# CWD-relative defaults instead of paths that can never exist.
+def _repo_root() -> pathlib.Path:
+    try:
+        root = pathlib.Path(__file__).resolve().parents[2]
+    except IndexError:
+        return pathlib.Path.cwd()
+    return root if (root / "benchmarks").is_dir() else pathlib.Path.cwd()
+
+
+_REPO_ROOT = _repo_root()
 _DEFAULT_PROFILE_OUT = _REPO_ROOT / "benchmarks" / "results" / "profile.json"
 _DEFAULT_BASELINE = (
     _REPO_ROOT / "benchmarks" / "baselines" / "profile_baseline.json"

@@ -192,8 +192,10 @@ def simulate_device(
     metrics.inc("fleet.relay.retries", relay.get("retries", 0))
     metrics.inc("fleet.relay.rehandshakes", relay.get("rehandshakes", 0))
     metrics.inc("fleet.world_switches", machine.cpu.switch_count)
+    # Per-utterance energy lives in the ENERGY_METRIC histogram above —
+    # an intensive (per-utterance) gauge would sum to devices× the true
+    # value under registry merge.  Gauges here must stay extensive.
     metrics.set("fleet.relay.queue_depth", relay.get("queue_depth", 0))
-    metrics.set("fleet.energy.mj_per_utterance", per_utt_mj)
 
     return DeviceReport(
         spec=spec,

@@ -36,9 +36,14 @@ class SloRule:
 
     The measured value is, in order of precedence: the ``quantile`` of
     the histogram ``metric``; the ratio ``metric / denominator`` of two
-    counters (1.0 when the denominator is zero — no traffic means no
-    violation); else the counter or gauge named ``metric``.  The rule
-    holds when ``value <op> threshold``.
+    counters (1.0 when the denominator is zero or absent — no traffic
+    means no violation); else the counter or gauge named ``metric``.
+    The rule holds when ``value <op> threshold``.
+
+    Measurement never creates metrics in the registry it observes: a
+    quantile/scalar rule whose metric does not exist measures ``None``
+    and :meth:`evaluate` reports it as failing with ``missing=True``, so
+    a typo'd metric name surfaces instead of silently reading 0.
     """
 
     name: str
@@ -55,33 +60,41 @@ class SloRule:
         if self.quantile is not None and not 0.0 <= self.quantile <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {self.quantile}")
 
-    def measure(self, registry: MetricsRegistry) -> float:
-        """The rule's current value under ``registry``."""
+    def measure(self, registry: MetricsRegistry) -> float | None:
+        """The rule's current value under ``registry`` (None = no data)."""
         if self.quantile is not None:
-            return registry.histogram(self.metric).quantile(self.quantile)
+            hist = registry.histograms().get(self.metric)
+            return None if hist is None else hist.quantile(self.quantile)
+        counters = registry.counters()
         if self.denominator is not None:
-            den = registry.counter(self.denominator).value
+            den = counters.get(self.denominator, 0)
             if den == 0:
                 return 1.0
-            return registry.counter(self.metric).value / den
-        if self.metric in registry.counters():
-            return float(registry.counter(self.metric).value)
-        return float(registry.gauge(self.metric).value)
+            return counters.get(self.metric, 0) / den
+        if self.metric in counters:
+            return float(counters[self.metric])
+        gauges = registry.gauges()
+        if self.metric in gauges:
+            return float(gauges[self.metric])
+        return None
 
     def evaluate(self, registry: MetricsRegistry) -> "SloEvaluation":
-        """Measure and judge the rule."""
+        """Measure and judge the rule (a missing metric fails as no-data)."""
         value = self.measure(registry)
+        if value is None:
+            return SloEvaluation(rule=self, value=0.0, ok=False, missing=True)
         ok = value <= self.threshold if self.op == "<=" else value >= self.threshold
         return SloEvaluation(rule=self, value=value, ok=ok)
 
 
 @dataclass(frozen=True)
 class SloEvaluation:
-    """One rule's verdict."""
+    """One rule's verdict (``missing`` = metric absent, not a budget miss)."""
 
     rule: SloRule
     value: float
     ok: bool
+    missing: bool = False
 
     def to_doc(self) -> dict[str, Any]:
         """JSON-ready row for health reports."""
@@ -92,6 +105,7 @@ class SloEvaluation:
             "threshold": self.rule.threshold,
             "value": self.value,
             "ok": self.ok,
+            "missing": self.missing,
         }
 
 
@@ -126,12 +140,16 @@ def default_slo_rules(
             threshold=float(max_queue_depth),
             description="store-and-forward backlog bound",
         ),
+        # Histogram-backed (not a gauge): per-utterance values merge
+        # distribution-exactly across devices, so the rule reads the same
+        # on one registry or a fleet-merged one.
         SloRule(
             name="battery_drain",
-            metric="fleet.energy.mj_per_utterance",
+            metric="fleet.e2e_energy_mj",
+            quantile=0.99,
             op="<=",
             threshold=battery_drain_max_mj,
-            description="per-utterance energy (battery drain rate) budget",
+            description="p99 per-utterance energy (battery drain) budget",
         ),
     ]
 
@@ -258,10 +276,11 @@ class HealthReport:
             f"{'rule':16s} {'value':>14s} {'budget':>14s} {'status':>8s}"
         ]
         for e in self.evaluations:
+            status = "ok" if e.ok else ("NO DATA" if e.missing else "VIOLATED")
             lines.append(
                 f"{e.rule.name:16s} {e.value:>14.3g} "
                 f"{e.rule.op + ' ' + format(e.rule.threshold, '.3g'):>14s} "
-                f"{'ok' if e.ok else 'VIOLATED':>8s}"
+                f"{status:>8s}"
             )
         for alert in self.stalled:
             lines.append(

@@ -22,6 +22,7 @@ Two histogram flavours:
 
 from __future__ import annotations
 
+import bisect
 import math
 from dataclasses import dataclass, field
 from typing import Any
@@ -181,7 +182,8 @@ class BucketHistogram:
         self.max: float | None = None
         self._zero = 0
         self._buckets: dict[int, int] = {}
-        # None once the stream outgrew the cap (estimates only).
+        # Kept sorted (insort) so quantiles never re-sort; None once the
+        # stream outgrew the cap (estimates only).
         self._samples: list[float] | None = []
 
     # -- recording ---------------------------------------------------------------
@@ -214,7 +216,7 @@ class BucketHistogram:
             self._buckets[idx] = self._buckets.get(idx, 0) + 1
         if self._samples is not None:
             if self.count <= self.max_samples:
-                self._samples.append(value)
+                bisect.insort(self._samples, value)
             else:
                 self._samples = None
 
@@ -277,7 +279,7 @@ class BucketHistogram:
         if self.count == 0:
             return 0.0
         if self._samples is not None:
-            ordered = sorted(self._samples)
+            ordered = self._samples  # kept sorted by observe/merge
             if len(ordered) == 1:
                 return float(ordered[0])
             rank = q * (len(ordered) - 1)
@@ -360,7 +362,11 @@ class BucketHistogram:
         h._zero = int(doc["zero"])
         h._buckets = {int(i): int(n) for i, n in doc["buckets"].items()}
         samples = doc.get("samples")
-        h._samples = None if samples is None else [float(v) for v in samples]
+        # Re-sort defensively: quantiles assume the invariant even if the
+        # doc was produced or edited elsewhere.
+        h._samples = None if samples is None else sorted(
+            float(v) for v in samples
+        )
         return h
 
 
@@ -451,7 +457,10 @@ class MetricsRegistry:
         Counters add, histograms merge distribution-exactly, and gauges
         *sum* — the fleet reading of a point-in-time value (total queue
         depth across devices); keep per-device registries when you need
-        the individual readings.
+        the individual readings.  Summing is only meaningful for
+        *extensive* gauges (totals); record intensive per-unit values
+        (e.g. energy per utterance) as histograms instead, so merging
+        preserves the distribution rather than inflating the reading.
         """
         for name, c in other._counters.items():
             self.counter(name).inc(c.value)

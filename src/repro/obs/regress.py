@@ -21,10 +21,30 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Any
 
-BASELINE_PATH = (
-    pathlib.Path(__file__).resolve().parents[3]
-    / "benchmarks" / "baselines" / "profile_baseline.json"
+_BASELINE_REL = (
+    pathlib.Path("benchmarks") / "baselines" / "profile_baseline.json"
 )
+
+
+def _default_baseline_path() -> pathlib.Path:
+    """Repo-rooted from a source checkout, CWD-relative when installed.
+
+    From a checkout, ``parents[3]`` of this file is the repo root and the
+    committed baseline lives there.  From an installed package that walk
+    lands in site-packages' parents, so fall back to resolving against
+    the current working directory instead of pointing at a path that can
+    never exist.
+    """
+    try:
+        root = pathlib.Path(__file__).resolve().parents[3]
+    except IndexError:
+        return _BASELINE_REL
+    return root / _BASELINE_REL if (root / "benchmarks").is_dir() else (
+        _BASELINE_REL
+    )
+
+
+BASELINE_PATH = _default_baseline_path()
 
 @dataclass(frozen=True)
 class Tolerance:

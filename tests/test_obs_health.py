@@ -60,6 +60,48 @@ class TestSloRule:
                        op=">=", threshold=0.9)
         assert rule.measure(MetricsRegistry()) == 1.0
 
+    def test_missing_metric_is_no_data_not_zero(self):
+        reg = MetricsRegistry()
+        rule = SloRule("typo", metric="no.such.metric", op="<=", threshold=5)
+        assert rule.measure(reg) is None
+        ev = rule.evaluate(reg)
+        assert not ev.ok and ev.missing
+        assert ev.to_doc()["missing"] is True
+
+    def test_missing_histogram_is_no_data(self):
+        reg = MetricsRegistry()
+        rule = SloRule("typo", metric="no.such.hist", quantile=0.99,
+                       op="<=", threshold=5)
+        assert rule.measure(reg) is None
+        assert rule.evaluate(reg).missing
+
+    def test_measure_never_creates_metrics(self):
+        reg = MetricsRegistry()
+        SloRule("g", metric="ghost", op="<=", threshold=1).evaluate(reg)
+        SloRule("h", metric="ghost.h", quantile=0.5, op="<=",
+                threshold=1).evaluate(reg)
+        SloRule("r", metric="ghost.n", denominator="ghost.d", op=">=",
+                threshold=0.9).evaluate(reg)
+        snap = reg.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+
+    def test_battery_drain_rule_is_histogram_backed(self):
+        # An intensive gauge would sum to devices-times the true value
+        # under registry merge; the stock rule reads the mergeable
+        # per-utterance energy histogram instead.
+        rule = next(r for r in default_slo_rules()
+                    if r.name == "battery_drain")
+        assert rule.metric == "fleet.e2e_energy_mj"
+        assert rule.quantile is not None
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg in (a, b):
+            for _ in range(10):
+                reg.observe("fleet.e2e_energy_mj", 100.0)
+        a.merge(b)
+        assert rule.evaluate(a).value == pytest.approx(100.0)
+
     def test_bad_op_rejected(self):
         with pytest.raises(ValueError):
             SloRule("r", metric="m", op="<", threshold=1)
@@ -189,6 +231,12 @@ class TestHealthMonitor:
         reg.inc("errors", 9)
         rules = [SloRule("errs", metric="errors", op="<=", threshold=1)]
         assert "VIOLATED" in HealthMonitor(reg, rules).evaluate().table()
+
+    def test_table_marks_missing_metrics_as_no_data(self):
+        rules = [SloRule("typo", metric="no.such", op="<=", threshold=1)]
+        report = HealthMonitor(MetricsRegistry(), rules).evaluate()
+        assert not report.ok
+        assert "NO DATA" in report.table()
 
     def test_watchdog_stall_fails_health(self):
         clock = SimClock()
