@@ -1,0 +1,163 @@
+"""T12: secure-world chaos — decisions survive TA panics, nothing leaks.
+
+Runs the same workload twice on identically seeded platforms: once clean,
+once with the ``chaos`` secure-fault profile (injected TA panics, secure
+heap exhaustion, PTA/DMA transfer errors, sealed-storage corruption) and
+the TA under supervision.  The experiment then checks the recovery
+contract end to end:
+
+* **decisions preserved** — every utterance the chaos run completed
+  (i.e. did not fail closed as degraded) reaches the same transcript,
+  classification and forwarding decision as the clean run;
+* **zero lost committed decisions** — every forwarded decision is either
+  delivered or sealed in the store-and-forward queue, at any fault rate;
+* **zero raw-data leaks** — the cloud never receives a transcript the
+  filter withheld in the clean run, and degraded utterances ship nothing;
+* **recovery is bounded** — restart count and mean-time-to-recovery
+  (from the ``tee.recovery_cycles`` histogram) are reported and MTTR
+  stays within the default 50 ms recovery SLO budget.
+
+The chaos fleet document lands in ``benchmarks/results/chaos.json`` for
+the CI artifact; the text summary in ``results/t12_chaos.txt``.
+"""
+
+import json
+
+from benchmarks.conftest import RESULTS_DIR, make_workload, write_result
+from repro.core.pipeline import SecurePipeline
+from repro.core.platform import IotPlatform
+from repro.obs.fleet import run_fleet
+from repro.optee.supervise import SupervisorPolicy
+from repro.sim.faults import SecureFaultConfig
+
+SEED = 1007
+UTTERANCES = 10
+RECOVERY_BUDGET_CYCLES = 1.0e8  # 50 ms at the 2 GHz sim clock
+FLEET_DEVICES = 4
+
+
+def _run(bundle, chaos: bool):
+    platform = IotPlatform.create(
+        seed=SEED,
+        secure_faults=SecureFaultConfig.chaos() if chaos else None,
+    )
+    pipeline = SecurePipeline(
+        platform, bundle,
+        supervisor=SupervisorPolicy() if chaos else None,
+    )
+    workload = make_workload(bundle, n=UTTERANCES, seed=SEED)
+    try:
+        run = pipeline.process(workload)
+    finally:
+        pipeline.close()
+    return platform, pipeline, run
+
+
+def test_t12_chaos_recovery(benchmark, bundle_cnn):
+    platform_clean, _, clean = _run(bundle_cnn, chaos=False)
+    platform, pipeline, run = benchmark.pedantic(
+        lambda: _run(bundle_cnn, chaos=True), rounds=1, iterations=1,
+    )
+    supervisor = pipeline.supervisor
+    assert supervisor is not None
+    injector = platform.machine.secure_faults
+    assert injector is not None and sum(injector.counts.values()) > 0, (
+        "chaos profile injected no faults — the experiment is vacuous"
+    )
+
+    # Fail-closed bookkeeping first: a degraded utterance must carry the
+    # suppressed-as-sensitive verdict and ship nothing.
+    degraded = [r for r in run.results if r.degraded]
+    for r in degraded:
+        assert r.sensitive_predicted and not r.forwarded
+        assert r.payload is None and r.relay_status == "suppressed"
+
+    # Decisions preserved: every non-degraded chaos decision equals the
+    # clean run's (restart + checkpoint restore changed nothing).
+    assert len(run.results) == len(clean.results) == UTTERANCES
+    for got, want in zip(run.results, clean.results):
+        if got.degraded:
+            continue
+        assert got.transcript == want.transcript
+        assert got.sensitive_predicted == want.sensitive_predicted
+        assert got.forwarded == want.forwarded
+        assert got.payload == want.payload
+    preserved = (UTTERANCES - len(degraded)) / UTTERANCES
+
+    # Zero lost committed decisions: forwarded -> delivered or sealed.
+    assert run.lost_count() == 0
+    assert run.sent_count() + run.queued_count() == run.forwarded_count()
+
+    # Zero raw-data leaks: the chaos cloud saw a subset of what the clean
+    # run's filter allowed out — never a withheld transcript, never
+    # anything from a degraded utterance.
+    allowed = {r.payload for r in clean.results if r.forwarded}
+    chaos_cloud = platform.cloud.received_transcripts
+    assert set(chaos_cloud) <= allowed, (
+        set(chaos_cloud) - allowed
+    )
+    withheld = {
+        r.transcript for r in clean.results if not r.forwarded
+    } | {r.transcript for r in clean.results if r.degraded}
+    assert not withheld & set(chaos_cloud)
+
+    # Recovery: restarts happened and MTTR is within the SLO budget.
+    counters = platform.machine.obs.metrics.counters()
+    restarts = counters.get("tee.restarts", 0)
+    assert restarts == supervisor.restarts > 0, (
+        "chaos run should exercise at least one TA restart"
+    )
+    recovery = platform.machine.obs.metrics.histograms()["tee.recovery_cycles"]
+    assert recovery.count == restarts
+    mttr_cycles = recovery.total / recovery.count
+    assert mttr_cycles <= RECOVERY_BUDGET_CYCLES, (
+        f"MTTR {mttr_cycles:.0f} cycles exceeds the "
+        f"{RECOVERY_BUDGET_CYCLES:.0f}-cycle budget"
+    )
+
+    # The chaos fleet profile end to end (supervised devices, merged
+    # telemetry) — this is the document CI uploads.
+    fleet = run_fleet(
+        devices=FLEET_DEVICES, seed=7, utterances=4,
+        bundle=bundle_cnn, chaos=True,
+    )
+    for d in fleet.devices:
+        assert d.spec.secure_fault_profile == "chaos"
+        assert d.summary["sent"] + d.summary["queued"] == d.summary["forwarded"]
+    doc = fleet.to_doc()
+    doc["chaos"] = {
+        "seed": SEED,
+        "utterances": UTTERANCES,
+        "panics": counters.get("tee.panics", 0),
+        "restarts": restarts,
+        "restart_attempts": counters.get("tee.restart_attempts", 0),
+        "degraded": len(degraded),
+        "decisions_preserved": preserved,
+        "mttr_cycles": mttr_cycles,
+        "mttr_ms": mttr_cycles / 2e9 * 1e3,
+        "injected_faults": injector.summary(),
+    }
+    (RESULTS_DIR / "chaos.json").write_text(json.dumps(doc, indent=2) + "\n")
+
+    lines = [
+        f"injected faults     : {sum(injector.counts.values())} "
+        f"({injector.counts})",
+        f"TA panics           : {counters.get('tee.panics', 0)}",
+        f"TA restarts         : {restarts} "
+        f"({counters.get('tee.restart_attempts', 0)} attempts)",
+        f"degraded utterances : {len(degraded)}/{UTTERANCES}",
+        f"decisions preserved : {preserved:.0%}",
+        f"MTTR                : {mttr_cycles / 2e9 * 1e3:.3f} ms "
+        f"(budget {RECOVERY_BUDGET_CYCLES / 2e9 * 1e3:.0f} ms)",
+        f"lost decisions      : {run.lost_count()}",
+        f"raw-data leaks      : 0",
+        "",
+        "chaos fleet:",
+        fleet.table(),
+    ]
+    write_result("t12_chaos", "\n".join(lines))
+
+    benchmark.extra_info["restarts"] = restarts
+    benchmark.extra_info["mttr_ms"] = mttr_cycles / 2e9 * 1e3
+    benchmark.extra_info["decisions_preserved"] = preserved
+    benchmark.extra_info["degraded"] = len(degraded)

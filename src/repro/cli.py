@@ -173,7 +173,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.obs.fleet import run_fleet
 
     report = run_fleet(
-        devices=args.devices, seed=args.seed, utterances=args.utterances
+        devices=args.devices, seed=args.seed, utterances=args.utterances,
+        chaos=args.chaos,
     )
     print(report.table())
     if args.output:
@@ -206,6 +207,7 @@ def _cmd_health(args: argparse.Namespace) -> int:
         utterances=args.utterances,
         sensitive_fraction=0.5,
         fault_profile=args.fault_profile,
+        secure_fault_profile="chaos" if args.chaos else "none",
     )
     recorder = FlightRecorder(capacity=args.flight_capacity)
     device = simulate_device(spec, bundle, recorder=recorder)
@@ -217,18 +219,32 @@ def _cmd_health(args: argparse.Namespace) -> int:
             * machine.clock.freq_hz,
             relay_success_min=args.relay_success_min,
             max_queue_depth=args.max_queue_depth,
+            recovery_budget_cycles=args.recovery_budget_ms / 1e3
+            * machine.clock.freq_hz,
         ),
         recorder=recorder,
         watchdog=Watchdog(machine.obs.tracer, machine.clock),
     )
     report = monitor.evaluate(dump_path=args.dump or None)
     print(f"device {spec.device_id} (seed {spec.seed}, "
-          f"{spec.fault_profile} network, {len(device.latencies)} utterances)")
+          f"{spec.fault_profile} network, "
+          f"{spec.secure_fault_profile} secure faults, "
+          f"{len(device.latencies)} utterances)")
     print(report.table())
     if report.flight_dump is not None:
         spans = len(report.flight_dump.splitlines())
         where = f" -> {args.dump}" if args.dump else ""
         print(f"\nflight recorder: {spans} spans captured{where}")
+    if not report.ok and args.route_alerts:
+        from repro.relay.alerts import route_health_alert
+
+        outcome = route_health_alert(
+            device.platform, device.ta_uuid, report,
+            device_id=spec.device_id,
+        )
+        print(f"alert routed through relay: {outcome.get('status')}"
+              + (f" (attempts {outcome['attempts']})"
+                 if "attempts" in outcome else ""))
     return 0 if report.ok else 1
 
 
@@ -411,6 +427,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default="",
         help="write the merged registry as OpenMetrics text here",
     )
+    fleet.add_argument(
+        "--chaos", action="store_true",
+        help="inject secure-world faults (TA panics, heap/PTA/DMA/storage) "
+             "on every device and run the TAs supervised",
+    )
     fleet.set_defaults(func=_cmd_fleet)
 
     health = sub.add_parser(
@@ -442,6 +463,20 @@ def build_parser() -> argparse.ArgumentParser:
     health.add_argument(
         "--dump", default="",
         help="write the flight-recorder JSONL here on violation",
+    )
+    health.add_argument(
+        "--chaos", action="store_true",
+        help="inject secure-world faults and run the TA supervised",
+    )
+    health.add_argument(
+        "--recovery-budget-ms", type=float, default=50.0,
+        help="p99 TA panic-to-recovered SLO in simulated milliseconds "
+             "(gated: only applies when restarts happened)",
+    )
+    health.add_argument(
+        "--route-alerts", action=argparse.BooleanOptionalAction, default=True,
+        help="on violation, ship the health report through the TA's "
+             "secure relay (sealed store-and-forward on outage)",
     )
     health.set_defaults(func=_cmd_health)
 

@@ -48,6 +48,9 @@ class VoiceCloudService:
         # is acknowledged but not recorded again.
         self._seen_dialogs: set[tuple[bool, int]] = set()
         self.duplicates_suppressed = 0
+        # Device-health alerts (SLO violations, flight-recorder dumps)
+        # delivered through the same relay path as transcripts.
+        self.alerts: list[dict] = []
 
     # -- endpoints (supplicant NetworkService interface) ------------------------
 
@@ -89,6 +92,20 @@ class VoiceCloudService:
             return json.dumps(
                 {"directive": "Response", "speech": f"ok: {len(transcript)} chars"}
             ).encode()
+        if event.name == "Alert":
+            dialog_id = int(event.payload.get("dialogRequestId", -1))
+            attempt = int(event.payload.get("attempt", 1))
+            key = (encrypted, dialog_id)
+            if attempt > 1 and key in self._seen_dialogs:
+                self.duplicates_suppressed += 1
+            else:
+                self._seen_dialogs.add(key)
+                try:
+                    doc = json.loads(str(event.payload.get("alert", "{}")))
+                except json.JSONDecodeError:
+                    doc = {"malformed": True}
+                self.alerts.append(doc)
+            return json.dumps({"directive": "AlertAck"}).encode()
         return json.dumps({"directive": "Ack"}).encode()
 
     # -- adversarial view -----------------------------------------------------------------

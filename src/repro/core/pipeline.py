@@ -29,12 +29,22 @@ from repro.core.ta_filter import (
 from repro.core.workload import UtteranceWorkload, WorkloadItem
 from repro.optee.client import TeeClient
 from repro.optee.params import Params, Value
+from repro.optee.supervise import SupervisorPolicy, TaSupervisor
 from repro.peripherals.audio import BufferSource
 from repro.relay.relay import RetryPolicy
 
 
 class SecurePipeline:
-    """Fig. 1, assembled and runnable."""
+    """Fig. 1, assembled and runnable.
+
+    Pass a :class:`~repro.optee.supervise.SupervisorPolicy` as
+    ``supervisor`` to run the TA under supervision: panics are detected,
+    the TA restarts with backoff and restores from sealed checkpoints,
+    and an utterance that outlives every budget comes back *degraded* —
+    suppressed as sensitive, nothing forwarded.  Defaults to ``None``
+    because supervision is not free (checkpoint seals cost cycles), and
+    an unsupervised run must stay byte-identical to earlier baselines.
+    """
 
     name = "secure"
 
@@ -46,6 +56,7 @@ class SecurePipeline:
         driver_compiled_out: frozenset[str] = frozenset(),
         ta_signing_key: bytes | None = None,
         retry_policy: "RetryPolicy | None" = None,
+        supervisor: "SupervisorPolicy | None" = None,
     ):
         self.platform = platform
         self.bundle = bundle
@@ -62,6 +73,10 @@ class SecurePipeline:
             chunk_frames=chunk_frames,
             driver_compiled_out=driver_compiled_out,
             retry_policy=retry_policy,
+            supervised=supervisor is not None,
+            checkpoint_every=(
+                supervisor.checkpoint_every if supervisor is not None else 1
+            ),
         )
         signature = None
         if ta_signing_key is not None:
@@ -70,20 +85,63 @@ class SecurePipeline:
             signature = sign_ta(ta_class, ta_signing_key)
         self.ta_uuid = platform.tee.install_ta(ta_class, signature=signature)
         self.client = TeeClient(platform.machine)
-        self.session = self.client.open_session(self.ta_uuid)
+        self.supervisor: TaSupervisor | None = None
+        if supervisor is not None:
+            self.supervisor = TaSupervisor(
+                platform.tee, self.client, self.ta_uuid,
+                policy=supervisor, rng=platform.rng.fork("supervisor"),
+            )
+            self.session = self.supervisor.open()
+        else:
+            self.session = self.client.open_session(self.ta_uuid)
+        self._seq = 0
 
     # -- execution ------------------------------------------------------------
 
     def process_item(self, item: WorkloadItem) -> UtteranceResult:
-        """Run one utterance through the secure path."""
+        """Run one utterance through the secure path.
+
+        Unsupervised, this is one plain session invoke (byte-identical
+        to earlier revisions).  Supervised, the invoke goes through the
+        :class:`TaSupervisor` with a per-utterance sequence number for
+        replay detection; if the TA stays dead past every budget the
+        utterance *fails closed* — recorded as sensitive + suppressed,
+        with ``degraded=True`` — rather than ever being forwarded raw.
+        """
         machine = self.platform.machine
         self.platform.mic.swap_source(BufferSource(item.pcm))
         clock_before = machine.clock.snapshot()
         energy_before = self.platform.energy.snapshot()
         with machine.obs.span("utterance", category="pipeline.secure"):
-            record = self.session.invoke(
-                CMD_PROCESS, Params.of(Value(a=item.frames))
-            )
+            if self.supervisor is not None:
+                self._seq += 1
+                record = self.supervisor.invoke(
+                    CMD_PROCESS,
+                    Params.of(Value(a=item.frames, b=self._seq)),
+                    # Restart attempts re-run capture: make sure a fresh
+                    # instance reads *this* utterance's PCM, not whatever
+                    # the mic drifted to while the TA was down.
+                    reprime=lambda: self.platform.mic.swap_source(
+                        BufferSource(item.pcm)
+                    ),
+                )
+                self.session = self.supervisor.session or self.session
+                if record is None:
+                    machine.obs.metrics.inc("tee.degraded_utterances")
+                    record = {
+                        "transcript": "",
+                        "probability": 1.0,
+                        "sensitive": True,
+                        "forwarded": False,
+                        "payload": None,
+                        "relay_status": "suppressed",
+                        "relay_attempts": 0,
+                        "degraded": True,
+                    }
+            else:
+                record = self.session.invoke(
+                    CMD_PROCESS, Params.of(Value(a=item.frames))
+                )
         clock_after = machine.clock.snapshot()
         energy = self.platform.energy.delta_since(energy_before)
         return UtteranceResult(
@@ -97,11 +155,23 @@ class SecurePipeline:
             domain_cycles=clock_after.delta(clock_before),
             relay_status=record.get("relay_status", ""),
             relay_attempts=record.get("relay_attempts", 0),
+            degraded=record.get("degraded", False),
         )
 
     def _collect_stats(self, run: PipelineRunResult) -> None:
-        """Pull the TA's stage-cycle and relay counters into the run."""
-        stats = self.session.invoke(CMD_STATS)
+        """Pull the TA's stage-cycle and relay counters into the run.
+
+        Under supervision the TA may be dead right now; stats collection
+        then goes through the supervisor (restarting if possible) and
+        degrades to empty stats instead of raising.
+        """
+        if self.supervisor is not None:
+            stats = self.supervisor.invoke(CMD_STATS)
+            self.session = self.supervisor.session or self.session
+            if stats is None:
+                return
+        else:
+            stats = self.session.invoke(CMD_STATS)
         run.stage_cycles = stats["stages"]
         run.relay_stats = stats["relay"]
 
@@ -229,6 +299,18 @@ class SecurePipeline:
         return self.pta.tcb_loc()
 
     def close(self) -> None:
-        """Close the TA session and release client resources."""
-        self.session.close()
+        """Close the TA session and release client resources.
+
+        A panicked TA's session is already dead — closing it raises
+        ``TeeTargetDead``, which is not an error at shutdown.
+        """
+        from repro.errors import TeeTargetDead
+
+        if self.supervisor is not None:
+            self.supervisor.close()
+        else:
+            try:
+                self.session.close()
+            except TeeTargetDead:
+                pass
         self.client.close()

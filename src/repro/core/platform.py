@@ -20,7 +20,12 @@ from repro.peripherals.audio import AudioFormat, SilenceSource
 from repro.peripherals.camera import Camera, SyntheticScene
 from repro.peripherals.i2s import I2sBus, I2sController, I2sReg  # noqa: F401
 from repro.peripherals.microphone import DigitalMicrophone
-from repro.sim.faults import FaultConfig, FaultInjector
+from repro.sim.faults import (
+    FaultConfig,
+    FaultInjector,
+    SecureFaultConfig,
+    SecureFaultInjector,
+)
 from repro.sim.rng import SimRng
 from repro.tz.machine import MachineConfig, TrustZoneMachine
 from repro.tz.memory import MemoryRegion, SecurityAttr
@@ -56,6 +61,7 @@ class IotPlatform:
         power_model: PowerModel | None = None,
         ta_verification_key: bytes | None = None,
         network_faults: FaultConfig | None = None,
+        secure_faults: SecureFaultConfig | None = None,
     ) -> "IotPlatform":
         """Build the device.
 
@@ -67,12 +73,19 @@ class IotPlatform:
         ``network_faults`` installs a deterministic fault injector on the
         supplicant's network service (the untrusted relay link of the
         threat model); omit it for a perfectly reliable network.
+        ``secure_faults`` does the same *inside* the TEE (TA panics, heap
+        exhaustion, PTA/DMA errors, storage corruption) — the chaos knob
+        the supervision layer is tested against.
         """
         config = machine_config or MachineConfig()
         if seed != 42 and machine_config is None:
             config.sim.seed = seed
         machine = TrustZoneMachine(config)
         rng = machine.rng
+        if secure_faults is not None and secure_faults.enabled:
+            machine.secure_faults = SecureFaultInjector(
+                secure_faults, rng.fork("tee-chaos")
+            )
 
         tee = OpTeeOs(machine, ta_verification_key=ta_verification_key)
         supplicant = TeeSupplicant(machine)

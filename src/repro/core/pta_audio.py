@@ -17,6 +17,9 @@ Commands (TA-facing)::
     START / STOP / CLOSE
     READ           payload: {"frames": int} → np.int16 PCM (secure-side)
     BUFFER_ADDR    → (addr, size) of the driver's current I/O buffer
+    STATE          → driver state string ("uninit" before INIT) — the
+                     recovery handshake a restarted TA uses to adopt a
+                     still-running capture stream
 """
 
 from __future__ import annotations
@@ -42,6 +45,7 @@ CMD_READ = 4
 CMD_STOP = 5
 CMD_CLOSE = 6
 CMD_BUFFER_ADDR = 7
+CMD_STATE = 8
 
 
 class SecureAudioPta(PseudoTa):
@@ -65,6 +69,12 @@ class SecureAudioPta(PseudoTa):
         if cmd == CMD_INIT:
             return self._init(payload or {})
         self.require_caller(caller)
+        if cmd == CMD_STATE:
+            # Recovery handshake: a restarted TA asks where the hardware
+            # actually is (the PTA and driver survive a TA panic), so it
+            # can adopt a still-running capture instead of re-OPENing a
+            # non-idle stream and tripping the driver's state machine.
+            return self.driver.state if self.driver is not None else "uninit"
         if self.driver is None:
             raise TeeBadParameters("secure audio PTA not initialized")
         if cmd == CMD_OPEN:

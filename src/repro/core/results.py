@@ -19,6 +19,10 @@ class UtteranceResult:
     fault-tolerant relay: ``"sent"``, ``"queued"`` (spilled to the sealed
     store-and-forward queue after retries) or ``"dropped"`` (withheld by
     the filter).  Pipelines without relay accounting leave it empty.
+
+    ``degraded`` marks a fail-closed decision: the TA was down past every
+    restart budget, so the utterance was suppressed as sensitive without
+    ever being processed — nothing raw left the device.
     """
 
     utterance: Utterance
@@ -31,6 +35,7 @@ class UtteranceResult:
     domain_cycles: dict[CycleDomain, int] = field(default_factory=dict)
     relay_status: str = ""
     relay_attempts: int = 0
+    degraded: bool = False
 
     @property
     def correct(self) -> bool:
@@ -127,6 +132,10 @@ class PipelineRunResult:
             if r.forwarded and r.relay_status not in ("", "sent", "queued")
         )
 
+    def degraded_count(self) -> int:
+        """Utterances suppressed fail-closed while the TA was down."""
+        return sum(1 for r in self.results if r.degraded)
+
     def total_relay_attempts(self) -> int:
         """Delivery attempts across the run (retries included)."""
         return sum(r.relay_attempts for r in self.results)
@@ -158,6 +167,7 @@ class PipelineRunResult:
             "forwarded": self.forwarded_count(),
             "sent": self.sent_count(),
             "queued": self.queued_count(),
+            "degraded": self.degraded_count(),
             "relay_attempts": self.total_relay_attempts(),
             "accuracy": self.classifier_accuracy(),
         }

@@ -14,7 +14,10 @@ raises ``TeeOutOfMemory`` and the TA cannot start.
 
 Commands::
 
-    CMD_PROCESS        (1)  Value(a=frames) → decision dict
+    CMD_PROCESS        (1)  Value(a=frames, b=seq) → decision dict; ``seq``
+                            is the supervisor's 1-based utterance sequence
+                            number (0 = unsupervised) used for replay
+                            detection after a restart
     CMD_STATS          (2)  → {"stages": per-stage cycle totals,
                               "relay": delivery/retry/queue counters}
     CMD_HEARTBEAT      (3)  → relay keep-alive through the secure channel
@@ -22,6 +25,21 @@ Commands::
                             TA captures one continuous buffer, VAD-segments
                             it in-enclave, and runs the filter path per
                             detected utterance (deployment-realistic mode)
+    CMD_ALERT          (5)  MemRef(JSON alert doc) → {"status", ...}; ships
+                            a health alert through the same relay + sealed
+                            store-and-forward path as decisions
+
+Supervised mode (``supervised=True`` in the factory) adds crash
+consistency: after every committed decision the TA seals a checkpoint
+(filter thresholds come from the signed bundle, so the checkpoint holds
+the *mutable* state — last decision, relay-queue dialog cursor, utterance
+counters) into secure storage, A/B-alternating between two generations so
+a panic mid-write can never destroy the last good checkpoint.  On
+re-instantiation ``on_create`` restores the newest valid generation, and
+``CMD_PROCESS`` with a sequence number equal to the checkpointed one
+returns the *recorded* decision instead of re-running the pipeline — a
+committed decision is never replayed (no duplicate relay send) and never
+dropped.
 
 Relay outcomes: every decision record carries ``relay_status`` —
 ``"sent"`` (delivered, possibly after retries), ``"queued"`` (retries
@@ -34,12 +52,17 @@ ever lost to a network outage.
 
 from __future__ import annotations
 
+import json
 from contextlib import contextmanager
 from typing import Any, Iterator
 
 from repro.core import pta_audio
 from repro.core.filter import FilterBundle
-from repro.errors import RelayDeliveryError
+from repro.errors import (
+    AuthenticationFailure,
+    RelayDeliveryError,
+    TeeItemNotFound,
+)
 from repro.optee.params import Params
 from repro.optee.session import Session
 from repro.optee.ta import TaContext, TaFlags, TrustedApplication
@@ -52,12 +75,18 @@ CMD_PROCESS = 1
 CMD_STATS = 2
 CMD_HEARTBEAT = 3
 CMD_PROCESS_STREAM = 4
+CMD_ALERT = 5
 
 STAGES = ("capture", "vad", "asr", "classify", "filter", "relay")
 
 RELAY_SENT = "sent"
 RELAY_QUEUED = "queued"
 RELAY_DROPPED = "dropped"
+
+# A/B checkpoint generations: writes alternate between the two names so a
+# panic mid-seal can only lose the in-flight generation, never the last
+# committed one.
+_CKPT_NAMES = ("ckpt/audio-filter/a", "ckpt/audio-filter/b")
 
 
 def make_audio_filter_ta(
@@ -70,8 +99,16 @@ def make_audio_filter_ta(
     chunk_frames: int = 256,
     driver_compiled_out: frozenset[str] = frozenset(),
     retry_policy: RetryPolicy | None = None,
+    supervised: bool = False,
+    checkpoint_every: int = 1,
 ) -> type[TrustedApplication]:
-    """Build the TA class with the model and deployment config baked in."""
+    """Build the TA class with the model and deployment config baked in.
+
+    ``supervised=True`` enables sealed checkpoint/restore (see module
+    docstring); ``checkpoint_every`` seals a checkpoint every N committed
+    decisions.  Both default off so unsupervised runs stay byte-identical
+    (checkpoint storage RPCs charge cycles).
+    """
 
     class AudioFilterTa(TrustedApplication):
         """ASR + classifier + filter + relay, entirely in the secure world."""
@@ -91,6 +128,12 @@ def make_audio_filter_ta(
                 RELAY_SENT: 0, RELAY_QUEUED: 0, RELAY_DROPPED: 0, "drained": 0,
             }
             self.decisions: list[dict[str, Any]] = []
+            # Checkpoint state (supervised mode): sequence number and
+            # decision record of the last sealed checkpoint, plus which
+            # A/B generation the next seal writes.
+            self._ckpt_seq = 0
+            self._ckpt_record: dict[str, Any] | None = None
+            self._ckpt_writes = 0
 
         # -- lifecycle ---------------------------------------------------------
 
@@ -108,12 +151,18 @@ def make_audio_filter_ta(
             )
             # Restores entries a previous instance failed to deliver.
             self.queue = StoreForwardQueue(ctx.storage)
+            if supervised:
+                self._restore_checkpoint(ctx)
 
         def on_invoke(self, session: Session, cmd: int, params: Params) -> Any:
             """Dispatch client commands."""
             if cmd == CMD_PROCESS:
                 frames = params.value(0).a
-                return self._process(frames)
+                return self._process(frames, seq=params.value(0).b)
+            if cmd == CMD_ALERT:
+                assert self.ctx is not None
+                raw = self.ctx.read_memref(params.memref(0))
+                return self._relay_alert(json.loads(raw.decode()))
             if cmd == CMD_PROCESS_STREAM:
                 frames = params.value(0).a
                 return self._process_stream(frames)
@@ -143,20 +192,128 @@ def make_audio_filter_ta(
                 self.ctx.free(self._model_addr)
                 self._model_addr = None
 
+        # -- crash consistency (supervised mode) --------------------------------
+
+        def _restore_checkpoint(self, ctx: TaContext) -> None:
+            """Adopt the newest valid sealed checkpoint, if any.
+
+            Each generation is validated independently — a corrupted or
+            missing blob (chaos injection, torn write before the panic)
+            just removes that candidate; the other generation still
+            restores.  Restoring nothing is fine: a fresh start from
+            sequence zero replays nothing and drops nothing that was
+            ever committed.
+            """
+            best: dict[str, Any] | None = None
+            best_name = None
+            for name in _CKPT_NAMES:
+                if name not in ctx.storage.names():
+                    continue
+                try:
+                    doc = json.loads(ctx.storage.get(name).decode())
+                except (TeeItemNotFound, AuthenticationFailure) as exc:
+                    ctx.log(
+                        "checkpoint_invalid",
+                        generation=name, error=type(exc).__name__,
+                    )
+                    continue
+                if best is None or doc["seq"] > best["seq"]:
+                    best, best_name = doc, name
+            if best is None:
+                return
+            self._ckpt_seq = int(best["seq"])
+            self._ckpt_record = best["record"]
+            self.relay_counts.update(best["relay_counts"])
+            self.stage_cycles.update(
+                {k: int(v) for k, v in best["stages"].items()}
+            )
+            # The relay module's wire-level stats restart at zero with
+            # each fresh instance; without restoring them, CMD_STATS
+            # would shadow the cumulative "sent" with the post-restart
+            # window (the relay dict merges module stats last).
+            self.relay.stats.update(
+                {k: int(v) for k, v in best.get("relay_stats", {}).items()}
+            )
+            # Keep the A/B alternation moving past the restored
+            # generation so the next seal overwrites the *older* one.
+            self._ckpt_writes = _CKPT_NAMES.index(best_name) + 1
+            assert self.relay is not None
+            # A fresh relay module restarts its dialog-id counter at 0;
+            # re-using an id the dead instance already spent would let
+            # the cloud's duplicate suppression eat a *new* decision.
+            # Advance past every id the old instance could have
+            # allocated since this checkpoint was sealed (at most one
+            # per decision per checkpoint interval, plus retries and
+            # queue-drain re-sends — hence the margin).
+            self.relay.restore_dialog_cursor(
+                int(best["dialog_cursor"]) + 2 * checkpoint_every + 4
+            )
+            age = ctx.now() - int(best["cycle"])
+            ctx.metrics.observe("tee.checkpoint_age", age)
+            ctx.log(
+                "checkpoint_restored",
+                seq=self._ckpt_seq, generation=best_name, age_cycles=age,
+            )
+
+        def _checkpoint(self, seq: int, record: dict[str, Any]) -> None:
+            """Seal the post-decision state into the next A/B generation."""
+            ctx = self.ctx
+            assert ctx is not None and self.relay is not None
+            doc = {
+                "seq": seq,
+                "record": record,
+                "dialog_cursor": self.relay.dialog_cursor,
+                "relay_counts": dict(self.relay_counts),
+                "relay_stats": dict(self.relay.stats),
+                "stages": dict(self.stage_cycles),
+                "cycle": ctx.now(),
+            }
+            name = _CKPT_NAMES[self._ckpt_writes % len(_CKPT_NAMES)]
+            ctx.storage.put(name, json.dumps(doc).encode())
+            self._ckpt_writes += 1
+            self._ckpt_seq = seq
+            self._ckpt_record = record
+            ctx.metrics.inc("tee.checkpoints")
+
         # -- the Fig. 1 data path ------------------------------------------------
 
         def _ensure_capture(self) -> None:
+            """Bring secure capture up — or adopt it where it already is.
+
+            The PTA and driver live in the TEE OS, not in the TA, so they
+            survive a TA panic with the stream still running.  A restarted
+            *supervised* instance must not blindly re-OPEN (the driver's
+            state machine rejects OPEN outside "idle"); instead it asks
+            the PTA where the hardware actually is (``CMD_STATE``) and
+            performs only the missing transitions.  Unsupervised TAs skip
+            the handshake — its PTA invoke would cost cycles and break
+            byte-identity with supervision disabled.
+            """
             assert self.ctx is not None
             if self._capture_ready:
                 return
+            # INIT is idempotent — and establishes this TA as the PTA's
+            # registered caller, which STATE requires.
             self.ctx.invoke_pta(
                 pta_uuid, pta_audio.CMD_INIT,
                 {"compiled_out": driver_compiled_out},
             )
-            self.ctx.invoke_pta(
-                pta_uuid, pta_audio.CMD_OPEN, {"chunk_frames": chunk_frames}
-            )
-            self.ctx.invoke_pta(pta_uuid, pta_audio.CMD_START, None)
+            state = "uninit"
+            if supervised:
+                state = self.ctx.invoke_pta(
+                    pta_uuid, pta_audio.CMD_STATE, None
+                )
+            if state == "capturing":
+                self.ctx.log("capture_adopted")
+            elif state == "prepared":
+                self.ctx.invoke_pta(pta_uuid, pta_audio.CMD_START, None)
+                self.ctx.log("capture_resumed")
+            else:
+                self.ctx.invoke_pta(
+                    pta_uuid, pta_audio.CMD_OPEN,
+                    {"chunk_frames": chunk_frames},
+                )
+                self.ctx.invoke_pta(pta_uuid, pta_audio.CMD_START, None)
             self._capture_ready = True
 
         @contextmanager
@@ -196,13 +353,20 @@ def make_audio_filter_ta(
             if not len(self.queue):
                 return 0
             relay = self.relay
-            drained = self.queue.drain(
-                lambda payload, meta: relay.send_transcript(
+
+            def resend(payload: str, meta: dict[str, Any]) -> Any:
+                send = (
+                    relay.send_alert
+                    if meta.get("kind") == "alert"
+                    else relay.send_transcript
+                )
+                return send(
                     payload,
                     dialog_id=meta.get("dialog_id"),
                     prior_attempts=int(meta.get("attempts", 0)),
                 )
-            )
+
+            drained = self.queue.drain(resend)
             self.relay_counts["drained"] += drained
             if drained:
                 assert self.ctx is not None
@@ -241,10 +405,67 @@ def make_audio_filter_ta(
             self._drain_queue()
             return RELAY_SENT, directive, self.relay.last_attempts
 
-        def _process(self, frames: int) -> dict[str, Any]:
-            """Capture → ASR → classify → filter → relay, one utterance."""
+        def _relay_alert(self, doc: dict[str, Any]) -> dict[str, Any]:
+            """Ship a health alert with the same guarantees as decisions.
+
+            Alerts contain only operational telemetry (SLO verdicts,
+            flight-recorder spans — no audio, no transcripts), but they
+            ride the identical path: TLS relay with retries, and on
+            failure a sealed spill into the store-and-forward queue
+            tagged ``kind="alert"`` so the drain re-sends it as one.
+            """
+            assert self.ctx is not None
+            assert self.relay is not None and self.queue is not None
+            payload = json.dumps(doc, sort_keys=True)
+            dialog_id = self.relay.allocate_dialog_id()
+            try:
+                directive = self.relay.send_alert(
+                    payload, dialog_id=dialog_id
+                )
+            except RelayDeliveryError as exc:
+                name = self.queue.enqueue(
+                    payload,
+                    meta={
+                        "dialog_id": dialog_id,
+                        "attempts": exc.attempts,
+                        "kind": "alert",
+                    },
+                )
+                self.ctx.metrics.inc("tee.alerts_queued")
+                self.ctx.log("alert_queued", entry=name, depth=len(self.queue))
+                return {
+                    "status": RELAY_QUEUED,
+                    "entry": name,
+                    "attempts": exc.attempts,
+                }
+            self.ctx.metrics.inc("tee.alerts_sent")
+            self._drain_queue()
+            return {
+                "status": RELAY_SENT,
+                "directive": directive,
+                "attempts": self.relay.last_attempts,
+            }
+
+        def _process(self, frames: int, seq: int = 0) -> dict[str, Any]:
+            """Capture → ASR → classify → filter → relay, one utterance.
+
+            ``seq`` is the supervisor's 1-based utterance number (0 when
+            unsupervised).  If it matches the restored checkpoint, this
+            utterance already committed before the panic — return the
+            recorded decision instead of re-running the pipeline, so the
+            relay never double-sends.
+            """
             ctx = self.ctx
             assert ctx is not None
+            if (
+                supervised
+                and seq
+                and seq == self._ckpt_seq
+                and self._ckpt_record is not None
+            ):
+                ctx.metrics.inc("tee.replays_suppressed")
+                ctx.log("replay_suppressed", seq=seq)
+                return dict(self._ckpt_record)
             self._ensure_capture()
 
             with self._stage("capture", frames=frames):
@@ -253,6 +474,8 @@ def make_audio_filter_ta(
                 )
 
             record = self._process_segment(pcm)
+            if supervised and seq and seq % checkpoint_every == 0:
+                self._checkpoint(seq, record)
             ctx.log(
                 "processed",
                 sensitive=record["sensitive"],

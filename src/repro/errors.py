@@ -221,6 +221,21 @@ class PolicyError(PipelineError):
 
 
 # ---------------------------------------------------------------------------
+# Injected (chaos) faults
+# ---------------------------------------------------------------------------
+
+
+class InjectedFault(ReproError):
+    """A fault deliberately raised by the secure-world fault injector.
+
+    Deliberately *not* a :class:`TeeError`: GP status codes pass through a
+    TA hook unchanged, whereas an injected fault must look like the
+    arbitrary crash it models — so it trips OP-TEE's panic path
+    (``TeeTargetDead``) exactly as a wild pointer or assert would.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Relay faults
 # ---------------------------------------------------------------------------
 

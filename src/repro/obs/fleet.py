@@ -26,7 +26,7 @@ from typing import Any
 
 from repro.energy.battery import project_battery_life
 from repro.obs.metrics import BucketHistogram, MetricsRegistry
-from repro.sim.faults import FaultConfig
+from repro.sim.faults import FaultConfig, SecureFaultConfig
 
 # Deterministic rotation of network conditions across the fleet.
 FAULT_PROFILES: dict[str, FaultConfig | None] = {
@@ -34,6 +34,14 @@ FAULT_PROFILES: dict[str, FaultConfig | None] = {
     "light": FaultConfig.send_failure(0.1),
     "lossy": FaultConfig.send_failure(0.3),
     "congested": FaultConfig(latency_rate=0.5, latency_cycles=400_000),
+}
+
+# Secure-world (TEE) fault profiles — chaos engineering for the enclave.
+# Orthogonal to the network profiles above: a device can have a lossy
+# link AND a panicking TA.
+SECURE_FAULT_PROFILES: dict[str, SecureFaultConfig | None] = {
+    "none": None,
+    "chaos": SecureFaultConfig.chaos(),
 }
 
 _SENSITIVE_MIX = (0.25, 0.5, 0.75)
@@ -51,21 +59,28 @@ class DeviceSpec:
     utterances: int
     sensitive_fraction: float
     fault_profile: str
+    secure_fault_profile: str = "none"
 
     def fault_config(self) -> FaultConfig | None:
         """The named fault profile's config (``None`` for a clean link)."""
         return FAULT_PROFILES[self.fault_profile]
 
+    def secure_fault_config(self) -> SecureFaultConfig | None:
+        """The named secure-world profile (``None`` = faults off)."""
+        return SECURE_FAULT_PROFILES[self.secure_fault_profile]
+
 
 def device_specs(
-    devices: int, seed: int = 7, utterances: int = 6
+    devices: int, seed: int = 7, utterances: int = 6, chaos: bool = False
 ) -> list[DeviceSpec]:
     """Deterministic fleet roster: varied seeds, workloads and networks.
 
     Device ``i`` gets seed ``seed + 1000 + i`` (offset so no device
     shares the provisioning seed), a workload size in
     ``utterances .. utterances + 2``, a rotating sensitive-content mix
-    and a rotating fault profile.
+    and a rotating fault profile.  ``chaos=True`` additionally puts every
+    device under the ``chaos`` secure-world fault profile (and thus TA
+    supervision).
     """
     if devices <= 0:
         raise ValueError("fleet needs at least one device")
@@ -77,6 +92,7 @@ def device_specs(
             utterances=utterances + (i % 3),
             sensitive_fraction=_SENSITIVE_MIX[i % len(_SENSITIVE_MIX)],
             fault_profile=profiles[i % len(profiles)],
+            secure_fault_profile="chaos" if chaos else "none",
         )
         for i in range(devices)
     ]
@@ -101,6 +117,11 @@ class DeviceReport:
     energy_mj: float
     battery_days: float
     machine: Any = None
+    restarts: int = 0
+    degraded: int = 0
+    # Kept alive (never serialized) so alert routing can reach the TA.
+    platform: Any = None
+    ta_uuid: Any = None
 
     @property
     def relay_success_rate(self) -> float:
@@ -130,6 +151,9 @@ class DeviceReport:
             "world_switches": self.world_switches,
             "energy_mj": self.energy_mj,
             "battery_days": self.battery_days,
+            "secure_fault_profile": self.spec.secure_fault_profile,
+            "restarts": self.restarts,
+            "degraded": self.degraded,
         }
 
 
@@ -150,16 +174,26 @@ def simulate_device(
     from repro.core.platform import IotPlatform
     from repro.core.workload import UtteranceWorkload
     from repro.ml.dataset import UtteranceGenerator
+    from repro.optee.supervise import SupervisorPolicy
     from repro.sim.rng import SimRng
 
+    secure_faults = spec.secure_fault_config()
     platform = IotPlatform.create(
-        seed=spec.seed, network_faults=spec.fault_config()
+        seed=spec.seed,
+        network_faults=spec.fault_config(),
+        secure_faults=secure_faults,
     )
     if not observability:
         platform.machine.obs.disable()
     if recorder is not None:
         platform.machine.obs.attach_recorder(recorder)
-    pipeline = SecurePipeline(platform, bundle)
+    # Secure-world faults without supervision would just kill the run;
+    # chaos devices therefore run supervised (checkpoint + restart).
+    pipeline = SecurePipeline(
+        platform,
+        bundle,
+        supervisor=SupervisorPolicy() if secure_faults is not None else None,
+    )
     corpus = UtteranceGenerator(SimRng(spec.seed, "fleet")).generate(
         spec.utterances, sensitive_fraction=spec.sensitive_fraction
     )
@@ -197,6 +231,9 @@ def simulate_device(
     # value under registry merge.  Gauges here must stay extensive.
     metrics.set("fleet.relay.queue_depth", relay.get("queue_depth", 0))
 
+    restarts = (
+        pipeline.supervisor.restarts if pipeline.supervisor is not None else 0
+    )
     return DeviceReport(
         spec=spec,
         summary=summary,
@@ -208,6 +245,10 @@ def simulate_device(
         energy_mj=energy_mj,
         battery_days=battery.days,
         machine=machine,
+        restarts=restarts,
+        degraded=run.degraded_count(),
+        platform=platform,
+        ta_uuid=pipeline.ta_uuid,
     )
 
 
@@ -245,6 +286,16 @@ class FleetReport:
         """Store-and-forward backlog across the fleet."""
         return sum(d.relay.get("queue_depth", 0) for d in self.devices)
 
+    @property
+    def restarts(self) -> int:
+        """TA restarts across the fleet (chaos runs)."""
+        return sum(d.restarts for d in self.devices)
+
+    @property
+    def degraded(self) -> int:
+        """Fail-closed (degraded) utterances across the fleet."""
+        return sum(d.degraded for d in self.devices)
+
     def to_doc(self) -> dict[str, Any]:
         """JSON document for ``benchmarks/results/fleet.json``."""
         hist = self.latency_hist
@@ -260,6 +311,8 @@ class FleetReport:
                 "latency_hist": hist.to_doc(),
                 "relay_success_rate": self.relay_success_rate,
                 "queue_depth": self.queue_depth,
+                "restarts": self.restarts,
+                "degraded": self.degraded,
                 "world_switches": sum(d.world_switches for d in self.devices),
                 "energy_mj": sum(d.energy_mj for d in self.devices),
                 "battery_days_min": min(
@@ -294,6 +347,11 @@ class FleetReport:
             f"relay success {self.relay_success_rate:.0%}   "
             f"queue depth {self.queue_depth}"
         )
+        if any(d.spec.secure_fault_profile != "none" for d in self.devices):
+            lines.append(
+                f"chaos    restarts {self.restarts}   "
+                f"degraded {self.degraded}"
+            )
         return "\n".join(lines)
 
 
@@ -303,6 +361,7 @@ def run_fleet(
     utterances: int = 6,
     bundle=None,
     observability: bool = True,
+    chaos: bool = False,
 ) -> FleetReport:
     """Simulate the fleet and return the merged report.
 
@@ -310,7 +369,8 @@ def run_fleet(
     fleet ships one model); pass a pre-provisioned ``bundle`` to skip
     training.  ``observability=False`` disables each device's obs layer —
     used by the determinism tests to show decisions are byte-identical
-    either way.
+    either way.  ``chaos=True`` injects secure-world faults on every
+    device and runs the TAs supervised.
     """
     if bundle is None:
         from repro.provision import provision_bundle
@@ -318,7 +378,9 @@ def run_fleet(
         bundle = provision_bundle(seed=seed).bundle
 
     report = FleetReport(seed=seed)
-    for spec in device_specs(devices, seed=seed, utterances=utterances):
+    for spec in device_specs(
+        devices, seed=seed, utterances=utterances, chaos=chaos
+    ):
         report.devices.append(
             simulate_device(spec, bundle, observability=observability)
         )

@@ -44,6 +44,12 @@ class SloRule:
     quantile/scalar rule whose metric does not exist measures ``None``
     and :meth:`evaluate` reports it as failing with ``missing=True``, so
     a typo'd metric name surfaces instead of silently reading 0.
+
+    ``gate`` names a counter that must be non-zero for the rule to apply
+    at all: when the gate counter is absent or zero the rule passes
+    vacuously (``gated=True``).  This is how conditional budgets avoid
+    the no-data failure — e.g. ``recovery_time`` is only meaningful on
+    runs where ``tee.restarts`` actually happened.
     """
 
     name: str
@@ -53,6 +59,7 @@ class SloRule:
     quantile: float | None = None
     denominator: str | None = None
     description: str = ""
+    gate: str | None = None
 
     def __post_init__(self) -> None:
         if self.op not in _OPS:
@@ -79,7 +86,16 @@ class SloRule:
         return None
 
     def evaluate(self, registry: MetricsRegistry) -> "SloEvaluation":
-        """Measure and judge the rule (a missing metric fails as no-data)."""
+        """Measure and judge the rule (a missing metric fails as no-data).
+
+        A gated rule whose gate counter is absent or zero passes
+        vacuously — the condition it budgets never occurred.
+        """
+        if (
+            self.gate is not None
+            and registry.counters().get(self.gate, 0) == 0
+        ):
+            return SloEvaluation(rule=self, value=0.0, ok=True, gated=True)
         value = self.measure(registry)
         if value is None:
             return SloEvaluation(rule=self, value=0.0, ok=False, missing=True)
@@ -95,6 +111,7 @@ class SloEvaluation:
     value: float
     ok: bool
     missing: bool = False
+    gated: bool = False
 
     def to_doc(self) -> dict[str, Any]:
         """JSON-ready row for health reports."""
@@ -106,6 +123,7 @@ class SloEvaluation:
             "value": self.value,
             "ok": self.ok,
             "missing": self.missing,
+            "gated": self.gated,
         }
 
 
@@ -114,8 +132,15 @@ def default_slo_rules(
     relay_success_min: float = 0.9,
     max_queue_depth: int = 4,
     battery_drain_max_mj: float = 2_000.0,
+    recovery_budget_cycles: float = 1.0e8,  # 50 ms at the 2 GHz sim clock
 ) -> list[SloRule]:
-    """The stock fleet SLOs over the ``fleet.*`` metric namespace."""
+    """The stock fleet SLOs over the ``fleet.*`` metric namespace.
+
+    Plus one recovery budget over ``tee.*``: the ``recovery_time`` rule
+    bounds p99 panic-to-recovered time and is gated on ``tee.restarts``,
+    so runs without any TA restart pass it vacuously instead of failing
+    with NO DATA.
+    """
     return [
         SloRule(
             name="p99_latency",
@@ -150,6 +175,17 @@ def default_slo_rules(
             op="<=",
             threshold=battery_drain_max_mj,
             description="p99 per-utterance energy (battery drain) budget",
+        ),
+        # Histogram-backed for the same merge-exactness reason; gated so
+        # restart-free runs pass vacuously rather than failing NO DATA.
+        SloRule(
+            name="recovery_time",
+            metric="tee.recovery_cycles",
+            quantile=0.99,
+            op="<=",
+            threshold=recovery_budget_cycles,
+            gate="tee.restarts",
+            description="p99 TA panic-to-recovered time budget",
         ),
     ]
 
@@ -276,7 +312,10 @@ class HealthReport:
             f"{'rule':16s} {'value':>14s} {'budget':>14s} {'status':>8s}"
         ]
         for e in self.evaluations:
-            status = "ok" if e.ok else ("NO DATA" if e.missing else "VIOLATED")
+            if e.gated:
+                status = "gated"
+            else:
+                status = "ok" if e.ok else ("NO DATA" if e.missing else "VIOLATED")
             lines.append(
                 f"{e.rule.name:16s} {e.value:>14.3g} "
                 f"{e.rule.op + ' ' + format(e.rule.threshold, '.3g'):>14s} "

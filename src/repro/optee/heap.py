@@ -16,8 +16,12 @@ from repro.tz.memory import MemoryAllocator
 class SecureHeap:
     """Owner-attributed secure heap with usage statistics."""
 
-    def __init__(self, allocator: MemoryAllocator):
+    def __init__(self, allocator: MemoryAllocator, machine=None):
         self._alloc = allocator
+        # Optional machine back-reference: lets the allocator probe the
+        # secure-world chaos injector.  Heaps built without one (unit
+        # tests) simply never inject.
+        self._machine = machine
         self._owners: dict[int, str] = {}
         self.high_water_bytes = 0
         self.failed_allocs = 0
@@ -38,7 +42,18 @@ class SecureHeap:
         return self._alloc.free_bytes
 
     def alloc(self, size: int, owner: str = "?") -> int:
-        """Allocate ``size`` bytes for ``owner``; returns the address."""
+        """Allocate ``size`` bytes for ``owner``; returns the address.
+
+        An injected ``heap`` fault fails the allocation *without*
+        consuming memory — transient pressure, not a leak — so the caller
+        sees the same ``TeeOutOfMemory`` a genuinely full heap raises.
+        """
+        faults = getattr(self._machine, "secure_faults", None)
+        if faults is not None and faults.fires("heap"):
+            self.failed_allocs += 1
+            raise TeeOutOfMemory(
+                f"injected secure-heap exhaustion ({size} bytes for {owner})"
+            )
         try:
             addr = self._alloc.alloc(size)
         except MemoryError as exc:

@@ -64,7 +64,7 @@ class OpTeeOs:
     ):
         self.machine = machine
         self._ta_verification_key = ta_verification_key
-        self.heap = SecureHeap(machine.secure_heap)
+        self.heap = SecureHeap(machine.secure_heap, machine=machine)
         self._ta_classes: dict[TaUuid, type[TrustedApplication]] = {}
         self._ta_instances: dict[TaUuid, TrustedApplication] = {}
         self._ptas: dict[TaUuid, PseudoTa] = {}
@@ -240,7 +240,16 @@ class OpTeeOs:
 
     def _run_ta_hook(self, ta, thunk, during_teardown: bool = False):
         """Run a TA hook with panic semantics."""
+        faults = self.machine.secure_faults
         try:
+            if (
+                faults is not None
+                and not during_teardown
+                and faults.fires("ta_panic")
+            ):
+                from repro.errors import InjectedFault
+
+                raise InjectedFault(f"injected panic in TA {ta.name}")
             return thunk()
         except TeeError:
             raise  # GP status codes are part of the API contract
@@ -249,6 +258,7 @@ class OpTeeOs:
             for s in self._sessions.values():
                 if s.ta is ta:
                     s.kill()
+            self.machine.obs.metrics.inc("tee.panics")
             self.machine.trace.emit(
                 self.machine.clock.now, "optee.os", "ta_panic",
                 ta=ta.name, error=repr(exc),
@@ -256,6 +266,32 @@ class OpTeeOs:
             if during_teardown:
                 return None  # teardown panics are contained
             raise TeeTargetDead(f"TA {ta.name} panicked: {exc!r}") from exc
+
+    def reap_panicked(self, uuid: TaUuid) -> bool:
+        """Tear down a panicked TA instance so it can be re-instantiated.
+
+        A panicked TA never runs code again (``on_destroy`` included), so
+        the OS itself must reclaim what it held: its secure-heap
+        allocations are released via its context and its dead sessions are
+        dropped from the session table.  Returns ``True`` if something was
+        reaped.  This is the primitive :class:`~repro.optee.supervise.TaSupervisor`
+        builds restart on — without the heap release, every restart would
+        leak a model-sized allocation and the heap would exhaust.
+        """
+        ta = self._ta_instances.get(uuid)
+        if ta is None or not ta.panicked:
+            return False
+        if ta.ctx is not None:
+            ta.ctx.release_all()
+        self._ta_instances.pop(uuid, None)
+        for sid in [s.id for s in self._sessions.values() if s.ta is ta]:
+            self._sessions.pop(sid, None)
+        self.machine.obs.metrics.inc("tee.reaped")
+        self.machine.trace.emit(
+            self.machine.clock.now, "optee.os", "ta_reaped",
+            ta=ta.name, uuid=str(uuid),
+        )
+        return True
 
     # -- PTA dispatch -------------------------------------------------------------------
 
@@ -273,6 +309,11 @@ class OpTeeOs:
             raise TeeItemNotFound(f"no PTA with UUID {uuid}")
         self.machine.cpu.execute(self.machine.costs.pta_invoke_cycles)
         self.machine.obs.metrics.inc("optee.pta_invoke")
+        faults = self.machine.secure_faults
+        if faults is not None and faults.fires("pta"):
+            from repro.errors import InjectedFault
+
+            raise InjectedFault(f"injected PTA transfer error ({pta.name})")
         pta.invoke_count += 1
         self.machine.trace.emit(
             self.machine.clock.now, "optee.pta.invoke", "cmd",

@@ -76,6 +76,12 @@ class SecureStorage:
         if not self._os.supplicant_rpc("fs", "exists", self._path(name)):
             raise TeeItemNotFound(f"no secure object {name!r}")
         sealed = self._os.supplicant_rpc("fs", "read", self._path(name))
+        # Injected ``storage`` faults corrupt only this read's copy —
+        # transient normal-world fs flakiness, not tampering at rest — so
+        # the AEAD rejects it now but a retry can still succeed.
+        faults = self._os.machine.secure_faults
+        if faults is not None and faults.fires("storage"):
+            sealed = faults.corrupt(sealed)
         self._charge(len(sealed))
         nonce, body = sealed[:12], sealed[12:]
         return self._aead.open(nonce, body, aad=name.encode())

@@ -44,6 +44,14 @@ class DmaEngine:
         self.machine.clock.advance(
             self.machine.costs.dma_setup_cycles, CycleDomain.DMA
         )
+        faults = self.machine.secure_faults
+        if faults is not None and faults.fires("dma"):
+            from repro.errors import InjectedFault
+
+            raise InjectedFault(
+                f"injected DMA abort (dest=0x{dest_addr:x}, "
+                f"world={world.value})"
+            )
         words = controller.drain_words(max_words)
         if words:
             payload = b"".join(struct.pack("<I", w) for w in words)

@@ -62,6 +62,24 @@ class AvsEvent:
         return cls(namespace="System", name="SynchronizeState", payload={})
 
     @classmethod
+    def alert(
+        cls, alert_json: str, dialog_id: int, attempt: int = 1
+    ) -> "AvsEvent":
+        """A device-health alert (SLO violation, flight-recorder dump).
+
+        Same retry/duplicate-suppression contract as :meth:`recognize`:
+        ``dialogRequestId`` is stable across re-deliveries and ``attempt``
+        counts them (omitted on first attempts).
+        """
+        payload: dict[str, Any] = {
+            "alert": alert_json,
+            "dialogRequestId": dialog_id,
+        }
+        if attempt > 1:
+            payload["attempt"] = attempt
+        return cls(namespace="System", name="Alert", payload=payload)
+
+    @classmethod
     def from_bytes(cls, data: bytes) -> "AvsEvent":
         """Parse the wire encoding."""
         try:
@@ -90,6 +108,20 @@ class AvsClient:
         self._dialog_id += 1
         return self._dialog_id
 
+    @property
+    def dialog_cursor(self) -> int:
+        """The last allocated dialog id (checkpointed for crash recovery)."""
+        return self._dialog_id
+
+    def restore_dialog_cursor(self, value: int) -> None:
+        """Advance the id counter after a restart (never moves backwards).
+
+        A restarted instance must not re-allocate an id its predecessor
+        already spent — the cloud's duplicate suppression would silently
+        eat the *new* event.
+        """
+        self._dialog_id = max(self._dialog_id, int(value))
+
     def recognize(
         self,
         transcript: str,
@@ -108,6 +140,21 @@ class AvsClient:
     def heartbeat(self) -> dict[str, Any]:
         """Send a keep-alive."""
         reply = self._request(AvsEvent.heartbeat().to_bytes())
+        self.events_sent += 1
+        return self._parse_directive(reply)
+
+    def alert(
+        self,
+        alert_json: str,
+        dialog_id: int | None = None,
+        attempt: int = 1,
+    ) -> dict[str, Any]:
+        """Send a health alert; returns the cloud's directive."""
+        if dialog_id is None:
+            dialog_id = self.allocate_dialog_id()
+        reply = self._request(
+            AvsEvent.alert(alert_json, dialog_id, attempt).to_bytes()
+        )
         self.events_sent += 1
         return self._parse_directive(reply)
 

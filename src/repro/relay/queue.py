@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.errors import RelayError
+from repro.errors import CryptoError, RelayError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.optee.storage import SecureStorage
@@ -83,7 +83,15 @@ class StoreForwardQueue:
         delivered = 0
         while self._names:
             name = self._names[0]
-            entry = json.loads(self._storage.get(name).decode())
+            try:
+                entry = json.loads(self._storage.get(name).decode())
+            except CryptoError:
+                # Unsealing failed — a transiently corrupted read (chaos
+                # injection / fs flakiness).  Keep the entry and stop the
+                # drain: the payload is still at rest and the next drain
+                # re-reads it.  Persistent tampering leaves the entry
+                # pinned, which the queue-depth SLO surfaces.
+                break
             payload = entry.pop("payload")
             try:
                 send(payload, entry)

@@ -161,6 +161,15 @@ class RelayModule:
         """Reserve the id for one logical event (stable across retries)."""
         return self._avs.allocate_dialog_id()
 
+    @property
+    def dialog_cursor(self) -> int:
+        """The last allocated dialog id (checkpointed by supervised TAs)."""
+        return self._avs.dialog_cursor
+
+    def restore_dialog_cursor(self, value: int) -> None:
+        """Advance the dialog-id counter after a checkpoint restore."""
+        self._avs.restore_dialog_cursor(value)
+
     def send_transcript(
         self,
         transcript: str,
@@ -183,6 +192,24 @@ class RelayModule:
         def op() -> dict[str, Any]:
             attempt["n"] += 1
             return self._avs.recognize(transcript, dialog_id, attempt["n"])
+
+        return self._deliver(op)
+
+    def send_alert(
+        self,
+        alert_json: str,
+        dialog_id: int | None = None,
+        prior_attempts: int = 0,
+    ) -> dict[str, Any]:
+        """Ship a health alert with the same delivery contract as
+        :meth:`send_transcript` (retries, stable dialog id, queueable)."""
+        if dialog_id is None:
+            dialog_id = self.allocate_dialog_id()
+        attempt = {"n": prior_attempts}
+
+        def op() -> dict[str, Any]:
+            attempt["n"] += 1
+            return self._avs.alert(alert_json, dialog_id, attempt["n"])
 
         return self._deliver(op)
 

@@ -109,3 +109,117 @@ class FaultInjector:
     def summary(self) -> dict[str, int]:
         """Fault counts for reports and tests."""
         return {"sends": self.sends_seen, **self.counts}
+
+
+# ---------------------------------------------------------------------------
+# Secure-world (chaos) fault injection
+# ---------------------------------------------------------------------------
+
+SECURE_FAULT_KINDS = ("ta_panic", "heap", "pta", "dma", "storage")
+
+
+@dataclass(frozen=True)
+class SecureFaultConfig:
+    """Per-operation fault probabilities *inside* the TEE.
+
+    Chaos engineering for the secure world: where :class:`FaultConfig`
+    shakes the untrusted network, this shakes the trusted side itself —
+    TA hook panics, secure-heap exhaustion, PTA/DMA transfer errors and
+    sealed-storage read corruption.  Each kind is an independent Bernoulli
+    draw at its own hook point:
+
+    ``ta_panic``
+        The next TA lifecycle/invoke hook crashes before running
+        (:class:`~repro.errors.InjectedFault` → OP-TEE panic semantics).
+    ``heap``
+        The next secure-heap allocation fails with ``TeeOutOfMemory``
+        (transient pressure: nothing is actually consumed).
+    ``pta``
+        The next TA→PTA call dies mid-transfer (panics the calling TA).
+    ``dma``
+        The next DMA FIFO→memory transfer aborts (panics the TA whose
+        capture was in flight).
+    ``storage``
+        The next sealed-storage *read* returns a bit-flipped blob — the
+        AEAD rejects it (``AuthenticationFailure``), modelling transient
+        normal-world filesystem flakiness.  Blobs at rest are untouched,
+        so a later retry can succeed.
+    """
+
+    ta_panic_rate: float = 0.0
+    heap_rate: float = 0.0
+    pta_rate: float = 0.0
+    dma_rate: float = 0.0
+    storage_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for kind in SECURE_FAULT_KINDS:
+            rate = getattr(self, f"{kind}_rate")
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{kind}_rate must be in [0, 1], got {rate}")
+
+    @property
+    def enabled(self) -> bool:
+        """True if any secure-world fault can ever fire."""
+        return any(
+            getattr(self, f"{kind}_rate") > 0 for kind in SECURE_FAULT_KINDS
+        )
+
+    @classmethod
+    def chaos(cls, intensity: float = 1.0) -> "SecureFaultConfig":
+        """The stock ``--chaos`` profile, scaled by ``intensity``.
+
+        Rates are tuned so a short workload sees several panics and at
+        least one of every other fault kind without making recovery
+        hopeless (restart attempts themselves can be hit again).
+        """
+        if not 0.0 <= intensity <= 1.0:
+            raise ValueError(f"intensity must be in [0, 1], got {intensity}")
+        return cls(
+            ta_panic_rate=0.05 * intensity,
+            heap_rate=0.02 * intensity,
+            pta_rate=0.02 * intensity,
+            dma_rate=0.02 * intensity,
+            storage_rate=0.10 * intensity,
+        )
+
+
+class SecureFaultInjector:
+    """Samples secure-world faults, one dedicated RNG stream per kind.
+
+    Per-kind forks (not one shared stream) keep the fault sequence of each
+    hook point independent of how often the *other* hooks run: adding a
+    storage read cannot shift which TA invoke panics.  Kinds with rate 0
+    never draw, so a partially-zero config stays bisectable too.
+    """
+
+    def __init__(self, config: SecureFaultConfig, rng: SimRng):
+        self.config = config
+        base = rng.fork("secure-faults")
+        self._rngs = {kind: base.fork(kind) for kind in SECURE_FAULT_KINDS}
+        self.counts: dict[str, int] = {kind: 0 for kind in SECURE_FAULT_KINDS}
+        self.draws: dict[str, int] = {kind: 0 for kind in SECURE_FAULT_KINDS}
+
+    def fires(self, kind: str) -> bool:
+        """Whether fault ``kind`` fires at this hook crossing."""
+        rate = getattr(self.config, f"{kind}_rate")
+        if rate <= 0:
+            return False
+        self.draws[kind] += 1
+        if self._rngs[kind].random() < rate:
+            self.counts[kind] += 1
+            return True
+        return False
+
+    def corrupt(self, payload: bytes) -> bytes:
+        """Deterministically flip one byte (storage read corruption)."""
+        if not payload:
+            return payload
+        out = bytearray(payload)
+        idx = self._rngs["storage"].randint(0, len(out))
+        out[idx] ^= 0xFF
+        return bytes(out)
+
+    def summary(self) -> dict[str, dict[str, int]]:
+        """Injected counts and draw totals for reports and tests."""
+        return {"counts": dict(self.counts), "draws": dict(self.draws)}

@@ -102,6 +102,13 @@ class TrustZoneMachine:
         self.secure_allocator = MemoryAllocator(self.dram_secure)
         self.secure_heap = MemoryAllocator(self.secure_heap_region)
 
+        # Secure-world chaos injector; installed by the platform when a
+        # SecureFaultConfig is supplied, None on a healthy machine.  Hook
+        # points (OP-TEE dispatch, secure heap, DMA, sealed storage) probe
+        # it so that with no injector — or all rates zero — their fast
+        # path is a single attribute check.
+        self.secure_faults = None
+
     # -- convenience -----------------------------------------------------------
 
     def read(self, addr: int, size: int) -> bytes:

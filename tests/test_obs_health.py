@@ -114,8 +114,17 @@ class TestSloRule:
         rules = default_slo_rules()
         assert {r.name for r in rules} == {
             "p99_latency", "relay_success", "queue_depth", "battery_drain",
+            "recovery_time",
         }
-        assert all(r.metric.startswith("fleet.") for r in rules)
+        # Fleet rules read fleet.*; the recovery budget reads the tee.*
+        # namespace and is gated on restarts actually having happened.
+        for r in rules:
+            if r.name == "recovery_time":
+                assert r.metric.startswith("tee.")
+                assert r.gate == "tee.restarts"
+            else:
+                assert r.metric.startswith("fleet.")
+                assert r.gate is None
 
 
 class TestWatchdog:
