@@ -6,9 +6,14 @@ minimal set, and the resulting build must still pass capture conformance.
 Reported: functions and LoC, full vs minimized, reduction percentages.
 """
 
+import pathlib
+
 import numpy as np
 
 from benchmarks.conftest import write_result
+from repro.analysis.deadtcb import compute_dead_tcb
+from repro.analysis.modgraph import load_project
+from repro.analysis.worlds import DEFAULT_WORLD_MAP
 from repro.drivers.conformance import run_capture_conformance
 from repro.drivers.i2s_driver import I2sDriver
 from repro.kernel.kernel import I2sCharDevice, Kernel
@@ -71,6 +76,7 @@ def test_t2_tcb_reduction(benchmark):
     rows.append(f"{'task':24s} {'fns':>5s} {'LoC':>6s} {'fn red.':>8s} "
                 f"{'LoC red.':>9s} {'conform':>8s}")
     reductions = {}
+    dynamic_union: frozenset[str] = frozenset()
     for task in TASKS:
         kernel, _, _ = build_device()
         session = run_task(kernel, task)
@@ -84,6 +90,7 @@ def test_t2_tcb_reduction(benchmark):
 
         r = plan.report
         reductions[task] = r.loc_reduction_pct
+        dynamic_union |= plan.keep
         rows.append(
             f"{task:24s} {r.functions_kept:>5d} {r.loc_kept:>6d} "
             f"{r.function_reduction_pct:>7.1f}% {r.loc_reduction_pct:>8.1f}% "
@@ -91,8 +98,29 @@ def test_t2_tcb_reduction(benchmark):
         )
         assert conform.passed
 
+    # Static complement (dead-TCB): driver functions reachable from the
+    # TA's entry points that no task profile above ever executed.
+    package_root = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
+    dead = compute_dead_tcb(
+        load_project(package_root), DEFAULT_WORLD_MAP, I2sDriver,
+        dynamic_hit=dynamic_union,
+    )
+    rows += [
+        "",
+        f"dead TCB (static reach \\ dynamic, all tasks): "
+        f"{len(dead.dead)}/{len(dead.static_reachable)} functions, "
+        f"{dead.dead_loc} LoC",
+    ]
+    rows += [f"  dead: {fn} ({dead.loc.get(fn, 0)} LoC)" for fn in dead.dead]
+
     write_result("t2_tcb", "\n".join(rows))
     benchmark.extra_info["loc_reduction_pct"] = reductions
+    benchmark.extra_info["dead_tcb"] = {
+        "static_reachable": len(dead.static_reachable),
+        "dynamic_hit": len(dead.dynamic_hit),
+        "dead_functions": len(dead.dead),
+        "dead_loc": dead.dead_loc,
+    }
 
     # Benchmark the analysis step itself (trace -> plan).
     kernel, _, _ = build_device()

@@ -1,0 +1,36 @@
+"""World-boundary static analysis for the secure data path.
+
+A self-contained analyzer (stdlib ``ast`` only — analyzed code is parsed,
+never imported) that turns the paper's security argument into a CI gate:
+
+* :mod:`~repro.analysis.worlds` — the authoritative secure/normal/
+  boundary/shared partition of the codebase;
+* :mod:`~repro.analysis.rules` — W000/W001 world layering, D001
+  determinism, S001 secret hygiene, O001 obs-optionality;
+* :mod:`~repro.analysis.taint` — W002, the plaintext-audio taint pass;
+* :mod:`~repro.analysis.deadtcb` — static-vs-dynamic TCB cross-check;
+* :mod:`~repro.analysis.runner` — orchestration + the committed baseline
+  (``baseline.json``) so CI fails only on *new* violations.
+
+Run it with ``repro analyze [--format json] [--fail-on-new]``.
+"""
+
+from repro.analysis.findings import AnalysisReport, Baseline, Finding
+from repro.analysis.runner import (
+    DEFAULT_BASELINE_PATH,
+    analyze_package,
+    run_analysis,
+)
+from repro.analysis.worlds import DEFAULT_WORLD_MAP, World, WorldMap
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "Finding",
+    "DEFAULT_BASELINE_PATH",
+    "DEFAULT_WORLD_MAP",
+    "World",
+    "WorldMap",
+    "analyze_package",
+    "run_analysis",
+]

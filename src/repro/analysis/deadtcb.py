@@ -1,0 +1,161 @@
+"""Dead-TCB cross-check: static reachability vs. the dynamic tracer.
+
+The paper minimizes ported drivers by *dynamic* tracing: run the task,
+keep what executed.  This module computes the *static* complement — every
+driver function reachable (by AST call-graph walk) from the trusted
+application's entry points — and diffs the two:
+
+* statically reachable ∧ dynamically traced → needed, kept (healthy);
+* statically reachable ∧ never traced across all T2 task profiles →
+  **dead TCB**: code an attacker can still reach through the TA interface
+  but that no supported task needs — prime candidates for compiling out
+  beyond what the per-task plans already strip;
+* dynamically traced but not statically reachable → tracer noise or a
+  reflection-style call the AST walk cannot see (reported so the static
+  graph's blind spots stay visible).
+
+Reachability starts at TrustedApplication entry methods, resolves calls
+by simple name within the secure/boundary/shared worlds, and treats
+``invoke_pta`` as a dispatch edge into every PTA (``PseudoTa`` subclass)
+entry method — the same configured dispatch the world-boundary rules use.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.analysis.modgraph import FunctionInfo, Project, call_name
+from repro.analysis.worlds import World, WorldMap
+
+_PTA_ENTRY_METHODS = ("on_invoke", "on_open_session", "on_close_session")
+
+
+@dataclass(frozen=True)
+class StaticReachability:
+    """Raw result of the AST walk from TA entry points."""
+
+    entry_points: tuple[str, ...]       # "module:qualname" roots
+    visited: tuple[str, ...]            # "module:qualname" reached functions
+    called_names: frozenset[str]        # simple names of every call made
+
+
+def static_reachability(project: Project, wmap: WorldMap) -> StaticReachability:
+    """Walk the call graph from TA entry points through the secure worlds."""
+    spec = wmap.taint
+    index: dict[str, list[FunctionInfo]] = {}
+    candidates: list[FunctionInfo] = []
+    for mod in project.modules.values():
+        if wmap.world_of(mod.name) is World.NORMAL:
+            continue
+        for fn in mod.functions.values():
+            index.setdefault(fn.name, []).append(fn)
+            candidates.append(fn)
+
+    roots = [
+        fn for fn in candidates
+        if fn.name in spec.entry_methods
+        and any(b in spec.entry_bases for b in fn.class_bases)
+    ]
+    pta_entries = [
+        fn for fn in candidates
+        if fn.name in _PTA_ENTRY_METHODS
+        and any(b in wmap.pta_bases for b in fn.class_bases)
+    ]
+
+    def key(fn: FunctionInfo) -> str:
+        return f"{fn.module}:{fn.qualname}"
+
+    visited: dict[str, FunctionInfo] = {}
+    called: set[str] = set()
+    work = list(roots)
+    while work:
+        fn = work.pop()
+        if key(fn) in visited:
+            continue
+        visited[key(fn)] = fn
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node.func)
+            if name is None:
+                continue
+            simple = name.split(".")[-1]
+            called.add(simple)
+            work.extend(index.get(simple, ()))
+            if simple in wmap.pta_dispatch_calls:
+                work.extend(pta_entries)
+
+    return StaticReachability(
+        entry_points=tuple(sorted(key(fn) for fn in roots)),
+        visited=tuple(sorted(visited)),
+        called_names=frozenset(called),
+    )
+
+
+@dataclass(frozen=True)
+class DeadTcbReport:
+    """Static/dynamic driver-function diff for one driver."""
+
+    driver: str
+    entry_points: tuple[str, ...]
+    loc: Mapping[str, int]              # driver fn name → declared LoC
+    static_reachable: frozenset[str]    # driver fns reachable from TA entries
+    dynamic_hit: frozenset[str]         # driver fns traced across all tasks
+
+    @property
+    def dead(self) -> tuple[str, ...]:
+        """Statically reachable, never dynamically exercised."""
+        return tuple(sorted(self.static_reachable - self.dynamic_hit))
+
+    @property
+    def untracked_dynamic(self) -> tuple[str, ...]:
+        """Traced but not statically reachable — static blind spots."""
+        return tuple(sorted(self.dynamic_hit - self.static_reachable))
+
+    @property
+    def dead_loc(self) -> int:
+        return sum(self.loc.get(fn, 0) for fn in self.dead)
+
+    @property
+    def static_loc(self) -> int:
+        return sum(self.loc.get(fn, 0) for fn in self.static_reachable)
+
+    def to_doc(self) -> dict:
+        return {
+            "driver": self.driver,
+            "entry_points": list(self.entry_points),
+            "static_reachable": sorted(self.static_reachable),
+            "dynamic_hit": sorted(self.dynamic_hit),
+            "dead": list(self.dead),
+            "dead_loc": self.dead_loc,
+            "static_loc": self.static_loc,
+            "untracked_dynamic": list(self.untracked_dynamic),
+        }
+
+
+def compute_dead_tcb(
+    project: Project,
+    wmap: WorldMap,
+    driver_class: type,
+    dynamic_hit: frozenset[str],
+) -> DeadTcbReport:
+    """Diff static reachability against the union of traced keep-sets.
+
+    ``driver_class`` is a :class:`repro.drivers.base.Driver` subclass; its
+    declared function set (names + LoC) scopes the comparison.
+    ``dynamic_hit`` is the union of functions the kernel tracer observed
+    across the task profiles (plus any always-keep set the plans used).
+    """
+    fns = driver_class.functions()
+    loc = {name: info.loc for name, info in fns.items()}
+    reach = static_reachability(project, wmap)
+    static_driver = frozenset(n for n in fns if n in reach.called_names)
+    return DeadTcbReport(
+        driver=driver_class.NAME,
+        entry_points=reach.entry_points,
+        loc=loc,
+        static_reachable=static_driver,
+        dynamic_hit=frozenset(dynamic_hit) & frozenset(fns),
+    )

@@ -1,0 +1,149 @@
+"""Findings, baselines, and report rendering.
+
+A :class:`Finding` carries rule id, severity, location and a *stable
+fingerprint* — ``rule:module:anchor`` — deliberately excluding the line
+number, so editing unrelated code does not churn the baseline.  The anchor
+names the construct (the imported module, the function whose return leaks,
+the offending call) rather than where it currently sits in the file.
+
+The committed baseline (``analysis/baseline.json``) is a list of accepted
+fingerprints with reasons.  ``repro analyze --fail-on-new`` fails only on
+findings whose fingerprint is not baselined, so CI gates *new* violations
+while the accepted debt stays visible in every report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation."""
+
+    rule: str        # "W001", "D001", ...
+    severity: str    # "error" | "warning"
+    module: str      # dotted module name
+    path: str        # file path (repo-relative where possible)
+    line: int
+    anchor: str      # stable construct identifier within the module
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        return f"{self.rule}:{self.module}:{self.anchor}"
+
+    def to_doc(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "module": self.module,
+            "path": self.path,
+            "line": self.line,
+            "anchor": self.anchor,
+            "fingerprint": self.fingerprint,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Baseline:
+    """Accepted findings, loaded from / saved to JSON."""
+
+    entries: dict[str, str] = field(default_factory=dict)  # fingerprint → reason
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        doc = json.loads(Path(path).read_text())
+        entries = {
+            e["fingerprint"]: e.get("reason", "") for e in doc.get("findings", [])
+        }
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding], reason: str = "") -> "Baseline":
+        return cls(entries={f.fingerprint: reason for f in findings})
+
+    def save(self, path: Path) -> None:
+        doc = {
+            "version": 1,
+            "findings": [
+                {"fingerprint": fp, "reason": reason}
+                for fp, reason in sorted(self.entries.items())
+            ],
+        }
+        Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+
+    def suppresses(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.entries
+
+    def stale_entries(self, findings: list[Finding]) -> list[str]:
+        """Baselined fingerprints no longer produced — candidates to drop."""
+        live = {f.fingerprint for f in findings}
+        return sorted(fp for fp in self.entries if fp not in live)
+
+
+@dataclass
+class AnalysisReport:
+    """All findings of one run, split against a baseline."""
+
+    findings: list[Finding]
+    baseline: Baseline | None = None
+
+    @property
+    def new_findings(self) -> list[Finding]:
+        if self.baseline is None:
+            return list(self.findings)
+        return [f for f in self.findings if not self.baseline.suppresses(f)]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        if self.baseline is None:
+            return []
+        return [f for f in self.findings if self.baseline.suppresses(f)]
+
+    @property
+    def stale(self) -> list[str]:
+        if self.baseline is None:
+            return []
+        return self.baseline.stale_entries(self.findings)
+
+    def by_rule(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return dict(sorted(out.items()))
+
+    def to_doc(self) -> dict:
+        return {
+            "findings": [f.to_doc() for f in self.findings],
+            "new": [f.to_doc() for f in self.new_findings],
+            "suppressed": len(self.suppressed),
+            "stale_baseline_entries": self.stale,
+            "by_rule": self.by_rule(),
+        }
+
+    def render_text(self) -> str:
+        lines = []
+        ordered = sorted(
+            self.findings, key=lambda f: (f.rule, f.path, f.line, f.anchor)
+        )
+        baselined = {f.fingerprint for f in self.suppressed}
+        for f in ordered:
+            tag = "baseline" if f.fingerprint in baselined else f.severity.upper()
+            lines.append(f"{f.path}:{f.line}: {f.rule} [{tag}] {f.message}")
+        counts = ", ".join(f"{r}={n}" for r, n in self.by_rule().items()) or "none"
+        lines.append("")
+        lines.append(
+            f"{len(self.findings)} finding(s) ({counts}); "
+            f"{len(self.new_findings)} new, {len(self.suppressed)} baselined"
+        )
+        for fp in self.stale:
+            lines.append(f"stale baseline entry (no longer produced): {fp}")
+        return "\n".join(lines)

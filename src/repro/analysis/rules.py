@@ -1,0 +1,297 @@
+"""Lint rules over the parsed project.
+
+=====  ========  ==========================================================
+rule   severity  meaning
+=====  ========  ==========================================================
+W000   error     module has no world assignment (the map must stay total)
+W001   error     secure-world module imports a normal-world module at
+                 runtime (TYPE_CHECKING-only imports are exempt; boundary
+                 and shared targets are allowed); also flags shared
+                 modules importing either world at runtime, since secure
+                 code links shared code
+D001   error     ambient nondeterminism outside ``sim/``: ``random``
+                 module usage, ``np.random.*`` calls, ``time.time``,
+                 ``datetime.now``, ``os.urandom``, ``uuid.uuid4``,
+                 ``secrets.*`` — randomness must come from named
+                 ``sim.rng.SimRng`` forks
+S001   error     key/seal-material identifier interpolated into a
+                 log/span/exception f-string
+O001   error     module under an obs-restricted prefix imports the obs
+                 package at runtime instead of using the machine's
+                 facade handle (TYPE_CHECKING-only is exempt)
+=====  ========  ==========================================================
+
+W002 (the taint pass) lives in :mod:`repro.analysis.taint`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.findings import (
+    Finding,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+)
+from repro.analysis.modgraph import Project, call_name, rel_path as _rel_path
+from repro.analysis.worlds import World, WorldMap
+
+
+# -- W000 / W001: world map totality and import layering -----------------------
+
+
+def check_worlds(project: Project, wmap: WorldMap) -> list[Finding]:
+    findings: list[Finding] = []
+    for mod in project.modules.values():
+        path = _rel_path(project, mod)
+        world = wmap.world_of(mod.name)
+        if world is None:
+            findings.append(
+                Finding(
+                    rule="W000",
+                    severity=SEVERITY_ERROR,
+                    module=mod.name,
+                    path=path,
+                    line=1,
+                    anchor="unmapped",
+                    message=f"module {mod.name} has no world assignment in "
+                            f"the world map (analysis/worlds.py)",
+                )
+            )
+            continue
+        for imp in mod.imports:
+            if imp.type_checking:
+                continue
+            if not imp.target.startswith(project.package + "."):
+                continue
+            target_world = wmap.world_of(imp.target)
+            if target_world is None:
+                continue  # unmapped targets are reported on their own module
+            if world is World.SECURE and target_world is World.NORMAL:
+                findings.append(
+                    Finding(
+                        rule="W001",
+                        severity=SEVERITY_ERROR,
+                        module=mod.name,
+                        path=path,
+                        line=imp.lineno,
+                        anchor=f"import:{imp.target}",
+                        message=f"secure-world module imports normal-world "
+                                f"module {imp.target} at runtime (only "
+                                f"boundary/shared targets are allowed; "
+                                f"TYPE_CHECKING imports are exempt)",
+                    )
+                )
+            elif world is World.SHARED and target_world in (
+                World.NORMAL, World.SECURE,
+            ):
+                findings.append(
+                    Finding(
+                        rule="W001",
+                        severity=SEVERITY_WARNING,
+                        module=mod.name,
+                        path=path,
+                        line=imp.lineno,
+                        anchor=f"import:{imp.target}",
+                        message=f"shared module imports {target_world.value}"
+                                f"-world module {imp.target} at runtime; "
+                                f"shared code must stay world-agnostic "
+                                f"(secure code links it)",
+                    )
+                )
+    return findings
+
+
+# -- D001: ambient nondeterminism ----------------------------------------------
+
+_AMBIENT_MODULES = ("random", "secrets")
+_AMBIENT_CALLS = {
+    "time.time", "time.time_ns", "time.monotonic", "time.perf_counter",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+    "os.urandom",
+    "uuid.uuid1", "uuid.uuid4",
+}
+_AMBIENT_PREFIXES = ("np.random.", "numpy.random.", "random.", "secrets.")
+
+
+def check_determinism(project: Project, wmap: WorldMap) -> list[Finding]:
+    findings: list[Finding] = []
+    for mod in project.modules.values():
+        if any(
+            mod.name == p or mod.name.startswith(p + ".")
+            for p in wmap.rng_exempt
+        ):
+            continue
+        path = _rel_path(project, mod)
+        for imp in mod.imports:
+            root = imp.target.split(".")[0]
+            if root in _AMBIENT_MODULES and not imp.type_checking:
+                findings.append(
+                    Finding(
+                        rule="D001",
+                        severity=SEVERITY_ERROR,
+                        module=mod.name,
+                        path=path,
+                        line=imp.lineno,
+                        anchor=f"import:{imp.target}",
+                        message=f"import of ambient-randomness module "
+                                f"{imp.target!r} outside sim/ — use named "
+                                f"sim.rng.SimRng forks",
+                    )
+                )
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node.func)
+            if name is None:
+                continue
+            if name in _AMBIENT_CALLS or any(
+                name.startswith(p) for p in _AMBIENT_PREFIXES
+            ):
+                findings.append(
+                    Finding(
+                        rule="D001",
+                        severity=SEVERITY_ERROR,
+                        module=mod.name,
+                        path=path,
+                        line=node.lineno,
+                        anchor=f"call:{name}",
+                        message=f"ambient nondeterminism: {name}() outside "
+                                f"sim/ — derive values from a named "
+                                f"sim.rng.SimRng fork so runs stay "
+                                f"reproducible",
+                    )
+                )
+    return findings
+
+
+# -- S001: secret hygiene ------------------------------------------------------
+
+# Identifier components that name key/seal material.  Matched on word
+# boundaries within snake_case components so "monkey"/"keyword" pass while
+# "seal_key", "_HARDWARE_UNIQUE_KEY", "client_secret" are caught.
+_SECRET_COMPONENT = re.compile(
+    r"(^|_)(key|keys|secret|secrets|huk|password|passphrase|privkey|"
+    r"private)($|_)",
+    re.IGNORECASE,
+)
+
+_LOG_CALL_NAMES = (
+    "log", "emit", "span", "debug", "info", "warning", "error", "exception",
+)
+
+
+# Interpolating a *derived scalar* of a secret (its length, its type) is
+# fine — only the value itself must stay out of message text.
+_SAFE_WRAPPERS = ("len", "type", "bool", "id")
+
+
+def _identifier_components(expr: ast.expr) -> list[str]:
+    """Names/attributes appearing in an expression (for secret matching).
+
+    Subtrees wrapped in a safe derivation call (``len(key)``) are skipped.
+    """
+    out: list[str] = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Call):
+            name = call_name(node.func)
+            if name in _SAFE_WRAPPERS:
+                continue
+        if isinstance(node, ast.Name):
+            out.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            out.append(node.attr)
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+def _fstring_secret(joined: ast.JoinedStr) -> str | None:
+    for value in joined.values:
+        if not isinstance(value, ast.FormattedValue):
+            continue
+        for ident in _identifier_components(value.value):
+            if _SECRET_COMPONENT.search(ident.strip("_")):
+                return ident
+    return None
+
+
+def check_secret_hygiene(project: Project, wmap: WorldMap) -> list[Finding]:
+    del wmap  # applies repo-wide
+    findings: list[Finding] = []
+    for mod in project.modules.values():
+        path = _rel_path(project, mod)
+
+        def flag(joined: ast.JoinedStr, context: str) -> None:
+            ident = _fstring_secret(joined)
+            if ident is None:
+                return
+            findings.append(
+                Finding(
+                    rule="S001",
+                    severity=SEVERITY_ERROR,
+                    module=mod.name,
+                    path=path,
+                    line=joined.lineno,
+                    anchor=f"{context}:{ident}",
+                    message=f"key/seal material identifier {ident!r} "
+                            f"interpolated into a {context} f-string — "
+                            f"secrets must never reach logs, spans or "
+                            f"exception text",
+                )
+            )
+
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Raise) and node.exc is not None:
+                for sub in ast.walk(node.exc):
+                    if isinstance(sub, ast.JoinedStr):
+                        flag(sub, "exception")
+            elif isinstance(node, ast.Call):
+                name = call_name(node.func)
+                if name is None or name.split(".")[-1] not in _LOG_CALL_NAMES:
+                    continue
+                for arg in list(node.args) + [k.value for k in node.keywords]:
+                    for sub in ast.walk(arg):
+                        if isinstance(sub, ast.JoinedStr):
+                            flag(sub, "log")
+    return findings
+
+
+# -- O001: obs optionality -----------------------------------------------------
+
+
+def check_obs_facade(project: Project, wmap: WorldMap) -> list[Finding]:
+    findings: list[Finding] = []
+    for mod in project.modules.values():
+        if not any(
+            mod.name == p or mod.name.startswith(p + ".")
+            for p in wmap.obs_restricted
+        ):
+            continue
+        path = _rel_path(project, mod)
+        for imp in mod.imports:
+            if imp.type_checking:
+                continue
+            if imp.target == wmap.obs_package or imp.target.startswith(
+                wmap.obs_package + "."
+            ):
+                findings.append(
+                    Finding(
+                        rule="O001",
+                        severity=SEVERITY_ERROR,
+                        module=mod.name,
+                        path=path,
+                        line=imp.lineno,
+                        anchor=f"import:{imp.target}",
+                        message=f"runtime import of {imp.target} — "
+                                f"core/optee/relay must reach observability "
+                                f"only through the machine's obs facade so "
+                                f"decisions stay byte-identical with obs "
+                                f"off (TYPE_CHECKING imports are exempt)",
+                    )
+                )
+    return findings

@@ -1,0 +1,68 @@
+"""Entry points tying the analysis passes together.
+
+``analyze_package`` parses a package root and runs every rule;
+``run_analysis`` additionally loads the committed baseline and returns the
+:class:`~repro.analysis.findings.AnalysisReport` the CLI and CI gate on.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.findings import AnalysisReport, Baseline, Finding
+from repro.analysis.modgraph import load_project
+from repro.analysis.rules import (
+    check_determinism,
+    check_obs_facade,
+    check_secret_hygiene,
+    check_worlds,
+)
+from repro.analysis.taint import check_taint
+from repro.analysis.worlds import DEFAULT_WORLD_MAP, WorldMap
+
+#: The committed accepted-findings file, next to this module.
+DEFAULT_BASELINE_PATH = Path(__file__).with_name("baseline.json")
+
+_PASSES = (
+    check_worlds,
+    check_taint,
+    check_determinism,
+    check_secret_hygiene,
+    check_obs_facade,
+)
+
+
+def analyze_package(
+    root: Path,
+    package: str = "repro",
+    world_map: WorldMap = DEFAULT_WORLD_MAP,
+) -> list[Finding]:
+    """Run every analysis pass over the package rooted at ``root``.
+
+    ``root`` is the package directory itself (the one holding
+    ``__init__.py``).  Results are deterministically ordered.
+    """
+    project = load_project(Path(root), package=package)
+    findings: list[Finding] = []
+    for check in _PASSES:
+        findings.extend(check(project, world_map))
+    findings.sort(key=lambda f: (f.rule, f.path, f.line, f.anchor))
+    return findings
+
+
+def run_analysis(
+    root: Path,
+    package: str = "repro",
+    world_map: WorldMap = DEFAULT_WORLD_MAP,
+    baseline_path: Path | None = DEFAULT_BASELINE_PATH,
+) -> AnalysisReport:
+    """Analyze and split findings against the committed baseline.
+
+    Pass ``baseline_path=None`` to report raw findings (every finding is
+    then "new").  A missing baseline file behaves the same way.
+    """
+    findings = analyze_package(root, package=package, world_map=world_map)
+    baseline = None
+    if baseline_path is not None and Path(baseline_path).exists():
+        baseline = Baseline.load(Path(baseline_path))
+    return AnalysisReport(findings=findings, baseline=baseline)

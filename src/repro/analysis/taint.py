@@ -1,0 +1,367 @@
+"""W002 — the plaintext-audio taint pass over secure-world modules.
+
+The property being checked is the paper's trusted-path claim: plaintext
+peripheral data (driver reads, PTA capture buffers) must never reach a
+normal-world call site except through an approved declassification point
+(the filter decision itself, sealed-storage writes, the relay send of
+*filtered* payloads).
+
+The analysis is interprocedural but module-local and flow-insensitive: a
+monotone fixpoint over each secure module's functions that accumulates
+
+* **tainted locals/params** per function — seeded by source calls
+  (``read_chunk``, ``invoke_pta(..., CMD_READ, ...)``) and grown through
+  assignments, containers, arithmetic and unknown calls;
+* **tainted ``self.*`` attributes** per module — a tainted value stored on
+  ``self`` taints every later read of that attribute (the TA's segment
+  buffers);
+* **return summaries** — a function returning tainted data makes its
+  call sites tainted, and call sites passing tainted arguments taint the
+  callee's parameters (resolved by simple name within the module, so the
+  TA-class-inside-factory layout resolves without execution).
+
+Declassifier calls launder taint (their *result* is clean and tainted
+arguments are legitimate); ``clean_builtins`` (``len`` …) and comparisons
+return clean because their results carry no payload content.  After the
+fixpoint converges, a reporting pass flags (a) tainted arguments reaching
+a normal-world sink call (``rpc``, ``write_memref``, ``log``/``emit``/
+``span``, metrics) and (b) tainted returns from TA entry methods — those
+travel back to the normal-world client.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding, SEVERITY_ERROR
+from repro.analysis.modgraph import (
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    call_name,
+    dotted_suffix_match,
+    rel_path,
+)
+from repro.analysis.worlds import World, WorldMap
+
+_MAX_ITERATIONS = 64
+
+_SKIP_NESTED = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+@dataclass
+class _FnState:
+    tainted: set[str] = field(default_factory=set)  # local + param names
+    returns_tainted: bool = False
+
+
+class _ModuleTaint:
+    """One module's fixpoint state and reporting pass."""
+
+    def __init__(self, project: Project, mod: ModuleInfo, wmap: WorldMap):
+        self.project = project
+        self.mod = mod
+        self.spec = wmap.taint
+        self.state: dict[str, _FnState] = {
+            q: _FnState() for q in mod.functions
+        }
+        self.attr_taint: set[str] = set()  # tainted self.<attr> names
+        self.changed = False
+        self.findings: list[Finding] = []
+        self._reporting = False
+        self._reported: set[tuple[str, str]] = set()  # dedupe (anchor, line-ish)
+
+    # -- fixpoint driver -------------------------------------------------------
+
+    def run(self) -> list[Finding]:
+        for _ in range(_MAX_ITERATIONS):
+            self.changed = False
+            for fn in self.mod.functions.values():
+                self._analyze_fn(fn)
+            if not self.changed:
+                break
+        self._reporting = True
+        for fn in self.mod.functions.values():
+            self._analyze_fn(fn)
+        return self.findings
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _mark_local(self, fn: FunctionInfo, name: str) -> None:
+        st = self.state[fn.qualname]
+        if name not in st.tainted:
+            st.tainted.add(name)
+            self.changed = True
+
+    def _mark_attr(self, attr: str) -> None:
+        if attr not in self.attr_taint:
+            self.attr_taint.add(attr)
+            self.changed = True
+
+    def _mark_returns(self, fn: FunctionInfo) -> None:
+        st = self.state[fn.qualname]
+        if not st.returns_tainted:
+            st.returns_tainted = True
+            self.changed = True
+
+    def _is_entry_fn(self, fn: FunctionInfo) -> bool:
+        return fn.name in self.spec.entry_methods and any(
+            b in self.spec.entry_bases for b in fn.class_bases
+        )
+
+    def _callees(self, name: str, fn: FunctionInfo) -> list[FunctionInfo]:
+        """Module-local resolution of a call target by simple name.
+
+        ``self._process(...)`` / ``helper(...)`` resolve to every function
+        in this module with that simple name, preferring same-class
+        methods when the call is through ``self``.
+        """
+        simple = name.split(".")[-1]
+        candidates = self.mod.functions_named(simple)
+        if not candidates:
+            return []
+        if name.startswith("self."):
+            cls_prefix = fn.qualname.rsplit(".", 1)[0]
+            same_class = [
+                c for c in candidates
+                if c.qualname.rsplit(".", 1)[0] == cls_prefix
+            ]
+            if same_class:
+                return same_class
+        return candidates
+
+    def _report(self, fn: FunctionInfo, anchor: str, lineno: int,
+                message: str) -> None:
+        key = (anchor, message)
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.findings.append(
+            Finding(
+                rule="W002",
+                severity=SEVERITY_ERROR,
+                module=self.mod.name,
+                path=rel_path(self.project, self.mod),
+                line=lineno,
+                anchor=anchor,
+                message=message,
+            )
+        )
+
+    # -- expression taint ------------------------------------------------------
+
+    def _expr(self, node: ast.expr | None, fn: FunctionInfo) -> bool:
+        if node is None:
+            return False
+        if isinstance(node, ast.Name):
+            return node.id in self.state[fn.qualname].tainted
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                return node.attr in self.attr_taint
+            return self._expr(node.value, fn)
+        if isinstance(node, ast.Call):
+            return self._call(node, fn)
+        if isinstance(node, ast.Compare):
+            # Comparisons yield decision bits, not payload content; still
+            # evaluate operands so call-site effects inside them fire.
+            self._expr(node.left, fn)
+            for cmp in node.comparators:
+                self._expr(cmp, fn)
+            return False
+        if isinstance(node, ast.Lambda):
+            return False
+        # Default: any tainted sub-expression taints the whole expression
+        # (containers, f-strings, arithmetic, subscripts, conditionals).
+        tainted = False
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                if self._expr(child, fn):
+                    tainted = True
+            elif isinstance(child, ast.comprehension):
+                if self._expr(child.iter, fn):
+                    tainted = True
+        return tainted
+
+    def _pta_read_source(self, node: ast.Call) -> bool:
+        """``ctx.invoke_pta(uuid, CMD_READ, ...)`` — a capture-buffer read."""
+        for arg in list(node.args) + [k.value for k in node.keywords]:
+            for sub in ast.walk(arg):
+                name = None
+                if isinstance(sub, ast.Attribute):
+                    name = sub.attr
+                elif isinstance(sub, ast.Name):
+                    name = sub.id
+                if name is not None and name in self.spec.source_pta_commands:
+                    return True
+        return False
+
+    def _call(self, node: ast.Call, fn: FunctionInfo) -> bool:
+        name = call_name(node.func)
+        arg_nodes = list(node.args) + [k.value for k in node.keywords]
+        args_tainted = [self._expr(a, fn) for a in arg_nodes]
+        any_arg_tainted = any(args_tainted)
+        receiver_tainted = (
+            isinstance(node.func, ast.Attribute)
+            and self._expr(node.func.value, fn)
+        )
+
+        if name is None:
+            # Call through a computed target (``f()()``, subscripts):
+            # propagate conservatively.
+            return any_arg_tainted or self._expr(node.func, fn)
+
+        simple = name.split(".")[-1]
+
+        # Declassifiers launder: tainted args are legitimate, result clean.
+        if dotted_suffix_match(name, self.spec.declassifiers):
+            return False
+
+        if simple in self.spec.clean_builtins and "." not in name:
+            return False
+
+        # Sources.
+        if dotted_suffix_match(name, self.spec.source_calls):
+            return True
+        if simple in ("invoke_pta",) and self._pta_read_source(node):
+            return True
+
+        # Local callees: propagate argument taint into parameters, pull
+        # return-taint summaries back.
+        callees = self._callees(name, fn)
+        if callees:
+            result = False
+            for callee in callees:
+                for i, arg in enumerate(node.args):
+                    if args_tainted[i] and i < len(callee.params):
+                        self._mark_local(callee, callee.params[i])
+                for kw in node.keywords:
+                    if kw.arg and kw.arg in callee.params:
+                        if self._expr(kw.value, fn):
+                            self._mark_local(callee, kw.arg)
+                if self.state[callee.qualname].returns_tainted:
+                    result = True
+            return result or receiver_tainted
+
+        # Mutators taint their receiver (``buf.append(pcm)``).
+        if simple in self.spec.mutators and any_arg_tainted:
+            recv = node.func.value if isinstance(node.func, ast.Attribute) else None
+            if isinstance(recv, ast.Name):
+                self._mark_local(fn, recv.id)
+            elif (
+                isinstance(recv, ast.Attribute)
+                and isinstance(recv.value, ast.Name)
+                and recv.value.id == "self"
+            ):
+                self._mark_attr(recv.attr)
+            return False
+
+        # Sinks — report only after the fixpoint has converged.
+        sink = dotted_suffix_match(name, self.spec.sink_calls)
+        if sink is not None and self._reporting and any_arg_tainted:
+            self._report(
+                fn,
+                anchor=f"{fn.qualname}:call:{sink}",
+                lineno=node.lineno,
+                message=f"tainted plaintext-derived value reaches "
+                        f"normal-world sink {name}() in {fn.qualname} "
+                        f"without passing a declassification point",
+            )
+
+        # Unknown call: taint flows through (np ops, json.dumps, copies).
+        return any_arg_tainted or receiver_tainted
+
+    # -- statements ------------------------------------------------------------
+
+    def _assign_target(self, target: ast.expr, fn: FunctionInfo) -> None:
+        if isinstance(target, ast.Name):
+            self._mark_local(fn, target.id)
+        elif isinstance(target, ast.Attribute):
+            if isinstance(target.value, ast.Name) and target.value.id == "self":
+                self._mark_attr(target.attr)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign_target(elt, fn)
+        elif isinstance(target, ast.Subscript):
+            self._assign_target(target.value, fn)
+        elif isinstance(target, ast.Starred):
+            self._assign_target(target.value, fn)
+
+    def _analyze_fn(self, fn: FunctionInfo) -> None:
+        body = getattr(fn.node, "body", [])
+        for stmt in body:
+            self._stmt(stmt, fn)
+
+    def _stmt(self, node: ast.stmt, fn: FunctionInfo) -> None:
+        if isinstance(node, _SKIP_NESTED):
+            return  # nested defs are analyzed as their own functions
+        if isinstance(node, ast.Assign):
+            if self._expr(node.value, fn):
+                for t in node.targets:
+                    self._assign_target(t, fn)
+            return
+        if isinstance(node, ast.AnnAssign):
+            if node.value is not None and self._expr(node.value, fn):
+                self._assign_target(node.target, fn)
+            return
+        if isinstance(node, ast.AugAssign):
+            if self._expr(node.value, fn) or self._expr(
+                node.target, fn
+            ):
+                self._assign_target(node.target, fn)
+            return
+        if isinstance(node, ast.Return):
+            if self._expr(node.value, fn):
+                self._mark_returns(fn)
+                if self._reporting and self._is_entry_fn(fn):
+                    self._report(
+                        fn,
+                        anchor=f"{fn.qualname}:return",
+                        lineno=node.lineno,
+                        message=f"TA entry point {fn.qualname} returns "
+                                f"tainted plaintext-derived data to the "
+                                f"normal-world client",
+                    )
+            return
+        if isinstance(node, ast.For):
+            if self._expr(node.iter, fn):
+                target = node.target
+                # ``for i, x in enumerate(tainted)``: the counter is clean.
+                if (
+                    isinstance(node.iter, ast.Call)
+                    and call_name(node.iter.func) == "enumerate"
+                    and isinstance(target, ast.Tuple)
+                    and len(target.elts) == 2
+                ):
+                    target = target.elts[1]
+                self._assign_target(target, fn)
+            for child in node.body + node.orelse:
+                self._stmt(child, fn)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if self._expr(item.context_expr, fn) and item.optional_vars:
+                    self._assign_target(item.optional_vars, fn)
+            for child in node.body:
+                self._stmt(child, fn)
+            return
+        if isinstance(node, ast.Expr):
+            self._expr(node.value, fn)
+            return
+        # Generic recursion: evaluate contained expressions (call-site
+        # effects) and walk nested statement blocks.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                self._stmt(child, fn)
+            elif isinstance(child, ast.expr):
+                self._expr(child, fn)
+
+
+def check_taint(project: Project, wmap: WorldMap) -> list[Finding]:
+    """Run the W002 taint pass over every secure-world module."""
+    findings: list[Finding] = []
+    for mod in project.modules.values():
+        if wmap.world_of(mod.name) is not World.SECURE:
+            continue
+        findings.extend(_ModuleTaint(project, mod, wmap).run())
+    return findings

@@ -10,7 +10,8 @@ writing Python::
     repro fleet                # N simulated devices, merged fleet telemetry
     repro health               # SLO evaluation + flight-recorder dump
     repro compare              # perf-regression gate vs committed baseline
-    repro tcb                  # trace-and-strip the I2S driver
+    repro tcb                  # trace-and-strip the I2S driver (+ dead-TCB)
+    repro analyze              # world-boundary static analysis gate
     repro models               # architecture comparison table
     repro info                 # platform/memory-map/cost-model summary
 
@@ -329,6 +330,51 @@ def _cmd_tcb(args: argparse.Namespace) -> int:
     for row in r.rows():
         print(f"  {row['subsystem']:10s} {row['loc_kept']:>5d}/"
               f"{row['loc_total']:<5d} LoC kept")
+
+    # Static complement: driver functions the TA can reach that this
+    # traced task never executed (the dead-TCB cross-check).
+    from repro.analysis.deadtcb import compute_dead_tcb
+    from repro.analysis.modgraph import load_project
+    from repro.analysis.worlds import DEFAULT_WORLD_MAP
+
+    project = load_project(pathlib.Path(__file__).resolve().parent)
+    dead = compute_dead_tcb(
+        project, DEFAULT_WORLD_MAP, I2sDriver, dynamic_hit=plan.keep
+    )
+    print(f"dead TCB     : {len(dead.dead)}/{len(dead.static_reachable)} "
+          f"statically reachable functions never traced "
+          f"({dead.dead_loc} LoC)")
+    for fn in dead.dead:
+        print(f"  dead       {fn} ({dead.loc.get(fn, 0)} LoC)")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.runner import DEFAULT_BASELINE_PATH, run_analysis
+
+    root = (
+        pathlib.Path(args.root)
+        if args.root
+        else pathlib.Path(__file__).resolve().parent
+    )
+    baseline = None if args.no_baseline else (
+        pathlib.Path(args.baseline) if args.baseline else DEFAULT_BASELINE_PATH
+    )
+    report = run_analysis(root, baseline_path=baseline)
+    if args.format == "json":
+        text = json.dumps(report.to_doc(), indent=2)
+    else:
+        text = report.render_text()
+    print(text)
+    if args.output:
+        out = pathlib.Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+        print(f"wrote {out}", file=sys.stderr)
+    if args.fail_on_new and report.new_findings:
+        return 1
     return 0
 
 
@@ -528,6 +574,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="max lines to print (0 = unlimited)",
     )
     trace.set_defaults(func=_cmd_trace)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="world-boundary static analysis (layering, taint, lints)",
+    )
+    analyze.add_argument(
+        "--root", default=None,
+        help="package directory to analyze (default: the installed "
+             "repro package)",
+    )
+    analyze.add_argument(
+        "--baseline", default=None,
+        help="baseline JSON path (default: the committed "
+             "analysis/baseline.json)",
+    )
+    analyze.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline; report every finding as new",
+    )
+    analyze.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    analyze.add_argument(
+        "--output", default=None,
+        help="also write the report to this file",
+    )
+    analyze.add_argument(
+        "--fail-on-new", action="store_true",
+        help="exit 1 if any finding is not in the baseline (the CI gate)",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
 
     tcb = sub.add_parser("tcb", help="trace-and-strip the I2S driver")
     tcb.add_argument("--seed", type=int, default=7)

@@ -227,6 +227,8 @@ def train_person_detector(
         for _ in range(frames_per_class):
             images.append(camera.capture_frame())
             labels.append(label)
-    classifier = ImageClassifier(32, 24, np.random.default_rng(seed))
+    classifier = ImageClassifier(
+        32, 24, SimRng.compat(seed, "camera/detector-init").generator
+    )
     classifier.fit(np.stack(images), np.array(labels), epochs=epochs)
     return classifier

@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.filter import FilterBundle, FilterPolicy, SensitiveFilter
 from repro.core.pipeline import SecurePipeline
 from repro.core.platform import IotPlatform
@@ -84,7 +82,7 @@ def provision_bundle(
 
     model = build_classifier(
         architecture, tokenizer.vocab_size, tokenizer.max_len,
-        np.random.default_rng(seed),
+        SimRng.compat(seed, "provision/model-init").generator,
     )
     trainer = Trainer(model, tokenizer, TrainConfig(epochs=epochs, seed=seed))
     trainer.fit(train_corpus, test_corpus)

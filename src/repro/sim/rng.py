@@ -25,6 +25,24 @@ class SimRng:
             np.random.PCG64(int.from_bytes(digest[:8], "little"))
         )
 
+    @classmethod
+    def compat(cls, seed: int, name: str) -> "SimRng":
+        """A named stream byte-identical to ``np.random.default_rng(seed)``.
+
+        Migration shim for call sites that historically seeded numpy
+        directly: the stream skips the name-digest derivation (the name is
+        kept for auditing only), so routing such a site through SimRng
+        changes nothing downstream — model weights, decisions and committed
+        perf baselines stay byte-for-byte identical for the same seed.
+        New consumers should use :meth:`fork`, which isolates streams by
+        name.
+        """
+        rng = cls.__new__(cls)
+        rng.seed = int(seed)
+        rng.name = name
+        rng._gen = np.random.Generator(np.random.PCG64(int(seed)))
+        return rng
+
     def fork(self, name: str) -> "SimRng":
         """Derive an independent child stream identified by ``name``.
 

@@ -8,7 +8,12 @@ conditional-compilation configuration).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.tcb.analyze import MinimizationPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.deadtcb import DeadTcbReport
 
 
 def render_markdown(plan: MinimizationPlan) -> str:
@@ -44,6 +49,43 @@ def render_markdown(plan: MinimizationPlan) -> str:
         "",
     ]
     lines += [f"* `{fn}`" for fn in sorted(plan.compiled_out)]
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_dead_tcb(report: "DeadTcbReport") -> str:
+    """Render the static/dynamic dead-TCB cross-check as markdown.
+
+    The static analyzer's complement to the trace-driven plans: driver
+    functions reachable from the TA's entry points that no traced task
+    profile ever executed are attack surface the per-task builds cannot
+    justify keeping.
+    """
+    lines = [
+        f"# Dead-TCB cross-check — `{report.driver}`",
+        "",
+        f"* TA entry points used as roots: "
+        f"{', '.join(f'`{e}`' for e in report.entry_points) or 'none'}",
+        f"* statically reachable driver functions: "
+        f"**{len(report.static_reachable)}** ({report.static_loc} LoC)",
+        f"* dynamically exercised (all task profiles): "
+        f"**{len(report.dynamic_hit)}**",
+        f"* dead TCB (reachable, never traced): **{len(report.dead)}** "
+        f"({report.dead_loc} LoC)",
+        "",
+        "## Dead functions",
+        "",
+    ]
+    lines += [f"* `{fn}` ({report.loc.get(fn, 0)} LoC)" for fn in report.dead]
+    if not report.dead:
+        lines.append("*(none — every reachable function is exercised)*")
+    if report.untracked_dynamic:
+        lines += [
+            "",
+            "## Traced but not statically reachable (static blind spots)",
+            "",
+        ]
+        lines += [f"* `{fn}`" for fn in report.untracked_dynamic]
     lines.append("")
     return "\n".join(lines)
 

@@ -1,0 +1,6 @@
+"""Seeded-violation fixture package for the static analyzer tests.
+
+Never imported — the analyzer parses it.  Each module carries exactly the
+violations its name advertises; the test asserts the analyzer finds each
+rule id here (and nothing it should not).
+"""

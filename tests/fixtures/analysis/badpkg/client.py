@@ -1,0 +1,5 @@
+"""Normal-world module: the forbidden import target for W001."""
+
+
+def upload(payload):
+    return {"uploaded": payload}

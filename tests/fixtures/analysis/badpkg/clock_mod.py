@@ -1,0 +1,10 @@
+"""Ambient nondeterminism outside sim/ (D001)."""
+
+import time
+
+import numpy as np
+
+
+def jitter():
+    entropy = np.random.default_rng(0)  # D001: ambient numpy generator
+    return time.time() + entropy.random()  # D001: wall clock

@@ -1,0 +1,12 @@
+"""Obs-restricted module importing observability at runtime (O001)."""
+
+from typing import TYPE_CHECKING
+
+from badpkg.obs import metrics  # O001: runtime obs import
+
+if TYPE_CHECKING:
+    from badpkg.obs.metrics import counter  # allowed: never executes
+
+
+def run():
+    return metrics.counter("calls")

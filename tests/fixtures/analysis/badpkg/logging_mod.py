@@ -1,0 +1,10 @@
+"""Key material interpolated into message text (S001)."""
+
+
+def audit(log, seal_key):
+    log.info(f"sealing with {seal_key}")  # S001: secret in log f-string
+    log.info(f"sealing with a {len(seal_key)}-byte key")  # clean: length only
+
+
+def fail(huk):
+    raise ValueError(f"bad huk: {huk}")  # S001: secret in exception text

@@ -1,0 +1,3 @@
+"""Deliberately absent from the fixture world map (W000)."""
+
+VALUE = 42

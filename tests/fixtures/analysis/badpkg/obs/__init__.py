@@ -1,0 +1,1 @@
+"""Stand-in observability package (the O001 import target)."""

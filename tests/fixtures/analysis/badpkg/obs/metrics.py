@@ -1,0 +1,5 @@
+"""Stand-in metrics module."""
+
+
+def counter(name):
+    return name

@@ -1,0 +1,16 @@
+"""Secure-world module that reaches into the normal world.
+
+The runtime import is the W001 violation; the TYPE_CHECKING import of the
+same module must NOT be flagged.
+"""
+
+from typing import TYPE_CHECKING
+
+import badpkg.client  # W001: secure -> normal at runtime
+
+if TYPE_CHECKING:
+    from badpkg.client import upload  # allowed: never executes
+
+
+def leak(x):
+    return badpkg.client.upload(x)

@@ -1,0 +1,91 @@
+"""Unit tests: the static/dynamic dead-TCB cross-check."""
+
+import pathlib
+
+from repro.analysis.deadtcb import (
+    DeadTcbReport,
+    compute_dead_tcb,
+    static_reachability,
+)
+from repro.analysis.modgraph import load_project
+from repro.analysis.worlds import DEFAULT_WORLD_MAP
+from repro.drivers.i2s_driver import I2sDriver
+from repro.tcb.report import render_dead_tcb
+
+REPO_PACKAGE = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def _project():
+    return load_project(REPO_PACKAGE)
+
+
+class TestStaticReachability:
+    def test_roots_are_ta_entry_points(self):
+        reach = static_reachability(_project(), DEFAULT_WORLD_MAP)
+        assert any("AudioFilterTa.on_invoke" in e for e in reach.entry_points)
+
+    def test_pta_dispatch_edge_reaches_driver_read(self):
+        # TA -> invoke_pta -> SecureAudioPta.on_invoke -> driver.read_chunk
+        reach = static_reachability(_project(), DEFAULT_WORLD_MAP)
+        assert "read_chunk" in reach.called_names
+
+
+class TestDeadTcb:
+    def test_empty_dynamic_set_makes_everything_dead(self):
+        report = compute_dead_tcb(
+            _project(), DEFAULT_WORLD_MAP, I2sDriver, frozenset()
+        )
+        assert report.static_reachable
+        assert set(report.dead) == set(report.static_reachable)
+        assert report.dead_loc == report.static_loc > 0
+
+    def test_fully_traced_driver_has_no_dead_tcb(self):
+        report = compute_dead_tcb(
+            _project(), DEFAULT_WORLD_MAP, I2sDriver,
+            frozenset(I2sDriver.functions()),
+        )
+        assert report.dead == ()
+
+    def test_dynamic_hit_restricted_to_driver_functions(self):
+        report = compute_dead_tcb(
+            _project(), DEFAULT_WORLD_MAP, I2sDriver,
+            frozenset({"read_chunk", "not_a_driver_fn"}),
+        )
+        assert "not_a_driver_fn" not in report.dynamic_hit
+
+    def test_to_doc_round_trips_counts(self):
+        report = compute_dead_tcb(
+            _project(), DEFAULT_WORLD_MAP, I2sDriver, frozenset({"read_chunk"})
+        )
+        doc = report.to_doc()
+        assert doc["driver"] == I2sDriver.NAME
+        assert len(doc["dead"]) == len(report.dead)
+        assert doc["dead_loc"] == report.dead_loc
+
+
+class TestRenderDeadTcb:
+    def test_markdown_sections(self):
+        report = DeadTcbReport(
+            driver="i2s",
+            entry_points=("m:Ta.on_invoke",),
+            loc={"a": 10, "b": 20, "c": 5},
+            static_reachable=frozenset({"a", "b"}),
+            dynamic_hit=frozenset({"b", "c"}),
+        )
+        text = render_dead_tcb(report)
+        assert "Dead-TCB cross-check" in text
+        assert "`a` (10 LoC)" in text          # dead
+        assert "static blind spots" in text    # c traced but unreachable
+        assert "`c`" in text
+
+    def test_no_dead_renders_placeholder(self):
+        report = DeadTcbReport(
+            driver="i2s",
+            entry_points=(),
+            loc={"a": 10},
+            static_reachable=frozenset({"a"}),
+            dynamic_hit=frozenset({"a"}),
+        )
+        assert "every reachable function is exercised" in (
+            render_dead_tcb(report)
+        )

@@ -1,0 +1,251 @@
+"""Unit tests: the world-boundary static analyzer.
+
+Covers every rule id against the seeded-violation fixture package
+(``tests/fixtures/analysis/badpkg``), asserts the repo itself is clean
+above the committed baseline, round-trips the baseline, and drives the
+``repro analyze --fail-on-new`` CI gate against injected violations.
+"""
+
+import json
+import pathlib
+import shutil
+
+import pytest
+
+from repro.analysis.findings import AnalysisReport, Baseline
+from repro.analysis.modgraph import load_project
+from repro.analysis.runner import analyze_package, run_analysis
+from repro.analysis.worlds import World, WorldMap
+from repro.cli import main
+
+FIXTURE_ROOT = pathlib.Path(__file__).parent / "fixtures" / "analysis" / "badpkg"
+REPO_PACKAGE = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
+
+FIXTURE_MAP = WorldMap(
+    package="badpkg",
+    exact={"badpkg": World.SHARED},
+    prefixes={
+        "badpkg.client": World.NORMAL,
+        "badpkg.secure_mod": World.SECURE,
+        "badpkg.ta_mod": World.SECURE,
+        "badpkg.clock_mod": World.NORMAL,
+        "badpkg.logging_mod": World.NORMAL,
+        "badpkg.obs": World.SHARED,
+        "badpkg.core": World.SECURE,
+        # badpkg.mystery deliberately unmapped -> W000
+    },
+    obs_package="badpkg.obs",
+    obs_restricted=("badpkg.core",),
+    rng_exempt=("badpkg.sim",),
+)
+
+
+@pytest.fixture(scope="module")
+def fixture_findings():
+    return analyze_package(FIXTURE_ROOT, package="badpkg",
+                           world_map=FIXTURE_MAP)
+
+
+def _fingerprints(findings):
+    return {f.fingerprint for f in findings}
+
+
+class TestFixtureViolations:
+    def test_w000_unmapped_module(self, fixture_findings):
+        assert "W000:badpkg.mystery:unmapped" in _fingerprints(
+            fixture_findings
+        )
+
+    def test_w001_secure_imports_normal(self, fixture_findings):
+        assert "W001:badpkg.secure_mod:import:badpkg.client" in (
+            _fingerprints(fixture_findings)
+        )
+
+    def test_w001_type_checking_import_exempt(self, fixture_findings):
+        # secure_mod imports badpkg.client twice; only the runtime import
+        # may be flagged, so exactly one W001 lands on that module.
+        w001 = [f for f in fixture_findings
+                if f.rule == "W001" and f.module == "badpkg.secure_mod"]
+        assert len(w001) == 1
+
+    def test_w002_rpc_sink(self, fixture_findings):
+        assert "W002:badpkg.ta_mod:EvilTa.on_invoke:call:rpc" in (
+            _fingerprints(fixture_findings)
+        )
+
+    def test_w002_tainted_entry_return(self, fixture_findings):
+        assert "W002:badpkg.ta_mod:EvilTa.on_invoke:return" in (
+            _fingerprints(fixture_findings)
+        )
+
+    def test_w002_declassified_flows_clean(self, fixture_findings):
+        # GoodTa moves the same tainted buffer only through approved
+        # declassification points: zero findings on it.
+        assert not [f for f in fixture_findings
+                    if f.rule == "W002" and "GoodTa" in f.anchor]
+
+    def test_d001_ambient_rng_and_clock(self, fixture_findings):
+        fps = _fingerprints(fixture_findings)
+        assert "D001:badpkg.clock_mod:call:np.random.default_rng" in fps
+        assert "D001:badpkg.clock_mod:call:time.time" in fps
+
+    def test_s001_log_and_exception(self, fixture_findings):
+        fps = _fingerprints(fixture_findings)
+        assert "S001:badpkg.logging_mod:log:seal_key" in fps
+        assert "S001:badpkg.logging_mod:exception:huk" in fps
+
+    def test_s001_derived_length_clean(self, fixture_findings):
+        # f"...{len(seal_key)}..." interpolates a length, not the key.
+        s001_logs = [f for f in fixture_findings
+                     if f.rule == "S001" and f.module == "badpkg.logging_mod"
+                     and f.anchor.startswith("log:")]
+        assert len(s001_logs) == 1
+
+    def test_o001_runtime_obs_import(self, fixture_findings):
+        o001 = [f for f in fixture_findings
+                if f.rule == "O001" and f.module == "badpkg.core"]
+        assert len(o001) == 1  # the TYPE_CHECKING import is exempt
+        assert o001[0].anchor.startswith("import:badpkg.obs")
+
+    def test_all_five_rule_ids_demonstrated(self, fixture_findings):
+        assert {f.rule for f in fixture_findings} >= {
+            "W001", "W002", "D001", "S001", "O001",
+        }
+
+    def test_findings_carry_location_and_severity(self, fixture_findings):
+        for f in fixture_findings:
+            assert f.path.endswith(".py")
+            assert f.line >= 1
+            assert f.severity in ("error", "warning")
+
+    def test_analysis_is_deterministic(self, fixture_findings):
+        again = analyze_package(FIXTURE_ROOT, package="badpkg",
+                                world_map=FIXTURE_MAP)
+        assert again == fixture_findings
+
+
+class TestRepoClean:
+    def test_repo_has_no_findings_above_baseline(self):
+        report = run_analysis(REPO_PACKAGE)
+        assert report.new_findings == [], (
+            "new analyzer findings:\n" + report.render_text()
+        )
+
+    def test_committed_baseline_has_no_stale_entries(self):
+        report = run_analysis(REPO_PACKAGE)
+        assert report.stale == []
+
+    def test_every_repo_module_is_mapped(self):
+        report = run_analysis(REPO_PACKAGE, baseline_path=None)
+        assert not [f for f in report.findings if f.rule == "W000"]
+
+
+class TestBaselineRoundTrip:
+    def test_suppress_rerun_silent(self, fixture_findings, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(fixture_findings, reason="fixture").save(path)
+        report = AnalysisReport(
+            findings=analyze_package(FIXTURE_ROOT, package="badpkg",
+                                     world_map=FIXTURE_MAP),
+            baseline=Baseline.load(path),
+        )
+        assert report.new_findings == []
+        assert len(report.suppressed) == len(fixture_findings)
+        assert report.stale == []
+
+    def test_stale_entries_reported(self, fixture_findings, tmp_path):
+        path = tmp_path / "baseline.json"
+        baseline = Baseline.from_findings(fixture_findings)
+        baseline.entries["W001:badpkg.gone:import:badpkg.client"] = "gone"
+        baseline.save(path)
+        report = AnalysisReport(findings=list(fixture_findings),
+                                baseline=Baseline.load(path))
+        assert report.stale == ["W001:badpkg.gone:import:badpkg.client"]
+
+    def test_baseline_fingerprints_survive_line_shifts(self, fixture_findings):
+        # Fingerprints must not embed line numbers, or editing unrelated
+        # code would churn the committed baseline.
+        for f in fixture_findings:
+            assert str(f.line) not in f.fingerprint.split(":")
+
+
+# One injectable violation per rule id: (relative path, source, rule).
+_INJECTIONS = [
+    ("ml/evil_w001.py", "import repro.cloud\n", "W001"),
+    (
+        "ml/evil_w002.py",
+        "CMD_READ = 2\n\n\n"
+        "class EvilTa(TrustedApplication):  # noqa: F821\n"
+        "    def on_invoke(self, ctx, cmd, params):\n"
+        "        pcm = ctx.invoke_pta(self.uuid, CMD_READ, {})\n"
+        "        return {'raw': pcm}\n",
+        "W002",
+    ),
+    (
+        "kernel/evil_d001.py",
+        "import time\n\n\ndef now():\n    return time.time()\n",
+        "D001",
+    ),
+    (
+        "crypto/evil_s001.py",
+        "def fail(seal_key):\n"
+        "    raise ValueError(f'bad {seal_key}')\n",
+        "S001",
+    ),
+    ("core/evil_o001.py", "import repro.obs\n", "O001"),
+]
+
+
+class TestFailOnNewGate:
+    @pytest.fixture()
+    def repo_copy(self, tmp_path):
+        dest = tmp_path / "repro"
+        shutil.copytree(REPO_PACKAGE, dest)
+        return dest
+
+    def test_clean_copy_exits_zero(self, repo_copy, capsys):
+        assert main(["analyze", "--root", str(repo_copy),
+                     "--fail-on-new"]) == 0
+        capsys.readouterr()
+
+    @pytest.mark.parametrize("relpath,source,rule",
+                             _INJECTIONS, ids=[i[2] for i in _INJECTIONS])
+    def test_single_injected_violation_fails(
+        self, repo_copy, capsys, relpath, source, rule
+    ):
+        (repo_copy / relpath).write_text(source)
+        assert main(["analyze", "--root", str(repo_copy), "--format", "json",
+                     "--fail-on-new"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert rule in {f["rule"] for f in doc["new"]}
+
+
+class TestWorldMap:
+    def test_exact_beats_prefix(self):
+        assert FIXTURE_MAP.world_of("badpkg") is World.SHARED
+
+    def test_longest_prefix_wins(self):
+        wmap = WorldMap(
+            package="p",
+            prefixes={"p.a": World.NORMAL, "p.a.b": World.SECURE},
+        )
+        assert wmap.world_of("p.a.b.c") is World.SECURE
+        assert wmap.world_of("p.a.x") is World.NORMAL
+
+    def test_unmapped_is_none(self):
+        assert FIXTURE_MAP.world_of("badpkg.mystery") is None
+
+
+class TestModGraph:
+    def test_nested_class_in_factory_resolves(self):
+        project = load_project(REPO_PACKAGE)
+        mod = project.modules["repro.core.ta_filter"]
+        assert "make_audio_filter_ta.AudioFilterTa.on_invoke" in mod.functions
+        fn = mod.functions["make_audio_filter_ta.AudioFilterTa.on_invoke"]
+        assert "TrustedApplication" in fn.class_bases
+
+    def test_type_checking_imports_tagged(self):
+        project = load_project(REPO_PACKAGE)
+        mod = project.modules["repro.optee.ta"]
+        tc = [i for i in mod.imports if i.type_checking]
+        assert any(i.target.startswith("repro.obs") for i in tc)

@@ -13,7 +13,8 @@ class TestParser:
     def test_all_subcommands_parse(self):
         parser = build_parser()
         for command in ("demo", "privacy", "profile", "trace", "fleet",
-                        "health", "compare", "tcb", "models", "info"):
+                        "health", "compare", "tcb", "models", "info",
+                        "analyze"):
             args = parser.parse_args([command])
             assert callable(args.func)
 
@@ -76,6 +77,27 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "reduction" in out
         assert "full driver" in out
+        assert "dead TCB" in out
+
+    def test_analyze_clean_with_baseline(self, capsys):
+        assert main(["analyze", "--fail-on-new"]) == 0
+        out = capsys.readouterr().out
+        assert "0 new" in out
+
+    def test_analyze_json_report(self, capsys, tmp_path):
+        import json
+
+        report = tmp_path / "analysis.json"
+        assert main(["analyze", "--format", "json",
+                     "--output", str(report)]) == 0
+        doc = json.loads(report.read_text())
+        assert doc["new"] == []
+        assert json.loads(capsys.readouterr().out) == doc
+
+    def test_analyze_no_baseline_reports_accepted_findings(self, capsys):
+        # Without the baseline the accepted W002 findings count as new.
+        assert main(["analyze", "--no-baseline", "--fail-on-new"]) == 1
+        assert "W002" in capsys.readouterr().out
 
     def test_demo(self, capsys):
         assert main(["demo", "--utterances", "4", "--seed", "5"]) == 0
