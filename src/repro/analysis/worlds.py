@@ -68,8 +68,13 @@ class TaintSpec:
         "capture_frames",
     )
     # invoke_pta calls whose arguments reference one of these names are
-    # sources too (the PTA capture-buffer read).
-    source_pta_commands: tuple[str, ...] = ("CMD_READ",)
+    # sources too (the PTA capture-buffer read, single-frame and block
+    # camera captures).
+    source_pta_commands: tuple[str, ...] = (
+        "CMD_READ",
+        "PTA_CMD_CAPTURE",
+        "PTA_CMD_CAPTURE_BLOCK",
+    )
     # Calls through which data escapes the secure world.
     sink_calls: tuple[str, ...] = (
         "rpc",                 # supplicant RPC — payload transits NS memory

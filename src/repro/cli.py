@@ -346,6 +346,46 @@ def _cmd_tcb(args: argparse.Namespace) -> int:
           f"({dead.dead_loc} LoC)")
     for fn in dead.dead:
         print(f"  dead       {fn} ({dead.loc.get(fn, 0)} LoC)")
+
+    # Same cross-check for the USB audio driver, whose read path the
+    # hot-path benchmark now exercises: trace the same record task over
+    # the (heavier) USB stack and size its never-traced remainder.
+    from repro.drivers.hosting import KernelDriverHost
+    from repro.drivers.usb_audio_driver import UsbAudioDriver
+    from repro.kernel.tracer import FunctionTracer
+    from repro.peripherals.usb import UsbAudioMicrophone, UsbBus
+
+    usb_machine = TrustZoneMachine()
+    usb_bus = UsbBus(usb_machine.clock, UsbAudioMicrophone(ToneSource()))
+    usb_host = KernelDriverHost(usb_machine)
+    usb_driver = UsbAudioDriver(usb_host, usb_bus)
+    usb_tracer = FunctionTracer()
+    usb_host.attach_tracer(usb_tracer)
+    usb_tracer.start("record")
+    usb_driver.probe()
+    usb_driver.pcm_open_capture(128)
+    usb_driver.trigger_start()
+    usb_driver.read_chunk()
+    usb_driver.trigger_stop()
+    usb_driver.pcm_close()
+    usb_session = usb_tracer.stop()
+
+    usb_plan = TcbAnalyzer(UsbAudioDriver).analyze(
+        [usb_session], task="record",
+        always_keep=frozenset({"_handle_stall", "clear_halt"}),
+    )
+    ur = usb_plan.report
+    print(f"\nusb driver   : {ur.functions_total} functions, {ur.loc_total} LoC")
+    print(f"usb minimized: {ur.functions_kept} functions, {ur.loc_kept} LoC "
+          f"({ur.loc_reduction_pct:.1f}% LoC reduction)")
+    usb_dead = compute_dead_tcb(
+        project, DEFAULT_WORLD_MAP, UsbAudioDriver, dynamic_hit=usb_plan.keep
+    )
+    print(f"usb dead TCB : {len(usb_dead.dead)}/{len(usb_dead.static_reachable)} "
+          f"statically reachable functions never traced "
+          f"({usb_dead.dead_loc} LoC)")
+    for fn in usb_dead.dead:
+        print(f"  dead       {fn} ({usb_dead.loc.get(fn, 0)} LoC)")
     return 0
 
 

@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.drivers.hosting import SecureDriverHost
 from repro.drivers.i2s_driver import I2sDriver
-from repro.errors import TeeBadParameters
+from repro.errors import DeviceStateError, TeeBadParameters
 from repro.optee.pta import PseudoTa
 from repro.peripherals.i2s import I2sController
 from repro.tz.memory import MemoryRegion
@@ -53,6 +53,13 @@ class SecureAudioPta(PseudoTa):
 
     NAME = "pta.secure-audio"
 
+    STALL_BUDGET = 3
+    """Consecutive empty chunk reads tolerated before the PTA declares the
+    capture stream stalled.  ``read_chunk`` blocks for a full period of
+    real capture time, so even one empty return means the controller
+    produced nothing for an entire period — three in a row is a dead or
+    disabled device, not scheduling jitter."""
+
     def __init__(self, controller: I2sController, mmio_region: MemoryRegion):
         super().__init__()
         self._controller = controller
@@ -60,7 +67,8 @@ class SecureAudioPta(PseudoTa):
         self.driver: I2sDriver | None = None
         self._host: SecureDriverHost | None = None
         self._utt_buf_addr: int | None = None
-        self._utt_buf_size = 0
+        self._utt_buf_size = 0  # allocated capacity (bytes)
+        self._utt_buf_len = 0  # live utterance length (bytes)
 
     def on_invoke(
         self, cmd: int, payload: Any, caller: "TrustedApplication | None"
@@ -129,35 +137,63 @@ class SecureAudioPta(PseudoTa):
         models, which then fault on it.
         """
         assert self.driver is not None and self._host is not None
-        chunks = []
-        remaining = frames
-        while remaining > 0:
-            pcm = self.driver.read_chunk()
-            chunks.append(pcm[: min(len(pcm), remaining)])
-            remaining -= len(chunks[-1])
-        full = np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int16)
-        self._land_utterance(full)
+        assert self.ctx is not None
+        full = np.empty(frames, dtype=np.int16)
+        filled = 0
+        empty_reads = 0
+        with self.ctx.machine.obs.span(
+            "pta_read", category="capture.secure", frames=frames
+        ):
+            while filled < frames:
+                pcm = self.driver.read_chunk()
+                if len(pcm) == 0:
+                    # A stalled controller (disabled RX, dead clock, fault
+                    # injection) returns empty chunks forever; without a
+                    # budget this loop never terminates.
+                    empty_reads += 1
+                    if empty_reads >= self.STALL_BUDGET:
+                        raise DeviceStateError(
+                            f"secure audio capture stalled: {empty_reads} "
+                            f"consecutive empty reads at {filled}/{frames} "
+                            f"frames"
+                        )
+                    continue
+                empty_reads = 0
+                take = min(len(pcm), frames - filled)
+                full[filled : filled + take] = pcm[:take]
+                filled += take
+            self._land_utterance(full)
         return full
 
     def _land_utterance(self, pcm: np.ndarray) -> None:
         nbytes = len(pcm) * 2
+        self._utt_buf_len = nbytes
         if nbytes == 0:
             return
+        assert self._host is not None
         if self._utt_buf_addr is None or nbytes > self._utt_buf_size:
             if self._utt_buf_addr is not None:
-                assert self._host is not None
                 self._host.free_buffer(self._utt_buf_addr)
-            assert self._host is not None
             self._utt_buf_addr = self._host.alloc_buffer(nbytes)
             self._utt_buf_size = nbytes
-        assert self._host is not None
         self._host.write_mem(self._utt_buf_addr, pcm.astype("<i2").tobytes())
+        if nbytes < self._utt_buf_size:
+            # Scrub the stale tail: a reused larger buffer would otherwise
+            # keep the previous utterance's plaintext past the live window.
+            self._host.write_mem(
+                self._utt_buf_addr + nbytes, b"\x00" * (self._utt_buf_size - nbytes)
+            )
 
     def utterance_buffer(self) -> tuple[int, int] | None:
-        """(addr, size) of the secure utterance buffer, if one exists."""
+        """(addr, live length) of the secure utterance buffer, if any.
+
+        The length is the *live* utterance size, not the allocation
+        capacity — a shorter utterance landing in a reused larger buffer
+        must not report (or expose) the stale tail.
+        """
         if self._utt_buf_addr is None:
             return None
-        return (self._utt_buf_addr, self._utt_buf_size)
+        return (self._utt_buf_addr, self._utt_buf_len)
 
     # -- introspection for experiments -----------------------------------------
 

@@ -88,6 +88,30 @@ class CameraDriver(Driver):
         self.last_frame = frame
         return frame
 
+    @driver_fn(loc=58, subsystem="stream", entry_point=True)
+    def capture_frames(self, n_frames: int) -> np.ndarray:
+        """Grab ``n_frames`` frames as one ``(N, H, W)`` block.
+
+        The sensor is still clocked one frame at a time (pixels are
+        identical to ``n_frames`` calls of :meth:`capture_frame`), but
+        exposure is applied across the whole block, the per-frame
+        bookkeeping charge is issued once for the block, and only the
+        final frame lands in the single-frame I/O buffer — the batch
+        analogue of a ring buffer whose consumer reads the block.
+        """
+        if self.state != "streaming" or self._buf_addr is None:
+            raise DeviceStateError(f"capture_frames in state {self.state!r}")
+        if n_frames <= 0:
+            raise DriverError("n_frames must be positive")
+        block = np.stack(
+            [self.camera.capture_frame() for _ in range(n_frames)]
+        )
+        block = self._apply_exposure(block)
+        self.host.write_mem(self._buf_addr, block[-1].tobytes())
+        self.host.compute(block.size // 4)
+        self.last_frame = block[-1]
+        return block
+
     @driver_fn(loc=26, subsystem="stream")
     def _apply_exposure(self, frame: np.ndarray) -> np.ndarray:
         if self.exposure == 50:

@@ -52,10 +52,19 @@ def run_capture_conformance(
         driver.trigger_start()
         checks["start"] = driver.state == "capturing"
 
+        missing_before = driver._missing_frames
         total = np.concatenate(
             [driver.read_chunk() for _ in range(chunks)]
         )
         checks["chunk_length"] = len(total) == chunk_frames * chunks
+        # Short-read contract: a chunk may come back smaller than the
+        # period on FIFO underrun, but never silently — every missing
+        # frame must be accounted for in the driver's capture stats.
+        # (Counters are read directly rather than via capture_stats() so
+        # minimized builds that strip the debug subsystem still conform.)
+        shortfall = chunk_frames * chunks - len(total)
+        accounted = driver._missing_frames - missing_before
+        checks["short_reads_accounted"] = shortfall == accounted
         checks["signal_present"] = bool(np.any(total != 0))
 
         encoded = driver.encode_chunk(total[:chunk_frames])

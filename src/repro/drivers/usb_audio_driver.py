@@ -45,6 +45,12 @@ from repro.peripherals.usb import (
 
 _URB_POOL_SIZE = 8
 
+_STALL_BUDGET = 8
+"""Consecutive endpoint stalls tolerated inside one ``read_chunk`` before
+the driver gives up.  A single stall is routine (recovered via
+CLEAR_FEATURE); a pipe that stalls on every retry is dead and retrying
+forever would hang the capture loop."""
+
 
 class UsbAudioDriver(Driver):
     """Instrumented USB audio capture driver."""
@@ -67,6 +73,9 @@ class UsbAudioDriver(Driver):
         self._urbs: list[dict] = []
         self._buf_addr: int | None = None
         self._buf_bytes = 0
+        self._chunks_read = 0
+        self._short_reads = 0
+        self._missing_frames = 0
 
     # ------------------------------------------------------------------
     # enumeration
@@ -372,23 +381,36 @@ class UsbAudioDriver(Driver):
             raise DeviceStateError(f"read_chunk in state {self.state!r}")
         if self._buf_addr is None:
             raise DriverError("no capture buffer")
-        collected: list[np.ndarray] = []
+        pcm = np.empty(self.chunk_frames, dtype=np.int16)
+        filled = 0
         remaining = self.chunk_frames
+        stalls = 0
         per_urb = max(16, self.chunk_frames // _URB_POOL_SIZE)
         while remaining > 0:
             frames = min(per_urb, remaining)
             urb = self._submit_urb(frames)
             try:
-                collected.append(self._complete_urb(urb))
+                got = self._complete_urb(urb)
             except BusProtocolError:
                 self._handle_stall()
+                stalls += 1
+                if stalls >= _STALL_BUDGET:
+                    raise DriverError(
+                        f"iso pipe dead: {stalls} consecutive stalls "
+                        f"at {filled}/{self.chunk_frames} frames"
+                    )
                 continue
             finally:
                 self._reap_urb(urb)
+            stalls = 0
+            pcm[filled : filled + len(got)] = got
+            filled += len(got)
             remaining -= frames
-        pcm = np.concatenate(collected) if collected else np.zeros(
-            0, dtype=np.int16
-        )
+        self._chunks_read += 1
+        if filled < self.chunk_frames:
+            self._short_reads += 1
+            self._missing_frames += self.chunk_frames - filled
+            pcm = pcm[:filled]
         self.host.write_mem(self._buf_addr, pcm16_encode(pcm))
         return pcm
 
@@ -476,6 +498,15 @@ class UsbAudioDriver(Driver):
         """Enumeration sanity check."""
         self.host.compute(1200)
         return bool(self.device_info) and bool(self.endpoints)
+
+    @driver_fn(loc=24, subsystem="debug", entry_point=True)
+    def capture_stats(self) -> dict:
+        """Capture-path statistics (same contract as the I²S driver's)."""
+        return {
+            "chunks": self._chunks_read,
+            "short_reads": self._short_reads,
+            "missing_frames": self._missing_frames,
+        }
 
     @driver_fn(loc=47, subsystem="debug", entry_point=True)
     def packet_stats(self) -> dict:

@@ -103,21 +103,33 @@ class MatchedFilterAsr:
         self._words = words
 
     def _decode_at(self, signal: np.ndarray, offset: int) -> tuple[list[str], float]:
-        """Decode assuming words start at ``offset``; returns (words, score)."""
-        out: list[str] = []
-        total = 0.0
-        for start in range(offset, len(signal) - SAMPLES_PER_WORD + 1,
-                           WORD_STRIDE):
-            window = signal[start : start + SAMPLES_PER_WORD]
-            norm = np.linalg.norm(window)
-            if norm < 1e-6:
-                continue
-            scores = self._matrix @ (window / norm)
-            best = int(scores.argmax())
-            if scores[best] >= self.silence_threshold:
-                out.append(self._words[best])
-                total += float(scores[best])
-        return out, total
+        """Decode assuming words start at ``offset``; returns (words, score).
+
+        All word-stride windows are gathered into one ``(n_windows,
+        SAMPLES_PER_WORD)`` block and correlated against every template
+        with a single matrix product, instead of one matvec per window.
+        """
+        n_windows = (len(signal) - SAMPLES_PER_WORD - offset) // WORD_STRIDE + 1
+        if len(signal) - offset < SAMPLES_PER_WORD or n_windows <= 0:
+            return [], 0.0
+        idx = (
+            offset
+            + np.arange(n_windows)[:, None] * WORD_STRIDE
+            + np.arange(SAMPLES_PER_WORD)[None, :]
+        )
+        windows = signal[idx]
+        norms = np.linalg.norm(windows, axis=1)
+        live = norms >= 1e-6
+        if not live.any():
+            return [], 0.0
+        normalized = windows[live] / norms[live, None]
+        scores = normalized @ self._matrix.T
+        best = scores.argmax(axis=1)
+        best_scores = scores[np.arange(len(best)), best]
+        keep = best_scores >= self.silence_threshold
+        out = [self._words[int(b)] for b in best[keep]]
+        total = sum(float(s) for s in best_scores[keep])
+        return out, float(total)
 
     def _find_alignment(self, signal: np.ndarray) -> int:
         """Estimate the word-grid offset of an arbitrarily cut segment.

@@ -89,37 +89,26 @@ class EnergyVad:
         active = self.frame_activity(pcm)
         if not len(active):
             return []
-        # Hangover: bridge inactive runs shorter than hang_frames.
+        n = len(active)
+        # Hangover: bridge inactive runs of <= hang_frames that are flanked
+        # by activity (neither leading silence nor a trailing tail).  Runs
+        # are found by run-length encoding instead of a per-frame loop.
         bridged = active.copy()
-        run_start = None
-        for i, a in enumerate(active):
-            if not a:
-                if run_start is None:
-                    run_start = i
-            else:
-                if run_start is not None and i - run_start <= self.hang_frames:
-                    if run_start > 0:  # only bridge gaps, not leading silence
-                        bridged[run_start:i] = True
-                run_start = None
-        # Extract runs of activity.
-        segments: list[Segment] = []
-        start = None
-        for i, a in enumerate(bridged):
-            if a and start is None:
-                start = i
-            elif not a and start is not None:
-                if i - start >= self.min_frames:
-                    segments.append(
-                        Segment(start * self.frame_samples,
-                                i * self.frame_samples)
-                    )
-                start = None
-        if start is not None and len(bridged) - start >= self.min_frames:
-            segments.append(
-                Segment(start * self.frame_samples,
-                        len(bridged) * self.frame_samples)
-            )
-        return segments
+        gaps = np.diff(np.concatenate(([True], active, [True])).astype(np.int8))
+        gap_starts = np.flatnonzero(gaps == -1)
+        gap_ends = np.flatnonzero(gaps == 1)
+        for s, e in zip(gap_starts, gap_ends):
+            if s > 0 and e < n and e - s <= self.hang_frames:
+                bridged[s:e] = True
+        # Extract runs of activity (>= min_frames), trailing run included.
+        runs = np.diff(np.concatenate(([False], bridged, [False])).astype(np.int8))
+        starts = np.flatnonzero(runs == 1)
+        ends = np.flatnonzero(runs == -1)
+        return [
+            Segment(int(s) * self.frame_samples, int(e) * self.frame_samples)
+            for s, e in zip(starts, ends)
+            if e - s >= self.min_frames
+        ]
 
     def extract(self, pcm: np.ndarray) -> list[np.ndarray]:
         """The PCM of each detected segment.

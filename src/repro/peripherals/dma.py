@@ -11,8 +11,6 @@ it scribble into (or read out of) the enclave.
 
 from __future__ import annotations
 
-import struct
-
 from repro.peripherals.i2s import I2sController
 from repro.sim.clock import CycleDomain
 from repro.tz.machine import TrustZoneMachine
@@ -52,9 +50,9 @@ class DmaEngine:
                 f"injected DMA abort (dest=0x{dest_addr:x}, "
                 f"world={world.value})"
             )
-        words = controller.drain_words(max_words)
-        if words:
-            payload = b"".join(struct.pack("<I", w) for w in words)
+        words = controller.drain_array(max_words)
+        if len(words):
+            payload = words.astype("<u4").tobytes()
             self.machine.memory.write(dest_addr, payload, world)
             # Streaming cost over and above the memory-system charge.
             self.machine.clock.advance(len(words) * 2, CycleDomain.DMA)

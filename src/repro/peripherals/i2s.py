@@ -12,6 +12,13 @@ protocol at the level a driver interacts with it:
   file with an RX FIFO, status/overrun semantics, and an optional DMA
   request interface.  Drivers program it exactly like hardware: store to
   CTRL, poll STATUS/FIFO_LEVEL, load from the FIFO register.
+
+The RX FIFO is stored as numpy word blocks (:class:`_WordFifo`) so the
+capture hot path moves level-sized arrays instead of one Python integer
+per frame.  The FIFO register additionally supports *window reads*: a
+single ``4*n``-byte load from the FIFO offset pops ``n`` words in one
+MMIO transaction, modelling the burst access a real bus master issues —
+this is what lets the driver drain a whole FIFO level per transaction.
 """
 
 from __future__ import annotations
@@ -60,6 +67,67 @@ class StatusBits(enum.IntFlag):
     ENABLED = 1 << 3
 
 
+class _WordFifo:
+    """RX FIFO backed by numpy word blocks.
+
+    Hardware-equivalent to a ``deque[int]`` of 32-bit words, but pushes
+    and pops whole arrays so a level-sized drain is O(blocks), not
+    O(words) of Python-level work.
+    """
+
+    __slots__ = ("_blocks", "_head", "_len")
+
+    def __init__(self) -> None:
+        self._blocks: deque[np.ndarray] = deque()
+        self._head = 0  # consumed words of the front block
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def push(self, words: np.ndarray) -> None:
+        """Append a block of uint32 words."""
+        if len(words):
+            self._blocks.append(words)
+            self._len += len(words)
+
+    def pop(self) -> int:
+        """Pop the oldest word (single FIFO-register load)."""
+        if not self._len:
+            raise FifoUnderrunError("I2S RX FIFO empty")
+        block = self._blocks[0]
+        word = int(block[self._head])
+        self._head += 1
+        self._len -= 1
+        if self._head == len(block):
+            self._blocks.popleft()
+            self._head = 0
+        return word
+
+    def pop_array(self, max_words: int) -> np.ndarray:
+        """Pop up to ``max_words`` oldest words as one uint32 array."""
+        n = min(max_words, self._len)
+        out = np.empty(n, dtype=np.uint32)
+        filled = 0
+        while filled < n:
+            block = self._blocks[0]
+            take = min(len(block) - self._head, n - filled)
+            out[filled : filled + take] = block[self._head : self._head + take]
+            filled += take
+            self._head += take
+            self._len -= take
+            if self._head == len(block):
+                self._blocks.popleft()
+                self._head = 0
+        return out
+
+    def clear(self) -> None:
+        """Drop all buffered words (FIFO_RESET)."""
+        self._blocks.clear()
+        self._head = 0
+        self._len = 0
+
+
 class I2sBus:
     """The serial link between a controller and one I²S device."""
 
@@ -105,7 +173,7 @@ class I2sController(MmioHandler):
         self.trace = trace
         self.format = fmt or AudioFormat()
         self.fifo_depth = fifo_depth
-        self._fifo: deque[int] = deque()
+        self._fifo = _WordFifo()
         self._ctrl = 0
         self._frame_count = 0
         self._overrun_count = 0
@@ -154,18 +222,19 @@ class I2sController(MmioHandler):
         # Real-time capture: n frames take n/sample_rate seconds.
         capture_cycles = int(n_frames * self.clock.freq_hz / self.format.sample_rate)
         self.clock.advance(capture_cycles, CycleDomain.PERIPHERAL)
-        accepted = 0
         was_overrun = self._overrun_sticky
-        for sample in samples:
-            if len(self._fifo) >= self.fifo_depth:
-                self._overrun_sticky = True
-                self._overrun_count += 1
-                continue
-            seq = self._frame_count & 0xFFFF
-            word = (seq << 16) | (int(sample) & 0xFFFF)
-            self._fifo.append(word)
-            self._frame_count += 1
-            accepted += 1
+        # Frames past the FIFO's free space are dropped — hardware never
+        # blocks.  Packing is vectorized: seq in the high half, sample low.
+        accepted = min(self.fifo_depth - len(self._fifo), len(samples))
+        dropped = len(samples) - accepted
+        if accepted:
+            seq = (self._frame_count + np.arange(accepted, dtype=np.int64)) & 0xFFFF
+            low = (samples[:accepted].astype(np.int64) & 0xFFFF).astype(np.uint32)
+            self._fifo.push((seq.astype(np.uint32) << np.uint32(16)) | low)
+            self._frame_count += accepted
+        if dropped:
+            self._overrun_sticky = True
+            self._overrun_count += dropped
         if self._overrun_sticky:
             self.trace.emit(
                 self.clock.now, "periph.i2s", "overrun",
@@ -178,21 +247,40 @@ class I2sController(MmioHandler):
 
     def pop_word(self) -> int:
         """Pop one FIFO word (what a FIFO-register load does)."""
-        if not self._fifo:
-            raise FifoUnderrunError("I2S RX FIFO empty")
-        return self._fifo.popleft()
+        return self._fifo.pop()
+
+    def drain_array(self, max_words: int) -> np.ndarray:
+        """Pop up to ``max_words`` as one uint32 array (burst read)."""
+        return self._fifo.pop_array(max_words)
 
     def drain_words(self, max_words: int) -> list[int]:
-        """Pop up to ``max_words`` (DMA burst read)."""
-        out = []
-        while self._fifo and len(out) < max_words:
-            out.append(self._fifo.popleft())
-        return out
+        """Pop up to ``max_words`` (DMA burst read), as Python ints."""
+        return self._fifo.pop_array(max_words).tolist()
 
     # -- MMIO register file -----------------------------------------------------------
 
     def mmio_read(self, offset: int, size: int) -> bytes:
-        """Load from the register file (32-bit registers)."""
+        """Load from the register file (32-bit registers).
+
+        The FIFO register additionally accepts *window reads*: a single
+        ``4*n``-byte load pops ``n`` words in one bus transaction (the
+        burst access a real bus master issues when draining a level).
+        The whole burst must be backed by buffered words — hardware
+        can't conjure frames mid-burst — so a window read larger than
+        the current level underruns.
+        """
+        if offset == I2sReg.FIFO and size > 4:
+            if size % 4:
+                raise BusProtocolError(
+                    f"I2S FIFO window reads are word-multiples (got {size} bytes)"
+                )
+            n_words = size // 4
+            if self.fifo_level < n_words:
+                raise FifoUnderrunError(
+                    f"I2S FIFO window read of {n_words} words with only "
+                    f"{self.fifo_level} buffered"
+                )
+            return self.drain_array(n_words).astype("<u4").tobytes()
         if size != 4:
             raise BusProtocolError(f"I2S registers are 32-bit (got {size}-byte read)")
         if offset == I2sReg.CTRL:

@@ -83,7 +83,16 @@ class CostModel:
     """Programming one DMA descriptor."""
 
     i2s_fifo_word_cycles: int = 4
-    """Draining one 32-bit word from the I²S controller FIFO (PIO mode)."""
+    """Per-word cost of draining the I²S controller FIFO (PIO mode).
+
+    With the block-based capture path the driver issues one *window read*
+    per FIFO level instead of one register load per word; the bus charge
+    for the burst is accounted by the memory system
+    (:meth:`mem_copy_cycles` over the whole window) and this per-word
+    constant covers the FIFO pop itself, charged via
+    :meth:`fifo_burst_cycles`.  The split keeps PIO strictly costlier
+    per word than DMA (which pays only the streaming charge) while no
+    longer paying a full ``mem_access_base_cycles`` per word."""
 
     # -- ML inference -----------------------------------------------------------
     ml_macs_per_cycle_normal: float = 8.0
@@ -114,6 +123,16 @@ class CostModel:
         if secure:
             per_line += self.secure_mem_penalty_cycles
         return self.mem_access_base_cycles + lines * per_line
+
+    def fifo_burst_cycles(self, n_words: int) -> int:
+        """CPU-side cost of popping ``n_words`` in one FIFO window read.
+
+        The bus transaction itself (setup + per-line streaming) is charged
+        by the memory system when the window read goes through
+        :class:`~repro.tz.memory.PhysicalMemory`; this covers the
+        controller-side FIFO pops the burst performs.
+        """
+        return n_words * self.i2s_fifo_word_cycles
 
     def full_world_switch_cycles(self) -> int:
         """Total monitor cost of one direction of a world switch."""

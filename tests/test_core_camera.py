@@ -112,3 +112,46 @@ class TestDetectorTraining:
         cam = Camera(scene)
         frames = np.stack([cam.capture_frame() for _ in range(20)])
         assert detector.predict(frames).mean() > 0.9
+
+
+class TestBlockMode:
+    """Block-mode capture: same verdicts, far fewer world switches."""
+
+    def test_block_verdicts_match_per_frame(self, detector):
+        per_frame = SecureCameraPipeline(
+            IotPlatform.create(seed=71), detector
+        ).run(12)
+        block = SecureCameraPipeline(
+            IotPlatform.create(seed=71), detector
+        ).run_block(12, block=4)
+        assert [f.released for f in block.frames] == \
+            [f.released for f in per_frame.frames]
+        assert [f.probability for f in block.frames] == pytest.approx(
+            [f.probability for f in per_frame.frames]
+        )
+
+    def test_block_mode_reduces_world_switches(self, detector):
+        platform_f = IotPlatform.create(seed=72)
+        pipe_f = SecureCameraPipeline(platform_f, detector)
+        before = platform_f.machine.cpu.switch_count
+        pipe_f.run(8)
+        per_frame_switches = platform_f.machine.cpu.switch_count - before
+
+        platform_b = IotPlatform.create(seed=72)
+        pipe_b = SecureCameraPipeline(platform_b, detector)
+        before = platform_b.machine.cpu.switch_count
+        pipe_b.run_block(8, block=8)
+        block_switches = platform_b.machine.cpu.switch_count - before
+        assert block_switches < per_frame_switches / 2
+
+    def test_block_mode_counts_in_ta_stats(self, detector, camera_platform):
+        pipeline = SecureCameraPipeline(camera_platform, detector)
+        result = pipeline.run_block(10, block=4)
+        stats = pipeline.stats()
+        assert stats["blocked"] == result.blocked
+        assert stats["released"] == result.released
+
+    def test_partial_final_block(self, detector, camera_platform):
+        pipeline = SecureCameraPipeline(camera_platform, detector)
+        result = pipeline.run_block(5, block=4)  # 4 + 1
+        assert len(result.frames) == 5
