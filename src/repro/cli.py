@@ -175,7 +175,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
     report = run_fleet(
         devices=args.devices, seed=args.seed, utterances=args.utterances,
-        chaos=args.chaos,
+        chaos=args.chaos, shards=args.shards, max_workers=args.max_workers,
     )
     print(report.table())
     if args.output:
@@ -192,7 +192,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
 
 def _cmd_health(args: argparse.Namespace) -> int:
-    from repro.obs.fleet import FAULT_PROFILES, DeviceSpec, simulate_device
+    from repro.obs.fleet import (
+        FAULT_PROFILES,
+        DeviceSpec,
+        simulate_device_runtime,
+    )
     from repro.obs.health import (
         FlightRecorder,
         HealthMonitor,
@@ -211,8 +215,9 @@ def _cmd_health(args: argparse.Namespace) -> int:
         secure_fault_profile="chaos" if args.chaos else "none",
     )
     recorder = FlightRecorder(capacity=args.flight_capacity)
-    device = simulate_device(spec, bundle, recorder=recorder)
-    machine = device.machine
+    runtime = simulate_device_runtime(spec, bundle, recorder=recorder)
+    device = runtime.report
+    machine = runtime.machine
     monitor = HealthMonitor(
         device.registry,
         rules=default_slo_rules(
@@ -240,7 +245,7 @@ def _cmd_health(args: argparse.Namespace) -> int:
         from repro.relay.alerts import route_health_alert
 
         outcome = route_health_alert(
-            device.platform, device.ta_uuid, report,
+            runtime.platform, runtime.ta_uuid, report,
             device_id=spec.device_id,
         )
         print(f"alert routed through relay: {outcome.get('status')}"
@@ -422,6 +427,7 @@ def _cmd_models(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro.provision import provision_bundle
+    from repro.sim.clock import cycles_to_ms
     from repro.tz.costs import DEFAULT_COSTS
 
     print(f"{'arch':12s} {'accuracy':>9s} {'params':>8s} {'bytes':>8s} "
@@ -436,7 +442,7 @@ def _cmd_models(args: argparse.Namespace) -> int:
         )
         print(f"{arch:12s} {provisioned.test_accuracy:>9.3f} "
               f"{model.num_params():>8d} {model.size_bytes():>8d} "
-              f"{cycles / 2e9 * 1e6:>13.2f}")
+              f"{cycles_to_ms(cycles) * 1e3:>13.2f}")
     return 0
 
 
@@ -504,6 +510,15 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--utterances", type=int, default=6,
         help="base workload size per device (varies +0..2 across the fleet)",
+    )
+    fleet.add_argument(
+        "--shards", type=int, default=1,
+        help="co-simulate the roster across N worker processes; the "
+             "merged report is byte-identical to --shards 1",
+    )
+    fleet.add_argument(
+        "--max-workers", type=int, default=None,
+        help="cap concurrent shard workers (default: one per shard)",
     )
     fleet.add_argument(
         "--output", default="",

@@ -29,6 +29,7 @@ class CloudRecord:
     dialog_id: int
     encrypted_transport: bool
     attempt: int = 1
+    device_id: str = ""
 
 
 class VoiceCloudService:
@@ -44,9 +45,11 @@ class VoiceCloudService:
         self.received: list[CloudRecord] = []
         self.events_handled = 0
         # Delivery is at-least-once under an unreliable network: a retry of
-        # a dialog id the service already recorded (attempt > 1, same id)
-        # is acknowledged but not recorded again.
-        self._seen_dialogs: set[tuple[bool, int]] = set()
+        # a dialog id the service already recorded (attempt > 1, same id,
+        # same sender) is acknowledged but not recorded again.  The sender
+        # identity is part of the key — dialog ids are per-device counters,
+        # so two devices legitimately reuse the same id.
+        self._seen_dialogs: set[tuple[bool, str, int]] = set()
         self.duplicates_suppressed = 0
         # Device-health alerts (SLO violations, flight-recorder dumps)
         # delivered through the same relay path as transcripts.
@@ -75,7 +78,8 @@ class VoiceCloudService:
             transcript = str(event.payload.get("transcript", ""))
             dialog_id = int(event.payload.get("dialogRequestId", -1))
             attempt = int(event.payload.get("attempt", 1))
-            key = (encrypted, dialog_id)
+            device_id = str(event.payload.get("deviceId", ""))
+            key = (encrypted, device_id, dialog_id)
             if attempt > 1 and key in self._seen_dialogs:
                 # Idempotent replay: the sender never saw our first reply.
                 self.duplicates_suppressed += 1
@@ -87,6 +91,7 @@ class VoiceCloudService:
                         dialog_id=dialog_id,
                         encrypted_transport=encrypted,
                         attempt=attempt,
+                        device_id=device_id,
                     )
                 )
             return json.dumps(
@@ -95,7 +100,8 @@ class VoiceCloudService:
         if event.name == "Alert":
             dialog_id = int(event.payload.get("dialogRequestId", -1))
             attempt = int(event.payload.get("attempt", 1))
-            key = (encrypted, dialog_id)
+            device_id = str(event.payload.get("deviceId", ""))
+            key = (encrypted, device_id, dialog_id)
             if attempt > 1 and key in self._seen_dialogs:
                 self.duplicates_suppressed += 1
             else:

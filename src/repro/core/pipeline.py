@@ -57,6 +57,7 @@ class SecurePipeline:
         ta_signing_key: bytes | None = None,
         retry_policy: "RetryPolicy | None" = None,
         supervisor: "SupervisorPolicy | None" = None,
+        device_id: str = "",
     ):
         self.platform = platform
         self.bundle = bundle
@@ -77,6 +78,7 @@ class SecurePipeline:
             checkpoint_every=(
                 supervisor.checkpoint_every if supervisor is not None else 1
             ),
+            device_id=device_id,
         )
         signature = None
         if ta_signing_key is not None:

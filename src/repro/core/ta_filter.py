@@ -101,13 +101,17 @@ def make_audio_filter_ta(
     retry_policy: RetryPolicy | None = None,
     supervised: bool = False,
     checkpoint_every: int = 1,
+    device_id: str = "",
 ) -> type[TrustedApplication]:
     """Build the TA class with the model and deployment config baked in.
 
     ``supervised=True`` enables sealed checkpoint/restore (see module
     docstring); ``checkpoint_every`` seals a checkpoint every N committed
     decisions.  Both default off so unsupervised runs stay byte-identical
-    (checkpoint storage RPCs charge cycles).
+    (checkpoint storage RPCs charge cycles).  ``device_id`` is stamped
+    into relay events so a cloud endpoint shared by a fleet can scope
+    duplicate suppression per sender; empty (the default) keeps the wire
+    bytes of single-device runs unchanged.
     """
 
     class AudioFilterTa(TrustedApplication):
@@ -148,6 +152,7 @@ def make_audio_filter_ta(
             self.relay = RelayModule(
                 ctx, cloud_host, cloud_port, pinned_server_public,
                 rng.fork("relay"), retry_policy=retry_policy,
+                device_id=device_id,
             )
             # Restores entries a previous instance failed to deliver.
             self.queue = StoreForwardQueue(ctx.storage)

@@ -62,13 +62,18 @@ class EnergyMeter:
     clock: SimClock
     power: PowerModel = field(default_factory=PowerModel)
     _energy_mj: dict[CycleDomain, float] = field(default_factory=dict)
+    _power_mw: dict[CycleDomain, float] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
+        # The power table is immutable (frozen dataclass): resolve it once
+        # instead of rebuilding the lookup dict on every clock charge —
+        # this listener runs on the simulator's hottest path.
+        self._power_mw = {d: self.power.power_mw(d) for d in CycleDomain}
         self.clock.subscribe(self._on_charge)
 
     def _on_charge(self, domain: CycleDomain, cycles: int) -> None:
         seconds = cycles / self.clock.freq_hz
-        mj = self.power.power_mw(domain) * seconds  # mW * s = mJ
+        mj = self._power_mw[domain] * seconds  # mW * s = mJ
         self._energy_mj[domain] = self._energy_mj.get(domain, 0.0) + mj
 
     def report(self) -> EnergyReport:

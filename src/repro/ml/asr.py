@@ -158,8 +158,13 @@ class MatchedFilterAsr:
             [np.hanning(SAMPLES_PER_WORD).astype(np.float32),
              np.zeros(GAP_SAMPLES, dtype=np.float32)]
         )
+        # np.roll(folded, -shift) materializes a copy per shift; a doubled
+        # buffer makes each rotation a contiguous slice over the same
+        # values in the same order, so every dot product is bit-identical
+        # to the rolled form while skipping WORD_STRIDE array copies.
+        doubled = np.concatenate([folded, folded])
         env_scores = [
-            float(np.dot(np.roll(folded, -shift), envelope))
+            float(np.dot(doubled[shift:shift + WORD_STRIDE], envelope))
             for shift in range(WORD_STRIDE)
         ]
         estimate = int(np.argmax(env_scores))

@@ -1,4 +1,4 @@
-"""Fleet simulation: N devices, one merged telemetry picture.
+"""Fleet simulation: N devices, sharded co-simulation, one merged picture.
 
 The paper's deployment target is "millions of users", so per-device
 observability (PR 2's span profile) has to aggregate: this module runs a
@@ -10,22 +10,38 @@ network fault profile — and folds the per-device telemetry into a single
 quantiles of the concatenated per-device streams within one bucket's
 relative error (exactly, while under the sample cap).
 
+At fleet scale the runner *shards*: :func:`run_fleet` partitions the
+roster into contiguous groups and co-simulates the groups across worker
+processes (``shards=N``).  Each worker reduces its devices to
+:class:`DeviceReport` *documents* — plain picklable telemetry, no machine
+or platform object graphs — which the parent reassembles in roster order
+and folds through the same merge machinery, so the sharded merged report
+is byte-identical to the sequential run for the same ``(seed, devices)``.
+The full simulation state of a device (machine, platform, TA handle) is
+only retained on request via :func:`simulate_device_runtime`, for
+in-process consumers like the health CLI.
+
 Everything stays inside the repo's determinism contract: device seeds
 derive from the fleet seed, fault sequences come from each device's
 :class:`~repro.sim.faults.FaultInjector` fork, and no wall-clock or
 global RNG is consulted — the same ``(seed, devices)`` pair always
-produces the same fleet report, and running with observability disabled
-leaves every pipeline decision byte-identical.
+produces the same fleet report regardless of ``shards``, and running
+with observability disabled leaves every pipeline decision
+byte-identical.
 """
 
 from __future__ import annotations
 
+import pickle
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import reduce
 from typing import Any
 
 from repro.energy.battery import project_battery_life
+from repro.obs.health import WatchdogAlert, check_heartbeats, span_heartbeats
 from repro.obs.metrics import BucketHistogram, MetricsRegistry
+from repro.sim.clock import DEFAULT_FREQ_HZ, cycles_to_ms
 from repro.sim.faults import FaultConfig, SecureFaultConfig
 
 # Deterministic rotation of network conditions across the fleet.
@@ -98,13 +114,43 @@ def device_specs(
     ]
 
 
+def partition_specs(
+    specs: list[DeviceSpec], shards: int
+) -> list[list[DeviceSpec]]:
+    """Contiguous, balanced partition of the roster into shard groups.
+
+    Groups preserve roster order and their sizes differ by at most one,
+    so concatenating the groups reproduces the roster exactly — which is
+    what makes the sharded report byte-identical to the sequential one.
+    ``shards`` is clamped to ``1 .. len(specs)``.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be positive, got {shards}")
+    shards = min(shards, len(specs))
+    base, extra = divmod(len(specs), shards)
+    groups: list[list[DeviceSpec]] = []
+    start = 0
+    for s in range(shards):
+        n = base + (1 if s < extra else 0)
+        groups.append(specs[start : start + n])
+        start += n
+    return groups
+
+
 @dataclass
 class DeviceReport:
-    """One device's run, reduced to mergeable telemetry.
+    """One device's run, reduced to mergeable, *picklable* telemetry.
 
-    ``machine`` keeps the simulated machine alive for in-process
-    consumers (the health watchdog reads its tracer and clock); it never
-    appears in :meth:`to_doc`.
+    A pure document: plain data plus :class:`BucketHistogram` /
+    :class:`MetricsRegistry` (both process-portable), never the machine
+    or platform object graphs — a report must cross a shard worker's
+    process boundary and must not pin O(devices) simulation state in the
+    parent.  Consumers that need the live machine (the health CLI's
+    watchdog/alert routing) use :func:`simulate_device_runtime` instead.
+
+    ``clock_now``/``heartbeats``/``freq_hz`` carry the serializable
+    inputs of the span watchdog and the cycle→wall-clock conversion, so
+    both work from a deserialized report.
     """
 
     spec: DeviceSpec
@@ -116,18 +162,30 @@ class DeviceReport:
     world_switches: int
     energy_mj: float
     battery_days: float
-    machine: Any = None
     restarts: int = 0
     degraded: int = 0
-    # Kept alive (never serialized) so alert routing can reach the TA.
-    platform: Any = None
-    ta_uuid: Any = None
+    freq_hz: float = DEFAULT_FREQ_HZ
+    clock_now: int = 0
+    heartbeats: dict[str, int] = field(default_factory=dict)
 
     @property
     def relay_success_rate(self) -> float:
         """Forwarded decisions delivered without spilling to the queue."""
         forwarded = self.summary["forwarded"]
         return self.summary["sent"] / forwarded if forwarded else 1.0
+
+    def stalled(
+        self, stall_cycles: int = 10_000_000_000
+    ) -> list[WatchdogAlert]:
+        """Watchdog verdict from the serialized heartbeat map.
+
+        Same semantics as :meth:`repro.obs.health.Watchdog.check`, but
+        computed from the report document alone — no live tracer or
+        clock needed, so it works on reports shipped back from shard
+        workers (a device that ran with observability disabled has no
+        spans and reports the ``(no spans)`` sentinel).
+        """
+        return check_heartbeats(self.heartbeats, self.clock_now, stall_cycles)
 
     def to_doc(self) -> dict[str, Any]:
         """JSON-ready per-device row for ``fleet.json``."""
@@ -157,10 +215,25 @@ class DeviceReport:
         }
 
 
-def simulate_device(
+@dataclass
+class DeviceRuntime:
+    """A device report plus the live simulation objects behind it.
+
+    For in-process consumers only (the health CLI reads the machine's
+    tracer/clock and routes alerts through the platform's relay); never
+    crosses a process boundary and never appears in fleet documents.
+    """
+
+    report: DeviceReport
+    machine: Any
+    platform: Any
+    ta_uuid: Any
+
+
+def simulate_device_runtime(
     spec: DeviceSpec, bundle, observability: bool = True, recorder=None
-) -> DeviceReport:
-    """Run one device's workload and reduce it to a :class:`DeviceReport`.
+) -> DeviceRuntime:
+    """Run one device's workload, keeping the live machine around.
 
     Fleet-level metrics (``fleet.*``) are recorded into the device's own
     registry so that merging registries yields the fleet rollup for free;
@@ -193,6 +266,7 @@ def simulate_device(
         platform,
         bundle,
         supervisor=SupervisorPolicy() if secure_faults is not None else None,
+        device_id=spec.device_id,
     )
     corpus = UtteranceGenerator(SimRng(spec.seed, "fleet")).generate(
         spec.utterances, sensitive_fraction=spec.sensitive_fraction
@@ -234,7 +308,7 @@ def simulate_device(
     restarts = (
         pipeline.supervisor.restarts if pipeline.supervisor is not None else 0
     )
-    return DeviceReport(
+    report = DeviceReport(
         spec=spec,
         summary=summary,
         relay=relay,
@@ -244,12 +318,60 @@ def simulate_device(
         world_switches=machine.cpu.switch_count,
         energy_mj=energy_mj,
         battery_days=battery.days,
-        machine=machine,
         restarts=restarts,
         degraded=run.degraded_count(),
+        freq_hz=machine.clock.freq_hz,
+        clock_now=machine.clock.now,
+        heartbeats=span_heartbeats(machine.obs.tracer.spans),
+    )
+    return DeviceRuntime(
+        report=report,
+        machine=machine,
         platform=platform,
         ta_uuid=pipeline.ta_uuid,
     )
+
+
+def simulate_device(
+    spec: DeviceSpec, bundle, observability: bool = True, recorder=None
+) -> DeviceReport:
+    """Run one device's workload and reduce it to a :class:`DeviceReport`.
+
+    The document-only form of :func:`simulate_device_runtime`: the
+    machine and platform are released as soon as the telemetry is
+    extracted, so a fleet run holds O(1) simulation state per completed
+    device and the report pickles cleanly across shard workers.
+    """
+    return simulate_device_runtime(
+        spec, bundle, observability=observability, recorder=recorder
+    ).report
+
+
+# -- shard workers ---------------------------------------------------------
+#
+# Workers are spawned (never forked): the parent ships the provisioned
+# bundle ONCE per worker through the pool initializer, and each task is
+# just (specs, observability) — tiny picklables.  The module global is
+# re-created inside each worker process; it never leaks state between
+# runs because every pool gets its own initializer call.
+
+_WORKER_BUNDLE: Any = None
+
+
+def _init_shard_worker(bundle_blob: bytes) -> None:
+    """Pool initializer: unpack the shared filter bundle once per worker."""
+    global _WORKER_BUNDLE
+    _WORKER_BUNDLE = pickle.loads(bundle_blob)
+
+
+def _run_shard(
+    specs: list[DeviceSpec], observability: bool
+) -> list[DeviceReport]:
+    """Simulate one contiguous roster slice; returns picklable reports."""
+    return [
+        simulate_device(spec, _WORKER_BUNDLE, observability=observability)
+        for spec in specs
+    ]
 
 
 @dataclass
@@ -261,10 +383,16 @@ class FleetReport:
 
     @property
     def latency_hist(self) -> BucketHistogram:
-        """All devices' end-to-end latencies, merged."""
+        """All devices' end-to-end latencies, merged.
+
+        The empty-fleet reduction folds from an explicit empty histogram
+        — an empty device list yields an empty histogram, not a
+        ``TypeError`` from an initializer-less ``reduce``.
+        """
         return reduce(
             BucketHistogram.merge,
             (d.latency_hist for d in self.devices),
+            BucketHistogram(LATENCY_METRIC),
         )
 
     def merged_registry(self) -> MetricsRegistry:
@@ -273,6 +401,16 @@ class FleetReport:
         for device in self.devices:
             merged.merge(device.registry)
         return merged
+
+    @property
+    def freq_hz(self) -> float:
+        """The fleet's clock frequency (for cycle→ms rendering).
+
+        Every roster device shares the default machine config today; the
+        first device's frequency stands for the fleet, falling back to
+        the simulator default for an empty report.
+        """
+        return self.devices[0].freq_hz if self.devices else DEFAULT_FREQ_HZ
 
     @property
     def relay_success_rate(self) -> float:
@@ -333,17 +471,18 @@ class FleetReport:
                 f"{d.spec.device_id:8s} {d.spec.fault_profile:>10s} "
                 f"{len(d.latencies):>4d} {d.summary['forwarded']:>4d} "
                 f"{d.summary['sent']:>5d} {d.summary['queued']:>6d} "
-                f"{d.latency_hist.p50 / 2e9 * 1e3:>7.2f} "
-                f"{d.latency_hist.p95 / 2e9 * 1e3:>7.2f} "
+                f"{cycles_to_ms(d.latency_hist.p50, d.freq_hz):>7.2f} "
+                f"{cycles_to_ms(d.latency_hist.p95, d.freq_hz):>7.2f} "
                 f"{d.world_switches:>8d} {d.energy_mj:>8.1f} "
                 f"{d.battery_days:>7.1f}"
             )
         hist = self.latency_hist
+        freq = self.freq_hz
         lines.append("")
         lines.append(
-            f"fleet    p50 {hist.p50 / 2e9 * 1e3:.2f} ms   "
-            f"p95 {hist.p95 / 2e9 * 1e3:.2f} ms   "
-            f"p99 {hist.p99 / 2e9 * 1e3:.2f} ms   "
+            f"fleet    p50 {cycles_to_ms(hist.p50, freq):.2f} ms   "
+            f"p95 {cycles_to_ms(hist.p95, freq):.2f} ms   "
+            f"p99 {cycles_to_ms(hist.p99, freq):.2f} ms   "
             f"relay success {self.relay_success_rate:.0%}   "
             f"queue depth {self.queue_depth}"
         )
@@ -362,6 +501,8 @@ def run_fleet(
     bundle=None,
     observability: bool = True,
     chaos: bool = False,
+    shards: int = 1,
+    max_workers: int | None = None,
 ) -> FleetReport:
     """Simulate the fleet and return the merged report.
 
@@ -371,17 +512,49 @@ def run_fleet(
     used by the determinism tests to show decisions are byte-identical
     either way.  ``chaos=True`` injects secure-world faults on every
     device and runs the TAs supervised.
+
+    ``shards > 1`` co-simulates the roster across that many worker
+    processes (spawn-safe; at most ``max_workers`` concurrent, default
+    one per shard capped by the executor).  Devices are independent
+    simulations and shard groups are contiguous roster slices reassembled
+    in order, so the merged report is byte-identical to ``shards=1`` for
+    the same arguments — sharding is free parallelism, never a different
+    answer.
     """
     if bundle is None:
         from repro.provision import provision_bundle
 
         bundle = provision_bundle(seed=seed).bundle
 
+    specs = device_specs(devices, seed=seed, utterances=utterances, chaos=chaos)
     report = FleetReport(seed=seed)
-    for spec in device_specs(
-        devices, seed=seed, utterances=utterances, chaos=chaos
-    ):
-        report.devices.append(
-            simulate_device(spec, bundle, observability=observability)
-        )
+    if shards <= 1:
+        for spec in specs:
+            report.devices.append(
+                simulate_device(spec, bundle, observability=observability)
+            )
+        return report
+
+    import multiprocessing
+
+    groups = partition_specs(specs, shards)
+    # Ship the (largest) shared object exactly once per worker, not once
+    # per task: the initializer unpacks it into the worker's module
+    # global.  Spawn (not fork) so workers never inherit parent state the
+    # determinism contract doesn't account for.
+    blob = pickle.dumps(bundle, protocol=pickle.HIGHEST_PROTOCOL)
+    ctx = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(
+        max_workers=max_workers or len(groups),
+        mp_context=ctx,
+        initializer=_init_shard_worker,
+        initargs=(blob,),
+    ) as pool:
+        futures = [
+            pool.submit(_run_shard, group, observability) for group in groups
+        ]
+        # Collect in submission order (== roster order), regardless of
+        # which shard finishes first.
+        for future in futures:
+            report.devices.extend(future.result())
     return report

@@ -207,6 +207,45 @@ class WatchdogAlert:
         }
 
 
+def span_heartbeats(spans) -> dict[str, int]:
+    """Last heartbeat cycle per top-level span category.
+
+    Each span counts as a heartbeat for its top-level category
+    (``stage.secure`` beats ``stage``); the returned map is the newest
+    ``end_cycle`` per track.  This is the serializable essence of the
+    watchdog's input: a fleet device report carries it across process
+    boundaries so the watchdog can run without the live tracer.
+    """
+    last_end: dict[str, int] = {}
+    for sp in spans:
+        track = sp.category.split(".")[0]
+        last_end[track] = max(last_end.get(track, 0), sp.end_cycle)
+    return last_end
+
+
+def check_heartbeats(
+    heartbeats: dict[str, int],
+    now: int,
+    stall_cycles: int = 10_000_000_000,
+) -> list[WatchdogAlert]:
+    """Stalled tracks in a heartbeat map as of cycle ``now``.
+
+    The doc-level form of :meth:`Watchdog.check`: works on a serialized
+    ``{track: last_end_cycle}`` map (e.g. from a fleet device report)
+    instead of a live tracer.  An *empty* map reports the sentinel
+    ``(no spans)`` category so a dead pipeline cannot look healthy.
+    """
+    if stall_cycles <= 0:
+        raise ValueError("stall_cycles must be positive")
+    if not heartbeats:
+        return [WatchdogAlert("(no spans)", 0, now)]
+    return [
+        WatchdogAlert(track, end, now - end)
+        for track, end in sorted(heartbeats.items())
+        if now - end > stall_cycles
+    ]
+
+
 class Watchdog:
     """Flags span categories that stopped producing heartbeats.
 
@@ -228,18 +267,11 @@ class Watchdog:
 
     def check(self) -> list[WatchdogAlert]:
         """Stalled categories as of the clock's current cycle."""
-        now = self._clock.now
-        if not self._tracer.spans:
-            return [WatchdogAlert("(no spans)", 0, now)]
-        last_end: dict[str, int] = {}
-        for sp in self._tracer.spans:
-            track = sp.category.split(".")[0]
-            last_end[track] = max(last_end.get(track, 0), sp.end_cycle)
-        return [
-            WatchdogAlert(track, end, now - end)
-            for track, end in sorted(last_end.items())
-            if now - end > self.stall_cycles
-        ]
+        return check_heartbeats(
+            span_heartbeats(self._tracer.spans),
+            self._clock.now,
+            self.stall_cycles,
+        )
 
 
 class FlightRecorder:

@@ -484,6 +484,35 @@ class MetricsRegistry:
             },
         }
 
+    def to_doc(self) -> dict[str, Any]:
+        """Full-fidelity JSON state (inverse of :meth:`from_doc`).
+
+        Unlike :meth:`snapshot` (which summarizes histograms), this
+        round-trips losslessly: histograms keep their buckets and retained
+        samples, so ``from_doc(to_doc())`` merges identically to the
+        original registry.  This is what lets shard workers hand whole
+        registries back as documents.
+        """
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.to_doc() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    @staticmethod
+    def from_doc(doc: dict[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from its :meth:`to_doc` form."""
+        reg = MetricsRegistry()
+        for name, value in doc.get("counters", {}).items():
+            reg.counter(name).inc(int(value))
+        for name, value in doc.get("gauges", {}).items():
+            reg.gauge(name).set(float(value))
+        for name, hdoc in doc.get("histograms", {}).items():
+            reg._histograms[name] = BucketHistogram.from_doc(hdoc)
+        return reg
+
     def reset(self) -> None:
         """Drop every metric (a fresh namespace)."""
         self._counters.clear()

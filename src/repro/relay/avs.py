@@ -36,7 +36,11 @@ class AvsEvent:
 
     @classmethod
     def recognize(
-        cls, transcript: str, dialog_id: int, attempt: int = 1
+        cls,
+        transcript: str,
+        dialog_id: int,
+        attempt: int = 1,
+        device_id: str = "",
     ) -> "AvsEvent":
         """The speech-recognition event carrying a transcript.
 
@@ -45,6 +49,12 @@ class AvsEvent:
         suppress duplicates when only a reply was lost in transit.  First
         attempts omit the field (the receiver defaults it to 1), keeping
         the clean-path wire bytes identical to a retry-free protocol.
+
+        ``device_id`` names the sending device so a *shared* ingestion
+        endpoint can scope duplicate suppression per sender — dialog ids
+        are only unique within one device's counter.  Like ``attempt``,
+        it is omitted when empty so single-device deployments keep their
+        historical wire bytes.
         """
         payload: dict[str, Any] = {
             "transcript": transcript,
@@ -52,6 +62,8 @@ class AvsEvent:
         }
         if attempt > 1:
             payload["attempt"] = attempt
+        if device_id:
+            payload["deviceId"] = device_id
         return cls(
             namespace="SpeechRecognizer", name="Recognize", payload=payload
         )
@@ -63,13 +75,19 @@ class AvsEvent:
 
     @classmethod
     def alert(
-        cls, alert_json: str, dialog_id: int, attempt: int = 1
+        cls,
+        alert_json: str,
+        dialog_id: int,
+        attempt: int = 1,
+        device_id: str = "",
     ) -> "AvsEvent":
         """A device-health alert (SLO violation, flight-recorder dump).
 
         Same retry/duplicate-suppression contract as :meth:`recognize`:
-        ``dialogRequestId`` is stable across re-deliveries and ``attempt``
-        counts them (omitted on first attempts).
+        ``dialogRequestId`` is stable across re-deliveries, ``attempt``
+        counts them, and ``device_id`` scopes both to the sender (each
+        omitted when defaulted so first-attempt single-device bytes stay
+        unchanged).
         """
         payload: dict[str, Any] = {
             "alert": alert_json,
@@ -77,6 +95,8 @@ class AvsEvent:
         }
         if attempt > 1:
             payload["attempt"] = attempt
+        if device_id:
+            payload["deviceId"] = device_id
         return cls(namespace="System", name="Alert", payload=payload)
 
     @classmethod
@@ -97,9 +117,15 @@ class AvsEvent:
 class AvsClient:
     """Device-side AVS protocol over an encrypted request function."""
 
-    def __init__(self, request):
-        """``request`` is a ``bytes -> bytes`` secure channel call."""
+    def __init__(self, request, device_id: str = ""):
+        """``request`` is a ``bytes -> bytes`` secure channel call.
+
+        ``device_id``, when non-empty, is stamped into every Recognize and
+        Alert event so the cloud can scope duplicate suppression per
+        sender.
+        """
         self._request = request
+        self._device_id = device_id
         self._dialog_id = 0
         self.events_sent = 0
 
@@ -132,7 +158,9 @@ class AvsClient:
         if dialog_id is None:
             dialog_id = self.allocate_dialog_id()
         reply = self._request(
-            AvsEvent.recognize(transcript, dialog_id, attempt).to_bytes()
+            AvsEvent.recognize(
+                transcript, dialog_id, attempt, self._device_id
+            ).to_bytes()
         )
         self.events_sent += 1
         return self._parse_directive(reply)
@@ -153,7 +181,9 @@ class AvsClient:
         if dialog_id is None:
             dialog_id = self.allocate_dialog_id()
         reply = self._request(
-            AvsEvent.alert(alert_json, dialog_id, attempt).to_bytes()
+            AvsEvent.alert(
+                alert_json, dialog_id, attempt, self._device_id
+            ).to_bytes()
         )
         self.events_sent += 1
         return self._parse_directive(reply)

@@ -71,6 +71,7 @@ class RelayModule:
         pinned_server_public: bytes,
         rng: SimRng,
         retry_policy: RetryPolicy | None = None,
+        device_id: str = "",
     ):
         self._ctx = ctx
         self._host = host
@@ -79,7 +80,7 @@ class RelayModule:
             self._transport, pinned_server_public, rng,
             metrics=ctx.metrics,
         )
-        self._avs = AvsClient(self._tls.request)
+        self._avs = AvsClient(self._tls.request, device_id=device_id)
         self._backoff_rng = rng.fork("backoff")
         self.policy = retry_policy or RetryPolicy()
         self.bytes_sent = 0

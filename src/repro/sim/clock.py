@@ -18,6 +18,22 @@ from collections import defaultdict
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+#: The default simulated core frequency (see :class:`SimClock`).
+DEFAULT_FREQ_HZ = 2.0e9
+
+
+def cycles_to_ms(cycles: float, freq_hz: float = DEFAULT_FREQ_HZ) -> float:
+    """Convert a cycle count to simulated milliseconds.
+
+    Every wall-clock rendering of a cycle figure must go through this
+    helper (or :meth:`SimClock.cycles_to_ms` when a clock is in hand)
+    instead of hardcoding the 2 GHz default — a machine configured with a
+    different ``freq_hz`` would otherwise report wrong milliseconds.
+    """
+    if freq_hz <= 0:
+        raise ValueError(f"freq_hz must be positive, got {freq_hz}")
+    return cycles / freq_hz * 1e3
+
 
 class CycleDomain(enum.Enum):
     """Hardware domain work can be charged to.
@@ -61,7 +77,7 @@ class SimClock:
         Simulated core frequency used to convert cycles to seconds.
     """
 
-    freq_hz: float = 2.0e9
+    freq_hz: float = DEFAULT_FREQ_HZ
     _now: int = 0
     _per_domain: dict[CycleDomain, int] = field(
         default_factory=lambda: defaultdict(int)
@@ -105,6 +121,10 @@ class SimClock:
     def to_seconds(self, cycles: int) -> float:
         """Convert a cycle count to seconds at the configured frequency."""
         return cycles / self.freq_hz
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert a cycle count to milliseconds at the configured frequency."""
+        return cycles_to_ms(cycles, self.freq_hz)
 
     def snapshot(self) -> ClockSnapshot:
         """Capture current totals for later delta measurement."""

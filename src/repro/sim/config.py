@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.sim.clock import SimClock
+from repro.sim.clock import DEFAULT_FREQ_HZ, SimClock
 from repro.sim.rng import SimRng
 from repro.sim.trace import TraceLog
 
@@ -20,7 +20,7 @@ class SimConfig:
     """Shared configuration for one simulation instance."""
 
     seed: int = 42
-    freq_hz: float = 2.0e9
+    freq_hz: float = DEFAULT_FREQ_HZ
     trace_capacity: int = 1_000_000
     trace_enabled: bool = True
     metadata: dict = field(default_factory=dict)

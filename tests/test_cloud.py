@@ -48,6 +48,59 @@ class TestCloudService:
         assert b"error" in reply
 
 
+class TestDedupScopedPerDevice:
+    """Regression: dedup keyed on dialog id alone conflated devices.
+
+    Dialog ids are per-device counters, so two devices legitimately use
+    the same id; duplicate suppression must include the sender identity
+    or device B's retry is silently eaten when device A got there first.
+    """
+
+    def test_same_device_retry_suppressed(self, cloud):
+        ep = cloud.plaintext_endpoint
+        ep.receive(AvsEvent.recognize("hi", 1, device_id="d00").to_bytes())
+        ep.receive(
+            AvsEvent.recognize("hi", 1, attempt=2, device_id="d00").to_bytes()
+        )
+        assert cloud.received_transcripts == ["hi"]
+        assert cloud.duplicates_suppressed == 1
+
+    def test_other_devices_retry_not_suppressed(self, cloud):
+        ep = cloud.plaintext_endpoint
+        # Device A records dialog id 1; device B's first delivery of its
+        # own dialog id 1 was lost, so all the cloud sees is the retry.
+        ep.receive(AvsEvent.recognize("from a", 1, device_id="d00").to_bytes())
+        ep.receive(
+            AvsEvent.recognize(
+                "from b", 1, attempt=2, device_id="d01"
+            ).to_bytes()
+        )
+        assert cloud.received_transcripts == ["from a", "from b"]
+        assert cloud.duplicates_suppressed == 0
+        assert [r.device_id for r in cloud.received] == ["d00", "d01"]
+
+    def test_alert_dedup_scoped_per_device_too(self, cloud):
+        ep = cloud.plaintext_endpoint
+        ep.receive(AvsEvent.alert('{"a": 1}', 1, device_id="d00").to_bytes())
+        ep.receive(
+            AvsEvent.alert('{"b": 2}', 1, attempt=2, device_id="d01").to_bytes()
+        )
+        ep.receive(
+            AvsEvent.alert('{"a": 1}', 1, attempt=2, device_id="d00").to_bytes()
+        )
+        assert cloud.alerts == [{"a": 1}, {"b": 2}]
+        assert cloud.duplicates_suppressed == 1
+
+    def test_empty_device_id_keeps_wire_bytes(self):
+        # Single-device deployments (no device_id) must keep their
+        # historical wire encoding: no deviceId key at all.
+        assert b"deviceId" not in AvsEvent.recognize("x", 1).to_bytes()
+        assert b"deviceId" not in AvsEvent.alert("{}", 1).to_bytes()
+        assert b"deviceId" in AvsEvent.recognize(
+            "x", 1, device_id="d07"
+        ).to_bytes()
+
+
 class TestTranscriptMatch:
     def test_exact(self):
         assert transcript_match("play some jazz", "play some jazz")

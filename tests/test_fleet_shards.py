@@ -1,0 +1,180 @@
+"""Sharded fleet co-simulation: determinism, serialization, bug fixes.
+
+The tentpole contracts of the sharded runner, tested end to end:
+
+* a sharded ``run_fleet`` produces a merged report byte-identical to the
+  sequential run of the same roster (the partition/reassemble invariant);
+* :class:`DeviceReport` is a plain picklable document — no pinned
+  machine/platform graphs — and the watchdog works from its serialized
+  heartbeat map;
+* the regression fixes this refactor flushed out: the empty-fleet
+  ``reduce`` crash, the hardcoded 2 GHz cycle→ms conversions, and the
+  cloud dedup key that conflated devices sharing a dialog id.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs.fleet import (
+    LATENCY_METRIC,
+    DeviceSpec,
+    FleetReport,
+    device_specs,
+    partition_specs,
+    run_fleet,
+    simulate_device,
+    simulate_device_runtime,
+)
+from repro.sim.clock import DEFAULT_FREQ_HZ, SimClock, cycles_to_ms
+
+
+def fleet_doc(report):
+    return json.dumps(report.to_doc(), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def sequential(provisioned):
+    """The sequential reference fleet (shared: ~seconds)."""
+    return run_fleet(devices=4, seed=7, utterances=2,
+                     bundle=provisioned.bundle)
+
+
+@pytest.fixture(scope="module")
+def sharded(provisioned):
+    """The same roster co-simulated across 2 worker processes."""
+    return run_fleet(devices=4, seed=7, utterances=2,
+                     bundle=provisioned.bundle, shards=2)
+
+
+class TestPartition:
+    def test_contiguous_balanced_and_order_preserving(self):
+        specs = device_specs(10, seed=7)
+        groups = partition_specs(specs, 3)
+        assert [len(g) for g in groups] == [4, 3, 3]
+        assert [s for g in groups for s in g] == specs
+
+    def test_shards_clamped_to_roster(self):
+        specs = device_specs(2, seed=7)
+        groups = partition_specs(specs, 8)
+        assert [len(g) for g in groups] == [1, 1]
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            partition_specs(device_specs(2), 0)
+
+
+class TestShardDeterminism:
+    """Issue criterion: shards=1 and shards=N merge byte-identically."""
+
+    def test_merged_doc_byte_identical(self, sequential, sharded):
+        assert fleet_doc(sequential) == fleet_doc(sharded)
+
+    def test_merged_registry_byte_identical(self, sequential, sharded):
+        assert json.dumps(
+            sequential.merged_registry().to_doc(), sort_keys=True
+        ) == json.dumps(sharded.merged_registry().to_doc(), sort_keys=True)
+
+    def test_roster_order_survives_shard_reassembly(self, sharded):
+        assert [d.spec.device_id for d in sharded.devices] == [
+            "d00", "d01", "d02", "d03"
+        ]
+
+    def test_decisions_identical_obs_on_off_across_shards(self, provisioned):
+        """Per-device decisions byte-identical with obs on/off, sharded."""
+        lit = run_fleet(devices=3, seed=11, utterances=2,
+                        bundle=provisioned.bundle, shards=2)
+        dark = run_fleet(devices=3, seed=11, utterances=2,
+                         bundle=provisioned.bundle, shards=2,
+                         observability=False)
+        for a, b in zip(lit.devices, dark.devices):
+            decisions = lambda d: json.dumps(
+                {"summary": d.summary, "relay": d.relay,
+                 "latencies": d.latencies, "energy_mj": d.energy_mj,
+                 "world_switches": d.world_switches},
+                sort_keys=True,
+            )
+            assert decisions(a) == decisions(b)
+            assert b.registry.counters() == {}
+
+
+class TestDeviceReportDocument:
+    def test_report_pickles_and_roundtrips(self, sequential):
+        for device in sequential.devices:
+            clone = pickle.loads(pickle.dumps(device))
+            assert clone.to_doc() == device.to_doc()
+            assert clone.registry.counters() == device.registry.counters()
+
+    def test_report_carries_no_simulation_graph(self, sequential):
+        device = sequential.devices[0]
+        for attr in ("machine", "platform", "ta_uuid"):
+            assert not hasattr(device, attr)
+
+    def test_runtime_form_keeps_live_objects(self, provisioned):
+        spec = DeviceSpec(device_id="rt", seed=555, utterances=1,
+                          sensitive_fraction=0.5, fault_profile="clean")
+        runtime = simulate_device_runtime(spec, provisioned.bundle)
+        assert runtime.machine is not None
+        assert runtime.platform is not None
+        assert runtime.ta_uuid is not None
+        assert runtime.report.spec == spec
+
+    def test_watchdog_from_serialized_report(self, sequential):
+        device = pickle.loads(pickle.dumps(sequential.devices[0]))
+        assert device.clock_now > 0
+        assert "pipeline" in device.heartbeats
+        # Generous stall budget: the run just ended, nothing is stalled.
+        assert device.stalled() == []
+        # A 1-cycle budget flags every track that is not the very newest.
+        stalled = {a.category for a in device.stalled(stall_cycles=1)}
+        assert stalled, "1-cycle stall budget must flag quiet tracks"
+
+    def test_watchdog_sentinel_without_observability(self, provisioned):
+        spec = DeviceSpec(device_id="dk", seed=556, utterances=1,
+                          sensitive_fraction=0.5, fault_profile="clean")
+        dark = simulate_device(spec, provisioned.bundle, observability=False)
+        assert dark.heartbeats == {}
+        alerts = dark.stalled()
+        assert [a.category for a in alerts] == ["(no spans)"]
+
+
+class TestEmptyFleetRegression:
+    """Regression: reduce() without initializer raised on empty fleets."""
+
+    def test_empty_fleet_histogram_is_empty_not_typeerror(self):
+        empty = FleetReport(seed=3)
+        hist = empty.latency_hist
+        assert hist.count == 0
+        assert hist.p50 == 0.0
+        assert hist.name == LATENCY_METRIC
+
+    def test_empty_fleet_doc_and_table_render(self):
+        empty = FleetReport(seed=3)
+        doc = empty.to_doc()
+        assert doc["fleet"]["devices"] == 0
+        assert doc["fleet"]["utterances"] == 0
+        json.dumps(doc)
+        assert "relay success" in empty.table()
+
+
+class TestCyclesToMsRegression:
+    """Regression: cycle→ms rendering hardcoded the 2 GHz default."""
+
+    def test_helper_matches_default(self):
+        assert cycles_to_ms(2.0e9) == 1000.0
+        assert cycles_to_ms(1.0e9, freq_hz=1.0e9) == 1000.0
+
+    def test_helper_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            cycles_to_ms(1.0, freq_hz=0.0)
+
+    def test_clock_method_uses_configured_frequency(self):
+        clock = SimClock(freq_hz=1.0e9)
+        assert clock.cycles_to_ms(5.0e8) == 500.0
+
+    def test_report_carries_frequency_and_table_uses_it(self, sequential):
+        device = sequential.devices[0]
+        assert device.freq_hz == DEFAULT_FREQ_HZ
+        expected = f"{cycles_to_ms(device.latency_hist.p50, device.freq_hz):>7.2f}"
+        assert expected in sequential.table()

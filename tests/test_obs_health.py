@@ -261,14 +261,17 @@ class TestAcceptanceFlightRecorderOnSloViolation:
     """Issue criterion: a violated SLO dumps the spans leading up to it."""
 
     def test_violation_dumps_pipeline_run_up(self, provisioned, tmp_path):
-        from repro.obs.fleet import DeviceSpec, simulate_device
+        from repro.obs.fleet import DeviceSpec, simulate_device_runtime
 
         spec = DeviceSpec(
             device_id="dut", seed=123, utterances=3,
             sensitive_fraction=0.5, fault_profile="clean",
         )
         rec = FlightRecorder(capacity=64)
-        device = simulate_device(spec, provisioned.bundle, recorder=rec)
+        runtime = simulate_device_runtime(
+            spec, provisioned.bundle, recorder=rec
+        )
+        device = runtime.report
 
         # An impossible latency budget: 1 cycle for p99.
         monitor = HealthMonitor(
@@ -276,7 +279,7 @@ class TestAcceptanceFlightRecorderOnSloViolation:
             rules=default_slo_rules(latency_budget_cycles=1.0),
             recorder=rec,
             watchdog=Watchdog(
-                device.machine.obs.tracer, device.machine.clock
+                runtime.machine.obs.tracer, runtime.machine.clock
             ),
         )
         dump = tmp_path / "flight.jsonl"
