@@ -43,6 +43,9 @@ _DEFAULT_PROFILE_OUT = _REPO_ROOT / "benchmarks" / "results" / "profile.json"
 _DEFAULT_BASELINE = (
     _REPO_ROOT / "benchmarks" / "baselines" / "profile_baseline.json"
 )
+_DEFAULT_HEALTH_DUMP = (
+    _REPO_ROOT / "benchmarks" / "results" / "health_flight.jsonl"
+)
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -170,12 +173,22 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_fleet(args: argparse.Namespace) -> int:
     import json
 
-    from repro.obs.export import to_openmetrics
-    from repro.obs.fleet import run_fleet
+    from repro.obs.export import (
+        fleet_chrome_trace,
+        fleet_trace_jsonl,
+        to_openmetrics,
+    )
+    from repro.obs.fleet import resolve_sample_rate, run_fleet
 
+    sample_rate: int | str = args.sample_rate
+    if sample_rate != "auto":
+        # Validate eagerly so a typo fails before the simulation runs.
+        sample_rate = resolve_sample_rate(sample_rate, "clean")
+    collect_traces = bool(args.traces or args.trace_chrome)
     report = run_fleet(
         devices=args.devices, seed=args.seed, utterances=args.utterances,
         chaos=args.chaos, shards=args.shards, max_workers=args.max_workers,
+        sample_rate=sample_rate, collect_traces=collect_traces,
     )
     print(report.table())
     if args.output:
@@ -187,6 +200,16 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         out = pathlib.Path(args.metrics_out)
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(to_openmetrics(report.merged_registry()))
+        print(f"wrote {out}")
+    if args.traces:
+        out = pathlib.Path(args.traces)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(fleet_trace_jsonl(report) + "\n")
+        print(f"wrote {out}")
+    if args.trace_chrome:
+        out = pathlib.Path(args.trace_chrome)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(fleet_chrome_trace(report) + "\n")
         print(f"wrote {out}")
     return 0
 
@@ -215,7 +238,9 @@ def _cmd_health(args: argparse.Namespace) -> int:
         secure_fault_profile="chaos" if args.chaos else "none",
     )
     recorder = FlightRecorder(capacity=args.flight_capacity)
-    runtime = simulate_device_runtime(spec, bundle, recorder=recorder)
+    runtime = simulate_device_runtime(
+        spec, bundle, recorder=recorder, collect_traces=args.trace_ids,
+    )
     device = runtime.report
     machine = runtime.machine
     monitor = HealthMonitor(
@@ -231,15 +256,26 @@ def _cmd_health(args: argparse.Namespace) -> int:
         recorder=recorder,
         watchdog=Watchdog(machine.obs.tracer, machine.clock),
     )
-    report = monitor.evaluate(dump_path=args.dump or None)
+    # The default dump path is repo-rooted (not CWD-relative) so the
+    # command works from any directory; --dump "" skips writing.
+    dump = _DEFAULT_HEALTH_DUMP if args.dump is None else (
+        pathlib.Path(args.dump) if args.dump else None
+    )
+    report = monitor.evaluate(
+        dump_path=dump,
+        burn_window_hours=args.window_hours if args.burn_rate else None,
+        burn_factor=args.burn_factor,
+        trace_only=args.trace_only,
+        freq_hz=machine.clock.freq_hz,
+    )
     print(f"device {spec.device_id} (seed {spec.seed}, "
           f"{spec.fault_profile} network, "
           f"{spec.secure_fault_profile} secure faults, "
-          f"{len(device.latencies)} utterances)")
+          f"{device.summary['utterances']} utterances)")
     print(report.table())
     if report.flight_dump is not None:
         spans = len(report.flight_dump.splitlines())
-        where = f" -> {args.dump}" if args.dump else ""
+        where = f" -> {dump}" if dump is not None else ""
         print(f"\nflight recorder: {spans} spans captured{where}")
     if not report.ok and args.route_alerts:
         from repro.relay.alerts import route_health_alert
@@ -251,7 +287,7 @@ def _cmd_health(args: argparse.Namespace) -> int:
         print(f"alert routed through relay: {outcome.get('status')}"
               + (f" (attempts {outcome['attempts']})"
                  if "attempts" in outcome else ""))
-    return 0 if report.ok else 1
+    return report.exit_code
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -533,10 +569,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject secure-world faults (TA panics, heap/PTA/DMA/storage) "
              "on every device and run the TAs supervised",
     )
+    fleet.add_argument(
+        "--sample-rate", default="1",
+        help="telemetry sampling: keep 1-in-k latency/histogram samples "
+             "per device (weighted so merged quantiles stay unbiased); "
+             "an integer k, or 'auto' to pick k from each device's "
+             "network profile",
+    )
+    fleet.add_argument(
+        "--traces", default="",
+        help="write the fleet-wide correlated trace timeline (JSONL, one "
+             "doc per span, trace ids thread device->relay->cloud) here; "
+             "enables trace-id stamping",
+    )
+    fleet.add_argument(
+        "--trace-chrome", default="",
+        help="write the fleet timeline as a Chrome trace (one track per "
+             "device, load in about://tracing or Perfetto) here; enables "
+             "trace-id stamping",
+    )
     fleet.set_defaults(func=_cmd_fleet)
 
     health = sub.add_parser(
-        "health", help="evaluate SLO rules on one device; dump on violation"
+        "health", help="evaluate SLO rules on one device; dump on violation",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes (mirrors `repro compare`):\n"
+            "  0  every rule holds, no burn rate firing, nothing stalled\n"
+            "  1  SLO violation, firing burn rate, or watchdog stall\n"
+            "  2  NO DATA only: a rule's metric was never recorded, or a\n"
+            "     burn window had no usable snapshots"
+        ),
     )
     health.add_argument("--seed", type=int, default=7)
     health.add_argument("--utterances", type=int, default=8)
@@ -562,8 +625,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="flight-recorder ring size (spans)",
     )
     health.add_argument(
-        "--dump", default="",
-        help="write the flight-recorder JSONL here on violation",
+        "--dump", default=None,
+        help="write the flight-recorder JSONL here on violation "
+             "(default: benchmarks/results/health_flight.jsonl under the "
+             "repo root; empty string to skip writing)",
+    )
+    health.add_argument(
+        "--burn-rate", action="store_true",
+        help="additionally evaluate multi-window error-budget burn rates "
+             "over the device's metric-snapshot ring (rules with an "
+             "hourly budget only)",
+    )
+    health.add_argument(
+        "--window-hours", type=float, default=1.0,
+        help="slow burn window in simulated hours (the fast window is "
+             "1/12th of it, SRE-style); only with --burn-rate",
+    )
+    health.add_argument(
+        "--burn-factor", type=float, default=1.0,
+        help="burn-rate threshold: fire when BOTH windows burn at >= "
+             "this multiple of the budget",
+    )
+    health.add_argument(
+        "--trace-ids", action="store_true",
+        help="stamp deterministic per-utterance trace ids through spans "
+             "and relay sends (adds wire bytes; decisions unchanged)",
+    )
+    health.add_argument(
+        "--trace-only", action="store_true",
+        help="on violation, narrow the flight dump to the offending "
+             "trace's spans (needs --trace-ids)",
     )
     health.add_argument(
         "--chaos", action="store_true",

@@ -23,13 +23,19 @@ from repro.sim.rng import SimRng
 
 @dataclass
 class CloudRecord:
-    """One transcript as the cloud received it."""
+    """One transcript as the cloud received it.
+
+    ``trace_id`` is the device-derived correlation id carried on the
+    event (empty for trace-off senders) — it lets an operator join this
+    record with the device-side spans of the same utterance.
+    """
 
     transcript: str
     dialog_id: int
     encrypted_transport: bool
     attempt: int = 1
     device_id: str = ""
+    trace_id: str = ""
 
 
 class VoiceCloudService:
@@ -79,6 +85,7 @@ class VoiceCloudService:
             dialog_id = int(event.payload.get("dialogRequestId", -1))
             attempt = int(event.payload.get("attempt", 1))
             device_id = str(event.payload.get("deviceId", ""))
+            trace_id = str(event.payload.get("traceId", ""))
             key = (encrypted, device_id, dialog_id)
             if attempt > 1 and key in self._seen_dialogs:
                 # Idempotent replay: the sender never saw our first reply.
@@ -92,6 +99,7 @@ class VoiceCloudService:
                         encrypted_transport=encrypted,
                         attempt=attempt,
                         device_id=device_id,
+                        trace_id=trace_id,
                     )
                 )
             return json.dumps(

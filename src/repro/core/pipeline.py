@@ -58,6 +58,7 @@ class SecurePipeline:
         retry_policy: "RetryPolicy | None" = None,
         supervisor: "SupervisorPolicy | None" = None,
         device_id: str = "",
+        trace_ids: bool = False,
     ):
         self.platform = platform
         self.bundle = bundle
@@ -79,6 +80,7 @@ class SecurePipeline:
                 supervisor.checkpoint_every if supervisor is not None else 1
             ),
             device_id=device_id,
+            trace_ids=trace_ids,
         )
         signature = None
         if ta_signing_key is not None:

@@ -102,6 +102,7 @@ def make_audio_filter_ta(
     supervised: bool = False,
     checkpoint_every: int = 1,
     device_id: str = "",
+    trace_ids: bool = False,
 ) -> type[TrustedApplication]:
     """Build the TA class with the model and deployment config baked in.
 
@@ -112,6 +113,13 @@ def make_audio_filter_ta(
     into relay events so a cloud endpoint shared by a fleet can scope
     duplicate suppression per sender; empty (the default) keeps the wire
     bytes of single-device runs unchanged.
+
+    ``trace_ids=True`` stamps every utterance with a deterministic trace
+    id — ``{device_id}/u{seq:05d}``, derived from the TA's own utterance
+    counter, never a clock or RNG — carried on stage spans, relay events,
+    store-and-forward entries and cloud records, so one utterance can be
+    followed end to end.  Default off: the id rides the wire payload, and
+    single-device perf baselines pin those bytes.
     """
 
     class AudioFilterTa(TrustedApplication):
@@ -138,6 +146,23 @@ def make_audio_filter_ta(
             self._ckpt_seq = 0
             self._ckpt_record: dict[str, Any] | None = None
             self._ckpt_writes = 0
+            # Monotonic utterance counter behind trace-id derivation;
+            # counts committed utterances across restarts (restored from
+            # the checkpoint in supervised trace runs).
+            self._utt_seq = 0
+
+        def _next_trace_id(self) -> str:
+            """Allocate the next utterance's deterministic trace id.
+
+            The counter always advances (pure Python, no cycles charged)
+            but the id is only materialized when the TA was built with
+            ``trace_ids`` — disabled runs return ``""`` and nothing
+            downstream carries a stamp.
+            """
+            self._utt_seq += 1
+            if not trace_ids:
+                return ""
+            return f"{device_id or 'device'}/u{self._utt_seq:05d}"
 
         # -- lifecycle ---------------------------------------------------------
 
@@ -228,6 +253,10 @@ def make_audio_filter_ta(
                 return
             self._ckpt_seq = int(best["seq"])
             self._ckpt_record = best["record"]
+            # Older checkpoints (or trace-disabled ones) carry no
+            # utterance counter; the supervisor's 1-based seq is the same
+            # count in supervised mode, so it is the correct fallback.
+            self._utt_seq = int(best.get("utt_seq", best["seq"]))
             self.relay_counts.update(best["relay_counts"])
             self.stage_cycles.update(
                 {k: int(v) for k, v in best["stages"].items()}
@@ -273,6 +302,10 @@ def make_audio_filter_ta(
                 "stages": dict(self.stage_cycles),
                 "cycle": ctx.now(),
             }
+            if trace_ids:
+                # Only trace runs grow the doc: seal cost scales with
+                # payload bytes, and trace-off runs pin byte-identity.
+                doc["utt_seq"] = self._utt_seq
             name = _CKPT_NAMES[self._ckpt_writes % len(_CKPT_NAMES)]
             ctx.storage.put(name, json.dumps(doc).encode())
             self._ckpt_writes += 1
@@ -369,6 +402,7 @@ def make_audio_filter_ta(
                     payload,
                     dialog_id=meta.get("dialog_id"),
                     prior_attempts=int(meta.get("attempts", 0)),
+                    trace_id=str(meta.get("trace_id", "")),
                 )
 
             drained = self.queue.drain(resend)
@@ -381,25 +415,29 @@ def make_audio_filter_ta(
                 )
             return drained
 
-        def _relay_payload(self, payload: str) -> tuple[str, dict | None, int]:
+        def _relay_payload(
+            self, payload: str, trace_id: str = ""
+        ) -> tuple[str, dict | None, int]:
             """Deliver one filtered payload; spill to the queue on failure.
 
             Returns ``(status, directive, attempts)``.  The payload handed
             over here is already filtered, so queueing it (sealed) leaks
-            nothing the relay would not eventually send anyway.
+            nothing the relay would not eventually send anyway.  A trace
+            id rides both the send and the sealed queue entry, so a
+            drained re-send keeps the original utterance's correlation.
             """
             assert self.ctx is not None
             assert self.relay is not None and self.queue is not None
             dialog_id = self.relay.allocate_dialog_id()
             try:
                 directive = self.relay.send_transcript(
-                    payload, dialog_id=dialog_id
+                    payload, dialog_id=dialog_id, trace_id=trace_id
                 )
             except RelayDeliveryError as exc:
-                name = self.queue.enqueue(
-                    payload,
-                    meta={"dialog_id": dialog_id, "attempts": exc.attempts},
-                )
+                meta = {"dialog_id": dialog_id, "attempts": exc.attempts}
+                if trace_id:
+                    meta["trace_id"] = trace_id
+                name = self.queue.enqueue(payload, meta=meta)
                 self.relay_counts[RELAY_QUEUED] += 1
                 self.ctx.log(
                     "relay_queued", entry=name, depth=len(self.queue)
@@ -421,21 +459,24 @@ def make_audio_filter_ta(
             """
             assert self.ctx is not None
             assert self.relay is not None and self.queue is not None
+            # Health reports name the trace that tripped the SLO; keep
+            # that correlation on the alert's own relay path.
+            alert_trace = str(doc.get("trace_id", "") or "")
             payload = json.dumps(doc, sort_keys=True)
             dialog_id = self.relay.allocate_dialog_id()
             try:
                 directive = self.relay.send_alert(
-                    payload, dialog_id=dialog_id
+                    payload, dialog_id=dialog_id, trace_id=alert_trace
                 )
             except RelayDeliveryError as exc:
-                name = self.queue.enqueue(
-                    payload,
-                    meta={
-                        "dialog_id": dialog_id,
-                        "attempts": exc.attempts,
-                        "kind": "alert",
-                    },
-                )
+                meta = {
+                    "dialog_id": dialog_id,
+                    "attempts": exc.attempts,
+                    "kind": "alert",
+                }
+                if alert_trace:
+                    meta["trace_id"] = alert_trace
+                name = self.queue.enqueue(payload, meta=meta)
                 self.ctx.metrics.inc("tee.alerts_queued")
                 self.ctx.log("alert_queued", entry=name, depth=len(self.queue))
                 return {
@@ -471,14 +512,19 @@ def make_audio_filter_ta(
                 ctx.metrics.inc("tee.replays_suppressed")
                 ctx.log("replay_suppressed", seq=seq)
                 return dict(self._ckpt_record)
+            # Allocate after the replay check: a suppressed utterance
+            # keeps the id the dead instance already spent on it.
+            tid = self._next_trace_id()
             self._ensure_capture()
 
-            with self._stage("capture", frames=frames):
+            with self._stage(
+                "capture", frames=frames, **({"trace_id": tid} if tid else {})
+            ):
                 pcm = ctx.invoke_pta(
                     pta_uuid, pta_audio.CMD_READ, {"frames": frames}
                 )
 
-            record = self._process_segment(pcm)
+            record = self._process_segment(pcm, trace_id=tid)
             if supervised and seq and seq % checkpoint_every == 0:
                 self._checkpoint(seq, record)
             ctx.log(
@@ -488,13 +534,14 @@ def make_audio_filter_ta(
             )
             return record
 
-        def _process_segment(self, pcm) -> dict[str, Any]:
+        def _process_segment(self, pcm, trace_id: str = "") -> dict[str, Any]:
             """ASR → (wake-word gate) → classify → filter → relay."""
             ctx = self.ctx
             assert ctx is not None and self.relay is not None
             costs = ctx._os.machine.costs
+            stamp = {"trace_id": trace_id} if trace_id else {}
 
-            with self._stage("asr", samples=len(pcm)):
+            with self._stage("asr", samples=len(pcm), **stamp):
                 ctx.compute(
                     costs.ml_inference_cycles(
                         self.bundle.asr_macs(len(pcm)), secure=True, int8=False
@@ -502,7 +549,7 @@ def make_audio_filter_ta(
                 )
                 transcript = self.bundle.asr.transcribe(pcm)
 
-            with self._stage("classify"):
+            with self._stage("classify", **stamp):
                 classify_text = transcript
                 if self.bundle.gate is not None:
                     ctx.compute(300)  # prefix check is trivial
@@ -535,15 +582,15 @@ def make_audio_filter_ta(
                 )
                 decision = self.bundle.filter.apply(classify_text)
 
-            with self._stage("filter"):
+            with self._stage("filter", **stamp):
                 ctx.compute(200)
 
-            with self._stage("relay"):
+            with self._stage("relay", **stamp):
                 directive = None
                 relay_status, relay_attempts = RELAY_DROPPED, 0
                 if decision.forwarded and decision.payload is not None:
                     relay_status, directive, relay_attempts = (
-                        self._relay_payload(decision.payload)
+                        self._relay_payload(decision.payload, trace_id=trace_id)
                     )
                 else:
                     self.relay_counts[RELAY_DROPPED] += 1
@@ -582,8 +629,12 @@ def make_audio_filter_ta(
 
             records = []
             for i, seg in enumerate(segments):
-                with ctx.span("segment", category="pipeline.secure", index=i):
-                    records.append(self._process_segment(seg))
+                tid = self._next_trace_id()
+                with ctx.span(
+                    "segment", category="pipeline.secure", index=i,
+                    **({"trace_id": tid} if tid else {}),
+                ):
+                    records.append(self._process_segment(seg, trace_id=tid))
             return records
 
     return AudioFilterTa

@@ -1,4 +1,4 @@
-"""Registry exporters: OpenMetrics / Prometheus text and JSON Lines.
+"""Registry exporters: OpenMetrics / Prometheus text, JSONL, timelines.
 
 The fleet tier needs metrics to leave the process: the OpenMetrics text
 format feeds any Prometheus-compatible scraper or pushgateway, and the
@@ -10,15 +10,29 @@ Metric names are sanitized to the Prometheus grammar (dots become
 underscores); :class:`~repro.obs.metrics.BucketHistogram` metrics export
 as native Prometheus histograms with cumulative ``le`` buckets at the
 log-spaced bucket upper bounds.
+
+Trace correlation exporters: a fleet run that collected trace-stamped
+spans (``run_fleet(collect_traces=True)``) exports a fleet-wide
+correlated timeline — :func:`fleet_trace_jsonl` (one span per line, each
+carrying its ``device`` and ``trace_id``) and :func:`fleet_chrome_trace`
+(Chrome ``trace_event`` JSON with one track per device), so one utterance
+can be followed device → relay → cloud across the whole roster.
 """
 
 from __future__ import annotations
 
 import json
 import re
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
-from repro.obs.metrics import BucketHistogram, MetricsRegistry
+from repro.obs.metrics import (
+    BucketHistogram,
+    MetricsRegistry,
+    RegistrySnapshot,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.fleet import FleetReport
 
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -33,6 +47,36 @@ def sanitize_name(name: str) -> str:
 
 def _escape_label(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def unescape_label(value: str) -> str:
+    """Inverse of the OpenMetrics label escaping applied on export.
+
+    Walks the string left-to-right so ``\\\\n`` (escaped backslash then
+    ``n``) is not confused with ``\\n`` (newline) — a naive chain of
+    ``str.replace`` calls gets that wrong.
+    """
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "\\":
+                out.append("\\")
+                i += 2
+                continue
+            if nxt == '"':
+                out.append('"')
+                i += 2
+                continue
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
 
 
 def _render_labels(labels: dict[str, str] | None) -> str:
@@ -120,6 +164,12 @@ def to_jsonl(registry: MetricsRegistry) -> str:
             {"kind": "histogram", "name": name, "state": hist.to_doc()},
             sort_keys=True,
         ))
+    snapshots = registry.snapshots
+    if snapshots:
+        lines.append(json.dumps(
+            {"kind": "snapshots", "ring": [s.to_doc() for s in snapshots]},
+            sort_keys=True,
+        ))
     return "\n".join(lines)
 
 
@@ -139,6 +189,60 @@ def registry_from_jsonl(text: str) -> MetricsRegistry:
         elif kind == "histogram":
             hist = BucketHistogram.from_doc(doc["state"])
             registry._histograms[hist.name] = hist
+        elif kind == "snapshots":
+            registry._snapshots = [
+                RegistrySnapshot.from_doc(s) for s in doc["ring"]
+            ]
         else:
             raise ValueError(f"unknown metric kind {kind!r}")
     return registry
+
+
+def fleet_trace_jsonl(report: "FleetReport") -> str:
+    """Fleet-wide correlated timeline: one span document per line.
+
+    Each line is a span doc (from :meth:`Span.to_doc`) extended with the
+    owning ``device`` id, so a reader can follow a single ``trace_id``
+    across every device, relay send, and queue drain that touched it.
+    Requires the fleet to have been run with ``collect_traces=True``;
+    devices that collected no trace spans contribute nothing.
+    """
+    lines = []
+    for dev in report.devices:
+        for doc in dev.trace_spans:
+            lines.append(json.dumps({"device": dev.spec.device_id, **doc},
+                                    sort_keys=True))
+    return "\n".join(lines)
+
+
+def fleet_chrome_trace(report: "FleetReport") -> str:
+    """Chrome ``trace_event`` JSON for the fleet: one track per device.
+
+    Timestamps convert device cycles to microseconds at the fleet clock
+    rate; ``pid`` is the fleet, ``tid`` indexes the device roster so
+    ``chrome://tracing`` / Perfetto renders one horizontal track per
+    device with the trace id attached to each slice's args.
+    """
+    scale = 1e6 / float(report.freq_hz)
+    events: list[dict[str, Any]] = []
+    for tid, dev in enumerate(report.devices, start=1):
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": dev.spec.device_id},
+        })
+        for doc in dev.trace_spans:
+            events.append({
+                "name": doc["name"],
+                "cat": doc.get("category", "span"),
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "ts": doc["start"] * scale,
+                "dur": max(doc["end"] - doc["start"], 0) * scale,
+                "args": dict(doc.get("attrs", {})),
+            })
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"},
+                      sort_keys=True)

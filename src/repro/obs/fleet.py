@@ -65,6 +65,32 @@ _SENSITIVE_MIX = (0.25, 0.5, 0.75)
 LATENCY_METRIC = "fleet.e2e_latency_cycles"
 ENERGY_METRIC = "fleet.e2e_energy_mj"
 
+#: ``--sample-rate auto``: per-profile telemetry sampling (1-in-k).
+#: Constrained-network devices burn energy and bandwidth on retries —
+#: that budget pressure is exactly when telemetry volume should drop, so
+#: lossy/congested profiles sample half as often.  All rates are powers
+#: of two so merged weights stay exact integers.
+AUTO_SAMPLE_RATES: dict[str, int] = {
+    "clean": 8,
+    "light": 8,
+    "lossy": 16,
+    "congested": 16,
+}
+
+
+def resolve_sample_rate(rate: int | str, fault_profile: str) -> int:
+    """The effective 1-in-k sampling rate for a device.
+
+    ``"auto"`` maps through :data:`AUTO_SAMPLE_RATES` by the device's
+    network fault profile; anything else must parse as an integer >= 1.
+    """
+    if rate == "auto":
+        return AUTO_SAMPLE_RATES[fault_profile]
+    out = int(rate)
+    if out < 1:
+        raise ValueError(f"sample rate must be >= 1, got {rate!r}")
+    return out
+
 
 @dataclass(frozen=True)
 class DeviceSpec:
@@ -167,6 +193,11 @@ class DeviceReport:
     freq_hz: float = DEFAULT_FREQ_HZ
     clock_now: int = 0
     heartbeats: dict[str, int] = field(default_factory=dict)
+    # Telemetry reduction: 1-in-k sampling weight applied to latencies /
+    # histograms (1 = unsampled) and the trace-stamped span docs kept for
+    # the fleet timeline (empty unless the run collected traces).
+    sample_rate: int = 1
+    trace_spans: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def relay_success_rate(self) -> float:
@@ -212,6 +243,7 @@ class DeviceReport:
             "secure_fault_profile": self.spec.secure_fault_profile,
             "restarts": self.restarts,
             "degraded": self.degraded,
+            "sample_rate": self.sample_rate,
         }
 
 
@@ -231,7 +263,12 @@ class DeviceRuntime:
 
 
 def simulate_device_runtime(
-    spec: DeviceSpec, bundle, observability: bool = True, recorder=None
+    spec: DeviceSpec,
+    bundle,
+    observability: bool = True,
+    recorder=None,
+    sample_rate: int | str = 1,
+    collect_traces: bool = False,
 ) -> DeviceRuntime:
     """Run one device's workload, keeping the live machine around.
 
@@ -242,6 +279,14 @@ def simulate_device_runtime(
     are untouched.  ``recorder`` attaches a health
     :class:`~repro.obs.health.FlightRecorder` before the run so a later
     SLO violation can dump the spans that led up to it.
+
+    ``sample_rate`` (an int or ``"auto"``, see :func:`resolve_sample_rate`)
+    reduces telemetry 1-in-k: the registry samples histogram observations
+    with weight ``k`` and the report keeps every k-th latency and trace.
+    ``collect_traces`` turns on deterministic trace-id stamping in the
+    pipeline and retains the trace-stamped span docs on the report.
+    Neither knob touches decisions — they change what telemetry is
+    *kept*, never what the pipeline does.
     """
     from repro.core.pipeline import SecurePipeline
     from repro.core.platform import IotPlatform
@@ -250,6 +295,7 @@ def simulate_device_runtime(
     from repro.optee.supervise import SupervisorPolicy
     from repro.sim.rng import SimRng
 
+    sample_rate = resolve_sample_rate(sample_rate, spec.fault_profile)
     secure_faults = spec.secure_fault_config()
     platform = IotPlatform.create(
         seed=spec.seed,
@@ -260,6 +306,9 @@ def simulate_device_runtime(
         platform.machine.obs.disable()
     if recorder is not None:
         platform.machine.obs.attach_recorder(recorder)
+    # Sampling must be live before the run so span-fed histograms sample
+    # at record time (systematic 1-in-k, weight k — see set_sampling).
+    platform.machine.obs.metrics.set_sampling(sample_rate)
     # Secure-world faults without supervision would just kill the run;
     # chaos devices therefore run supervised (checkpoint + restart).
     pipeline = SecurePipeline(
@@ -267,6 +316,7 @@ def simulate_device_runtime(
         bundle,
         supervisor=SupervisorPolicy() if secure_faults is not None else None,
         device_id=spec.device_id,
+        trace_ids=collect_traces,
     )
     corpus = UtteranceGenerator(SimRng(spec.seed, "fleet")).generate(
         spec.utterances, sensitive_fraction=spec.sensitive_fraction
@@ -279,10 +329,14 @@ def simulate_device_runtime(
 
     summary = run.summary()
     relay = dict(run.relay_stats)
-    latencies = [r.latency_cycles for r in run.results]
+    all_latencies = [r.latency_cycles for r in run.results]
+    # The report ships every k-th latency with weight k — same phase as
+    # the registry's systematic sampler, so the two stay consistent and
+    # merged fleet quantiles remain unbiased.
+    latencies = all_latencies[::sample_rate]
     hist = BucketHistogram(LATENCY_METRIC)
     for lat in latencies:
-        hist.observe(lat)
+        hist.observe(lat, weight=sample_rate)
 
     machine = platform.machine
     energy_mj = platform.energy.report().total_mj
@@ -290,13 +344,40 @@ def simulate_device_runtime(
     battery = project_battery_life(per_utt_mj)
 
     metrics = machine.obs.metrics
-    for r in run.results:
+    # Pre-create every fleet counter so the registry's counter set is
+    # identical whether the run had traffic for it or not (merges and
+    # exports depend on the namespace, not the values).
+    for name in (
+        "fleet.utterances", "fleet.relay.forwarded", "fleet.relay.sent",
+        "fleet.relay.queued", "fleet.relay.retries",
+        "fleet.relay.rehandshakes", "fleet.world_switches",
+    ):
+        metrics.inc(name, 0)
+    # Per-result recording on a synthetic device timeline (cumulative
+    # end-to-end cycles): each utterance advances the cursor and stamps
+    # one snapshot, which is the time series burn-rate SLOs window over.
+    # The totals are provably the old bulk totals — summary() counts
+    # exactly these predicates over the same results.
+    cursor = 0
+    for i, r in enumerate(run.results):
         metrics.observe(LATENCY_METRIC, r.latency_cycles)
         metrics.observe(ENERGY_METRIC, r.energy_mj)
-    metrics.inc("fleet.utterances", len(run.results))
-    metrics.inc("fleet.relay.forwarded", summary["forwarded"])
-    metrics.inc("fleet.relay.sent", summary["sent"])
-    metrics.inc("fleet.relay.queued", summary["queued"])
+        metrics.inc("fleet.utterances", 1)
+        if r.forwarded:
+            metrics.inc("fleet.relay.forwarded", 1)
+        if r.relay_status == "sent":
+            metrics.inc("fleet.relay.sent", 1)
+        elif r.relay_status == "queued":
+            metrics.inc("fleet.relay.queued", 1)
+        cursor += r.latency_cycles
+        # The snapshot ring is shipped telemetry too, so its cadence
+        # follows the sampling rate: a 1-in-k device stamps every k-th
+        # utterance, plus the final one so the totals always land in the
+        # ring.  Counters are cumulative, so deltas stay exact — coarser
+        # cadence trades burn-rate detection latency for bytes (T15
+        # measures that trade), never correctness.
+        if (i + 1) % sample_rate == 0 or i + 1 == len(run.results):
+            metrics.record_snapshot(cursor)
     metrics.inc("fleet.relay.retries", relay.get("retries", 0))
     metrics.inc("fleet.relay.rehandshakes", relay.get("rehandshakes", 0))
     metrics.inc("fleet.world_switches", machine.cpu.switch_count)
@@ -304,6 +385,23 @@ def simulate_device_runtime(
     # an intensive (per-utterance) gauge would sum to devices× the true
     # value under registry merge.  Gauges here must stay extensive.
     metrics.set("fleet.relay.queue_depth", relay.get("queue_depth", 0))
+
+    trace_spans: list[dict[str, Any]] = []
+    if collect_traces:
+        # Keep every k-th *trace* (whole utterances, by first appearance)
+        # rather than every k-th span, so kept traces stay complete
+        # device→relay→queue stories under sampling.
+        order: dict[str, int] = {}
+        for sp in machine.obs.tracer.spans:
+            tid = sp.trace_id
+            if tid and tid not in order:
+                order[tid] = len(order)
+        keep = {tid for tid, i in order.items() if i % sample_rate == 0}
+        trace_spans = [
+            sp.to_doc()
+            for sp in machine.obs.tracer.spans
+            if sp.trace_id in keep
+        ]
 
     restarts = (
         pipeline.supervisor.restarts if pipeline.supervisor is not None else 0
@@ -323,6 +421,8 @@ def simulate_device_runtime(
         freq_hz=machine.clock.freq_hz,
         clock_now=machine.clock.now,
         heartbeats=span_heartbeats(machine.obs.tracer.spans),
+        sample_rate=sample_rate,
+        trace_spans=trace_spans,
     )
     return DeviceRuntime(
         report=report,
@@ -333,7 +433,12 @@ def simulate_device_runtime(
 
 
 def simulate_device(
-    spec: DeviceSpec, bundle, observability: bool = True, recorder=None
+    spec: DeviceSpec,
+    bundle,
+    observability: bool = True,
+    recorder=None,
+    sample_rate: int | str = 1,
+    collect_traces: bool = False,
 ) -> DeviceReport:
     """Run one device's workload and reduce it to a :class:`DeviceReport`.
 
@@ -343,7 +448,8 @@ def simulate_device(
     device and the report pickles cleanly across shard workers.
     """
     return simulate_device_runtime(
-        spec, bundle, observability=observability, recorder=recorder
+        spec, bundle, observability=observability, recorder=recorder,
+        sample_rate=sample_rate, collect_traces=collect_traces,
     ).report
 
 
@@ -365,11 +471,17 @@ def _init_shard_worker(bundle_blob: bytes) -> None:
 
 
 def _run_shard(
-    specs: list[DeviceSpec], observability: bool
+    specs: list[DeviceSpec],
+    observability: bool,
+    sample_rate: int | str = 1,
+    collect_traces: bool = False,
 ) -> list[DeviceReport]:
     """Simulate one contiguous roster slice; returns picklable reports."""
     return [
-        simulate_device(spec, _WORKER_BUNDLE, observability=observability)
+        simulate_device(
+            spec, _WORKER_BUNDLE, observability=observability,
+            sample_rate=sample_rate, collect_traces=collect_traces,
+        )
         for spec in specs
     ]
 
@@ -442,7 +554,11 @@ class FleetReport:
             "devices": [d.to_doc() for d in self.devices],
             "fleet": {
                 "devices": len(self.devices),
-                "utterances": sum(len(d.latencies) for d in self.devices),
+                # Summary counts, not len(latencies): a sampled device
+                # keeps 1-in-k latencies but still ran every utterance.
+                "utterances": sum(
+                    d.summary["utterances"] for d in self.devices
+                ),
                 "latency_p50_cycles": hist.p50,
                 "latency_p95_cycles": hist.p95,
                 "latency_p99_cycles": hist.p99,
@@ -469,7 +585,7 @@ class FleetReport:
         for d in self.devices:
             lines.append(
                 f"{d.spec.device_id:8s} {d.spec.fault_profile:>10s} "
-                f"{len(d.latencies):>4d} {d.summary['forwarded']:>4d} "
+                f"{d.summary['utterances']:>4d} {d.summary['forwarded']:>4d} "
                 f"{d.summary['sent']:>5d} {d.summary['queued']:>6d} "
                 f"{cycles_to_ms(d.latency_hist.p50, d.freq_hz):>7.2f} "
                 f"{cycles_to_ms(d.latency_hist.p95, d.freq_hz):>7.2f} "
@@ -503,6 +619,8 @@ def run_fleet(
     chaos: bool = False,
     shards: int = 1,
     max_workers: int | None = None,
+    sample_rate: int | str = 1,
+    collect_traces: bool = False,
 ) -> FleetReport:
     """Simulate the fleet and return the merged report.
 
@@ -511,7 +629,9 @@ def run_fleet(
     training.  ``observability=False`` disables each device's obs layer —
     used by the determinism tests to show decisions are byte-identical
     either way.  ``chaos=True`` injects secure-world faults on every
-    device and runs the TAs supervised.
+    device and runs the TAs supervised.  ``sample_rate`` (int or
+    ``"auto"``) and ``collect_traces`` are the telemetry-volume knobs —
+    see :func:`simulate_device_runtime`; neither affects decisions.
 
     ``shards > 1`` co-simulates the roster across that many worker
     processes (spawn-safe; at most ``max_workers`` concurrent, default
@@ -531,7 +651,10 @@ def run_fleet(
     if shards <= 1:
         for spec in specs:
             report.devices.append(
-                simulate_device(spec, bundle, observability=observability)
+                simulate_device(
+                    spec, bundle, observability=observability,
+                    sample_rate=sample_rate, collect_traces=collect_traces,
+                )
             )
         return report
 
@@ -551,7 +674,10 @@ def run_fleet(
         initargs=(blob,),
     ) as pool:
         futures = [
-            pool.submit(_run_shard, group, observability) for group in groups
+            pool.submit(
+                _run_shard, group, observability, sample_rate, collect_traces
+            )
+            for group in groups
         ]
         # Collect in submission order (== roster order), regardless of
         # which shard finishes first.

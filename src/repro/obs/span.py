@@ -60,6 +60,16 @@ class Span:
         """Total cycles elapsed inside the span."""
         return self.end_cycle - self.start_cycle
 
+    @property
+    def trace_id(self) -> str:
+        """The correlated trace this span belongs to ('' when unstamped).
+
+        Trace ids ride the ordinary ``attrs`` bag (key ``trace_id``) so
+        stamped spans round-trip through every existing export without a
+        schema change.
+        """
+        return str(self.attrs.get("trace_id", "") or "")
+
     def matches(self, category_prefix: str) -> bool:
         """True if the category equals or nests under the prefix."""
         return self.category == category_prefix or self.category.startswith(
@@ -239,6 +249,10 @@ class SpanTracer:
         if category_prefix is None:
             return list(self.spans)
         return [s for s in self.spans if s.matches(category_prefix)]
+
+    def spans_for_trace(self, trace_id: str) -> list[Span]:
+        """Retained spans stamped with ``trace_id``, in close order."""
+        return [s for s in self.spans if s.trace_id == trace_id]
 
     def clear(self) -> None:
         """Drop retained spans (open spans and ids are unaffected)."""

@@ -41,6 +41,7 @@ class AvsEvent:
         dialog_id: int,
         attempt: int = 1,
         device_id: str = "",
+        trace_id: str = "",
     ) -> "AvsEvent":
         """The speech-recognition event carrying a transcript.
 
@@ -55,6 +56,10 @@ class AvsEvent:
         are only unique within one device's counter.  Like ``attempt``,
         it is omitted when empty so single-device deployments keep their
         historical wire bytes.
+
+        ``trace_id`` correlates the event with the device-side spans of
+        the same utterance (deterministically derived in the TA).  Also
+        omitted when empty — trace-off runs keep their wire bytes.
         """
         payload: dict[str, Any] = {
             "transcript": transcript,
@@ -64,6 +69,8 @@ class AvsEvent:
             payload["attempt"] = attempt
         if device_id:
             payload["deviceId"] = device_id
+        if trace_id:
+            payload["traceId"] = trace_id
         return cls(
             namespace="SpeechRecognizer", name="Recognize", payload=payload
         )
@@ -80,14 +87,15 @@ class AvsEvent:
         dialog_id: int,
         attempt: int = 1,
         device_id: str = "",
+        trace_id: str = "",
     ) -> "AvsEvent":
         """A device-health alert (SLO violation, flight-recorder dump).
 
         Same retry/duplicate-suppression contract as :meth:`recognize`:
         ``dialogRequestId`` is stable across re-deliveries, ``attempt``
-        counts them, and ``device_id`` scopes both to the sender (each
-        omitted when defaulted so first-attempt single-device bytes stay
-        unchanged).
+        counts them, and ``device_id``/``trace_id`` scope and correlate
+        the event (each omitted when defaulted so first-attempt
+        single-device bytes stay unchanged).
         """
         payload: dict[str, Any] = {
             "alert": alert_json,
@@ -97,6 +105,8 @@ class AvsEvent:
             payload["attempt"] = attempt
         if device_id:
             payload["deviceId"] = device_id
+        if trace_id:
+            payload["traceId"] = trace_id
         return cls(namespace="System", name="Alert", payload=payload)
 
     @classmethod
@@ -153,13 +163,14 @@ class AvsClient:
         transcript: str,
         dialog_id: int | None = None,
         attempt: int = 1,
+        trace_id: str = "",
     ) -> dict[str, Any]:
         """Send a transcript; returns the cloud's directive."""
         if dialog_id is None:
             dialog_id = self.allocate_dialog_id()
         reply = self._request(
             AvsEvent.recognize(
-                transcript, dialog_id, attempt, self._device_id
+                transcript, dialog_id, attempt, self._device_id, trace_id
             ).to_bytes()
         )
         self.events_sent += 1
@@ -176,13 +187,14 @@ class AvsClient:
         alert_json: str,
         dialog_id: int | None = None,
         attempt: int = 1,
+        trace_id: str = "",
     ) -> dict[str, Any]:
         """Send a health alert; returns the cloud's directive."""
         if dialog_id is None:
             dialog_id = self.allocate_dialog_id()
         reply = self._request(
             AvsEvent.alert(
-                alert_json, dialog_id, attempt, self._device_id
+                alert_json, dialog_id, attempt, self._device_id, trace_id
             ).to_bytes()
         )
         self.events_sent += 1

@@ -61,7 +61,16 @@ class StoreForwardQueue:
         return list(self._names)
 
     def enqueue(self, payload: str, meta: dict[str, Any] | None = None) -> str:
-        """Seal ``payload`` into the queue; returns the entry name."""
+        """Seal ``payload`` into the queue; returns the entry name.
+
+        ``meta`` is stored alongside and handed back verbatim on drain —
+        the dialog id, prior attempt count and (for trace runs) the
+        utterance's ``trace_id`` all ride here, so a drained re-send
+        keeps the original event's identity.  The key ``"payload"`` is
+        reserved for the payload itself.
+        """
+        if meta and "payload" in meta:
+            raise ValueError('meta key "payload" is reserved')
         name = f"{_QUEUE_PREFIX}{self._seq:08d}"
         self._seq += 1
         entry = {"payload": payload, **(meta or {})}

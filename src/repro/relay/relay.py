@@ -176,6 +176,7 @@ class RelayModule:
         transcript: str,
         dialog_id: int | None = None,
         prior_attempts: int = 0,
+        trace_id: str = "",
     ) -> dict[str, Any]:
         """Ship one (already filtered) transcript to the cloud service.
 
@@ -184,7 +185,9 @@ class RelayModule:
         is at-least-once on the wire, but every attempt of one logical
         event carries the same ``dialog_id`` (pass the stored id and
         ``prior_attempts`` when re-sending a queued payload), so the cloud
-        can suppress duplicates when only a reply was lost.
+        can suppress duplicates when only a reply was lost.  ``trace_id``
+        (when non-empty) rides every attempt's event so the cloud record
+        correlates with the device-side spans.
         """
         if dialog_id is None:
             dialog_id = self.allocate_dialog_id()
@@ -192,7 +195,9 @@ class RelayModule:
 
         def op() -> dict[str, Any]:
             attempt["n"] += 1
-            return self._avs.recognize(transcript, dialog_id, attempt["n"])
+            return self._avs.recognize(
+                transcript, dialog_id, attempt["n"], trace_id=trace_id
+            )
 
         return self._deliver(op)
 
@@ -201,6 +206,7 @@ class RelayModule:
         alert_json: str,
         dialog_id: int | None = None,
         prior_attempts: int = 0,
+        trace_id: str = "",
     ) -> dict[str, Any]:
         """Ship a health alert with the same delivery contract as
         :meth:`send_transcript` (retries, stable dialog id, queueable)."""
@@ -210,7 +216,9 @@ class RelayModule:
 
         def op() -> dict[str, Any]:
             attempt["n"] += 1
-            return self._avs.alert(alert_json, dialog_id, attempt["n"])
+            return self._avs.alert(
+                alert_json, dialog_id, attempt["n"], trace_id=trace_id
+            )
 
         return self._deliver(op)
 

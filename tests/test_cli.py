@@ -266,3 +266,48 @@ class TestTeardown:
         assert main(["privacy", "--utterances", "4", "--seed", "5"]) == 0
         assert closed.count("SecurePipeline") == 1
         assert closed.count("BaselinePipeline") == 1
+
+
+class TestHealthExitCodes:
+    """The documented contract: 0 ok, 1 violation/burn/stall, 2 NO DATA."""
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["health", "--help"])
+        text = capsys.readouterr().out
+        assert "exit codes" in text
+        assert "NO DATA" in text
+        for flag in ("--burn-rate", "--window-hours", "--trace-ids",
+                     "--trace-only"):
+            assert flag in text
+
+    def test_burn_rate_without_history_is_no_data_exit_2(self, capsys):
+        # One utterance stamps a single snapshot: burn windows need two,
+        # so the verdict is NO DATA (2), distinct from a violation (1).
+        assert main(["health", "--utterances", "1", "--seed", "5",
+                     "--burn-rate", "--window-hours", "1.0",
+                     "--dump", ""]) == 2
+        out = capsys.readouterr().out
+        assert "NO DATA" in out
+
+    def test_burn_rate_clean_run_exits_0(self, capsys):
+        assert main(["health", "--utterances", "3", "--seed", "5",
+                     "--burn-rate", "--window-hours", "0.0001",
+                     "--dump", ""]) == 0
+        out = capsys.readouterr().out
+        assert "burn:p99_latency" in out
+        assert "burn:relay_success" in out
+
+    def test_fleet_sampling_and_trace_flags_parse(self):
+        args = build_parser().parse_args(
+            ["fleet", "--sample-rate", "auto", "--traces", "t.jsonl",
+             "--trace-chrome", "c.json"]
+        )
+        assert args.sample_rate == "auto"
+        assert args.traces == "t.jsonl"
+        assert args.trace_chrome == "c.json"
+
+    def test_fleet_bad_sample_rate_rejected(self):
+        with pytest.raises(ValueError):
+            main(["fleet", "--devices", "1", "--utterances", "1",
+                  "--sample-rate", "never"])

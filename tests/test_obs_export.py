@@ -5,10 +5,12 @@ import json
 import pytest
 
 from repro.obs.export import (
+    _escape_label,
     registry_from_jsonl,
     sanitize_name,
     to_jsonl,
     to_openmetrics,
+    unescape_label,
 )
 from repro.obs.metrics import MetricsRegistry
 
@@ -99,3 +101,92 @@ class TestJsonlRoundTrip:
     def test_blank_lines_ignored(self):
         reg = registry_from_jsonl("\n\n" + to_jsonl(populated()) + "\n")
         assert reg.counter("tz.smc").value == 3
+
+
+class TestLabelEscapeRoundTrip:
+    """unescape_label must invert _escape_label for any device id."""
+
+    CASES = [
+        'plain-d03',
+        'quote"inside',
+        'back\\slash',
+        'line\nbreak',
+        'tail\\',
+        'escaped-newline-literal\\n',
+        'mixed\\"\n\\\\"',
+        'δ-suite-設備-03',   # non-ASCII device ids pass through untouched
+        '',
+    ]
+
+    def test_round_trip(self):
+        for raw in self.CASES:
+            assert unescape_label(_escape_label(raw)) == raw, raw
+
+    def test_escaped_backslash_n_is_not_a_newline(self):
+        # The sequence backslash-backslash-n encodes a literal "\n" (two
+        # chars), not a newline — the case replace-chains get wrong.
+        assert unescape_label("a\\\\nb") == "a\\nb"
+        assert unescape_label("a\\nb") == "a\nb"
+
+    def test_non_ascii_label_renders_and_recovers(self):
+        reg = MetricsRegistry()
+        reg.inc("n")
+        text = to_openmetrics(reg, labels={"device": "δ-設備-03"})
+        (line,) = [l for l in text.splitlines()
+                   if l.startswith("repro_n_total")]
+        quoted = line.split('device="', 1)[1].rsplit('"', 1)[0]
+        assert unescape_label(quoted) == "δ-設備-03"
+
+
+class TestMergedRegistryExposition:
+    """Histogram exposition stays well-formed under fleet merges."""
+
+    def _merged(self) -> MetricsRegistry:
+        a, b = populated(), populated()
+        b.observe("stage.secure.asr.cycles", 100_000)
+        a.merge(b)
+        return a
+
+    def test_merged_counts_and_cumulative_buckets(self):
+        text = to_openmetrics(self._merged())
+        assert "repro_stage_secure_asr_cycles_count 9" in text
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_stage_secure_asr_cycles_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 9
+
+    def test_weighted_histograms_expose_weighted_counts(self):
+        a = MetricsRegistry()
+        a.set_sampling(4)
+        for v in range(8):
+            a.observe("fleet.lat", float(v + 1))
+        b = MetricsRegistry()
+        b.observe("fleet.lat", 3.0)
+        a.merge(b)
+        text = to_openmetrics(a)
+        # 2 kept samples at weight 4, plus one unsampled observation.
+        assert "repro_fleet_lat_count 9" in text
+
+    def test_merged_registry_round_trips_through_jsonl(self):
+        reg = self._merged()
+        back = registry_from_jsonl(to_jsonl(reg))
+        assert to_openmetrics(back) == to_openmetrics(reg)
+
+
+class TestSnapshotRingJsonl:
+    def test_ring_survives_round_trip(self):
+        reg = populated()
+        reg.inc("fleet.utterances", 2)
+        reg.record_snapshot(500)
+        reg.inc("fleet.utterances", 1)
+        reg.record_snapshot(900)
+        back = registry_from_jsonl(to_jsonl(reg))
+        assert [s.to_doc() for s in back.snapshots] == \
+            [s.to_doc() for s in reg.snapshots]
+
+    def test_empty_ring_adds_no_line(self):
+        text = to_jsonl(populated())
+        assert '"snapshots"' not in text
