@@ -187,7 +187,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     collect_traces = bool(args.traces or args.trace_chrome)
     report = run_fleet(
         devices=args.devices, seed=args.seed, utterances=args.utterances,
-        chaos=args.chaos, shards=args.shards, max_workers=args.max_workers,
+        chaos=args.chaos, overload=args.overload,
+        client_crashes=args.client_crashes,
+        shards=args.shards, max_workers=args.max_workers,
         sample_rate=sample_rate, collect_traces=collect_traces,
     )
     print(report.table())
@@ -568,6 +570,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos", action="store_true",
         help="inject secure-world faults (TA panics, heap/PTA/DMA/storage) "
              "on every device and run the TAs supervised",
+    )
+    fleet.add_argument(
+        "--overload", action="store_true",
+        help="starve the cloud admission tier (token buckets + tiny tenant "
+             "queues) so devices see Throttled verdicts and spill into "
+             "their sealed store-and-forward queues",
+    )
+    fleet.add_argument(
+        "--client-crashes", action="store_true",
+        help="crash/restart the normal-world client app mid-run on every "
+             "device; recovery comes from the TA's sealed checkpoint + "
+             "queue via CMD_RESUME (runs the TAs supervised)",
     )
     fleet.add_argument(
         "--sample-rate", default="1",

@@ -59,6 +59,7 @@ class SecurePipeline:
         supervisor: "SupervisorPolicy | None" = None,
         device_id: str = "",
         trace_ids: bool = False,
+        queue_max_depth: int = 64,
     ):
         self.platform = platform
         self.bundle = bundle
@@ -81,6 +82,7 @@ class SecurePipeline:
             ),
             device_id=device_id,
             trace_ids=trace_ids,
+            queue_max_depth=queue_max_depth,
         )
         signature = None
         if ta_signing_key is not None:
@@ -90,6 +92,8 @@ class SecurePipeline:
         self.ta_uuid = platform.tee.install_ta(ta_class, signature=signature)
         self.client = TeeClient(platform.machine)
         self.supervisor: TaSupervisor | None = None
+        self._supervisor_policy = supervisor
+        self.client_restarts = 0
         if supervisor is not None:
             self.supervisor = TaSupervisor(
                 platform.tee, self.client, self.ta_uuid,
@@ -279,6 +283,85 @@ class SecurePipeline:
                 )
             )
         return run
+
+    # -- normal-world crash/restart chaos ------------------------------------------
+
+    def crash_client(self) -> None:
+        """Kill the normal-world client application mid-run.
+
+        Models a process crash: the session object, the supervisor and
+        the client's utterance counter are simply *gone* — nothing
+        client-side gets to run cleanup.  What still happens mirrors
+        what the kernel does for a dead process: the TEE driver closes
+        the process's sessions on fd release (which tears down a
+        non-keep-alive TA instance once its last session drops — only
+        sealed state survives), and the shared-memory carveout is
+        reclaimed.  Call :meth:`recover_client` to restart.
+        """
+        from repro.errors import TeeError
+
+        if self.session is not None and not getattr(self.session, "closed", True):
+            try:
+                # The kernel's fd-release cleanup issues the same SMC a
+                # voluntary close would — entering the secure world so
+                # the TA's teardown hooks actually run there.
+                self.client._smc_call(
+                    {"op": "close_session", "session": self.session.session_id}
+                )
+            except TeeError:
+                # The TA can panic inside its close hook (chaos
+                # injection); the kernel's cleanup doesn't care.
+                pass
+        # Kernel reclaims the dead process's shared carveout.
+        self.client.close()
+        self.session = None  # type: ignore[assignment]
+        self.supervisor = None
+        self._seq = 0
+        machine = self.platform.machine
+        machine.obs.metrics.inc("client.crashes")
+        machine.trace.emit(
+            machine.clock.now, "core.pipeline", "client_crashed",
+        )
+
+    def recover_client(self) -> dict:
+        """Restart the client application after :meth:`crash_client`.
+
+        A fresh :class:`TeeClient` context and session — re-instantiating
+        the TA, whose ``on_create`` restores from the sealed checkpoint
+        and store-and-forward queue — then ``CMD_RESUME`` asks the TA
+        where committed state actually is.  The client's sequence counter
+        resumes from the answer: re-invoking the committed sequence is
+        replay-suppressed in the TA, so recovery can never double-send,
+        and the first uncommitted utterance is ``seq + 1``.  Meaningful
+        crash recovery needs supervised mode (checkpoints are only
+        sealed when supervision is on); unsupervised recovery restarts
+        from sequence zero.  Returns the TA's resume document.
+        """
+        from repro.core.ta_filter import CMD_RESUME
+
+        # A panicked instance (e.g. chaos hit the close hook during the
+        # crash) must be reaped before a session can reopen it.
+        self.platform.tee.reap_panicked(self.ta_uuid)
+        self.client = TeeClient(self.platform.machine)
+        if self._supervisor_policy is not None:
+            self.supervisor = TaSupervisor(
+                self.platform.tee, self.client, self.ta_uuid,
+                policy=self._supervisor_policy,
+                rng=self.platform.rng.fork("supervisor"),
+            )
+            self.session = self.supervisor.open()
+        else:
+            self.session = self.client.open_session(self.ta_uuid)
+        resume = self.session.invoke(CMD_RESUME)
+        self._seq = int(resume["seq"])
+        self.client_restarts += 1
+        machine = self.platform.machine
+        machine.obs.metrics.inc("client.restarts")
+        machine.trace.emit(
+            machine.clock.now, "core.pipeline", "client_recovered",
+            seq=self._seq, queue_depth=resume.get("queue_depth", 0),
+        )
+        return resume
 
     # -- adversary-facing surface ------------------------------------------------
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cloud.service import VoiceCloudService
+from repro.cloud.service import IngestionConfig, VoiceCloudService
 from repro.energy.model import EnergyMeter, PowerModel
 from repro.kernel.kernel import Kernel
 from repro.optee.os import OpTeeOs
@@ -62,6 +62,7 @@ class IotPlatform:
         ta_verification_key: bytes | None = None,
         network_faults: FaultConfig | None = None,
         secure_faults: SecureFaultConfig | None = None,
+        ingestion: "IngestionConfig | None" = None,
     ) -> "IotPlatform":
         """Build the device.
 
@@ -76,6 +77,13 @@ class IotPlatform:
         ``secure_faults`` does the same *inside* the TEE (TA panics, heap
         exhaustion, PTA/DMA errors, storage corruption) — the chaos knob
         the supervision layer is tested against.
+
+        ``ingestion`` (an :class:`~repro.cloud.service.IngestionConfig`)
+        puts the cloud service behind its sharded multi-tenant admission
+        tier — token buckets, bounded tenant queues, Throttled verdicts —
+        driven read-only by this machine's clock and reporting into its
+        metrics registry.  Omitted (the default), the cloud accepts
+        everything exactly as before, byte for byte.
         """
         config = machine_config or MachineConfig()
         if seed != 42 and machine_config is None:
@@ -119,7 +127,12 @@ class IotPlatform:
 
         camera = Camera(SyntheticScene(rng.fork("scene")))
 
-        cloud = VoiceCloudService(rng.fork("cloud"))
+        cloud = VoiceCloudService(
+            rng.fork("cloud"),
+            clock=machine.clock if ingestion is not None else None,
+            metrics=machine.obs.metrics if ingestion is not None else None,
+            ingestion=ingestion,
+        )
         supplicant.net.register_endpoint(
             VoiceCloudService.HOST, VoiceCloudService.TLS_PORT, cloud
         )

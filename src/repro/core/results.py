@@ -17,7 +17,9 @@ class UtteranceResult:
 
     ``relay_status`` is the delivery outcome for pipelines with a
     fault-tolerant relay: ``"sent"``, ``"queued"`` (spilled to the sealed
-    store-and-forward queue after retries) or ``"dropped"`` (withheld by
+    store-and-forward queue after retries), ``"throttled"`` (spilled
+    under cloud admission backpressure), ``"shed"`` (refused fail-closed
+    by the bounded queue, with accounting) or ``"dropped"`` (withheld by
     the filter).  Pipelines without relay accounting leave it empty.
 
     ``degraded`` marks a fail-closed decision: the TA was down past every
@@ -121,15 +123,34 @@ class PipelineRunResult:
         """Utterances spilled into the store-and-forward queue."""
         return sum(1 for r in self.results if r.relay_status == "queued")
 
+    def throttled_count(self) -> int:
+        """Utterances queued under cloud admission backpressure."""
+        return sum(1 for r in self.results if r.relay_status == "throttled")
+
+    def shed_count(self) -> int:
+        """Utterances refused fail-closed by the bounded queue.
+
+        Shedding is a *deliberate, accounted* loss (the queue was at
+        depth and refuses the newest rather than evicting committed
+        entries); it still counts as lost in :meth:`lost_count` because
+        the decision did not reach the cloud and is not at rest.
+        """
+        return sum(1 for r in self.results if r.relay_status == "shed")
+
     def lost_count(self) -> int:
-        """Forwarded decisions that ended neither sent nor queued.
+        """Forwarded decisions that ended neither sent nor at rest.
 
         The fault-tolerance invariant: this must be zero at any fault rate
-        (for pipelines that track relay status at all).
+        (for pipelines that track relay status at all) — unless the
+        bounded store-and-forward queue *deliberately* shed, in which
+        case ``lost_count() == shed_count()`` exactly (nothing is ever
+        lost silently).  ``"queued"`` and ``"throttled"`` payloads are at
+        rest in the sealed queue, not lost.
         """
         return sum(
             1 for r in self.results
-            if r.forwarded and r.relay_status not in ("", "sent", "queued")
+            if r.forwarded
+            and r.relay_status not in ("", "sent", "queued", "throttled")
         )
 
     def degraded_count(self) -> int:
@@ -167,6 +188,8 @@ class PipelineRunResult:
             "forwarded": self.forwarded_count(),
             "sent": self.sent_count(),
             "queued": self.queued_count(),
+            "throttled": self.throttled_count(),
+            "shed": self.shed_count(),
             "degraded": self.degraded_count(),
             "relay_attempts": self.total_relay_attempts(),
             "accuracy": self.classifier_accuracy(),

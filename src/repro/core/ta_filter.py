@@ -28,6 +28,10 @@ Commands::
     CMD_ALERT          (5)  MemRef(JSON alert doc) → {"status", ...}; ships
                             a health alert through the same relay + sealed
                             store-and-forward path as decisions
+    CMD_RESUME         (6)  → {"seq", "utt_seq", "queue_depth",
+                            "dialog_cursor"}; where a crash-restarted
+                            normal-world client should resume (committed
+                            state lives secure-side, never in the client)
 
 Supervised mode (``supervised=True`` in the factory) adds crash
 consistency: after every committed decision the TA seals a checkpoint
@@ -43,11 +47,15 @@ dropped.
 
 Relay outcomes: every decision record carries ``relay_status`` —
 ``"sent"`` (delivered, possibly after retries), ``"queued"`` (retries
-exhausted; payload sealed into the store-and-forward queue) or
-``"dropped"`` (the filter withheld it; nothing ever left the TEE) — plus
-``relay_attempts``.  Queued payloads are drained oldest-first after the
-next successful send (including heartbeats), so no forwarded decision is
-ever lost to a network outage.
+exhausted; payload sealed into the store-and-forward queue),
+``"throttled"`` (the cloud's admission tier said back off; payload sealed
+into the same queue, to drain after the server-directed window),
+``"shed"`` (the bounded queue was full; the payload was refused
+fail-closed with explicit accounting) or ``"dropped"`` (the filter
+withheld it; nothing ever left the TEE) — plus ``relay_attempts``.
+Queued payloads are drained oldest-first after the next successful send
+(including heartbeats), so no forwarded decision is ever lost to a
+network outage short of deliberate, counted shedding.
 """
 
 from __future__ import annotations
@@ -61,6 +69,8 @@ from repro.core.filter import FilterBundle
 from repro.errors import (
     AuthenticationFailure,
     RelayDeliveryError,
+    RelayQueueFullError,
+    RelayThrottledError,
     TeeItemNotFound,
 )
 from repro.optee.params import Params
@@ -76,12 +86,22 @@ CMD_STATS = 2
 CMD_HEARTBEAT = 3
 CMD_PROCESS_STREAM = 4
 CMD_ALERT = 5
+# Crash recovery for the normal-world client: a freshly restarted client
+# application (its session object died with the process) asks the TA
+# where the committed state actually is, instead of guessing.
+CMD_RESUME = 6
 
 STAGES = ("capture", "vad", "asr", "classify", "filter", "relay")
 
 RELAY_SENT = "sent"
 RELAY_QUEUED = "queued"
 RELAY_DROPPED = "dropped"
+# Admission backpressure: the cloud answered Throttled, the payload is
+# sealed in the store-and-forward queue awaiting the retry window.
+RELAY_THROTTLED = "throttled"
+# Fail-closed shedding: the bounded queue refused the payload; the
+# decision is accounted (counter + alert-worthy log), never silent.
+RELAY_SHED = "shed"
 
 # A/B checkpoint generations: writes alternate between the two names so a
 # panic mid-seal can only lose the in-flight generation, never the last
@@ -103,6 +123,7 @@ def make_audio_filter_ta(
     checkpoint_every: int = 1,
     device_id: str = "",
     trace_ids: bool = False,
+    queue_max_depth: int = 64,
 ) -> type[TrustedApplication]:
     """Build the TA class with the model and deployment config baked in.
 
@@ -137,7 +158,8 @@ def make_audio_filter_ta(
             self._capture_ready = False
             self.stage_cycles: dict[str, int] = {s: 0 for s in STAGES}
             self.relay_counts: dict[str, int] = {
-                RELAY_SENT: 0, RELAY_QUEUED: 0, RELAY_DROPPED: 0, "drained": 0,
+                RELAY_SENT: 0, RELAY_QUEUED: 0, RELAY_DROPPED: 0,
+                RELAY_THROTTLED: 0, RELAY_SHED: 0, "drained": 0,
             }
             self.decisions: list[dict[str, Any]] = []
             # Checkpoint state (supervised mode): sequence number and
@@ -180,7 +202,9 @@ def make_audio_filter_ta(
                 device_id=device_id,
             )
             # Restores entries a previous instance failed to deliver.
-            self.queue = StoreForwardQueue(ctx.storage)
+            self.queue = StoreForwardQueue(
+                ctx.storage, max_depth=queue_max_depth
+            )
             if supervised:
                 self._restore_checkpoint(ctx)
 
@@ -202,6 +226,12 @@ def make_audio_filter_ta(
                 assert self.relay is not None
                 try:
                     directive = self.relay.heartbeat()
+                except RelayThrottledError as exc:
+                    return {
+                        "directive": "error",
+                        "reason": "throttled",
+                        "retry_after_cycles": exc.retry_after_cycles,
+                    }
                 except RelayDeliveryError as exc:
                     return {
                         "directive": "error",
@@ -210,6 +240,8 @@ def make_audio_filter_ta(
                     }
                 self._drain_queue()
                 return directive
+            if cmd == CMD_RESUME:
+                return self._resume_state()
             return super().on_invoke(session, cmd, params)
 
         def on_destroy(self) -> None:
@@ -223,6 +255,28 @@ def make_audio_filter_ta(
                 self._model_addr = None
 
         # -- crash consistency (supervised mode) --------------------------------
+
+        def _resume_state(self) -> dict[str, Any]:
+            """Where a restarted normal-world client should pick up.
+
+            The client application can crash at any moment, losing its
+            session object and its utterance counter.  Everything needed
+            to resume lives secure-side: the last *committed* sequence
+            number (sealed checkpoint), the store-and-forward backlog and
+            the dialog cursor.  A recovered client sets its own counter
+            to ``seq`` and continues — re-invoking sequence ``seq`` is
+            replay-suppressed, so nothing double-sends, and invoking
+            ``seq + 1`` processes the first uncommitted utterance.
+            """
+            assert self.relay is not None and self.queue is not None
+            if self.ctx is not None:
+                self.ctx.metrics.inc("tee.client_resumes")
+            return {
+                "seq": self._ckpt_seq,
+                "utt_seq": self._utt_seq,
+                "queue_depth": len(self.queue),
+                "dialog_cursor": self.relay.dialog_cursor,
+            }
 
         def _restore_checkpoint(self, ctx: TaContext) -> None:
             """Adopt the newest valid sealed checkpoint, if any.
@@ -415,6 +469,38 @@ def make_audio_filter_ta(
                 )
             return drained
 
+        def _spill(
+            self,
+            payload: str,
+            status: str,
+            meta: dict[str, Any],
+            attempts: int,
+        ) -> tuple[str, dict | None, int]:
+            """Seal an undeliverable payload into the bounded queue.
+
+            Returns ``(status, None, attempts)`` — or sheds fail-closed
+            when the queue is at depth: the newest payload is refused
+            with explicit accounting (``relay.queue.rejected`` + the
+            ``shed`` count CMD_STATS reports), never silently, and never
+            by evicting an older already-accounted entry.
+            """
+            assert self.ctx is not None and self.queue is not None
+            try:
+                name = self.queue.enqueue(payload, meta=meta)
+            except RelayQueueFullError as exc:
+                self.relay_counts[RELAY_SHED] += 1
+                self.ctx.metrics.inc("relay.queue.rejected")
+                self.ctx.log(
+                    "relay_shed", depth=exc.depth, would_be=status,
+                )
+                return RELAY_SHED, None, attempts
+            self.relay_counts[status] += 1
+            self.ctx.log(
+                "relay_queued",
+                entry=name, depth=len(self.queue), status=status,
+            )
+            return status, None, attempts
+
         def _relay_payload(
             self, payload: str, trace_id: str = ""
         ) -> tuple[str, dict | None, int]:
@@ -425,6 +511,12 @@ def make_audio_filter_ta(
             nothing the relay would not eventually send anyway.  A trace
             id rides both the send and the sealed queue entry, so a
             drained re-send keeps the original utterance's correlation.
+
+            Backpressure (a ``Throttled`` admission verdict, or a still
+            open backpressure window) is not a fault: the payload spills
+            with status ``"throttled"`` and no retry budget is spent —
+            the server said *when* to come back, and the queue drain after
+            that window honours it.
             """
             assert self.ctx is not None
             assert self.relay is not None and self.queue is not None
@@ -433,16 +525,18 @@ def make_audio_filter_ta(
                 directive = self.relay.send_transcript(
                     payload, dialog_id=dialog_id, trace_id=trace_id
                 )
+            except RelayThrottledError as exc:
+                meta = {"dialog_id": dialog_id, "attempts": exc.attempts}
+                if trace_id:
+                    meta["trace_id"] = trace_id
+                return self._spill(
+                    payload, RELAY_THROTTLED, meta, exc.attempts
+                )
             except RelayDeliveryError as exc:
                 meta = {"dialog_id": dialog_id, "attempts": exc.attempts}
                 if trace_id:
                     meta["trace_id"] = trace_id
-                name = self.queue.enqueue(payload, meta=meta)
-                self.relay_counts[RELAY_QUEUED] += 1
-                self.ctx.log(
-                    "relay_queued", entry=name, depth=len(self.queue)
-                )
-                return RELAY_QUEUED, None, exc.attempts
+                return self._spill(payload, RELAY_QUEUED, meta, exc.attempts)
             self.relay_counts[RELAY_SENT] += 1
             # The link just worked: opportunistically flush the backlog.
             self._drain_queue()
@@ -469,6 +563,11 @@ def make_audio_filter_ta(
                     payload, dialog_id=dialog_id, trace_id=alert_trace
                 )
             except RelayDeliveryError as exc:
+                status = (
+                    RELAY_THROTTLED
+                    if isinstance(exc, RelayThrottledError)
+                    else RELAY_QUEUED
+                )
                 meta = {
                     "dialog_id": dialog_id,
                     "attempts": exc.attempts,
@@ -476,11 +575,20 @@ def make_audio_filter_ta(
                 }
                 if alert_trace:
                     meta["trace_id"] = alert_trace
-                name = self.queue.enqueue(payload, meta=meta)
+                try:
+                    name = self.queue.enqueue(payload, meta=meta)
+                except RelayQueueFullError as full:
+                    # Same fail-closed shedding as decisions, accounted
+                    # in its own counter: alerts are telemetry, so they
+                    # never displace a decision payload from the queue.
+                    self.ctx.metrics.inc("relay.queue.rejected")
+                    self.ctx.metrics.inc("tee.alerts_shed")
+                    self.ctx.log("alert_shed", depth=full.depth)
+                    return {"status": RELAY_SHED, "attempts": exc.attempts}
                 self.ctx.metrics.inc("tee.alerts_queued")
                 self.ctx.log("alert_queued", entry=name, depth=len(self.queue))
                 return {
-                    "status": RELAY_QUEUED,
+                    "status": status,
                     "entry": name,
                     "attempts": exc.attempts,
                 }

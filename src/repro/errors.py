@@ -255,3 +255,75 @@ class RelayDeliveryError(RelayError):
     def __init__(self, message: str = "", attempts: int = 0):
         self.attempts = attempts
         super().__init__(message or f"delivery failed after {attempts} attempts")
+
+
+class RelayExhaustedError(RelayDeliveryError):
+    """The retry policy's whole budget was spent on transient faults.
+
+    The typed form of retry exhaustion: carries how many attempts were
+    made and how many cycles the backoff spans burned, so callers (and
+    alerts) can distinguish "the network flapped once" from "we retried
+    for the full budget and still lost".  Subclasses
+    :class:`RelayDeliveryError` so every existing spill-to-queue catch
+    site keeps working unchanged.
+    """
+
+    def __init__(
+        self, message: str = "", attempts: int = 0, backoff_cycles: int = 0
+    ):
+        self.backoff_cycles = backoff_cycles
+        super().__init__(
+            message
+            or (
+                f"delivery exhausted after {attempts} attempts"
+                f" ({backoff_cycles} backoff cycles)"
+            ),
+            attempts=attempts,
+        )
+
+
+class RelayThrottledError(RelayDeliveryError):
+    """The cloud admitted the connection but refused the event: backpressure.
+
+    Not a transient fault — the server answered, deliberately, with a
+    ``Throttled`` verdict and a deterministic ``retry_after_cycles`` hint.
+    Server-directed backoff overrides the client's
+    :class:`~repro.relay.relay.RetryPolicy`: the relay must not burn its
+    retry budget hammering an overloaded ingestion tier.  ``deferred``
+    marks the local short-circuit case — the backpressure window from an
+    earlier verdict is still open, so no wire traffic was attempted at
+    all.  Subclasses :class:`RelayDeliveryError` so the payload still
+    lands in the sealed store-and-forward queue at existing catch sites.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        retry_after_cycles: int = 0,
+        attempts: int = 0,
+        deferred: bool = False,
+    ):
+        self.retry_after_cycles = retry_after_cycles
+        self.deferred = deferred
+        super().__init__(
+            message
+            or (
+                "cloud backpressure window open"
+                if deferred
+                else f"cloud throttled; retry after {retry_after_cycles} cycles"
+            ),
+            attempts=attempts,
+        )
+
+
+class RelayQueueFullError(RelayError):
+    """The sealed store-and-forward queue is at its bounded depth.
+
+    The queue fails *closed*: the new enqueue is refused (the newest
+    payload is shed, with accounting) rather than growing without limit
+    through a long outage or silently evicting older committed payloads.
+    """
+
+    def __init__(self, message: str = "", depth: int = 0):
+        self.depth = depth
+        super().__init__(message or f"store-and-forward queue full at {depth}")

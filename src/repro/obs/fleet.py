@@ -38,11 +38,17 @@ from dataclasses import dataclass, field
 from functools import reduce
 from typing import Any
 
+from repro.cloud.service import IngestionConfig
 from repro.energy.battery import project_battery_life
 from repro.obs.health import WatchdogAlert, check_heartbeats, span_heartbeats
 from repro.obs.metrics import BucketHistogram, MetricsRegistry
 from repro.sim.clock import DEFAULT_FREQ_HZ, cycles_to_ms
-from repro.sim.faults import FaultConfig, SecureFaultConfig
+from repro.sim.faults import (
+    ClientCrashConfig,
+    ClientCrashInjector,
+    FaultConfig,
+    SecureFaultConfig,
+)
 
 # Deterministic rotation of network conditions across the fleet.
 FAULT_PROFILES: dict[str, FaultConfig | None] = {
@@ -58,6 +64,22 @@ FAULT_PROFILES: dict[str, FaultConfig | None] = {
 SECURE_FAULT_PROFILES: dict[str, SecureFaultConfig | None] = {
     "none": None,
     "chaos": SecureFaultConfig.chaos(),
+}
+
+# Cloud admission-tier profiles.  "overload" starves the token buckets and
+# shrinks the tenant queues so the cloud actively throttles — the knob the
+# backpressure round trip (throttle → sealed queue → drain) is proved under.
+INGEST_PROFILES: dict[str, IngestionConfig | None] = {
+    "none": None,
+    "overload": IngestionConfig.overload(),
+}
+
+# Normal-world client crash/restart chaos.  Orthogonal to every profile
+# above: the client process dies mid-run and recovery must come from the
+# TA's sealed checkpoint + store-and-forward queue via CMD_RESUME.
+CLIENT_CRASH_PROFILES: dict[str, ClientCrashConfig | None] = {
+    "none": None,
+    "chaos": ClientCrashConfig.chaos(),
 }
 
 _SENSITIVE_MIX = (0.25, 0.5, 0.75)
@@ -102,6 +124,8 @@ class DeviceSpec:
     sensitive_fraction: float
     fault_profile: str
     secure_fault_profile: str = "none"
+    ingest_profile: str = "none"
+    client_crash_profile: str = "none"
 
     def fault_config(self) -> FaultConfig | None:
         """The named fault profile's config (``None`` for a clean link)."""
@@ -111,9 +135,22 @@ class DeviceSpec:
         """The named secure-world profile (``None`` = faults off)."""
         return SECURE_FAULT_PROFILES[self.secure_fault_profile]
 
+    def ingest_config(self) -> IngestionConfig | None:
+        """The named cloud admission profile (``None`` = accept-all)."""
+        return INGEST_PROFILES[self.ingest_profile]
+
+    def client_crash_config(self) -> ClientCrashConfig | None:
+        """The named client-crash profile (``None`` = crashes off)."""
+        return CLIENT_CRASH_PROFILES[self.client_crash_profile]
+
 
 def device_specs(
-    devices: int, seed: int = 7, utterances: int = 6, chaos: bool = False
+    devices: int,
+    seed: int = 7,
+    utterances: int = 6,
+    chaos: bool = False,
+    overload: bool = False,
+    client_crashes: bool = False,
 ) -> list[DeviceSpec]:
     """Deterministic fleet roster: varied seeds, workloads and networks.
 
@@ -122,7 +159,10 @@ def device_specs(
     ``utterances .. utterances + 2``, a rotating sensitive-content mix
     and a rotating fault profile.  ``chaos=True`` additionally puts every
     device under the ``chaos`` secure-world fault profile (and thus TA
-    supervision).
+    supervision).  ``overload=True`` puts every device's cloud behind the
+    starved ``overload`` admission profile, and ``client_crashes=True``
+    applies the client crash/restart chaos profile (which also runs the
+    TA supervised, since recovery needs sealed checkpoints).
     """
     if devices <= 0:
         raise ValueError("fleet needs at least one device")
@@ -135,6 +175,8 @@ def device_specs(
             sensitive_fraction=_SENSITIVE_MIX[i % len(_SENSITIVE_MIX)],
             fault_profile=profiles[i % len(profiles)],
             secure_fault_profile="chaos" if chaos else "none",
+            ingest_profile="overload" if overload else "none",
+            client_crash_profile="chaos" if client_crashes else "none",
         )
         for i in range(devices)
     ]
@@ -190,6 +232,7 @@ class DeviceReport:
     battery_days: float
     restarts: int = 0
     degraded: int = 0
+    client_restarts: int = 0
     freq_hz: float = DEFAULT_FREQ_HZ
     clock_now: int = 0
     heartbeats: dict[str, int] = field(default_factory=dict)
@@ -230,6 +273,8 @@ class DeviceReport:
             "forwarded": self.summary["forwarded"],
             "sent": self.summary["sent"],
             "queued": self.summary["queued"],
+            "throttled": self.summary.get("throttled", 0),
+            "shed": self.summary.get("shed", 0),
             "relay_attempts": self.summary["relay_attempts"],
             "relay_success_rate": self.relay_success_rate,
             "queue_depth": self.relay.get("queue_depth", 0),
@@ -241,8 +286,11 @@ class DeviceReport:
             "energy_mj": self.energy_mj,
             "battery_days": self.battery_days,
             "secure_fault_profile": self.spec.secure_fault_profile,
+            "ingest_profile": self.spec.ingest_profile,
+            "client_crash_profile": self.spec.client_crash_profile,
             "restarts": self.restarts,
             "degraded": self.degraded,
+            "client_restarts": self.client_restarts,
             "sample_rate": self.sample_rate,
         }
 
@@ -260,6 +308,31 @@ class DeviceRuntime:
     machine: Any
     platform: Any
     ta_uuid: Any
+
+
+def _run_with_client_crashes(pipeline, workload, config: ClientCrashConfig):
+    """Run a workload with client crash/restart chaos at utterance bounds.
+
+    Before each utterance the injector may kill the client application
+    (:meth:`SecurePipeline.crash_client` — session, supervisor and
+    sequence counter gone, TA instance torn down with it) and immediately
+    restart it (:meth:`SecurePipeline.recover_client` — fresh session,
+    TA restored from sealed checkpoint + queue, sequence resumed from
+    ``CMD_RESUME``).  The results list lives harness-side (it stands in
+    for decisions already committed at the cloud), so the run document
+    keeps every utterance while the client loses all in-process state.
+    """
+    from repro.core.results import PipelineRunResult
+
+    injector = ClientCrashInjector(config, pipeline.platform.rng)
+    run = PipelineRunResult(pipeline=pipeline.name)
+    for item in workload:
+        if injector.fires():
+            pipeline.crash_client()
+            pipeline.recover_client()
+        run.results.append(pipeline.process_item(item))
+    pipeline._collect_stats(run)
+    return run
 
 
 def simulate_device_runtime(
@@ -297,10 +370,12 @@ def simulate_device_runtime(
 
     sample_rate = resolve_sample_rate(sample_rate, spec.fault_profile)
     secure_faults = spec.secure_fault_config()
+    crash_config = spec.client_crash_config()
     platform = IotPlatform.create(
         seed=spec.seed,
         network_faults=spec.fault_config(),
         secure_faults=secure_faults,
+        ingestion=spec.ingest_config(),
     )
     if not observability:
         platform.machine.obs.disable()
@@ -311,10 +386,15 @@ def simulate_device_runtime(
     platform.machine.obs.metrics.set_sampling(sample_rate)
     # Secure-world faults without supervision would just kill the run;
     # chaos devices therefore run supervised (checkpoint + restart).
+    # Client-crash devices run supervised too: CMD_RESUME recovery is
+    # only meaningful when checkpoints are actually sealed.
+    supervised = secure_faults is not None or (
+        crash_config is not None and crash_config.enabled
+    )
     pipeline = SecurePipeline(
         platform,
         bundle,
-        supervisor=SupervisorPolicy() if secure_faults is not None else None,
+        supervisor=SupervisorPolicy() if supervised else None,
         device_id=spec.device_id,
         trace_ids=collect_traces,
     )
@@ -323,7 +403,15 @@ def simulate_device_runtime(
     )
     workload = UtteranceWorkload.from_corpus(corpus, bundle.vocoder)
     try:
-        run = pipeline.process(workload)
+        if crash_config is not None and crash_config.enabled:
+            run = _run_with_client_crashes(pipeline, workload, crash_config)
+        else:
+            run = pipeline.process(workload)
+        # Commit whatever the admission tier still holds in its tenant
+        # queues so the device report reflects the cloud's final state
+        # (a no-op for the legacy accept-all cloud).
+        platform.cloud.flush()
+        client_restarts = pipeline.client_restarts
     finally:
         pipeline.close()
 
@@ -349,8 +437,9 @@ def simulate_device_runtime(
     # exports depend on the namespace, not the values).
     for name in (
         "fleet.utterances", "fleet.relay.forwarded", "fleet.relay.sent",
-        "fleet.relay.queued", "fleet.relay.retries",
-        "fleet.relay.rehandshakes", "fleet.world_switches",
+        "fleet.relay.queued", "fleet.relay.throttled", "fleet.relay.shed",
+        "fleet.relay.retries", "fleet.relay.rehandshakes",
+        "fleet.world_switches", "fleet.client_restarts",
     ):
         metrics.inc(name, 0)
     # Per-result recording on a synthetic device timeline (cumulative
@@ -369,6 +458,10 @@ def simulate_device_runtime(
             metrics.inc("fleet.relay.sent", 1)
         elif r.relay_status == "queued":
             metrics.inc("fleet.relay.queued", 1)
+        elif r.relay_status == "throttled":
+            metrics.inc("fleet.relay.throttled", 1)
+        elif r.relay_status == "shed":
+            metrics.inc("fleet.relay.shed", 1)
         cursor += r.latency_cycles
         # The snapshot ring is shipped telemetry too, so its cadence
         # follows the sampling rate: a 1-in-k device stamps every k-th
@@ -381,6 +474,7 @@ def simulate_device_runtime(
     metrics.inc("fleet.relay.retries", relay.get("retries", 0))
     metrics.inc("fleet.relay.rehandshakes", relay.get("rehandshakes", 0))
     metrics.inc("fleet.world_switches", machine.cpu.switch_count)
+    metrics.inc("fleet.client_restarts", client_restarts)
     # Per-utterance energy lives in the ENERGY_METRIC histogram above —
     # an intensive (per-utterance) gauge would sum to devices× the true
     # value under registry merge.  Gauges here must stay extensive.
@@ -418,6 +512,7 @@ def simulate_device_runtime(
         battery_days=battery.days,
         restarts=restarts,
         degraded=run.degraded_count(),
+        client_restarts=client_restarts,
         freq_hz=machine.clock.freq_hz,
         clock_now=machine.clock.now,
         heartbeats=span_heartbeats(machine.obs.tracer.spans),
@@ -537,9 +632,24 @@ class FleetReport:
         return sum(d.relay.get("queue_depth", 0) for d in self.devices)
 
     @property
+    def throttled(self) -> int:
+        """Decisions spilled under cloud admission backpressure."""
+        return sum(d.summary.get("throttled", 0) for d in self.devices)
+
+    @property
+    def shed(self) -> int:
+        """Decisions refused fail-closed by bounded queues (accounted)."""
+        return sum(d.summary.get("shed", 0) for d in self.devices)
+
+    @property
     def restarts(self) -> int:
         """TA restarts across the fleet (chaos runs)."""
         return sum(d.restarts for d in self.devices)
+
+    @property
+    def client_restarts(self) -> int:
+        """Client application crash/restart cycles across the fleet."""
+        return sum(d.client_restarts for d in self.devices)
 
     @property
     def degraded(self) -> int:
@@ -565,8 +675,11 @@ class FleetReport:
                 "latency_hist": hist.to_doc(),
                 "relay_success_rate": self.relay_success_rate,
                 "queue_depth": self.queue_depth,
+                "throttled": self.throttled,
+                "shed": self.shed,
                 "restarts": self.restarts,
                 "degraded": self.degraded,
+                "client_restarts": self.client_restarts,
                 "world_switches": sum(d.world_switches for d in self.devices),
                 "energy_mj": sum(d.energy_mj for d in self.devices),
                 "battery_days_min": min(
@@ -607,6 +720,11 @@ class FleetReport:
                 f"chaos    restarts {self.restarts}   "
                 f"degraded {self.degraded}"
             )
+        if self.throttled or self.shed or self.client_restarts:
+            lines.append(
+                f"ingest   throttled {self.throttled}   shed {self.shed}   "
+                f"client restarts {self.client_restarts}"
+            )
         return "\n".join(lines)
 
 
@@ -617,6 +735,8 @@ def run_fleet(
     bundle=None,
     observability: bool = True,
     chaos: bool = False,
+    overload: bool = False,
+    client_crashes: bool = False,
     shards: int = 1,
     max_workers: int | None = None,
     sample_rate: int | str = 1,
@@ -629,7 +749,11 @@ def run_fleet(
     training.  ``observability=False`` disables each device's obs layer —
     used by the determinism tests to show decisions are byte-identical
     either way.  ``chaos=True`` injects secure-world faults on every
-    device and runs the TAs supervised.  ``sample_rate`` (int or
+    device and runs the TAs supervised.  ``overload=True`` starves every
+    device's cloud admission tier so throttling (and, at bounded queue
+    depth, fail-closed shedding) actually happens; ``client_crashes=True``
+    adds normal-world client crash/restart chaos recovered through the
+    TA's sealed state.  ``sample_rate`` (int or
     ``"auto"``) and ``collect_traces`` are the telemetry-volume knobs —
     see :func:`simulate_device_runtime`; neither affects decisions.
 
@@ -646,7 +770,10 @@ def run_fleet(
 
         bundle = provision_bundle(seed=seed).bundle
 
-    specs = device_specs(devices, seed=seed, utterances=utterances, chaos=chaos)
+    specs = device_specs(
+        devices, seed=seed, utterances=utterances, chaos=chaos,
+        overload=overload, client_crashes=client_crashes,
+    )
     report = FleetReport(seed=seed)
     if shards <= 1:
         for spec in specs:

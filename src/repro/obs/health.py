@@ -162,13 +162,19 @@ def default_slo_rules(
     max_queue_depth: int = 4,
     battery_drain_max_mj: float = 2_000.0,
     recovery_budget_cycles: float = 1.0e8,  # 50 ms at the 2 GHz sim clock
+    shed_rate_max: float = 0.5,
+    admission_p99_max_cycles: float = 50_000.0,
 ) -> list[SloRule]:
     """The stock fleet SLOs over the ``fleet.*`` metric namespace.
 
     Plus one recovery budget over ``tee.*``: the ``recovery_time`` rule
     bounds p99 panic-to-recovered time and is gated on ``tee.restarts``,
     so runs without any TA restart pass it vacuously instead of failing
-    with NO DATA.
+    with NO DATA.  The two ingestion rules are gated the same way:
+    ``shed_rate`` only applies once a bounded queue actually shed
+    (fail-closed loss is budgeted, never unbounded), and
+    ``admission_latency`` only applies on runs where the cloud admission
+    tier accepted traffic at all.
     """
     return [
         SloRule(
@@ -217,6 +223,31 @@ def default_slo_rules(
             threshold=recovery_budget_cycles,
             gate="tee.restarts",
             description="p99 TA panic-to-recovered time budget",
+        ),
+        # Shedding is deliberate, accounted loss under overload — but it
+        # must stay a bounded fraction of forwarded decisions.  Gated on
+        # the shed counter itself: no sheds, nothing to budget.
+        SloRule(
+            name="shed_rate",
+            metric="fleet.relay.shed",
+            denominator="fleet.relay.forwarded",
+            op="<=",
+            threshold=shed_rate_max,
+            gate="fleet.relay.shed",
+            description="fail-closed queue sheds per forwarded decision",
+            budget_per_hour=60.0,
+        ),
+        # Histogram-backed admission decision latency at the cloud's
+        # multi-tenant ingestion tier; gated so accept-all (legacy) runs
+        # pass vacuously rather than failing NO DATA.
+        SloRule(
+            name="admission_latency",
+            metric="cloud.ingest.admission_cycles",
+            quantile=0.99,
+            op="<=",
+            threshold=admission_p99_max_cycles,
+            gate="cloud.ingest.accepted",
+            description="p99 cloud admission decision latency budget",
         ),
     ]
 

@@ -21,12 +21,17 @@ from __future__ import annotations
 import json
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.errors import CryptoError, RelayError
+from repro.errors import CryptoError, RelayError, RelayQueueFullError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.optee.storage import SecureStorage
 
 _QUEUE_PREFIX = "relayq/"
+
+#: Default backlog bound.  Sized for the longest outage the store should
+#: absorb, not for "never reject": an unbounded queue turns a long cloud
+#: outage into unbounded sealed-storage growth.
+DEFAULT_MAX_DEPTH = 64
 
 
 class StoreForwardQueue:
@@ -36,10 +41,24 @@ class StoreForwardQueue:
     queue consulted after every successful send — costs no supplicant RPC;
     storage is only touched when entries are actually added, read or
     removed.
+
+    The queue is *bounded* at ``max_depth`` entries and fails **closed**:
+    a full queue refuses the new enqueue
+    (:class:`~repro.errors.RelayQueueFullError`, counted in
+    :attr:`rejected`) instead of growing without limit or silently
+    evicting an older entry.  Refusing the newest is the deterministic
+    choice — every entry already in the queue was committed and accounted
+    before the new one existed, so eviction would retroactively lose a
+    decision the device already reported as safe.
     """
 
-    def __init__(self, storage: "SecureStorage"):
+    def __init__(
+        self, storage: "SecureStorage", max_depth: int = DEFAULT_MAX_DEPTH
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
         self._storage = storage
+        self.max_depth = max_depth
         # Restore any entries a previous TA instance left behind, from the
         # storage's secure-side index — no supplicant RPC, so an (always)
         # empty queue costs the clean path nothing.
@@ -51,6 +70,7 @@ class StoreForwardQueue:
         )
         self.enqueued = 0
         self.drained = 0
+        self.rejected = 0
 
     def __len__(self) -> int:
         return len(self._names)
@@ -71,6 +91,9 @@ class StoreForwardQueue:
         """
         if meta and "payload" in meta:
             raise ValueError('meta key "payload" is reserved')
+        if len(self._names) >= self.max_depth:
+            self.rejected += 1
+            raise RelayQueueFullError(depth=len(self._names))
         name = f"{_QUEUE_PREFIX}{self._seq:08d}"
         self._seq += 1
         entry = {"payload": payload, **(meta or {})}

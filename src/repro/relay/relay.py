@@ -24,7 +24,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.errors import CryptoError, RelayDeliveryError, TeeCommunicationError
+from repro.errors import (
+    CryptoError,
+    RelayExhaustedError,
+    RelayThrottledError,
+    TeeCommunicationError,
+)
 from repro.optee.ta import TaContext
 from repro.relay.avs import AvsClient
 from repro.relay.tls import TlsClient
@@ -85,12 +90,18 @@ class RelayModule:
         self.policy = retry_policy or RetryPolicy()
         self.bytes_sent = 0
         self.last_attempts = 0
+        # Cycle stamp until which the server's last Throttled verdict
+        # holds: while the TA's clock is before it, deliveries defer
+        # locally (no wire traffic) instead of hammering the cloud.
+        self.backpressure_until = 0
         self.stats: dict[str, int] = {
             "sent": 0,
             "failed": 0,
             "retries": 0,
             "rehandshakes": 0,
             "backoff_cycles": 0,
+            "throttled": 0,
+            "throttle_deferred": 0,
         }
 
     def _transport(self, payload: bytes) -> bytes:
@@ -120,8 +131,32 @@ class RelayModule:
         self._ctx.log("tls_connected", handshakes=self._tls.handshakes)
 
     def _deliver(self, op: Callable[[], dict[str, Any]]) -> dict[str, Any]:
-        """Run one AVS operation with retry, backoff and re-handshake."""
+        """Run one AVS operation with retry, backoff and re-handshake.
+
+        Two failure shapes, deliberately typed apart:
+
+        * transient faults (transport/record errors) burn the
+          :class:`RetryPolicy` budget and end in
+          :class:`~repro.errors.RelayExhaustedError`;
+        * a ``Throttled`` admission verdict is *server-directed*
+          backpressure — no client-side retries at all.  The verdict's
+          ``retryAfterCycles`` hint opens a local backpressure window;
+          until it closes, further deliveries defer without any wire
+          traffic (:class:`~repro.errors.RelayThrottledError` with
+          ``deferred=True``).
+        """
+        now = self._ctx.now()
+        if now < self.backpressure_until:
+            self.last_attempts = 0
+            self.stats["throttle_deferred"] += 1
+            self._ctx.metrics.inc("relay.throttle_deferred")
+            raise RelayThrottledError(
+                retry_after_cycles=self.backpressure_until - now,
+                attempts=0,
+                deferred=True,
+            )
         last_exc: Exception | None = None
+        backoff_spent = 0
         for attempt in range(self.policy.max_attempts):
             try:
                 self.connect()
@@ -141,10 +176,25 @@ class RelayModule:
                     self._ctx.metrics.inc("relay.retries")
                     delay = self.policy.backoff_cycles(attempt, self._backoff_rng)
                     self.stats["backoff_cycles"] += delay
+                    backoff_spent += delay
                     with self._ctx.span("relay_backoff", category="stage.secure",
                                         attempt=attempt + 1):
                         self._ctx.compute(delay)
                 continue
+            if directive.get("directive") == "Throttled":
+                retry_after = max(1, int(directive.get("retryAfterCycles", 1)))
+                self.backpressure_until = self._ctx.now() + retry_after
+                self.last_attempts = attempt + 1
+                self.stats["throttled"] += 1
+                self._ctx.metrics.inc("relay.throttled")
+                self._ctx.log(
+                    "relay_throttled",
+                    retry_after_cycles=retry_after,
+                    attempt=attempt + 1,
+                )
+                raise RelayThrottledError(
+                    retry_after_cycles=retry_after, attempts=attempt + 1
+                )
             self.last_attempts = attempt + 1
             self.stats["sent"] += 1
             self._ctx.metrics.inc("relay.sent")
@@ -153,9 +203,15 @@ class RelayModule:
         self.last_attempts = self.policy.max_attempts
         self.stats["failed"] += 1
         self._ctx.metrics.inc("relay.failed")
-        self._ctx.log("relay_exhausted", attempts=self.policy.max_attempts)
-        raise RelayDeliveryError(
-            f"cloud unreachable: {last_exc}", attempts=self.policy.max_attempts
+        self._ctx.log(
+            "relay_exhausted",
+            attempts=self.policy.max_attempts,
+            backoff_cycles=backoff_spent,
+        )
+        raise RelayExhaustedError(
+            f"cloud unreachable: {last_exc}",
+            attempts=self.policy.max_attempts,
+            backoff_cycles=backoff_spent,
         )
 
     def allocate_dialog_id(self) -> int:

@@ -184,6 +184,74 @@ class SecureFaultConfig:
         )
 
 
+# ---------------------------------------------------------------------------
+# Normal-world client crash/restart chaos
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClientCrashConfig:
+    """Crash/restart chaos for the normal-world client *application*.
+
+    Orthogonal to both fault families above: the network can be perfect
+    and the TEE healthy, and the client process still dies — OOM-killed,
+    segfaulted, upgraded.  The session object and every client-side
+    counter vanish with it; recovery must come from the TA's sealed
+    checkpoint + store-and-forward queue alone (via ``CMD_RESUME``).
+
+    ``rate`` is the per-utterance Bernoulli probability of crashing
+    *before* that utterance is submitted; ``max_crashes`` caps the count
+    per run (0 = unlimited) so a high rate cannot starve a short
+    workload of forward progress.
+    """
+
+    rate: float = 0.0
+    max_crashes: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.max_crashes < 0:
+            raise ValueError("max_crashes must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        """True if a crash can ever fire."""
+        return self.rate > 0.0
+
+    @classmethod
+    def chaos(cls, rate: float = 0.2, max_crashes: int = 2) -> "ClientCrashConfig":
+        """The stock client-crash profile: a short workload sees 1–2 crashes."""
+        return cls(rate=rate, max_crashes=max_crashes)
+
+
+class ClientCrashInjector:
+    """Samples client crash points from a dedicated RNG fork.
+
+    One draw per utterance boundary; the fork (``client-crash``) is
+    never shared, so enabling crashes shifts no other subsystem's
+    stream and the crash schedule for a given (seed, config) is fixed.
+    """
+
+    def __init__(self, config: ClientCrashConfig, rng: SimRng):
+        self.config = config
+        self._rng = rng.fork("client-crash")
+        self.crashes = 0
+        self.draws = 0
+
+    def fires(self) -> bool:
+        """Whether the client crashes before the next utterance."""
+        if not self.config.enabled:
+            return False
+        if self.config.max_crashes and self.crashes >= self.config.max_crashes:
+            return False
+        self.draws += 1
+        if self._rng.random() < self.config.rate:
+            self.crashes += 1
+            return True
+        return False
+
+
 class SecureFaultInjector:
     """Samples secure-world faults, one dedicated RNG stream per kind.
 

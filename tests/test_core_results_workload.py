@@ -112,7 +112,8 @@ class TestRunResult:
             "pipeline", "utterances", "mean_latency_cycles",
             "p95_latency_cycles", "mean_processing_cycles",
             "total_latency_cycles", "total_energy_mj", "forwarded",
-            "accuracy", "sent", "queued", "degraded", "relay_attempts",
+            "accuracy", "sent", "queued", "throttled", "shed",
+            "degraded", "relay_attempts",
         } == set(run.summary())
 
     def test_redacted_counts_as_blocked(self):

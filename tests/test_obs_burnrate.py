@@ -224,7 +224,7 @@ class TestBurnRates:
     def test_default_rules_carry_budgets(self):
         budgeted = {r.name for r in default_slo_rules()
                     if r.budget_per_hour is not None}
-        assert budgeted == {"p99_latency", "relay_success"}
+        assert budgeted == {"p99_latency", "relay_success", "shed_rate"}
 
     def test_invalid_window_rejected(self):
         reg = _device_registry([1], int(90 * FREQ))

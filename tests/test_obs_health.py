@@ -114,14 +114,21 @@ class TestSloRule:
         rules = default_slo_rules()
         assert {r.name for r in rules} == {
             "p99_latency", "relay_success", "queue_depth", "battery_drain",
-            "recovery_time",
+            "recovery_time", "shed_rate", "admission_latency",
         }
         # Fleet rules read fleet.*; the recovery budget reads the tee.*
-        # namespace and is gated on restarts actually having happened.
+        # namespace and the admission budget the cloud.* namespace, each
+        # gated on its condition actually having happened.
         for r in rules:
             if r.name == "recovery_time":
                 assert r.metric.startswith("tee.")
                 assert r.gate == "tee.restarts"
+            elif r.name == "admission_latency":
+                assert r.metric.startswith("cloud.")
+                assert r.gate == "cloud.ingest.accepted"
+            elif r.name == "shed_rate":
+                assert r.metric.startswith("fleet.")
+                assert r.gate == "fleet.relay.shed"
             else:
                 assert r.metric.startswith("fleet.")
                 assert r.gate is None
