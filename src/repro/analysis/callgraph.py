@@ -1,0 +1,440 @@
+"""Project-wide call graph for the interprocedural taint pass.
+
+The module-local pass (PR 5) resolved only simple-name calls inside one
+module; everything else was "unknown" and handled by conservative taint
+propagation.  This module adds the resolution layers the whole-program
+pass needs, while staying strictly parse-only:
+
+* **import bindings** — ``from .xmod_source import grab`` binds ``grab``
+  to a concrete :class:`~repro.analysis.modgraph.FunctionInfo` in another
+  module; ``import repro.ml.vad as vad`` binds ``vad`` to a module whose
+  attributes resolve on use;
+* **static typing** — parameter annotations, ``x = ClassName(...)``
+  allocation sites, and :class:`~repro.analysis.modgraph.ClassInfo` field
+  types let attribute chains resolve (``self.bundle.asr.transcribe`` walks
+  ``AudioFilterTa.bundle: FilterBundle`` → ``FilterBundle.asr:
+  MatchedFilterAsr`` → ``MatchedFilterAsr.transcribe``), including methods
+  of classes nested inside factory functions;
+* **PTA dispatch edges** — ``ctx.invoke_pta(...)`` fans out to every
+  entry method of every ``PseudoTa`` subclass, mirroring
+  :func:`repro.analysis.deadtcb.static_reachability`.
+
+Resolution happens once per call expression, *before* the taint fixpoint,
+and the resulting :class:`CallSite` table is keyed by AST node identity.
+Site classification mirrors the taint transfer function's precedence
+exactly, so that a call the taint pass short-circuits (declassifier,
+clean builtin, source, sink) never grows an edge: declassifiers → clean
+builtins → sources / ``invoke_pta`` → module-local simple-name callees →
+mutators → sinks → typed cross-module resolution.  The condensation of
+the resulting graph (Tarjan SCCs, emitted callees-first) is the schedule
+for the bottom-up summary fixpoint in :mod:`repro.analysis.taint`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .modgraph import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    call_name,
+    dotted_suffix_match,
+)
+from .worlds import TaintSpec, WorldMap
+
+# Subtrees that are separate scopes: their calls belong to the nested
+# function's own summary (or, for lambdas, are never evaluated — parity
+# with the module-local pass).
+_SKIP_NESTED = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+_MAX_BASE_DEPTH = 6  # inheritance / field-chain lookup cap
+
+
+def fn_key(fn: FunctionInfo) -> str:
+    """Stable identity of a function across the whole project."""
+    return f"{fn.module}:{fn.qualname}"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One statically-resolved call expression inside a function body."""
+
+    kind: str                    # "local" | "typed" | "dispatch"
+    callees: tuple[str, ...]     # fn_keys, deterministic order
+    name: str                    # dotted spelling at the call site
+    lineno: int
+
+
+@dataclass
+class CallGraph:
+    """Resolved call sites plus the bottom-up SCC schedule."""
+
+    # fn_key -> {id(ast.Call) -> CallSite}
+    sites: dict[str, dict[int, CallSite]]
+    # fn_key -> set of callee fn_keys (dispatch edges included)
+    edges: dict[str, set[str]]
+    # SCCs in callees-first (reverse topological) order.
+    sccs: list[tuple[str, ...]]
+    resolver: "Resolver"
+
+
+class Resolver:
+    """Parse-only name and type resolution over a :class:`Project`."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        # module name -> local binding -> (target module name, symbol).
+        # symbol == "" means the binding names the module itself.
+        self.bindings: dict[str, dict[str, tuple[str, str]]] = {}
+        for mod in project.modules.values():
+            bmap: dict[str, tuple[str, str]] = {}
+            for imp in mod.imports:
+                if imp.type_checking:
+                    continue  # never executes; useless for call edges
+                if not imp.alias:
+                    continue
+                if imp.target in project.modules:
+                    bmap[imp.alias] = (imp.target, imp.symbol)
+            self.bindings[mod.name] = bmap
+        # simple class name -> [ClassInfo] across the project.
+        self.classes_by_name: dict[str, list[ClassInfo]] = {}
+        for mod in project.modules.values():
+            for cls in mod.classes.values():
+                self.classes_by_name.setdefault(cls.name, []).append(cls)
+        for lst in self.classes_by_name.values():
+            lst.sort(key=lambda c: (c.module, c.qualname))
+
+    # -- class / type resolution ------------------------------------------------
+
+    def resolve_class(self, simple: str | None,
+                      from_module: str) -> ClassInfo | None:
+        """A class by simple name as seen from ``from_module``."""
+        if not simple:
+            return None
+        mod = self.project.modules.get(from_module)
+        if mod is not None:
+            local = [c for c in mod.classes.values() if c.name == simple]
+            if local:
+                # Prefer the least-nested definition.
+                return min(local, key=lambda c: (c.qualname.count("."),
+                                                 c.qualname))
+            bound = self.bindings.get(from_module, {}).get(simple)
+            if bound is not None:
+                tmod_name, symbol = bound
+                tmod = self.project.modules.get(tmod_name)
+                if tmod is not None:
+                    want = symbol or simple
+                    cand = [c for c in tmod.classes.values() if c.name == want]
+                    if cand:
+                        return min(cand, key=lambda c: (c.qualname.count("."),
+                                                        c.qualname))
+        # Unambiguous project-wide fallback (annotations under
+        # TYPE_CHECKING import the name, so the runtime binding is absent).
+        cand = self.classes_by_name.get(simple, [])
+        if len(cand) == 1:
+            return cand[0]
+        if cand and len({c.module for c in cand}) == 1:
+            return min(cand, key=lambda c: (c.qualname.count("."), c.qualname))
+        return None
+
+    def field_type(self, cls: ClassInfo, attr: str,
+                   depth: int = 0) -> str | None:
+        """Declared/inferred type of ``cls.attr``, walking base classes."""
+        if depth > _MAX_BASE_DEPTH:
+            return None
+        t = cls.fields.get(attr)
+        if t:
+            return t
+        for base in cls.bases:
+            bcls = self.resolve_class(base, cls.module)
+            if bcls is not None and bcls is not cls:
+                t = self.field_type(bcls, attr, depth + 1)
+                if t:
+                    return t
+        return None
+
+    def method_of(self, cls: ClassInfo, name: str,
+                  depth: int = 0) -> FunctionInfo | None:
+        """Method ``name`` of ``cls``, walking base classes."""
+        if depth > _MAX_BASE_DEPTH:
+            return None
+        mod = self.project.modules.get(cls.module)
+        if mod is not None:
+            fn = mod.functions.get(f"{cls.qualname}.{name}")
+            if fn is not None:
+                return fn
+        for base in cls.bases:
+            bcls = self.resolve_class(base, cls.module)
+            if bcls is not None and bcls is not cls:
+                fn = self.method_of(bcls, name, depth + 1)
+                if fn is not None:
+                    return fn
+        return None
+
+    def module_function(self, mod: ModuleInfo,
+                        simple: str) -> FunctionInfo | None:
+        """Top-level function ``simple`` in ``mod`` (qualname has no dot)."""
+        fn = mod.functions.get(simple)
+        if fn is not None and "." not in fn.qualname:
+            return fn
+        return None
+
+    # -- per-function local typing ------------------------------------------------
+
+    def local_var_types(self, fn: FunctionInfo) -> dict[str, str]:
+        """Variable -> simple class name from allocations and annotations."""
+        out = dict(fn.param_types)
+        for node in _own_nodes(fn):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                name = call_name(node.value.func)
+                if name is None:
+                    continue
+                simple = name.split(".")[-1]
+                if not simple[:1].isupper():
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        out[target.id] = simple
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                from .modgraph import ann_name
+
+                t = ann_name(node.annotation)
+                if t:
+                    out[node.target.id] = t
+        return out
+
+    # -- call resolution ----------------------------------------------------------
+
+    def enclosing_class(self, fn: FunctionInfo) -> ClassInfo | None:
+        cq = fn.class_qualname
+        if cq is None:
+            return None
+        mod = self.project.modules.get(fn.module)
+        if mod is None:
+            return None
+        return mod.classes.get(cq)
+
+    def local_callees(self, mod: ModuleInfo, fn: FunctionInfo,
+                      name: str) -> list[FunctionInfo]:
+        """Module-local simple-name resolution (the PR-5 semantics).
+
+        ``self.x()`` and bare ``x()`` match every local function named
+        ``x``; methods of the caller's own class are preferred when the
+        call goes through ``self``.
+        """
+        parts = name.split(".")
+        simple = parts[-1]
+        if len(parts) > 2 and parts[0] != "self":
+            # `obj.a.b()` with a non-self root never matched locally.
+            return []
+        if len(parts) > 2 and parts[0] == "self" and len(parts) != 2:
+            # `self.a.b()` goes through a field: typed resolution's job.
+            return []
+        cands = mod.functions_named(simple)
+        if not cands:
+            return []
+        if parts[0] == "self" and fn.class_qualname is not None:
+            own = [c for c in cands
+                   if c.class_qualname == fn.class_qualname]
+            if own:
+                return own
+        return cands
+
+    def typed_callees(self, mod: ModuleInfo, fn: FunctionInfo, name: str,
+                      var_types: dict[str, str]) -> list[FunctionInfo]:
+        """Cross-module / typed resolution of a dotted call."""
+        parts = name.split(".")
+        if len(parts) == 1:
+            # `grab()` — a from-imported function.
+            bound = self.bindings.get(mod.name, {}).get(parts[0])
+            if bound is not None:
+                tmod_name, symbol = bound
+                tmod = self.project.modules.get(tmod_name)
+                if tmod is not None and symbol:
+                    target = self.module_function(tmod, symbol)
+                    if target is not None:
+                        return [target]
+            return []
+        # `alias.fn()` / `alias.Class.method()` through a module binding.
+        bound = self.bindings.get(mod.name, {}).get(parts[0])
+        if bound is not None and not bound[1]:
+            tmod = self.project.modules.get(bound[0])
+            if tmod is not None:
+                if len(parts) == 2:
+                    target = self.module_function(tmod, parts[1])
+                    return [target] if target is not None else []
+                cls = next(
+                    (c for c in tmod.classes.values() if c.name == parts[1]),
+                    None,
+                )
+                if cls is not None and len(parts) == 3:
+                    target = self.method_of(cls, parts[2])
+                    return [target] if target is not None else []
+            return []
+        # Typed receiver chain: `self.f1.f2.m()` or `var.f1.m()`.
+        if parts[0] == "self":
+            cls = self.enclosing_class(fn)
+            chain, method = parts[1:-1], parts[-1]
+            if not chain:
+                return []  # `self.m()` is local resolution's job
+        else:
+            cls = self.resolve_class(var_types.get(parts[0]), mod.name)
+            chain, method = parts[1:-1], parts[-1]
+        if cls is None:
+            return []
+        for attr in chain:
+            cls = self.resolve_class(self.field_type(cls, attr), cls.module)
+            if cls is None:
+                return []
+        target = self.method_of(cls, method)
+        return [target] if target is not None else []
+
+
+def _own_nodes(fn: FunctionInfo):
+    """Every AST node in ``fn``'s body, excluding nested scopes."""
+    stack = list(getattr(fn.node, "body", []))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _SKIP_NESTED):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _pta_entries(project: Project, wmap: WorldMap) -> tuple[str, ...]:
+    """fn_keys of every PTA entry method (``invoke_pta`` dispatch targets)."""
+    out: list[str] = []
+    entry_methods = set(wmap.taint.entry_methods) | {"invoke"}
+    for mod in sorted(project.modules.values(), key=lambda m: m.name):
+        for fn in mod.functions.values():
+            if fn.name in entry_methods and any(
+                b in wmap.pta_bases for b in fn.class_bases
+            ):
+                out.append(fn_key(fn))
+    return tuple(sorted(out))
+
+
+def build_call_graph(project: Project, wmap: WorldMap) -> CallGraph:
+    """Resolve every call site and condense the graph into SCCs."""
+    spec: TaintSpec = wmap.taint
+    resolver = Resolver(project)
+    sites: dict[str, dict[int, CallSite]] = {}
+    edges: dict[str, set[str]] = {}
+    dispatch = _pta_entries(project, wmap)
+
+    all_fns: list[FunctionInfo] = []
+    for mod in sorted(project.modules.values(), key=lambda m: m.name):
+        all_fns.extend(
+            mod.functions[q] for q in sorted(mod.functions)
+        )
+
+    for fn in all_fns:
+        key = fn_key(fn)
+        mod = project.modules[fn.module]
+        fn_sites: dict[int, CallSite] = {}
+        fn_edges: set[str] = set()
+        var_types = resolver.local_var_types(fn)
+        for node in _own_nodes(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node.func)
+            if name is None:
+                continue
+            simple = name.split(".")[-1]
+            # Mirror the taint transfer precedence: anything the pass
+            # short-circuits never becomes an edge.
+            if dotted_suffix_match(name, spec.declassifiers):
+                continue
+            if simple in spec.clean_builtins and "." not in name:
+                continue
+            if dotted_suffix_match(name, spec.source_calls):
+                continue
+            if simple in wmap.pta_dispatch_calls:
+                if dispatch:
+                    site = CallSite("dispatch", dispatch, name, node.lineno)
+                    fn_sites[id(node)] = site
+                    fn_edges.update(dispatch)
+                continue
+            local = resolver.local_callees(mod, fn, name)
+            if local:
+                callees = tuple(sorted(fn_key(c) for c in local))
+                fn_sites[id(node)] = CallSite("local", callees, name,
+                                              node.lineno)
+                fn_edges.update(callees)
+                continue
+            if simple in spec.mutators:
+                continue
+            if dotted_suffix_match(name, spec.sink_calls):
+                continue
+            typed = resolver.typed_callees(mod, fn, name, var_types)
+            if typed:
+                callees = tuple(sorted(fn_key(c) for c in typed))
+                fn_sites[id(node)] = CallSite("typed", callees, name,
+                                              node.lineno)
+                fn_edges.update(callees)
+        sites[key] = fn_sites
+        edges[key] = fn_edges
+
+    sccs = _tarjan(sorted(edges), edges)
+    return CallGraph(sites=sites, edges=edges, sccs=sccs, resolver=resolver)
+
+
+def _tarjan(nodes: list[str],
+            edges: dict[str, set[str]]) -> list[tuple[str, ...]]:
+    """Iterative Tarjan; SCCs emitted callees-first (reverse topological)."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[tuple[str, ...]] = []
+    counter = [0]
+
+    for root in nodes:
+        if root in index:
+            continue
+        # Explicit DFS stack of (node, iterator over successors).
+        work: list[tuple[str, list[str], int]] = []
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        work.append((root, sorted(edges.get(root, ())), 0))
+        while work:
+            node, succs, i = work.pop()
+            advanced = False
+            while i < len(succs):
+                succ = succs[i]
+                i += 1
+                if succ not in edges:
+                    continue  # edge to a function outside the project
+                if succ not in index:
+                    work.append((node, succs, i))
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, sorted(edges.get(succ, ())), 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                scc: list[str] = []
+                while True:
+                    top = stack.pop()
+                    on_stack.discard(top)
+                    scc.append(top)
+                    if top == node:
+                        break
+                sccs.append(tuple(sorted(scc)))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return sccs

@@ -23,10 +23,13 @@ entry method — the same configured dispatch the world-boundary rules use.
 from __future__ import annotations
 
 import ast
+import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Mapping
 
-from repro.analysis.modgraph import FunctionInfo, Project, call_name
+from repro.analysis.findings import Finding, SEVERITY_ERROR
+from repro.analysis.modgraph import Project, FunctionInfo, call_name, rel_path
 from repro.analysis.worlds import World, WorldMap
 
 _PTA_ENTRY_METHODS = ("on_invoke", "on_open_session", "on_close_session")
@@ -159,3 +162,230 @@ def compute_dead_tcb(
         static_reachable=static_driver,
         dynamic_hit=frozenset(dynamic_hit) & frozenset(fns),
     )
+
+
+# -- parse-only driver extraction + the T001 regression gate -------------------
+#
+# `compute_dead_tcb` above needs the *runtime* driver class (it calls
+# ``Driver.functions()``), which is fine for `repro tcb` but would break
+# the analyzer's parse-only guarantee.  The gate below re-derives the same
+# name → LoC table from the ``@driver_fn(loc=..., ...)`` decorator
+# literals, which are always statically spelled, and diffs the current
+# dead set against a committed per-driver baseline
+# (``analysis/deadtcb_baseline.json``) so dead-TCB *growth* fails CI the
+# way the perf gate bounds cycles.
+
+DEADTCB_BASELINE_NAME = "deadtcb_baseline.json"
+
+
+@dataclass(frozen=True)
+class DriverStatics:
+    """Parse-only view of one instrumented driver class."""
+
+    module: str
+    class_qualname: str
+    name: str                    # the class's NAME attribute
+    lineno: int
+    loc: Mapping[str, int]       # driver fn -> declared LoC
+    fn_lines: Mapping[str, int]  # driver fn -> def lineno
+    entry_points: tuple[str, ...]
+
+
+def _driver_fn_meta(fn_node: ast.FunctionDef) -> tuple[int, bool] | None:
+    """(loc, entry_point) from a ``@driver_fn(...)`` decorator, or None."""
+    for dec in fn_node.decorator_list:
+        if not isinstance(dec, ast.Call):
+            continue
+        name = call_name(dec.func)
+        if name is None or name.split(".")[-1] != "driver_fn":
+            continue
+        loc: int | None = None
+        entry = False
+        if dec.args and isinstance(dec.args[0], ast.Constant) and isinstance(
+            dec.args[0].value, int
+        ):
+            loc = dec.args[0].value
+        for kw in dec.keywords:
+            if not isinstance(kw.value, ast.Constant):
+                continue
+            if kw.arg == "loc" and isinstance(kw.value.value, int):
+                loc = kw.value.value
+            elif kw.arg == "entry_point" and isinstance(kw.value.value, bool):
+                entry = kw.value.value
+        if loc is not None:
+            return loc, entry
+    return None
+
+
+def driver_statics(project: Project) -> dict[str, DriverStatics]:
+    """Every ``Driver`` subclass with instrumented functions, by NAME."""
+    out: dict[str, DriverStatics] = {}
+    for mod in sorted(project.modules.values(), key=lambda m: m.name):
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = {
+                b.id if isinstance(b, ast.Name) else getattr(b, "attr", "")
+                for b in node.bases
+            }
+            if "Driver" not in bases:
+                continue
+            loc: dict[str, int] = {}
+            fn_lines: dict[str, int] = {}
+            entries: list[str] = []
+            name = ""
+            for stmt in node.body:
+                if isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if (
+                            isinstance(target, ast.Name)
+                            and target.id == "NAME"
+                            and isinstance(stmt.value, ast.Constant)
+                            and isinstance(stmt.value.value, str)
+                        ):
+                            name = stmt.value.value
+                if not isinstance(stmt, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    continue
+                meta = _driver_fn_meta(stmt)
+                if meta is None:
+                    continue
+                loc[stmt.name] = meta[0]
+                fn_lines[stmt.name] = stmt.lineno
+                if meta[1]:
+                    entries.append(stmt.name)
+            if not loc or not name:
+                continue  # the Driver base class itself, or uninstrumented
+            out[name] = DriverStatics(
+                module=mod.name,
+                class_qualname=node.name,
+                name=name,
+                lineno=node.lineno,
+                loc=dict(loc),
+                fn_lines=dict(fn_lines),
+                entry_points=tuple(sorted(entries)),
+            )
+    return out
+
+
+def compute_dead_tcb_static(
+    project: Project,
+    wmap: WorldMap,
+    statics: DriverStatics,
+    dynamic_hit: frozenset[str],
+    reach: StaticReachability | None = None,
+) -> DeadTcbReport:
+    """Parse-only variant of :func:`compute_dead_tcb`.
+
+    LoC figures come from the decorator literals instead of the runtime
+    ``Driver.functions()`` table (they are identical by construction:
+    ``driver_fn`` stores its ``loc`` argument verbatim).
+    """
+    if reach is None:
+        reach = static_reachability(project, wmap)
+    static_driver = frozenset(
+        n for n in statics.loc if n in reach.called_names
+    )
+    return DeadTcbReport(
+        driver=statics.name,
+        entry_points=reach.entry_points,
+        loc=dict(statics.loc),
+        static_reachable=static_driver,
+        dynamic_hit=frozenset(dynamic_hit) & frozenset(statics.loc),
+    )
+
+
+def deadtcb_baseline_path(project: Project) -> Path:
+    """Committed baseline location: ``<package>/analysis/deadtcb_baseline.json``."""
+    return project.root / "analysis" / DEADTCB_BASELINE_NAME
+
+
+def build_deadtcb_doc(
+    project: Project,
+    wmap: WorldMap,
+    dynamic_hits: Mapping[str, frozenset[str]],
+) -> dict:
+    """The baseline document: per-driver dead set given the traced hits."""
+    reach = static_reachability(project, wmap)
+    drivers = {}
+    for name, statics in sorted(driver_statics(project).items()):
+        report = compute_dead_tcb_static(
+            project, wmap, statics,
+            frozenset(dynamic_hits.get(name, frozenset())), reach,
+        )
+        drivers[name] = {
+            "module": statics.module,
+            "dynamic_hit": sorted(report.dynamic_hit),
+            "dead": list(report.dead),
+            "dead_loc": report.dead_loc,
+            "static_loc": report.static_loc,
+        }
+    return {"version": 1, "drivers": drivers}
+
+
+def check_dead_tcb(project: Project, wmap: WorldMap) -> list[Finding]:
+    """T001 — dead-TCB regressions against the committed baseline.
+
+    For each instrumented driver, recompute static reachability from the
+    TA entry points, subtract the *committed* dynamic-trace set, and flag
+    (a) functions dead now but not at baseline time, (b) dead-LoC growth,
+    and (c) drivers with no baseline entry at all (a new driver must be
+    traced and baselined before it ships).  Packages without a committed
+    baseline (the test fixtures) skip the pass entirely.
+    """
+    path = deadtcb_baseline_path(project)
+    if not path.exists():
+        return []
+    doc = json.loads(path.read_text())
+    entries: Mapping[str, dict] = doc.get("drivers", {})
+    reach = static_reachability(project, wmap)
+    findings: list[Finding] = []
+
+    def finding(statics: DriverStatics, anchor: str, lineno: int,
+                message: str) -> Finding:
+        mod = project.modules[statics.module]
+        return Finding(
+            rule="T001",
+            severity=SEVERITY_ERROR,
+            module=statics.module,
+            path=rel_path(project, mod),
+            line=lineno,
+            anchor=anchor,
+            message=message,
+        )
+
+    for name, statics in sorted(driver_statics(project).items()):
+        entry = entries.get(name)
+        if entry is None:
+            findings.append(finding(
+                statics, f"deadtcb:{name}:missing", statics.lineno,
+                f"driver {name!r} ({statics.module}.{statics.class_qualname}) "
+                f"has no dead-TCB baseline entry; trace it and regenerate "
+                f"with `repro tcb --write-deadtcb-baseline`",
+            ))
+            continue
+        report = compute_dead_tcb_static(
+            project, wmap, statics,
+            frozenset(entry.get("dynamic_hit", ())), reach,
+        )
+        base_dead = set(entry.get("dead", ()))
+        for fn in report.dead:
+            if fn in base_dead:
+                continue
+            findings.append(finding(
+                statics, f"deadtcb:{name}:{fn}",
+                statics.fn_lines.get(fn, statics.lineno),
+                f"dead-TCB regression in driver {name!r}: {fn}() "
+                f"({statics.loc.get(fn, 0)} LoC) is statically reachable "
+                f"from TA entry points but absent from every traced task "
+                f"profile in the committed baseline",
+            ))
+        base_loc = int(entry.get("dead_loc", 0))
+        if report.dead_loc > base_loc:
+            findings.append(finding(
+                statics, f"deadtcb:{name}:loc", statics.lineno,
+                f"dead-TCB LoC of driver {name!r} grew from {base_loc} "
+                f"to {report.dead_loc}; minimize the new surface or "
+                f"re-trace and regenerate the baseline",
+            ))
+    return findings

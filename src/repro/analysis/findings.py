@@ -22,6 +22,22 @@ from pathlib import Path
 SEVERITY_ERROR = "error"
 SEVERITY_WARNING = "warning"
 
+#: Short rule descriptions for report/SARIF rendering.
+_RULE_DESCRIPTIONS = {
+    "W000": "module is not assigned to a world in the world map",
+    "W001": "secure-world module imports normal-world code",
+    "W002": "tainted plaintext-derived data reaches a normal-world sink "
+            "or TA entry return without declassification",
+    "W003": "tainted data crosses a module boundary into a callee whose "
+            "summary reaches a normal-world sink",
+    "D001": "ambient RNG/clock use outside the simulation substrate",
+    "S001": "secret material handled outside approved secure paths",
+    "O001": "restricted package imports the observability package "
+            "directly instead of using the facade",
+    "T001": "dead-TCB regression against the committed per-driver "
+            "baseline",
+}
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -127,6 +143,65 @@ class AnalysisReport:
             "suppressed": len(self.suppressed),
             "stale_baseline_entries": self.stale,
             "by_rule": self.by_rule(),
+        }
+
+    def to_sarif(self) -> dict:
+        """SARIF 2.1.0 document for code-scanning upload.
+
+        Findings keep their stable fingerprint as a partial fingerprint
+        (so annotations track across line churn the same way the baseline
+        does) and baselined findings carry a ``suppressions`` entry with
+        the accepted reason, which code-scanning renders as dismissed.
+        """
+        rules = []
+        for rule_id in sorted({f.rule for f in self.findings}):
+            desc = _RULE_DESCRIPTIONS.get(rule_id, "repro static analysis rule")
+            rules.append({
+                "id": rule_id,
+                "shortDescription": {"text": desc},
+            })
+        results = []
+        for f in sorted(
+            self.findings, key=lambda x: (x.rule, x.path, x.line, x.anchor)
+        ):
+            result = {
+                "ruleId": f.rule,
+                "level": f.severity if f.severity in ("error", "warning")
+                else "warning",
+                "message": {"text": f.message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {"startLine": max(f.line, 1)},
+                    },
+                }],
+                "partialFingerprints": {"repro/v1": f.fingerprint},
+            }
+            if self.baseline is not None and self.baseline.suppresses(f):
+                result["suppressions"] = [{
+                    "kind": "external",
+                    "justification":
+                        self.baseline.entries.get(f.fingerprint, ""),
+                }]
+            results.append(result)
+        return {
+            "$schema": "https://raw.githubusercontent.com/oasis-tcs/"
+                       "sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "informationUri":
+                            "https://example.invalid/repro/analysis",
+                        "rules": rules,
+                    },
+                },
+                "results": results,
+            }],
         }
 
     def render_text(self) -> str:

@@ -24,6 +24,7 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Mapping
 
 
 @dataclass(frozen=True)
@@ -35,6 +36,8 @@ class ImportEdge:
     lineno: int
     type_checking: bool  # under `if TYPE_CHECKING:` — never executes
     scope: str           # "module" or "function"
+    alias: str = ""      # local name the import binds ("np", "relay", "grab")
+    symbol: str = ""     # symbol for from-imports of non-modules ("grab")
 
 
 @dataclass(frozen=True)
@@ -48,6 +51,30 @@ class FunctionInfo:
     node: ast.AST = field(compare=False, hash=False)
     class_bases: tuple[str, ...] = ()  # simple names of enclosing class bases
     params: tuple[str, ...] = ()       # positional/kw parameter names, self dropped
+    # Parameter name -> simple type name from the annotation ("FilterBundle");
+    # only annotations with a static spelling are recorded.
+    param_types: Mapping[str, str] = field(default_factory=dict)
+
+    @property
+    def class_qualname(self) -> str | None:
+        """Qualname of the enclosing class, if this is a method."""
+        if "." not in self.qualname:
+            return None
+        return self.qualname.rsplit(".", 1)[0]
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """One class definition with enough typing context for call resolution."""
+
+    module: str
+    qualname: str                      # e.g. "make_audio_filter_ta.AudioFilterTa"
+    name: str                          # simple name
+    bases: tuple[str, ...] = ()        # simple names of base classes
+    # Attribute -> simple type name, from class-body AnnAssigns
+    # (``asr: MatchedFilterAsr``), ``self.x: T = ...`` annotations and
+    # ``self.x = ClassName(...)`` allocation sites inside methods.
+    fields: Mapping[str, str] = field(default_factory=dict)
 
 
 @dataclass
@@ -59,6 +86,7 @@ class ModuleInfo:
     tree: ast.Module
     imports: list[ImportEdge]
     functions: dict[str, FunctionInfo]  # by qualname
+    classes: dict[str, ClassInfo] = field(default_factory=dict)  # by qualname
 
     def functions_named(self, simple: str) -> list[FunctionInfo]:
         """All functions in this module with the given simple name."""
@@ -89,22 +117,51 @@ def _is_type_checking_test(test: ast.expr) -> bool:
     return False
 
 
+def ann_name(expr: ast.expr | None) -> str | None:
+    """Simple type name of an annotation, or None when it has no static one.
+
+    ``FilterBundle`` → ``"FilterBundle"``; ``relay.RelayModule`` →
+    ``"RelayModule"``; ``RelayModule | None`` → ``"RelayModule"``; string
+    annotations parse recursively.  Subscripted generics (``list[T]``,
+    ``dict[...]``) are containers, not the value's class — they return None.
+    """
+    if expr is None:
+        return None
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        try:
+            return ann_name(ast.parse(expr.value, mode="eval").body)
+        except SyntaxError:
+            return None
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.BitOr):
+        # `T | None` — prefer whichever side names a class.
+        return ann_name(expr.left) or ann_name(expr.right)
+    return None
+
+
 class _ModuleVisitor(ast.NodeVisitor):
-    """Collects imports and function definitions in one pass."""
+    """Collects imports, function and class definitions in one pass."""
 
     def __init__(self, module_name: str, known: set[str]):
         self.module_name = module_name
         self.known = known  # dotted names of every module in the package
         self.imports: list[ImportEdge] = []
         self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self._class_fields: list[dict[str, str]] = []  # parallel to class stack
         self._qual: list[str] = []        # qualname stack
         self._class_bases: list[tuple[str, ...]] = []
+        self._fn_params: list[dict[str, str]] = []  # enclosing-fn param types
         self._fn_depth = 0
         self._tc_depth = 0                # TYPE_CHECKING nesting
 
     # -- imports ---------------------------------------------------------------
 
-    def _add_import(self, target: str, lineno: int) -> None:
+    def _add_import(self, target: str, lineno: int,
+                    alias: str = "", symbol: str = "") -> None:
         self.imports.append(
             ImportEdge(
                 module=self.module_name,
@@ -112,12 +169,16 @@ class _ModuleVisitor(ast.NodeVisitor):
                 lineno=lineno,
                 type_checking=self._tc_depth > 0,
                 scope="function" if self._fn_depth else "module",
+                alias=alias,
+                symbol=symbol,
             )
         )
 
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
-            self._add_import(alias.name, node.lineno)
+            # `import a.b` binds `a`; `import a.b as c` binds `c` to a.b.
+            bound = alias.asname or alias.name.split(".")[0]
+            self._add_import(alias.name, node.lineno, alias=bound)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.level:  # relative import: resolve against this module's package
@@ -133,8 +194,12 @@ class _ModuleVisitor(ast.NodeVisitor):
             # `from pkg.mod import name`: if pkg.mod.name is itself a module,
             # the edge targets the submodule; otherwise it targets pkg.mod.
             candidate = f"{prefix}.{alias.name}"
+            is_module = candidate in self.known
             self._add_import(
-                candidate if candidate in self.known else prefix, node.lineno
+                candidate if is_module else prefix,
+                node.lineno,
+                alias=alias.asname or alias.name,
+                symbol="" if is_module else alias.name,
             )
 
     def visit_If(self, node: ast.If) -> None:
@@ -159,18 +224,92 @@ class _ModuleVisitor(ast.NodeVisitor):
                 bases.append(b.attr)
         self._qual.append(node.name)
         self._class_bases.append(tuple(bases))
+        fields: dict[str, str] = {}
+        self._class_fields.append(fields)
+        qualname = ".".join(self._qual)
+        # Class-body annotations (dataclass fields: ``asr: MatchedFilterAsr``).
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                t = ann_name(stmt.annotation)
+                if t:
+                    fields[stmt.target.id] = t
         self.generic_visit(node)
+        self.classes[qualname] = ClassInfo(
+            module=self.module_name,
+            qualname=qualname,
+            name=node.name,
+            bases=tuple(bases),
+            fields=dict(fields),
+        )
+        self._class_fields.pop()
         self._class_bases.pop()
         self._qual.pop()
+
+    def _self_attr(self, target: ast.expr) -> str | None:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return target.attr
+        return None
+
+    def _record_self_field(self, attr: str, type_name: str | None,
+                           explicit: bool) -> None:
+        if not type_name or not self._class_fields:
+            return
+        fields = self._class_fields[-1]
+        if explicit:
+            fields[attr] = type_name
+        else:
+            fields.setdefault(attr, type_name)
+
+    def _value_type(self, value: ast.expr | None) -> str | None:
+        """Static type of an assigned value: allocation site or typed name."""
+        if isinstance(value, ast.Call):
+            name = call_name(value.func)
+            if name is None:
+                return None
+            simple = name.split(".")[-1]
+            # Heuristic: only constructor-looking calls type the target.
+            return simple if simple[:1].isupper() else None
+        if isinstance(value, ast.Name):
+            # `self.bundle = bundle`: the name's annotation, looked up in
+            # the enclosing (possibly factory) functions' parameters.
+            for params in reversed(self._fn_params):
+                if value.id in params:
+                    return params[value.id]
+        return None
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            attr = self._self_attr(target)
+            if attr is not None:
+                self._record_self_field(attr, self._value_type(node.value),
+                                        explicit=False)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        attr = self._self_attr(node.target)
+        if attr is not None:
+            self._record_self_field(attr, ann_name(node.annotation),
+                                    explicit=True)
+        self.generic_visit(node)
 
     def _visit_fn(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
         self._qual.append(node.name)
         qualname = ".".join(self._qual)
+        args = node.args.posonlyargs + node.args.args + node.args.kwonlyargs
         params = tuple(
-            a.arg
-            for a in (node.args.posonlyargs + node.args.args + node.args.kwonlyargs)
-            if a.arg not in ("self", "cls")
+            a.arg for a in args if a.arg not in ("self", "cls")
         )
+        param_types = {
+            a.arg: t for a in args
+            if a.arg not in ("self", "cls")
+            for t in (ann_name(a.annotation),) if t
+        }
         self.functions[qualname] = FunctionInfo(
             module=self.module_name,
             qualname=qualname,
@@ -179,9 +318,12 @@ class _ModuleVisitor(ast.NodeVisitor):
             node=node,
             class_bases=self._class_bases[-1] if self._class_bases else (),
             params=params,
+            param_types=param_types,
         )
         self._fn_depth += 1
+        self._fn_params.append(param_types)
         self.generic_visit(node)
+        self._fn_params.pop()
         self._fn_depth -= 1
         self._qual.pop()
 
@@ -221,6 +363,7 @@ def load_project(root: Path, package: str = "repro") -> Project:
             tree=tree,
             imports=visitor.imports,
             functions=visitor.functions,
+            classes=visitor.classes,
         )
     return Project(package=package, root=root, modules=modules)
 

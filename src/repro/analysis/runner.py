@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.analysis.deadtcb import check_dead_tcb
 from repro.analysis.findings import AnalysisReport, Baseline, Finding
 from repro.analysis.modgraph import load_project
 from repro.analysis.rules import (
@@ -29,6 +30,7 @@ _PASSES = (
     check_determinism,
     check_secret_hygiene,
     check_obs_facade,
+    check_dead_tcb,
 )
 
 

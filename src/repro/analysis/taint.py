@@ -1,4 +1,4 @@
-"""W002 — the plaintext-audio taint pass over secure-world modules.
+"""W002/W003 — whole-program interprocedural taint over the world boundary.
 
 The property being checked is the paper's trusted-path claim: plaintext
 peripheral data (driver reads, PTA capture buffers) must never reach a
@@ -6,27 +6,46 @@ normal-world call site except through an approved declassification point
 (the filter decision itself, sealed-storage writes, the relay send of
 *filtered* payloads).
 
-The analysis is interprocedural but module-local and flow-insensitive: a
-monotone fixpoint over each secure module's functions that accumulates
+PR 5's pass was module-local: flows that crossed ``core.filter``, the
+relay or the cloud tier were invisible and had to be allowlisted in the
+baseline.  This engine analyzes the *whole project* with compositional
+call summaries, still strictly parse-only:
 
-* **tainted locals/params** per function — seeded by source calls
-  (``read_chunk``, ``invoke_pta(..., CMD_READ, ...)``) and grown through
-  assignments, containers, arithmetic and unknown calls;
-* **tainted ``self.*`` attributes** per module — a tainted value stored on
-  ``self`` taints every later read of that attribute (the TA's segment
-  buffers);
-* **return summaries** — a function returning tainted data makes its
-  call sites tainted, and call sites passing tainted arguments taint the
-  callee's parameters (resolved by simple name within the module, so the
-  TA-class-inside-factory layout resolves without execution).
+**Taint values** are sets of symbolic atoms — ``("src", …)`` a concrete
+source call site, ``("param", name)`` "whatever the caller passes", and
+``("attr", class, name)`` "whatever was last stored on ``self.<name>``"
+— plus optional per-key field sets for dict literals with constant
+string keys.  Field sensitivity is what lets the engine *prove* that
+``record["sensitive"]`` (a filter decision) is clean even though
+``record["transcript"]`` in the same dict is plaintext-derived.
 
-Declassifier calls launder taint (their *result* is clean and tainted
-arguments are legitimate); ``clean_builtins`` (``len`` …) and comparisons
-return clean because their results carry no payload content.  After the
-fixpoint converges, a reporting pass flags (a) tainted arguments reaching
-a normal-world sink call (``rpc``, ``write_memref``, ``log``/``emit``/
-``span``, metrics) and (b) tainted returns from TA entry methods — those
-travel back to the normal-world client.
+**Phase 1 — summaries.** A bottom-up fixpoint over the call graph's
+SCCs (:mod:`repro.analysis.callgraph`) computes, per function: the taint
+of every local, the return taint, writes to ``self.*`` attributes, and
+*param-sink* summaries ("data bound to parameter ``p`` reaches sink
+``rpc()``", composed transitively through callees).  Parameters stay
+symbolic, so each function is summarized once regardless of callers.
+
+**Phase 2 — grounding.** A global fixpoint instantiates the symbols:
+a parameter is *ground* when some call site binds it to an atom that is
+itself ground (a source, a ground attribute, a ground parameter of the
+caller); an attribute is ground when some write stores ground data.
+Each grounding remembers its first witness, so reports can render the
+full inter-module flow path.
+
+**Phase 3 — reporting**, restricted to secure-world modules: tainted
+arguments reaching a normal-world sink (W002, as before but now with a
+rendered flow), tainted returns from TA entry methods (W002), and — new
+— a ground value crossing a module boundary into a callee whose summary
+says the bound parameter reaches a normal-world sink (**W003**, with the
+witness path through both modules rendered).
+
+Declassifiers launder taint (their result is clean and tainted arguments
+are legitimate); ``clean_builtins`` (``len`` …) and comparisons return
+clean because their results carry no payload content.  Source atoms are
+seeded only in secure-world modules — summaries for normal-world code
+are computed (they transport taint and sink-reachability) but never
+originate taint, and findings are only ever anchored in secure modules.
 """
 
 from __future__ import annotations
@@ -34,10 +53,10 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 
+from repro.analysis.callgraph import CallGraph, build_call_graph, fn_key
 from repro.analysis.findings import Finding, SEVERITY_ERROR
 from repro.analysis.modgraph import (
     FunctionInfo,
-    ModuleInfo,
     Project,
     call_name,
     dotted_suffix_match,
@@ -46,142 +65,299 @@ from repro.analysis.modgraph import (
 from repro.analysis.worlds import World, WorldMap
 
 _MAX_ITERATIONS = 64
+_MAX_RENDER_DEPTH = 8
 
 _SKIP_NESTED = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
 
+# Atom kinds (tuples keep them hashable and sortable):
+#   ("src", module, qualname, callname, lineno)  — a source call site
+#   ("param", name)                              — the function's own parameter
+#   ("attr", class_key, name)                    — a self.<name> attribute,
+#                                                  class_key = "module:Class.qualname"
+Atom = tuple
+
+_EMPTY: frozenset = frozenset()
+
+
+def _atom_order(atom: Atom):
+    """Deterministic sort key; source atoms first (best witnesses)."""
+    rank = {"src": 0, "attr": 1, "param": 2}[atom[0]]
+    return (rank,) + tuple(str(x) for x in atom[1:])
+
+
+class TV:
+    """A taint value: atom set plus optional per-field sets (dict literals).
+
+    Invariant: ``atoms`` is a superset of the union of all field sets, so
+    field-insensitive consumers can always fall back to ``atoms``.
+    """
+
+    __slots__ = ("atoms", "fields")
+
+    def __init__(self, atoms=_EMPTY, fields=None):
+        self.atoms: frozenset = frozenset(atoms)
+        self.fields = fields  # None (opaque) or dict[str, frozenset]
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, TV)
+            and self.atoms == other.atoms
+            and self.fields == other.fields
+        )
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"TV({sorted(map(str, self.atoms))}, fields={self.fields})"
+
+
+EMPTY_TV = TV()
+
+
+def _join(a: TV, b: TV) -> TV:
+    """Least upper bound; field maps survive only clean/None merges."""
+    if not b.atoms and b.fields is None:
+        return a
+    if not a.atoms and a.fields is None:
+        return b
+    atoms = a.atoms | b.atoms
+    if a.fields is not None and b.fields is not None:
+        fields = {
+            k: a.fields.get(k, _EMPTY) | b.fields.get(k, _EMPTY)
+            for k in set(a.fields) | set(b.fields)
+        }
+        return TV(atoms, fields)
+    if a.fields is not None and not b.atoms:
+        return TV(atoms, dict(a.fields))
+    if b.fields is not None and not a.atoms:
+        return TV(atoms, dict(b.fields))
+    return TV(atoms)  # one side is opaque-and-tainted: collapse
+
+
+def _subst(atoms: frozenset, binding: dict[str, frozenset]) -> frozenset:
+    """Replace a callee's param atoms with the caller's argument atoms."""
+    out: set = set()
+    for atom in atoms:
+        if atom[0] == "param":
+            out |= binding.get(atom[1], _EMPTY)
+        else:
+            out.add(atom)
+    return frozenset(out)
+
+
+@dataclass(frozen=True)
+class ParamSink:
+    """Summary entry: data bound to a parameter reaches a sink call."""
+
+    sink: str | None            # matched sink pattern (leaf entries only)
+    callname: str | None        # spelled sink call ("ctx.rpc")
+    lineno: int
+    via: tuple[str, str] | None = None  # (callee fn_key, callee param)
+
+
+@dataclass(frozen=True)
+class _CallRecord:
+    callee: str                 # fn_key
+    callname: str
+    lineno: int
+    bindings: tuple[tuple[str, frozenset], ...]  # (param, atoms), sorted
+
 
 @dataclass
-class _FnState:
-    tainted: set[str] = field(default_factory=set)  # local + param names
-    returns_tainted: bool = False
+class _Summary:
+    ret: TV = field(default_factory=TV)
+    param_sinks: dict[str, ParamSink] = field(default_factory=dict)
+    # (class_key, attr) -> (atoms, first write lineno)
+    attr_writes: dict[tuple[str, str], tuple[frozenset, int]] = field(
+        default_factory=dict
+    )
+    calls: list[_CallRecord] = field(default_factory=list)
 
 
-class _ModuleTaint:
-    """One module's fixpoint state and reporting pass."""
+@dataclass(frozen=True)
+class _Witness:
+    """How a param/attr first became ground: who bound it and with what."""
 
-    def __init__(self, project: Project, mod: ModuleInfo, wmap: WorldMap):
+    holder: str                 # fn_key of the caller / attribute writer
+    lineno: int
+    atom: Atom
+
+
+class _Engine:
+    """Whole-program summary computation, grounding, and reporting."""
+
+    def __init__(self, project: Project, wmap: WorldMap,
+                 graph: CallGraph | None = None):
         self.project = project
-        self.mod = mod
+        self.wmap = wmap
         self.spec = wmap.taint
-        self.state: dict[str, _FnState] = {
-            q: _FnState() for q in mod.functions
+        self.graph = graph or build_call_graph(project, wmap)
+        self.fns: dict[str, FunctionInfo] = {}
+        for mod in project.modules.values():
+            for fn in mod.functions.values():
+                self.fns[fn_key(fn)] = fn
+        self._secure = {
+            name: wmap.world_of(name) is World.SECURE
+            for name in project.modules
         }
-        self.attr_taint: set[str] = set()  # tainted self.<attr> names
+        self.envs: dict[str, dict[str, TV]] = {
+            key: {p: TV(frozenset({("param", p)})) for p in fn.params}
+            for key, fn in self.fns.items()
+        }
+        self.summaries: dict[str, _Summary] = {
+            key: _Summary() for key in self.fns
+        }
+        # Grounding state (phase 2).
+        self.param_ground: dict[str, dict[str, _Witness]] = {
+            key: {} for key in self.fns
+        }
+        self.attr_ground: dict[tuple[str, str], _Witness] = {}
+        # Report candidates (phase "collect").
+        self._sink_cands: list[tuple[str, str, str, int, frozenset]] = []
+        self._return_cands: list[tuple[str, int, frozenset]] = []
+        self._xflow_cands: list[
+            tuple[str, str, str, str, int, frozenset]
+        ] = []
+        # Walk-local state.
+        self._key = ""
+        self._fn: FunctionInfo | None = None
+        self._collect = False
         self.changed = False
-        self.findings: list[Finding] = []
-        self._reporting = False
-        self._reported: set[tuple[str, str]] = set()  # dedupe (anchor, line-ish)
 
-    # -- fixpoint driver -------------------------------------------------------
+    # -- driver ------------------------------------------------------------------
 
     def run(self) -> list[Finding]:
-        for _ in range(_MAX_ITERATIONS):
-            self.changed = False
-            for fn in self.mod.functions.values():
-                self._analyze_fn(fn)
-            if not self.changed:
-                break
-        self._reporting = True
-        for fn in self.mod.functions.values():
-            self._analyze_fn(fn)
-        return self.findings
+        for scc in self.graph.sccs:
+            members = [k for k in scc if k in self.fns]
+            for _ in range(_MAX_ITERATIONS):
+                self.changed = False
+                for key in members:
+                    self._walk_fn(key)
+                if not self.changed:
+                    break
+        self._collect = True
+        for key in sorted(self.fns):
+            self._walk_fn(key)
+        self._ground()
+        return self._report()
 
-    # -- helpers ---------------------------------------------------------------
+    def _walk_fn(self, key: str) -> None:
+        self._key = key
+        self._fn = self.fns[key]
+        for stmt in getattr(self._fn.node, "body", []):
+            self._stmt(stmt)
 
-    def _mark_local(self, fn: FunctionInfo, name: str) -> None:
-        st = self.state[fn.qualname]
-        if name not in st.tainted:
-            st.tainted.add(name)
-            self.changed = True
+    # -- helpers -----------------------------------------------------------------
 
-    def _mark_attr(self, attr: str) -> None:
-        if attr not in self.attr_taint:
-            self.attr_taint.add(attr)
-            self.changed = True
+    @property
+    def _env(self) -> dict[str, TV]:
+        return self.envs[self._key]
 
-    def _mark_returns(self, fn: FunctionInfo) -> None:
-        st = self.state[fn.qualname]
-        if not st.returns_tainted:
-            st.returns_tainted = True
-            self.changed = True
+    @property
+    def _sum(self) -> _Summary:
+        return self.summaries[self._key]
+
+    def _in_secure(self) -> bool:
+        return self._secure.get(self._fn.module, False)
+
+    def _class_key(self) -> str | None:
+        cq = self._fn.class_qualname
+        return f"{self._fn.module}:{cq}" if cq else None
 
     def _is_entry_fn(self, fn: FunctionInfo) -> bool:
         return fn.name in self.spec.entry_methods and any(
             b in self.spec.entry_bases for b in fn.class_bases
         )
 
-    def _callees(self, name: str, fn: FunctionInfo) -> list[FunctionInfo]:
-        """Module-local resolution of a call target by simple name.
+    def _mark_local(self, name: str, tv: TV) -> None:
+        old = self._env.get(name, EMPTY_TV)
+        new = _join(old, tv)
+        if new != old:
+            self._env[name] = new
+            self.changed = True
 
-        ``self._process(...)`` / ``helper(...)`` resolve to every function
-        in this module with that simple name, preferring same-class
-        methods when the call is through ``self``.
-        """
-        simple = name.split(".")[-1]
-        candidates = self.mod.functions_named(simple)
-        if not candidates:
-            return []
-        if name.startswith("self."):
-            cls_prefix = fn.qualname.rsplit(".", 1)[0]
-            same_class = [
-                c for c in candidates
-                if c.qualname.rsplit(".", 1)[0] == cls_prefix
-            ]
-            if same_class:
-                return same_class
-        return candidates
-
-    def _report(self, fn: FunctionInfo, anchor: str, lineno: int,
-                message: str) -> None:
-        key = (anchor, message)
-        if key in self._reported:
+    def _mark_attr(self, attr: str, atoms: frozenset, lineno: int) -> None:
+        ck = self._class_key()
+        if ck is None or not atoms:
             return
-        self._reported.add(key)
-        self.findings.append(
-            Finding(
-                rule="W002",
-                severity=SEVERITY_ERROR,
-                module=self.mod.name,
-                path=rel_path(self.project, self.mod),
-                line=lineno,
-                anchor=anchor,
-                message=message,
+        key = (ck, attr)
+        old = self._sum.attr_writes.get(key)
+        merged = atoms | (old[0] if old else _EMPTY)
+        if old is None or merged != old[0]:
+            self._sum.attr_writes[key] = (
+                merged, old[1] if old else lineno
             )
-        )
+            self.changed = True
 
-    # -- expression taint ------------------------------------------------------
+    def _mark_return(self, tv: TV) -> None:
+        old = self._sum.ret
+        new = _join(old, tv)
+        if new != old:
+            self._sum.ret = new
+            self.changed = True
 
-    def _expr(self, node: ast.expr | None, fn: FunctionInfo) -> bool:
+    def _mark_param_sink(self, param: str, entry: ParamSink) -> None:
+        if param not in self._sum.param_sinks:
+            self._sum.param_sinks[param] = entry
+            self.changed = True
+
+    # -- expressions -------------------------------------------------------------
+
+    def _expr(self, node: ast.expr | None) -> TV:
         if node is None:
-            return False
+            return EMPTY_TV
         if isinstance(node, ast.Name):
-            return node.id in self.state[fn.qualname].tainted
+            return self._env.get(node.id, EMPTY_TV)
         if isinstance(node, ast.Attribute):
             if isinstance(node.value, ast.Name) and node.value.id == "self":
-                return node.attr in self.attr_taint
-            return self._expr(node.value, fn)
+                ck = self._class_key()
+                if ck is not None:
+                    return TV(frozenset({("attr", ck, node.attr)}))
+                return EMPTY_TV
+            return TV(self._expr(node.value).atoms)
         if isinstance(node, ast.Call):
-            return self._call(node, fn)
+            return self._call(node)
         if isinstance(node, ast.Compare):
             # Comparisons yield decision bits, not payload content; still
             # evaluate operands so call-site effects inside them fire.
-            self._expr(node.left, fn)
+            self._expr(node.left)
             for cmp in node.comparators:
-                self._expr(cmp, fn)
-            return False
+                self._expr(cmp)
+            return EMPTY_TV
         if isinstance(node, ast.Lambda):
-            return False
+            return EMPTY_TV
+        if isinstance(node, ast.Dict):
+            vals = [self._expr(v) for v in node.values]
+            atoms = frozenset().union(*(v.atoms for v in vals)) if vals else _EMPTY
+            if node.keys and all(
+                isinstance(k, ast.Constant) and isinstance(k.value, str)
+                for k in node.keys
+            ):
+                fields = {
+                    k.value: vals[i].atoms
+                    for i, k in enumerate(node.keys)
+                }
+                return TV(atoms, fields)
+            for k in node.keys:
+                if k is not None:
+                    self._expr(k)
+            return TV(atoms)
+        if isinstance(node, ast.Subscript) and isinstance(node.ctx, ast.Load):
+            base = self._expr(node.value)
+            if (
+                base.fields is not None
+                and isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, str)
+            ):
+                return TV(base.fields.get(node.slice.value, _EMPTY))
+            return TV(base.atoms | self._expr(node.slice).atoms)
         # Default: any tainted sub-expression taints the whole expression
-        # (containers, f-strings, arithmetic, subscripts, conditionals).
-        tainted = False
+        # (containers, f-strings, arithmetic, conditionals).
+        atoms: set = set()
         for child in ast.iter_child_nodes(node):
             if isinstance(child, ast.expr):
-                if self._expr(child, fn):
-                    tainted = True
+                atoms |= self._expr(child).atoms
             elif isinstance(child, ast.comprehension):
-                if self._expr(child.iter, fn):
-                    tainted = True
-        return tainted
+                atoms |= self._expr(child.iter).atoms
+        return TV(frozenset(atoms))
 
     def _pta_read_source(self, node: ast.Call) -> bool:
         """``ctx.invoke_pta(uuid, CMD_READ, ...)`` — a capture-buffer read."""
@@ -196,135 +372,231 @@ class _ModuleTaint:
                     return True
         return False
 
-    def _call(self, node: ast.Call, fn: FunctionInfo) -> bool:
+    def _src_tv(self, name: str, lineno: int) -> TV:
+        """A fresh source atom — only secure-world code originates taint."""
+        if not self._in_secure():
+            return EMPTY_TV
+        return TV(frozenset({
+            ("src", self._fn.module, self._fn.qualname, name, lineno)
+        }))
+
+    def _call(self, node: ast.Call) -> TV:
         name = call_name(node.func)
         arg_nodes = list(node.args) + [k.value for k in node.keywords]
-        args_tainted = [self._expr(a, fn) for a in arg_nodes]
-        any_arg_tainted = any(args_tainted)
-        receiver_tainted = (
-            isinstance(node.func, ast.Attribute)
-            and self._expr(node.func.value, fn)
+        arg_tvs = [self._expr(a) for a in arg_nodes]
+        arg_atoms = (
+            frozenset().union(*(t.atoms for t in arg_tvs))
+            if arg_tvs else _EMPTY
         )
+        recv_tv = EMPTY_TV
+        if isinstance(node.func, ast.Attribute):
+            recv_tv = self._expr(node.func.value)
 
         if name is None:
             # Call through a computed target (``f()()``, subscripts):
             # propagate conservatively.
-            return any_arg_tainted or self._expr(node.func, fn)
+            if not isinstance(node.func, ast.Attribute):
+                recv_tv = self._expr(node.func)
+            return TV(arg_atoms | recv_tv.atoms)
 
         simple = name.split(".")[-1]
 
         # Declassifiers launder: tainted args are legitimate, result clean.
         if dotted_suffix_match(name, self.spec.declassifiers):
-            return False
+            return EMPTY_TV
 
         if simple in self.spec.clean_builtins and "." not in name:
-            return False
+            return EMPTY_TV
 
         # Sources.
         if dotted_suffix_match(name, self.spec.source_calls):
-            return True
-        if simple in ("invoke_pta",) and self._pta_read_source(node):
-            return True
+            return self._src_tv(name, node.lineno)
+        if simple in self.wmap.pta_dispatch_calls:
+            if self._pta_read_source(node):
+                return self._src_tv(name, node.lineno)
+            return TV(arg_atoms | recv_tv.atoms)
 
-        # Local callees: propagate argument taint into parameters, pull
-        # return-taint summaries back.
-        callees = self._callees(name, fn)
-        if callees:
-            result = False
-            for callee in callees:
-                for i, arg in enumerate(node.args):
-                    if args_tainted[i] and i < len(callee.params):
-                        self._mark_local(callee, callee.params[i])
-                for kw in node.keywords:
-                    if kw.arg and kw.arg in callee.params:
-                        if self._expr(kw.value, fn):
-                            self._mark_local(callee, kw.arg)
-                if self.state[callee.qualname].returns_tainted:
-                    result = True
-            return result or receiver_tainted
+        # Field-sensitive dict reads: ``record.get("sensitive")``.
+        if (
+            simple == "get"
+            and isinstance(node.func, ast.Attribute)
+            and recv_tv.fields is not None
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            default = (
+                frozenset().union(*(t.atoms for t in arg_tvs[1:]))
+                if len(arg_tvs) > 1 else _EMPTY
+            )
+            return TV(recv_tv.fields.get(node.args[0].value, _EMPTY) | default)
+
+        site = self.graph.sites.get(self._key, {}).get(id(node))
+        if site is not None and site.kind in ("local", "typed"):
+            return self._resolved_call(node, site, arg_tvs, recv_tv)
 
         # Mutators taint their receiver (``buf.append(pcm)``).
-        if simple in self.spec.mutators and any_arg_tainted:
-            recv = node.func.value if isinstance(node.func, ast.Attribute) else None
+        if simple in self.spec.mutators and arg_atoms:
+            recv = (
+                node.func.value
+                if isinstance(node.func, ast.Attribute) else None
+            )
             if isinstance(recv, ast.Name):
-                self._mark_local(fn, recv.id)
+                self._mark_local(recv.id, TV(arg_atoms))
             elif (
                 isinstance(recv, ast.Attribute)
                 and isinstance(recv.value, ast.Name)
                 and recv.value.id == "self"
             ):
-                self._mark_attr(recv.attr)
-            return False
+                self._mark_attr(recv.attr, arg_atoms, node.lineno)
+            return EMPTY_TV
 
-        # Sinks — report only after the fixpoint has converged.
+        # Sinks: record a candidate; taint still flows through the result.
         sink = dotted_suffix_match(name, self.spec.sink_calls)
-        if sink is not None and self._reporting and any_arg_tainted:
-            self._report(
-                fn,
-                anchor=f"{fn.qualname}:call:{sink}",
-                lineno=node.lineno,
-                message=f"tainted plaintext-derived value reaches "
-                        f"normal-world sink {name}() in {fn.qualname} "
-                        f"without passing a declassification point",
-            )
+        if sink is not None:
+            for atom in sorted(arg_atoms, key=_atom_order):
+                if atom[0] == "param":
+                    self._mark_param_sink(
+                        atom[1],
+                        ParamSink(sink=sink, callname=name,
+                                  lineno=node.lineno),
+                    )
+            if self._collect and self._in_secure() and arg_atoms:
+                self._sink_cands.append(
+                    (self._key, sink, name, node.lineno, arg_atoms)
+                )
+            return TV(arg_atoms | recv_tv.atoms)
 
         # Unknown call: taint flows through (np ops, json.dumps, copies).
-        return any_arg_tainted or receiver_tainted
+        return TV(arg_atoms | recv_tv.atoms)
 
-    # -- statements ------------------------------------------------------------
+    def _resolved_call(self, node: ast.Call, site, arg_tvs: list[TV],
+                       recv_tv: TV) -> TV:
+        """Summary application at a statically-resolved call site."""
+        result = TV(recv_tv.atoms)
+        for callee_key in site.callees:
+            callee = self.fns.get(callee_key)
+            if callee is None:
+                continue
+            binding: dict[str, frozenset] = {}
+            for i in range(len(node.args)):
+                if i < len(callee.params) and arg_tvs[i].atoms:
+                    p = callee.params[i]
+                    binding[p] = binding.get(p, _EMPTY) | arg_tvs[i].atoms
+            for j, kw in enumerate(node.keywords):
+                tv = arg_tvs[len(node.args) + j]
+                if kw.arg and kw.arg in callee.params and tv.atoms:
+                    binding[kw.arg] = binding.get(kw.arg, _EMPTY) | tv.atoms
+            csum = self.summaries[callee_key]
+            # Pull the return summary back, instantiating param atoms.
+            ret_atoms = _subst(csum.ret.atoms, binding)
+            if len(site.callees) == 1 and csum.ret.fields is not None:
+                ret = TV(ret_atoms, {
+                    k: _subst(v, binding) for k, v in csum.ret.fields.items()
+                })
+            else:
+                ret = TV(ret_atoms)
+            result = _join(result, ret)
+            # Compose sink reachability: our param feeding a callee param
+            # that reaches a sink makes our param sink-reaching too.
+            for p, atoms in binding.items():
+                if p not in csum.param_sinks:
+                    continue
+                for atom in sorted(atoms, key=_atom_order):
+                    if atom[0] == "param":
+                        self._mark_param_sink(
+                            atom[1],
+                            ParamSink(sink=None, callname=site.name,
+                                      lineno=node.lineno,
+                                      via=(callee_key, p)),
+                        )
+            if self._collect:
+                items = tuple(sorted(
+                    (p, atoms) for p, atoms in binding.items()
+                ))
+                if items:
+                    self._sum.calls.append(_CallRecord(
+                        callee=callee_key, callname=site.name,
+                        lineno=node.lineno, bindings=items,
+                    ))
+                if self._in_secure() and callee.module != self._fn.module:
+                    for p, atoms in binding.items():
+                        if p in csum.param_sinks:
+                            self._xflow_cands.append((
+                                self._key, callee_key, site.name, p,
+                                node.lineno, atoms,
+                            ))
+        return result
 
-    def _assign_target(self, target: ast.expr, fn: FunctionInfo) -> None:
+    # -- statements --------------------------------------------------------------
+
+    def _assign_target(self, target: ast.expr, tv: TV) -> None:
         if isinstance(target, ast.Name):
-            self._mark_local(fn, target.id)
+            self._mark_local(target.id, tv)
         elif isinstance(target, ast.Attribute):
-            if isinstance(target.value, ast.Name) and target.value.id == "self":
-                self._mark_attr(target.attr)
+            if (
+                isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                self._mark_attr(target.attr, tv.atoms, target.lineno)
         elif isinstance(target, (ast.Tuple, ast.List)):
             for elt in target.elts:
-                self._assign_target(elt, fn)
+                self._assign_target(elt, tv)
         elif isinstance(target, ast.Subscript):
-            self._assign_target(target.value, fn)
+            # Field-precise store for constant keys on a known dict var.
+            if (
+                isinstance(target.value, ast.Name)
+                and isinstance(target.slice, ast.Constant)
+                and isinstance(target.slice.value, str)
+            ):
+                base = self._env.get(target.value.id)
+                if base is not None and base.fields is not None:
+                    key = target.slice.value
+                    fields = dict(base.fields)
+                    fields[key] = fields.get(key, _EMPTY) | tv.atoms
+                    new = TV(base.atoms | tv.atoms, fields)
+                    if new != base:
+                        self._env[target.value.id] = new
+                        self.changed = True
+                    return
+            self._assign_target(target.value, TV(tv.atoms))
         elif isinstance(target, ast.Starred):
-            self._assign_target(target.value, fn)
+            self._assign_target(target.value, tv)
 
-    def _analyze_fn(self, fn: FunctionInfo) -> None:
-        body = getattr(fn.node, "body", [])
-        for stmt in body:
-            self._stmt(stmt, fn)
-
-    def _stmt(self, node: ast.stmt, fn: FunctionInfo) -> None:
+    def _stmt(self, node: ast.stmt) -> None:
         if isinstance(node, _SKIP_NESTED):
             return  # nested defs are analyzed as their own functions
         if isinstance(node, ast.Assign):
-            if self._expr(node.value, fn):
+            tv = self._expr(node.value)
+            if tv.atoms or tv.fields is not None:
                 for t in node.targets:
-                    self._assign_target(t, fn)
+                    self._assign_target(t, tv)
             return
         if isinstance(node, ast.AnnAssign):
-            if node.value is not None and self._expr(node.value, fn):
-                self._assign_target(node.target, fn)
+            if node.value is not None:
+                tv = self._expr(node.value)
+                if tv.atoms or tv.fields is not None:
+                    self._assign_target(node.target, tv)
             return
         if isinstance(node, ast.AugAssign):
-            if self._expr(node.value, fn) or self._expr(
-                node.target, fn
-            ):
-                self._assign_target(node.target, fn)
+            tv = _join(self._expr(node.value), self._expr(node.target))
+            if tv.atoms:
+                self._assign_target(node.target, TV(tv.atoms))
             return
         if isinstance(node, ast.Return):
-            if self._expr(node.value, fn):
-                self._mark_returns(fn)
-                if self._reporting and self._is_entry_fn(fn):
-                    self._report(
-                        fn,
-                        anchor=f"{fn.qualname}:return",
-                        lineno=node.lineno,
-                        message=f"TA entry point {fn.qualname} returns "
-                                f"tainted plaintext-derived data to the "
-                                f"normal-world client",
-                    )
+            tv = self._expr(node.value)
+            self._mark_return(tv)
+            if (
+                self._collect
+                and tv.atoms
+                and self._in_secure()
+                and self._is_entry_fn(self._fn)
+            ):
+                self._return_cands.append((self._key, node.lineno, tv.atoms))
             return
         if isinstance(node, ast.For):
-            if self._expr(node.iter, fn):
+            tv = self._expr(node.iter)
+            if tv.atoms:
                 target = node.target
                 # ``for i, x in enumerate(tainted)``: the counter is clean.
                 if (
@@ -334,34 +606,196 @@ class _ModuleTaint:
                     and len(target.elts) == 2
                 ):
                     target = target.elts[1]
-                self._assign_target(target, fn)
+                self._assign_target(target, TV(tv.atoms))
             for child in node.body + node.orelse:
-                self._stmt(child, fn)
+                self._stmt(child)
             return
         if isinstance(node, (ast.With, ast.AsyncWith)):
             for item in node.items:
-                if self._expr(item.context_expr, fn) and item.optional_vars:
-                    self._assign_target(item.optional_vars, fn)
+                tv = self._expr(item.context_expr)
+                if tv.atoms and item.optional_vars:
+                    self._assign_target(item.optional_vars, tv)
             for child in node.body:
-                self._stmt(child, fn)
+                self._stmt(child)
             return
         if isinstance(node, ast.Expr):
-            self._expr(node.value, fn)
+            self._expr(node.value)
             return
         # Generic recursion: evaluate contained expressions (call-site
         # effects) and walk nested statement blocks.
         for child in ast.iter_child_nodes(node):
             if isinstance(child, ast.stmt):
-                self._stmt(child, fn)
+                self._stmt(child)
             elif isinstance(child, ast.expr):
-                self._expr(child, fn)
+                self._expr(child)
+
+    # -- phase 2: grounding --------------------------------------------------------
+
+    def _is_ground(self, atom: Atom, holder: str) -> bool:
+        if atom[0] == "src":
+            return True
+        if atom[0] == "attr":
+            return (atom[1], atom[2]) in self.attr_ground
+        return atom[1] in self.param_ground.get(holder, {})
+
+    def _ground_of(self, atoms: frozenset, holder: str) -> Atom | None:
+        """Deterministic representative ground atom, sources preferred."""
+        for atom in sorted(atoms, key=_atom_order):
+            if self._is_ground(atom, holder):
+                return atom
+        return None
+
+    def _ground(self) -> None:
+        for _ in range(_MAX_ITERATIONS):
+            changed = False
+            for key in sorted(self.fns):
+                summary = self.summaries[key]
+                for rec in summary.calls:
+                    target = self.param_ground[rec.callee]
+                    for p, atoms in rec.bindings:
+                        if p in target:
+                            continue
+                        atom = self._ground_of(atoms, key)
+                        if atom is not None:
+                            target[p] = _Witness(key, rec.lineno, atom)
+                            changed = True
+                for (ck, attr), (atoms, lineno) in summary.attr_writes.items():
+                    if (ck, attr) in self.attr_ground:
+                        continue
+                    atom = self._ground_of(atoms, key)
+                    if atom is not None:
+                        self.attr_ground[(ck, attr)] = _Witness(
+                            key, lineno, atom
+                        )
+                        changed = True
+            if not changed:
+                break
+
+    # -- phase 3: reporting ----------------------------------------------------------
+
+    def _loc(self, key: str) -> tuple[str, str, str]:
+        """(module, qualname, display path) of a fn_key."""
+        module, qualname = key.split(":", 1)
+        mod = self.project.modules[module]
+        return module, qualname, rel_path(self.project, mod)
+
+    def _render_atom(self, atom: Atom, holder: str, depth: int = 0) -> str:
+        if depth > _MAX_RENDER_DEPTH:
+            return "…"
+        if atom[0] == "src":
+            _, module, qualname, callname, lineno = atom
+            path = rel_path(self.project, self.project.modules[module])
+            return f"source {callname}() at {path}:{lineno} in {qualname}"
+        if atom[0] == "attr":
+            witness = self.attr_ground[(atom[1], atom[2])]
+            _, wqual, wpath = self._loc(witness.holder)
+            return (
+                f"self.{atom[2]} written in {wqual} "
+                f"at {wpath}:{witness.lineno} <- "
+                + self._render_atom(witness.atom, witness.holder, depth + 1)
+            )
+        witness = self.param_ground[holder][atom[1]]
+        _, hqual, _ = self._loc(holder)
+        _, wqual, wpath = self._loc(witness.holder)
+        return (
+            f"param {atom[1]!r} of {hqual} bound by {wqual} "
+            f"at {wpath}:{witness.lineno} <- "
+            + self._render_atom(witness.atom, witness.holder, depth + 1)
+        )
+
+    def _render_sink_chain(self, key: str, param: str, depth: int = 0) -> str:
+        _, qualname, path = self._loc(key)
+        if depth > _MAX_RENDER_DEPTH:
+            return "…"
+        entry = self.summaries[key].param_sinks.get(param)
+        if entry is None:  # pragma: no cover - guarded by callers
+            return f"{qualname}({param})"
+        if entry.via is not None:
+            callee_key, callee_param = entry.via
+            return (
+                f"{qualname}({param}) -> "
+                + self._render_sink_chain(callee_key, callee_param, depth + 1)
+            )
+        return (
+            f"{qualname}({param}) -> sink {entry.callname}() "
+            f"at {path}:{entry.lineno}"
+        )
+
+    def _finding(self, rule: str, key: str, anchor: str, lineno: int,
+                 message: str) -> Finding:
+        module, _, path = self._loc(key)
+        return Finding(
+            rule=rule,
+            severity=SEVERITY_ERROR,
+            module=module,
+            path=path,
+            line=lineno,
+            anchor=anchor,
+            message=message,
+        )
+
+    def _report(self) -> list[Finding]:
+        findings: list[Finding] = []
+        seen: set[str] = set()
+
+        for key, sink, callname, lineno, atoms in self._sink_cands:
+            _, qualname, _ = self._loc(key)
+            anchor = f"{qualname}:call:{sink}"
+            if anchor in seen:
+                continue
+            atom = self._ground_of(atoms, key)
+            if atom is None:
+                continue
+            seen.add(anchor)
+            findings.append(self._finding(
+                "W002", key, anchor, lineno,
+                f"tainted plaintext-derived value reaches "
+                f"normal-world sink {callname}() in {qualname} "
+                f"without passing a declassification point "
+                f"[flow: {self._render_atom(atom, key)}]",
+            ))
+
+        for key, lineno, atoms in self._return_cands:
+            _, qualname, _ = self._loc(key)
+            anchor = f"{qualname}:return"
+            if anchor in seen:
+                continue
+            atom = self._ground_of(atoms, key)
+            if atom is None:
+                continue
+            seen.add(anchor)
+            findings.append(self._finding(
+                "W002", key, anchor, lineno,
+                f"TA entry point {qualname} returns tainted "
+                f"plaintext-derived data to the normal-world client "
+                f"[flow: {self._render_atom(atom, key)}]",
+            ))
+
+        for key, callee_key, callname, param, lineno, atoms in (
+            self._xflow_cands
+        ):
+            _, qualname, _ = self._loc(key)
+            cmodule, cqual, _ = self._loc(callee_key)
+            anchor = f"{qualname}:xflow:{cmodule}.{cqual}:{param}"
+            if anchor in seen:
+                continue
+            atom = self._ground_of(atoms, key)
+            if atom is None:
+                continue
+            seen.add(anchor)
+            findings.append(self._finding(
+                "W003", key, anchor, lineno,
+                f"tainted plaintext-derived value crosses the module "
+                f"boundary: {qualname} calls {callname}() binding "
+                f"{cmodule}.{cqual}({param}), which reaches a "
+                f"normal-world sink "
+                f"[flow: {self._render_atom(atom, key)}; "
+                f"then {self._render_sink_chain(callee_key, param)}]",
+            ))
+
+        return findings
 
 
 def check_taint(project: Project, wmap: WorldMap) -> list[Finding]:
-    """Run the W002 taint pass over every secure-world module."""
-    findings: list[Finding] = []
-    for mod in project.modules.values():
-        if wmap.world_of(mod.name) is not World.SECURE:
-            continue
-        findings.extend(_ModuleTaint(project, mod, wmap).run())
-    return findings
+    """Run the whole-program W002/W003 taint pass."""
+    return _Engine(project, wmap).run()

@@ -40,7 +40,9 @@ role.
 from __future__ import annotations
 
 import enum
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Mapping
 
 
@@ -141,6 +143,27 @@ class WorldMap:
                 if best is None or len(prefix) > best[0]:
                     best = (len(prefix), world)
         return best[1] if best else None
+
+
+def load_world_map(path: Path) -> WorldMap:
+    """Load a world map from JSON (used for fixture packages and CI).
+
+    The document carries ``package`` plus ``exact``/``prefixes`` maps of
+    module name → world value (``"secure"``, ``"normal"``, ``"boundary"``,
+    ``"shared"``); ``obs_package``/``obs_restricted``/``rng_exempt`` are
+    optional overrides.  The taint spec (sources/sinks/declassifiers)
+    stays at its defaults — the fixtures deliberately exercise the same
+    spec the real package is held to.
+    """
+    doc = json.loads(Path(path).read_text())
+    return WorldMap(
+        package=doc["package"],
+        exact={m: World(w) for m, w in doc.get("exact", {}).items()},
+        prefixes={m: World(w) for m, w in doc.get("prefixes", {}).items()},
+        obs_package=doc.get("obs_package", "repro.obs"),
+        obs_restricted=tuple(doc.get("obs_restricted", ())),
+        rng_exempt=tuple(doc.get("rng_exempt", ())),
+    )
 
 
 DEFAULT_WORLD_MAP = WorldMap(

@@ -322,6 +322,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_tcb(args: argparse.Namespace) -> int:
+    import json
+
     import numpy as np
 
     from repro.drivers.i2s_driver import I2sDriver
@@ -429,6 +431,92 @@ def _cmd_tcb(args: argparse.Namespace) -> int:
           f"({usb_dead.dead_loc} LoC)")
     for fn in usb_dead.dead:
         print(f"  dead       {fn} ({usb_dead.loc.get(fn, 0)} LoC)")
+
+    # And for the camera driver, tracing the image-branch capture task
+    # (probe → stream → single frame + block capture → teardown).
+    from repro.drivers.camera_driver import CameraDriver
+    from repro.peripherals.camera import Camera, SyntheticScene
+    from repro.sim.rng import SimRng
+
+    cam_machine = TrustZoneMachine()
+    camera = Camera(SyntheticScene(SimRng(args.seed)), width=16, height=12)
+    cam_host = KernelDriverHost(cam_machine)
+    cam_driver = CameraDriver(cam_host, camera)
+    cam_tracer = FunctionTracer()
+    cam_host.attach_tracer(cam_tracer)
+    cam_tracer.start("camera")
+    cam_driver.probe()
+    cam_driver.stream_on()
+    cam_driver.capture_frame()
+    cam_driver.capture_frames(4)
+    cam_driver.stream_off()
+    cam_driver.remove()
+    cam_session = cam_tracer.stop()
+
+    cam_plan = TcbAnalyzer(CameraDriver).analyze(
+        [cam_session], task="camera",
+        always_keep=frozenset({"remove"}),
+    )
+    cr = cam_plan.report
+    print(f"\ncam driver   : {cr.functions_total} functions, {cr.loc_total} LoC")
+    print(f"cam minimized: {cr.functions_kept} functions, {cr.loc_kept} LoC "
+          f"({cr.loc_reduction_pct:.1f}% LoC reduction)")
+    cam_dead = compute_dead_tcb(
+        project, DEFAULT_WORLD_MAP, CameraDriver, dynamic_hit=cam_plan.keep
+    )
+    print(f"cam dead TCB : {len(cam_dead.dead)}/{len(cam_dead.static_reachable)} "
+          f"statically reachable functions never traced "
+          f"({cam_dead.dead_loc} LoC)")
+    for fn in cam_dead.dead:
+        print(f"  dead       {fn} ({cam_dead.loc.get(fn, 0)} LoC)")
+
+    # Dead-TCB regression baseline: the committed document the analyzer's
+    # T001 gate (and CI) diff against.
+    from repro.analysis.deadtcb import (
+        build_deadtcb_doc,
+        deadtcb_baseline_path,
+    )
+
+    dynamic_hits = {
+        I2sDriver.NAME: plan.keep,
+        UsbAudioDriver.NAME: usb_plan.keep,
+        CameraDriver.NAME: cam_plan.keep,
+    }
+    doc = build_deadtcb_doc(project, DEFAULT_WORLD_MAP, dynamic_hits)
+    default_path = deadtcb_baseline_path(project)
+
+    if args.write_deadtcb_baseline is not None:
+        out = (
+            pathlib.Path(args.write_deadtcb_baseline)
+            if args.write_deadtcb_baseline else default_path
+        )
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"\nwrote dead-TCB baseline: {out}")
+
+    if args.check_deadtcb_baseline:
+        if not default_path.exists():
+            print(f"\nno committed dead-TCB baseline at {default_path}; "
+                  f"run `repro tcb --write-deadtcb-baseline`",
+                  file=sys.stderr)
+            return 1
+        committed = json.loads(default_path.read_text())
+        if committed != doc:
+            print("\ndead-TCB baseline drifted from the committed document:",
+                  file=sys.stderr)
+            for name in sorted(set(doc["drivers"]) | set(
+                committed.get("drivers", {})
+            )):
+                now = doc["drivers"].get(name)
+                was = committed.get("drivers", {}).get(name)
+                if now != was:
+                    print(f"  {name}:", file=sys.stderr)
+                    print(f"    committed: {was}", file=sys.stderr)
+                    print(f"    current  : {now}", file=sys.stderr)
+            print("re-trace and regenerate with "
+                  "`repro tcb --write-deadtcb-baseline`", file=sys.stderr)
+            return 1
+        print("\ndead-TCB baseline matches the committed document")
     return 0
 
 
@@ -436,16 +524,28 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     import json
 
     from repro.analysis.runner import DEFAULT_BASELINE_PATH, run_analysis
+    from repro.analysis.worlds import DEFAULT_WORLD_MAP, load_world_map
 
     root = (
         pathlib.Path(args.root)
         if args.root
         else pathlib.Path(__file__).resolve().parent
     )
-    baseline = None if args.no_baseline else (
+    world_map = (
+        load_world_map(pathlib.Path(args.world_map))
+        if args.world_map else DEFAULT_WORLD_MAP
+    )
+    expect = (
+        [r.strip() for r in args.expect.split(",") if r.strip()]
+        if args.expect else None
+    )
+    baseline = None if (args.no_baseline or expect) else (
         pathlib.Path(args.baseline) if args.baseline else DEFAULT_BASELINE_PATH
     )
-    report = run_analysis(root, baseline_path=baseline)
+    report = run_analysis(
+        root, package=args.package, world_map=world_map,
+        baseline_path=baseline,
+    )
     if args.format == "json":
         text = json.dumps(report.to_doc(), indent=2)
     else:
@@ -456,9 +556,31 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(text + "\n")
         print(f"wrote {out}", file=sys.stderr)
+    if args.sarif:
+        sarif_path = pathlib.Path(args.sarif)
+        sarif_path.parent.mkdir(parents=True, exist_ok=True)
+        sarif_path.write_text(json.dumps(report.to_sarif(), indent=2) + "\n")
+        print(f"wrote {sarif_path}", file=sys.stderr)
+    if expect is not None:
+        fired = {f.rule for f in report.findings}
+        missing = [r for r in expect if r not in fired]
+        if missing:
+            print(f"expected rules did not fire: {', '.join(missing)} "
+                  f"(analyzer self-test over seeded violations FAILED)",
+                  file=sys.stderr)
+            return 1
+        print(f"all expected rules fired: {', '.join(expect)}",
+              file=sys.stderr)
+        return 0
+    status = 0
     if args.fail_on_new and report.new_findings:
-        return 1
-    return 0
+        status = 1
+    if args.fail_on_stale and report.stale:
+        print(f"{len(report.stale)} stale baseline entr"
+              f"{'y' if len(report.stale) == 1 else 'ies'} "
+              f"(--fail-on-stale)", file=sys.stderr)
+        status = 1
+    return status
 
 
 def _cmd_models(args: argparse.Namespace) -> int:
@@ -765,10 +887,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--fail-on-new", action="store_true",
         help="exit 1 if any finding is not in the baseline (the CI gate)",
     )
+    analyze.add_argument(
+        "--fail-on-stale", action="store_true",
+        help="exit 1 if the baseline carries fingerprints no longer "
+             "produced (dead suppressions)",
+    )
+    analyze.add_argument(
+        "--sarif", default=None, metavar="PATH",
+        help="also write a SARIF 2.1.0 document for code-scanning upload",
+    )
+    analyze.add_argument(
+        "--package", default="repro",
+        help="dotted package name of --root (default: repro)",
+    )
+    analyze.add_argument(
+        "--world-map", default=None, metavar="PATH",
+        help="world-map JSON for non-default packages (fixtures)",
+    )
+    analyze.add_argument(
+        "--expect", default=None, metavar="RULES",
+        help="comma-separated rule ids that MUST fire; exit 1 if any is "
+             "missing (self-test over seeded fixtures; skips the baseline)",
+    )
     analyze.set_defaults(func=_cmd_analyze)
 
-    tcb = sub.add_parser("tcb", help="trace-and-strip the I2S driver")
+    tcb = sub.add_parser(
+        "tcb", help="trace-and-strip the I2S/USB/camera drivers"
+    )
     tcb.add_argument("--seed", type=int, default=7)
+    tcb.add_argument(
+        "--write-deadtcb-baseline", nargs="?", const="", default=None,
+        metavar="PATH",
+        help="write the per-driver dead-TCB baseline JSON from this run's "
+             "traces (default path: the committed "
+             "analysis/deadtcb_baseline.json)",
+    )
+    tcb.add_argument(
+        "--check-deadtcb-baseline", action="store_true",
+        help="recompute the dead-TCB document and exit 1 if it drifted "
+             "from the committed baseline (the CI gate)",
+    )
     tcb.set_defaults(func=_cmd_tcb)
 
     models = sub.add_parser("models", help="classifier architecture table")

@@ -90,6 +90,38 @@ def render_dead_tcb(report: "DeadTcbReport") -> str:
     return "\n".join(lines)
 
 
+def render_dead_tcb_delta(report: "DeadTcbReport", baseline: dict) -> str:
+    """Render a dead-TCB report against its committed baseline entry.
+
+    ``baseline`` is one driver's entry from ``analysis/deadtcb_baseline.json``
+    (keys ``dead`` and ``dead_loc``).  New-dead functions are regressions
+    the T001 gate fails CI on; fixed entries mean the baseline should be
+    regenerated so the ratchet tightens.
+    """
+    base_dead = set(baseline.get("dead", ()))
+    base_loc = int(baseline.get("dead_loc", 0))
+    new_dead = [fn for fn in report.dead if fn not in base_dead]
+    fixed = sorted(base_dead - set(report.dead))
+    delta = report.dead_loc - base_loc
+    lines = [
+        f"# Dead-TCB delta — `{report.driver}`",
+        "",
+        f"* dead LoC: **{report.dead_loc}** now vs **{base_loc}** at "
+        f"baseline ({'+' if delta >= 0 else ''}{delta})",
+        f"* new dead functions (regressions): **{len(new_dead)}**",
+        f"* no longer dead (regenerate baseline): **{len(fixed)}**",
+        "",
+    ]
+    for fn in new_dead:
+        lines.append(f"* REGRESSION `{fn}` ({report.loc.get(fn, 0)} LoC)")
+    for fn in fixed:
+        lines.append(f"* fixed `{fn}`")
+    if not new_dead and not fixed:
+        lines.append("*(no drift — baseline is current)*")
+    lines.append("")
+    return "\n".join(lines)
+
+
 def render_compile_config(plan: MinimizationPlan) -> str:
     """Render the conditional-compilation configuration.
 

@@ -1,0 +1,13 @@
+"""Shared shipping helper: the *sink* half of a two-module flow.
+
+``ship`` forwards whatever it is handed over supplicant RPC — the payload
+transits normal-world memory.  The module is world-agnostic substrate
+(SHARED), so no import rule fires and, taken alone, it is unremarkable;
+the violation is the secure-world caller binding tainted capture data to
+``data`` — which only an interprocedural summary of this function can
+surface.
+"""
+
+
+def ship(ctx, data):
+    ctx.rpc("upload", {"payload": data})

@@ -1,0 +1,12 @@
+"""Secure-world capture helper: the *source* half of a two-module flow.
+
+``grab`` returns a raw PTA capture buffer.  Nothing in this module sinks
+it, so a module-local taint pass sees no violation here — the leak only
+exists once a caller in another module wires this return into a sink.
+"""
+
+CMD_READ = 2
+
+
+def grab(ctx, frames=64):
+    return ctx.invoke_pta(ctx.pta_uuid, CMD_READ, {"frames": frames})

@@ -1,0 +1,20 @@
+"""Secure-world TA whose leak spans two other modules (W002 + W003).
+
+``RelayTa.on_invoke`` never touches a source or a sink directly: the
+taint enters through ``xmod_source.grab`` (its return summary carries the
+PTA capture source) and exits through ``xmod_sink.ship`` (its parameter
+summary reaches the supplicant RPC sink).  A module-local pass sees three
+individually-clean modules; the whole-program pass must report the
+tainted entry-point return (W002) and the cross-module flow into the
+sink-reaching callee (W003).
+"""
+
+from badpkg.xmod_sink import ship
+from badpkg.xmod_source import grab
+
+
+class RelayTa(TrustedApplication):  # noqa: F821 - parse-only fixture
+    def on_invoke(self, ctx, cmd, params):
+        data = grab(ctx)
+        ship(ctx, data)     # W003: tainted value crosses into sink-reaching callee
+        return {"raw": data}  # W002: tainted entry-point return via call summary

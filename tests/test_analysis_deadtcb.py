@@ -1,16 +1,25 @@
-"""Unit tests: the static/dynamic dead-TCB cross-check."""
+"""Unit tests: the static/dynamic dead-TCB cross-check and the T001 gate."""
 
+import json
 import pathlib
+import shutil
+
+import pytest
 
 from repro.analysis.deadtcb import (
     DeadTcbReport,
+    check_dead_tcb,
     compute_dead_tcb,
+    compute_dead_tcb_static,
+    driver_statics,
     static_reachability,
 )
 from repro.analysis.modgraph import load_project
 from repro.analysis.worlds import DEFAULT_WORLD_MAP
+from repro.drivers.camera_driver import CameraDriver
 from repro.drivers.i2s_driver import I2sDriver
-from repro.tcb.report import render_dead_tcb
+from repro.drivers.usb_audio_driver import UsbAudioDriver
+from repro.tcb.report import render_dead_tcb, render_dead_tcb_delta
 
 REPO_PACKAGE = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
 
@@ -89,3 +98,117 @@ class TestRenderDeadTcb:
         assert "every reachable function is exercised" in (
             render_dead_tcb(report)
         )
+
+
+class TestDriverStatics:
+    """Parse-only driver extraction must mirror the runtime table exactly."""
+
+    @pytest.mark.parametrize(
+        "driver", [I2sDriver, UsbAudioDriver, CameraDriver],
+        ids=lambda d: d.NAME,
+    )
+    def test_decorator_literals_match_runtime_functions(self, driver):
+        statics = driver_statics(_project())[driver.NAME]
+        runtime = {name: info.loc for name, info in driver.functions().items()}
+        assert dict(statics.loc) == runtime
+
+    def test_all_three_instrumented_drivers_found(self):
+        assert set(driver_statics(_project())) >= {
+            I2sDriver.NAME, UsbAudioDriver.NAME, CameraDriver.NAME,
+        }
+
+    def test_static_variant_agrees_with_runtime_variant(self):
+        project = _project()
+        statics = driver_statics(project)[I2sDriver.NAME]
+        hit = frozenset({"probe", "read_chunk"})
+        runtime_rep = compute_dead_tcb(
+            project, DEFAULT_WORLD_MAP, I2sDriver, hit)
+        static_rep = compute_dead_tcb_static(
+            project, DEFAULT_WORLD_MAP, statics, hit)
+        assert static_rep.dead == runtime_rep.dead
+        assert static_rep.dead_loc == runtime_rep.dead_loc
+        assert static_rep.static_reachable == runtime_rep.static_reachable
+
+
+class TestDeadTcbGate:
+    """T001 — regressions against the committed per-driver baseline."""
+
+    @pytest.fixture()
+    def repo_copy(self, tmp_path):
+        dest = tmp_path / "repro"
+        shutil.copytree(REPO_PACKAGE, dest)
+        return dest
+
+    def _baseline(self, root):
+        return root / "analysis" / "deadtcb_baseline.json"
+
+    def test_committed_baseline_is_clean(self):
+        findings = check_dead_tcb(_project(), DEFAULT_WORLD_MAP)
+        assert findings == []
+
+    def test_missing_baseline_file_skips_pass(self, repo_copy):
+        self._baseline(repo_copy).unlink()
+        findings = check_dead_tcb(load_project(repo_copy), DEFAULT_WORLD_MAP)
+        assert findings == []
+
+    def test_untraced_reachable_function_regresses(self, repo_copy):
+        # Drop a statically-reachable camera function from the committed
+        # trace set: it becomes dead TCB that the baseline does not
+        # accept, so both the per-function and the LoC-growth findings
+        # must fire.
+        path = self._baseline(repo_copy)
+        doc = json.loads(path.read_text())
+        entry = doc["drivers"][CameraDriver.NAME]
+        assert "_sensor_detect" in entry["dynamic_hit"]
+        entry["dynamic_hit"].remove("_sensor_detect")
+        path.write_text(json.dumps(doc))
+        findings = check_dead_tcb(load_project(repo_copy), DEFAULT_WORLD_MAP)
+        fps = {f.fingerprint for f in findings}
+        assert ("T001:repro.drivers.camera_driver:"
+                f"deadtcb:{CameraDriver.NAME}:_sensor_detect") in fps
+        assert ("T001:repro.drivers.camera_driver:"
+                f"deadtcb:{CameraDriver.NAME}:loc") in fps
+        assert all(f.severity == "error" for f in findings)
+
+    def test_new_driver_without_baseline_entry_flagged(self, repo_copy):
+        path = self._baseline(repo_copy)
+        doc = json.loads(path.read_text())
+        del doc["drivers"][UsbAudioDriver.NAME]
+        path.write_text(json.dumps(doc))
+        findings = check_dead_tcb(load_project(repo_copy), DEFAULT_WORLD_MAP)
+        fps = {f.fingerprint for f in findings}
+        assert ("T001:repro.drivers.usb_audio_driver:"
+                f"deadtcb:{UsbAudioDriver.NAME}:missing") in fps
+
+    def test_accepted_dead_set_does_not_fire(self, repo_copy):
+        # The committed baseline already accepts the i2s dead set; the
+        # gate only rejects *growth*, not the standing accepted debt.
+        findings = check_dead_tcb(load_project(repo_copy), DEFAULT_WORLD_MAP)
+        assert not [f for f in findings if I2sDriver.NAME in f.anchor]
+
+
+class TestRenderDeadTcbDelta:
+    def _report(self, dead, loc):
+        return DeadTcbReport(
+            driver="tegra-i2s",
+            entry_points=(),
+            loc=loc,
+            static_reachable=frozenset(loc),
+            dynamic_hit=frozenset(loc) - frozenset(dead),
+        )
+
+    def test_regression_rows_rendered(self):
+        report = self._report({"a", "b"}, {"a": 10, "b": 20, "c": 5})
+        text = render_dead_tcb_delta(report, {"dead": ["a"], "dead_loc": 10})
+        assert "REGRESSION `b` (20 LoC)" in text
+        assert "**30** now vs **10** at baseline (+20)" in text
+
+    def test_fixed_entries_suggest_regeneration(self):
+        report = self._report(set(), {"a": 10})
+        text = render_dead_tcb_delta(report, {"dead": ["a"], "dead_loc": 10})
+        assert "fixed `a`" in text
+
+    def test_no_drift_placeholder(self):
+        report = self._report({"a"}, {"a": 10})
+        text = render_dead_tcb_delta(report, {"dead": ["a"], "dead_loc": 10})
+        assert "no drift" in text
